@@ -1,0 +1,71 @@
+// Experiment E7 — dynamic networks (paper, section 1(c): "the topology of
+// the network may dynamically change"; the algorithm must still terminate
+// with a sound and complete result w.r.t. the surviving topology).
+//
+// Runs updates on a chain while cutting a varying number of pipes at
+// random times mid-update, and reports completion and how much of the
+// network's data still reached the initiator.
+//
+// Expected shape: the update always terminates; delivered data degrades
+// gracefully with the number of cuts (never below the initiator's own
+// share).
+
+#include <cstdio>
+
+#include "util/random.h"
+#include "workload/testbed.h"
+#include "workload/topology_gen.h"
+
+namespace codb {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("E7: updates under churn (12-node chain, 20 tuples/node)\n");
+  std::printf("%5s %6s | %10s %12s %14s\n", "cuts", "seed", "terminated",
+              "tuples@n0", "of max 240");
+
+  for (int cuts : {0, 1, 2, 4}) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      WorkloadOptions options;
+      options.nodes = 12;
+      options.tuples_per_node = 20;
+      GeneratedNetwork generated = MakeChain(options);
+
+      std::unique_ptr<Testbed> bed =
+          std::move(Testbed::Create(generated)).value();
+      Rng rng(seed);
+
+      // Schedule `cuts` random pipe cuts within the first 20ms (virtual).
+      for (int i = 0; i < cuts; ++i) {
+        int link = static_cast<int>(rng.Uniform(options.nodes - 1));
+        int64_t when = static_cast<int64_t>(rng.Uniform(20'000));
+        bed->network().ScheduleAfter(when, [&bed, link] {
+          Node* a = bed->node(NodeName(link));
+          Node* b = bed->node(NodeName(link + 1));
+          bed->network().ClosePipe(a->id(), b->id());
+        });
+      }
+
+      FlowId update = bed->node("n0")->StartGlobalUpdate().value();
+      bed->network().Run();
+
+      bool terminated =
+          bed->node("n0")->update_manager()->IsComplete(update);
+      size_t delivered = bed->node("n0")->database().Find("d")->size();
+      std::printf("%5d %6llu | %10s %12zu %13.0f%%\n", cuts,
+                  static_cast<unsigned long long>(seed),
+                  terminated ? "yes" : "NO", delivered,
+                  100.0 * static_cast<double>(delivered) / 240.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace codb
+
+int main() {
+  codb::bench::Run();
+  return 0;
+}

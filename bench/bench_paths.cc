@@ -1,0 +1,65 @@
+// Experiment E4 — update-propagation paths (paper, section 3 footnote 1:
+// maximal simple dependency paths; section 4: "longest update propagation
+// path" statistic).
+//
+// Sweeps grid shapes and random-graph densities and compares the longest
+// propagation path *observed* during a global update with the longest
+// simple path in the static link-dependency graph (its upper bound).
+//
+// Expected shape: observed <= bound, where a simple path of L edges in
+// the link graph chains L+1 rules and therefore spans L+2 nodes; both
+// grow with graph density, saturating near the node count.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/link_graph.h"
+
+namespace codb {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("E4: propagation paths vs link-graph bound\n");
+  std::printf("%-14s %6s %6s | %10s %12s\n", "network", "nodes", "rules",
+              "observed", "graph bound");
+
+  // Grids.
+  for (auto [rows, cols] : {std::pair{2, 2}, {2, 4}, {3, 3}, {4, 4}}) {
+    WorkloadOptions options;
+    options.grid_rows = rows;
+    options.grid_cols = cols;
+    options.tuples_per_node = 5;
+    GeneratedNetwork generated = MakeGrid(options);
+    LinkGraph graph = LinkGraph::Build(generated.config);
+    UpdateMetrics metrics = RunUpdate(generated, "n0");
+    std::printf("%-11s%dx%d %6d %6zu | %10u %12d\n", "grid ", rows, cols,
+                rows * cols, generated.config.rules().size(),
+                metrics.longest_path, graph.LongestSimplePath() + 2);
+  }
+
+  // Random graphs with growing density.
+  for (double p : {0.15, 0.3, 0.5, 0.8}) {
+    WorkloadOptions options;
+    options.nodes = 10;
+    options.tuples_per_node = 5;
+    options.edge_probability = p;
+    options.seed = 7;
+    GeneratedNetwork generated = MakeRandom(options);
+    LinkGraph graph = LinkGraph::Build(generated.config);
+    UpdateMetrics metrics = RunUpdate(generated, "n0");
+    std::printf("%-9s p=%.2f %6d %6zu | %10u %12d\n", "random", p,
+                options.nodes, generated.config.rules().size(),
+                metrics.longest_path,
+                graph.LongestSimplePath(/*max_explored=*/2'000'000) + 2);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace codb
+
+int main() {
+  codb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Experiment Q1 — microbenchmarks of the conjunctive-query engine and the
+// wire layer (google-benchmark). These are the per-node building blocks
+// whose cost the distributed experiments aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include "relation/wire.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/rule.h"
+#include "relation/database.h"
+#include "util/random.h"
+
+namespace codb {
+namespace {
+
+// Builds r(a,b) with `rows` rows, keys dense, b in [0, fanout).
+Database MakeDb(int64_t rows, int64_t fanout) {
+  Database db;
+  db.CreateRelation(RelationSchema(
+      "r", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+  db.CreateRelation(RelationSchema(
+      "s", {{"b", ValueType::kInt}, {"c", ValueType::kInt}}));
+  Rng rng(1);
+  Relation* r = db.Find("r");
+  Relation* s = db.Find("s");
+  for (int64_t i = 0; i < rows; ++i) {
+    r->Insert(Tuple{Value::Int(i),
+                    Value::Int(static_cast<int64_t>(rng.Uniform(
+                        static_cast<uint64_t>(fanout))))});
+    s->Insert(Tuple{Value::Int(i % fanout), Value::Int(i)});
+  }
+  return db;
+}
+
+void BM_ScanFilter(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), 100);
+  CompiledQuery q = std::move(CompiledQuery::Compile(
+                                  ParseQuery("q(A) :- r(A, B), B < 50.")
+                                      .value(),
+                                  db.Schema(), {"A"}))
+                        .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Evaluate(db));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanFilter)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HashJoin(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), 100);
+  CompiledQuery q = std::move(CompiledQuery::Compile(
+                                  ParseQuery("q(A, C) :- r(A, B), s(B, C).")
+                                      .value(),
+                                  db.Schema(), {"A", "C"}))
+                        .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Evaluate(db));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000);
+
+void BM_DeltaEvaluation(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), 100);
+  CompiledQuery q = std::move(CompiledQuery::Compile(
+                                  ParseQuery("q(A, C) :- r(A, B), s(B, C).")
+                                      .value(),
+                                  db.Schema(), {"A", "C"}))
+                        .value();
+  std::vector<Tuple> delta = {Tuple{Value::Int(-1), Value::Int(5)}};
+  db.Find("r")->Insert(delta[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.EvaluateDelta(db, "r", delta));
+  }
+}
+BENCHMARK(BM_DeltaEvaluation)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RuleFrontierAndInstantiate(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), 100);
+  DatabaseSchema importer;
+  importer.AddRelation(RelationSchema(
+      "d", {{"a", ValueType::kInt}, {"z", ValueType::kInt}}));
+  CoordinationRule rule(
+      "r1", "importer", "exporter",
+      ParseQuery("d(A, Z) :- r(A, B).").value());
+  rule.Compile(db.Schema(), importer);
+  NullMinter minter(1);
+  for (auto _ : state) {
+    std::vector<Tuple> frontiers = rule.EvaluateFrontier(db);
+    size_t produced = 0;
+    for (const Tuple& f : frontiers) {
+      produced += rule.InstantiateHead(f, minter).size();
+    }
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RuleFrontierAndInstantiate)->Arg(1000)->Arg(10000);
+
+void BM_WireTupleRoundTrip(benchmark::State& state) {
+  std::vector<Tuple> tuples;
+  Rng rng(2);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    tuples.push_back(Tuple{Value::Int(i), Value::String(rng.RandomString(8)),
+                           Value::Null(1, static_cast<uint64_t>(i))});
+  }
+  for (auto _ : state) {
+    WireWriter writer;
+    writer.WriteTuples(tuples);
+    std::vector<uint8_t> bytes = writer.Take();
+    WireReader reader(bytes);
+    benchmark::DoNotOptimize(reader.ReadTuples());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WireTupleRoundTrip)->Arg(100)->Arg(1000);
+
+void BM_RelationInsertNew(benchmark::State& state) {
+  std::vector<Tuple> batch;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    batch.push_back(Tuple{Value::Int(i), Value::Int(i)});
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    Relation r(RelationSchema(
+        "r", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(r.InsertNew(batch));
+    benchmark::DoNotOptimize(r.InsertNew(batch));  // all-duplicate pass
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_RelationInsertNew)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace codb
+
+BENCHMARK_MAIN();

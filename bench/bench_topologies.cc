@@ -1,0 +1,72 @@
+// Experiment E1 — "measure the performance of various networks arranged
+// in different topologies" (paper, section 4).
+//
+// For each topology and network size, runs one global update and reports
+// the statistics the demo's super-peer aggregates: total execution time
+// (virtual network time + real compute), data/control message counts,
+// bytes moved, and the longest update-propagation path.
+//
+// Expected shape: cost grows with network diameter — star flattest, chain
+// and ring steepest; the ring pays extra for cycle closure.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace codb {
+namespace bench {
+namespace {
+
+void Run() {
+  struct TopologyCase {
+    const char* name;
+    std::function<GeneratedNetwork(const WorkloadOptions&)> make;
+  };
+  const std::vector<TopologyCase> topologies = {
+      {"chain", MakeChain}, {"ring", MakeRing},   {"star", MakeStar},
+      {"tree", MakeTree},   {"grid", MakeGrid},   {"random", MakeRandom},
+  };
+  const int sizes[] = {4, 8, 16, 32};
+
+  std::printf(
+      "E1: global update across topologies (tuples/node=20, copy rules)\n");
+  std::printf(
+      "%-8s %5s | %9s %9s %7s %7s %10s %8s %5s\n", "topology", "nodes",
+      "virt(us)", "wall(ms)", "dataM", "ctrlM", "bytes", "tuples", "path");
+
+  for (const TopologyCase& topology : topologies) {
+    for (int n : sizes) {
+      WorkloadOptions options;
+      options.nodes = n;
+      options.tuples_per_node = 20;
+      options.seed = 42;
+      if (topology.name == std::string("grid")) {
+        options.grid_rows = n <= 4 ? 2 : 4;
+        options.grid_cols = n / options.grid_rows;
+      }
+      options.edge_probability = 3.0 / n;  // keep random graphs sparse
+      UpdateMetrics metrics = RunUpdate(topology.make(options), "n0");
+      std::printf(
+          "%-8s %5d | %9lld %9.2f %7llu %7llu %10llu %8llu %5u%s\n",
+          topology.name, n, static_cast<long long>(metrics.virtual_us),
+          metrics.wall_ms,
+          static_cast<unsigned long long>(metrics.data_messages),
+          static_cast<unsigned long long>(metrics.control_messages),
+          static_cast<unsigned long long>(metrics.data_bytes),
+          static_cast<unsigned long long>(metrics.tuples_moved),
+          metrics.longest_path, metrics.completed ? "" : "  INCOMPLETE");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace codb
+
+int main() {
+  codb::bench::Run();
+  return 0;
+}

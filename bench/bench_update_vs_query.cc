@@ -1,0 +1,103 @@
+// Experiment E2 — batch update vs query-time answering (paper, sections
+// 1 and 3: after a global update, "subsequent local queries [are] answered
+// locally within a node, without fetching data from other nodes at query
+// time").
+//
+// For chains of growing length we measure
+//   * the virtual latency of one distributed (cold) query,
+//   * the cost of a one-time global update,
+//   * the latency of a local query afterwards (zero network),
+// and the break-even query count: how many queries amortize the update.
+//
+// Expected shape: cold-query latency grows with path length; local-query
+// latency is flat and near zero; the crossover favours the batch update
+// after a handful of queries.
+
+#include <cstdio>
+
+#include "query/parser.h"
+#include "util/stopwatch.h"
+#include "workload/testbed.h"
+#include "workload/topology_gen.h"
+
+namespace codb {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "E2: query-time answering vs global update + local query (chains)\n");
+  std::printf("%5s | %12s %12s | %12s %12s | %9s\n", "nodes",
+              "coldQ virt", "coldQ msgs", "update virt", "localQ wall",
+              "x10");
+
+  for (int n : {2, 4, 8, 16}) {
+    WorkloadOptions options;
+    options.nodes = n;
+    options.tuples_per_node = 50;
+    GeneratedNetwork generated = MakeChain(options);
+
+    ConjunctiveQuery query =
+        ParseQuery("q(K, V) :- d(K, V).").value();
+
+    // -- cold: distributed query at query time ---------------------------
+    int64_t cold_virtual = 0;
+    uint64_t cold_messages = 0;
+    {
+      std::unique_ptr<Testbed> bed =
+          std::move(Testbed::Create(generated)).value();
+      uint64_t base = bed->network().stats().total_messages();
+      int64_t start = bed->network().now_us();
+      FlowId id = bed->node("n0")->StartQuery(query).value();
+      bed->network().Run();
+      (void)id;
+      cold_virtual = bed->network().now_us() - start;
+      cold_messages = bed->network().stats().total_messages() - base;
+    }
+
+    // -- warm: global update once, then local queries --------------------
+    int64_t update_virtual = 0;
+    double local_wall_us = 0;
+    {
+      std::unique_ptr<Testbed> bed =
+          std::move(Testbed::Create(generated)).value();
+      int64_t start = bed->network().now_us();
+      bed->node("n0")->StartGlobalUpdate().value();
+      bed->network().Run();
+      update_virtual = bed->network().now_us() - start;
+
+      Stopwatch wall;
+      constexpr int kRepetitions = 100;
+      for (int i = 0; i < kRepetitions; ++i) {
+        bed->node("n0")->LocalQuery(query).value();
+      }
+      local_wall_us =
+          static_cast<double>(wall.ElapsedMicros()) / kRepetitions;
+    }
+
+    // Ten queries each way: cold pays the fetch every time, warm pays the
+    // update once and answers locally afterwards.
+    int64_t ten_cold = 10 * cold_virtual;
+    int64_t ten_warm = update_virtual;  // + ~0 network for local queries
+    std::printf("%5d | %10lldus %10llu | %10lldus %10.1fus | %8.1fx\n", n,
+                static_cast<long long>(cold_virtual),
+                static_cast<unsigned long long>(cold_messages),
+                static_cast<long long>(update_virtual), local_wall_us,
+                ten_warm > 0 ? static_cast<double>(ten_cold) /
+                                   static_cast<double>(ten_warm)
+                             : 0.0);
+  }
+  std::printf(
+      "\nx10 = (10 cold queries) / (one update + 10 local queries), in\n"
+      "virtual network time: one distributed fetch costs about as much as\n"
+      "the whole batch update, so every repeated query amortizes it.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace codb
+
+int main() {
+  codb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared helpers for the experiment harness binaries (see DESIGN.md §3):
+// running a global update over a generated network and collecting the
+// aggregate metrics each experiment reports.
+
+#ifndef CODB_BENCH_BENCH_UTIL_H_
+#define CODB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/stopwatch.h"
+#include "workload/testbed.h"
+#include "workload/topology_gen.h"
+
+namespace codb {
+namespace bench {
+
+struct UpdateMetrics {
+  bool completed = false;
+  int64_t virtual_us = 0;     // network-wide start -> initiator completion
+  double wall_ms = 0;         // real compute for the whole simulation
+  uint64_t events = 0;        // simulator events processed
+  uint64_t data_messages = 0; // kUpdateData messages network-wide
+  uint64_t data_bytes = 0;
+  uint64_t control_messages = 0;  // request/ack/link-closed/complete
+  uint64_t tuples_moved = 0;      // sum of tuples_added across nodes
+  uint32_t longest_path = 0;      // max propagation path (nodes)
+  size_t initiator_tuples = 0;    // initiator store size afterwards
+};
+
+// Builds a testbed, runs one global update from `initiator`, and collects
+// the metrics. Exits with a message on setup failure (benches treat setup
+// errors as fatal).
+inline UpdateMetrics RunUpdate(const GeneratedNetwork& generated,
+                               const std::string& initiator,
+                               Testbed::Options options = {}) {
+  Result<std::unique_ptr<Testbed>> testbed =
+      Testbed::Create(generated, options);
+  if (!testbed.ok()) {
+    std::fprintf(stderr, "testbed: %s\n",
+                 testbed.status().ToString().c_str());
+    std::exit(1);
+  }
+  Testbed& bed = *testbed.value();
+
+  // Exclude setup traffic from the measured counters.
+  uint64_t base_total = bed.network().stats().total_messages();
+  int64_t start_virtual = bed.network().now_us();
+
+  Stopwatch wall;
+  Result<FlowId> update = bed.node(initiator)->StartGlobalUpdate();
+  if (!update.ok()) {
+    std::fprintf(stderr, "update: %s\n",
+                 update.status().ToString().c_str());
+    std::exit(1);
+  }
+  UpdateMetrics metrics;
+  metrics.events = bed.network().Run();
+  metrics.wall_ms = wall.ElapsedSeconds() * 1000.0;
+  metrics.completed = bed.AllComplete(update.value());
+  metrics.virtual_us = bed.network().now_us() - start_virtual;
+
+  const TransportStats& stats = bed.network().stats();
+  metrics.data_messages = stats.MessagesOfType(MessageType::kUpdateData);
+  metrics.data_bytes = stats.BytesOfType(MessageType::kUpdateData);
+  metrics.control_messages =
+      stats.total_messages() - base_total - metrics.data_messages;
+
+  for (const auto& node : bed.nodes()) {
+    const UpdateReport* report =
+        node->statistics().FindReport(update.value());
+    if (report == nullptr) continue;
+    metrics.tuples_moved += report->tuples_added;
+    if (report->longest_path_nodes > metrics.longest_path) {
+      metrics.longest_path = report->longest_path_nodes;
+    }
+  }
+  metrics.initiator_tuples =
+      bed.node(initiator)->database().TotalTuples();
+  return metrics;
+}
+
+}  // namespace bench
+}  // namespace codb
+
+#endif  // CODB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,139 @@
+// Durability and maintenance: the write-ahead journal, crash recovery,
+// refresh updates (deletion propagation), and key-constraint handling —
+// the operational side of running a coDB node for real.
+//
+//   build/examples/durability_and_refresh
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/node.h"
+#include "core/super_peer.h"
+#include "net/network.h"
+#include "query/parser.h"
+#include "relation/printer.h"
+#include "relation/wal.h"
+
+namespace {
+
+template <typename T>
+T Check(codb::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << ": " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void Check(const codb::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << ": " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+codb::DatabaseSchema AccountSchema() {
+  codb::DatabaseSchema schema;
+  Check(schema.AddRelation(
+            Check(codb::ParseSchema("account(id:int, balance:int)"),
+                  "schema")),
+        "add");
+  return schema;
+}
+
+}  // namespace
+
+int main() {
+  using codb::Node;
+  using codb::Tuple;
+  using codb::Value;
+
+  codb::Network network;
+  auto branch = Check(Node::Create(&network, "branch", AccountSchema()),
+                      "branch");
+  auto hq = Check(Node::Create(&network, "hq", AccountSchema()), "hq");
+
+  branch->database().Find("account")->Insert(
+      Tuple{Value::Int(1), Value::Int(100)});
+  branch->database().Find("account")->Insert(
+      Tuple{Value::Int(2), Value::Int(250)});
+
+  // hq mirrors the branch; hq declares the account id as a key.
+  const char* rules = R"(
+node branch
+  relation account(id:int, balance:int)
+node hq
+  relation account(id:int, balance:int)
+  key account(id)
+rule mirror hq <- branch : account(I, B) :- account(I, B).
+)";
+  std::unique_ptr<codb::SuperPeer> super_peer =
+      codb::SuperPeer::Create(&network);
+  Check(super_peer->LoadConfigText(rules), "rules");
+  Check(super_peer->BroadcastConfig(), "broadcast");
+  network.Run();
+
+  // -- 1. Journal every import at hq ---------------------------------------
+  codb::WriteAheadLog journal;
+  hq->AttachJournal(&journal);
+
+  Check(hq->StartGlobalUpdate(), "update");
+  network.Run();
+  std::cout << "after update, hq mirrors "
+            << hq->database().Find("account")->size()
+            << " accounts; journal has " << journal.entry_count()
+            << " entries\n";
+
+  // Persist the journal as a file, as a real deployment would.
+  std::string path = "/tmp/codb_demo.journal";
+  Check(journal.SaveToFile(path), "save journal");
+
+  // -- 2. Crash and recover -------------------------------------------------
+  // Simulate hq losing its in-memory store: rebuild from schema + journal.
+  codb::Database recovered;
+  codb::DatabaseSchema schema = AccountSchema();
+  for (const codb::RelationSchema& rel : schema.relations()) {
+    Check(recovered.CreateRelation(rel), "create");
+  }
+  codb::WriteAheadLog reloaded =
+      Check(codb::WriteAheadLog::LoadFromFile(path), "load journal");
+  Check(reloaded.ReplayInto(recovered), "replay");
+  std::cout << "recovered store from the journal:\n"
+            << codb::FormatRelation(*recovered.Find("account")) << "\n";
+  std::remove(path.c_str());
+
+  // -- 3. Deletion propagation via a refresh update -------------------------
+  // The branch closes account 2.
+  codb::Relation* accounts = branch->database().Find("account");
+  std::vector<Tuple> kept;
+  for (const Tuple& t : accounts->rows()) {
+    if (!(t.at(0) == Value::Int(2))) kept.push_back(t);
+  }
+  accounts->Clear();
+  for (const Tuple& t : kept) accounts->Insert(t);
+
+  Check(hq->StartGlobalRefresh(), "refresh");
+  network.Run();
+  std::cout << "after the branch closed account 2 and hq refreshed:\n"
+            << codb::FormatRelation(*hq->database().Find("account"))
+            << "\n";
+
+  // -- 4. Key constraints: inconsistency does not propagate -----------------
+  // The branch (no key declared there) ends up with two balances for
+  // account 1 — but hq declares account(id) as a key, so if hq itself
+  // were inconsistent it would stop exporting. Here the violation is at
+  // hq after importing both rows? No: hq's set-semantics import would
+  // violate its key, so let's show the check directly.
+  branch->database().Find("account")->Insert(
+      Tuple{Value::Int(1), Value::Int(999)});
+  Check(hq->StartGlobalRefresh(), "refresh 2");
+  network.Run();
+
+  std::cout << "hq consistency check after importing conflicting rows:\n";
+  for (const std::string& violation : hq->ConsistencyViolations()) {
+    std::cout << "  VIOLATION: " << violation << "\n";
+  }
+  std::cout << "hq now exports nothing until repaired "
+            << "(local inconsistency does not propagate).\n";
+  return 0;
+}

@@ -1,0 +1,302 @@
+#include "core/config.h"
+
+#include <algorithm>
+#include <set>
+
+#include "query/containment.h"
+#include "query/parser.h"
+#include "util/string_util.h"
+
+namespace codb {
+
+std::string KeyConstraint::ToString() const {
+  std::string out = "key " + relation + "(";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns[i];
+  }
+  out += ")";
+  return out;
+}
+
+Result<NetworkConfig> NetworkConfig::Parse(const std::string& text) {
+  NetworkConfig config;
+  NodeDecl* current = nullptr;
+  int line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto line_error = [&](const std::string& message) {
+      return Status::ParseError("config line " + std::to_string(line_no) +
+                                ": " + message);
+    };
+
+    if (StartsWith(line, "node ")) {
+      std::string rest(Trim(line.substr(5)));
+      bool mediator = false;
+      if (rest.size() > 9 && rest.substr(rest.size() - 9) == " mediator") {
+        mediator = true;
+        rest = std::string(Trim(rest.substr(0, rest.size() - 9)));
+      }
+      if (rest.empty()) return line_error("node declaration without a name");
+      config.nodes_.push_back({rest, mediator, {}, {}});
+      current = &config.nodes_.back();
+      continue;
+    }
+
+    if (StartsWith(line, "relation ")) {
+      if (current == nullptr) {
+        return line_error("relation declaration outside a node block");
+      }
+      Result<RelationSchema> schema = ParseSchema(line.substr(9));
+      if (!schema.ok()) return line_error(schema.status().ToString());
+      current->relations.push_back(std::move(schema).value());
+      continue;
+    }
+
+    if (StartsWith(line, "key ")) {
+      if (current == nullptr) {
+        return line_error("key declaration outside a node block");
+      }
+      std::string rest(Trim(line.substr(4)));
+      size_t open = rest.find('(');
+      size_t close = rest.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open) {
+        return line_error("key declaration needs 'key relation(col, ..)'");
+      }
+      KeyConstraint key;
+      key.relation = std::string(Trim(rest.substr(0, open)));
+      for (const std::string& col :
+           Split(rest.substr(open + 1, close - open - 1), ',')) {
+        std::string name(Trim(col));
+        if (name.empty()) return line_error("empty key column");
+        key.columns.push_back(std::move(name));
+      }
+      if (key.relation.empty() || key.columns.empty()) {
+        return line_error("key declaration needs a relation and columns");
+      }
+      current->keys.push_back(std::move(key));
+      continue;
+    }
+
+    if (StartsWith(line, "rule ")) {
+      // rule <id> <importer> <- <exporter> : <query>
+      std::string rest(Trim(line.substr(5)));
+      size_t colon = rest.find(':');
+      if (colon == std::string::npos) {
+        return line_error("rule without ':' before the query");
+      }
+      std::string head_part(Trim(rest.substr(0, colon)));
+      std::string query_part(Trim(rest.substr(colon + 1)));
+      size_t arrow = head_part.find("<-");
+      if (arrow == std::string::npos) {
+        return line_error("rule without '<-' between importer and exporter");
+      }
+      std::string left(Trim(head_part.substr(0, arrow)));
+      std::string exporter(Trim(head_part.substr(arrow + 2)));
+      size_t space = left.find_last_of(" \t");
+      if (space == std::string::npos) {
+        return line_error("rule needs both an id and an importer");
+      }
+      std::string id(Trim(left.substr(0, space)));
+      std::string importer(Trim(left.substr(space + 1)));
+      if (id.empty() || importer.empty() || exporter.empty()) {
+        return line_error("rule id, importer and exporter must be non-empty");
+      }
+      Result<ConjunctiveQuery> query = ParseQuery(query_part);
+      if (!query.ok()) return line_error(query.status().ToString());
+      config.rules_.emplace_back(id, importer, exporter,
+                                 std::move(query).value());
+      current = nullptr;
+      continue;
+    }
+
+    return line_error("unrecognized declaration: " + std::string(line));
+  }
+  CODB_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+std::string NetworkConfig::Serialize() const {
+  std::string out;
+  for (const NodeDecl& node : nodes_) {
+    out += "node " + node.name + (node.mediator ? " mediator" : "") + "\n";
+    for (const RelationSchema& rel : node.relations) {
+      out += "  relation " + rel.ToString() + "\n";
+    }
+    for (const KeyConstraint& key : node.keys) {
+      out += "  " + key.ToString() + "\n";
+    }
+  }
+  for (const CoordinationRule& rule : rules_) {
+    out += "rule " + rule.id() + " " + rule.importer() + " <- " +
+           rule.exporter() + " : " + rule.query().ToString() + "\n";
+  }
+  return out;
+}
+
+Status NetworkConfig::AddNode(NodeDecl node) {
+  if (FindNode(node.name) != nullptr) {
+    return Status::AlreadyExists("node '" + node.name + "' already declared");
+  }
+  nodes_.push_back(std::move(node));
+  return Status::Ok();
+}
+
+Status NetworkConfig::AddRule(CoordinationRule rule) {
+  if (FindRule(rule.id()) != nullptr) {
+    return Status::AlreadyExists("rule '" + rule.id() + "' already declared");
+  }
+  rules_.push_back(std::move(rule));
+  return Status::Ok();
+}
+
+Status NetworkConfig::Validate() const {
+  std::set<std::string> node_names;
+  for (const NodeDecl& node : nodes_) {
+    if (!node_names.insert(node.name).second) {
+      return Status::InvalidArgument("duplicate node '" + node.name + "'");
+    }
+    std::set<std::string> rel_names;
+    for (const RelationSchema& rel : node.relations) {
+      if (!rel_names.insert(rel.name()).second) {
+        return Status::InvalidArgument("node '" + node.name +
+                                       "' declares relation '" + rel.name() +
+                                       "' twice");
+      }
+    }
+    for (const KeyConstraint& key : node.keys) {
+      DatabaseSchema schema = SchemaOf(node.name);
+      const RelationSchema* rel = schema.FindRelation(key.relation);
+      if (rel == nullptr) {
+        return Status::NotFound("key constraint on undeclared relation '" +
+                                key.relation + "' at node '" + node.name +
+                                "'");
+      }
+      for (const std::string& column : key.columns) {
+        if (rel->AttributeIndex(column) < 0) {
+          return Status::NotFound("key column '" + column +
+                                  "' not in relation '" + key.relation +
+                                  "'");
+        }
+      }
+    }
+  }
+  std::set<std::string> rule_ids;
+  for (const CoordinationRule& rule : rules_) {
+    if (!rule_ids.insert(rule.id()).second) {
+      return Status::InvalidArgument("duplicate rule id '" + rule.id() + "'");
+    }
+    if (rule.importer() == rule.exporter()) {
+      return Status::InvalidArgument(
+          "rule '" + rule.id() + "' connects node '" + rule.importer() +
+          "' to itself");
+    }
+    if (FindNode(rule.importer()) == nullptr) {
+      return Status::NotFound("rule '" + rule.id() + "' importer '" +
+                              rule.importer() + "' not declared");
+    }
+    if (FindNode(rule.exporter()) == nullptr) {
+      return Status::NotFound("rule '" + rule.id() + "' exporter '" +
+                              rule.exporter() + "' not declared");
+    }
+    // Type-check head against the importer's schema and body against the
+    // exporter's, without mutating the stored rule.
+    CoordinationRule copy = rule;
+    Status compiled =
+        copy.Compile(SchemaOf(rule.exporter()), SchemaOf(rule.importer()));
+    if (!compiled.ok()) {
+      return Status::InvalidArgument("rule '" + rule.id() +
+                                     "': " + compiled.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+const NodeDecl* NetworkConfig::FindNode(const std::string& name) const {
+  for (const NodeDecl& node : nodes_) {
+    if (node.name == name) return &node;
+  }
+  return nullptr;
+}
+
+DatabaseSchema NetworkConfig::SchemaOf(const std::string& node_name) const {
+  DatabaseSchema schema;
+  const NodeDecl* node = FindNode(node_name);
+  if (node != nullptr) {
+    for (const RelationSchema& rel : node->relations) {
+      schema.AddRelation(rel);
+    }
+  }
+  return schema;
+}
+
+const CoordinationRule* NetworkConfig::FindRule(
+    const std::string& rule_id) const {
+  for (const CoordinationRule& rule : rules_) {
+    if (rule.id() == rule_id) return &rule;
+  }
+  return nullptr;
+}
+
+std::vector<const CoordinationRule*> NetworkConfig::OutgoingOf(
+    const std::string& node_name) const {
+  std::vector<const CoordinationRule*> out;
+  for (const CoordinationRule& rule : rules_) {
+    if (rule.importer() == node_name) out.push_back(&rule);
+  }
+  return out;
+}
+
+std::vector<const CoordinationRule*> NetworkConfig::IncomingOf(
+    const std::string& node_name) const {
+  std::vector<const CoordinationRule*> out;
+  for (const CoordinationRule& rule : rules_) {
+    if (rule.exporter() == node_name) out.push_back(&rule);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+NetworkConfig::FindSubsumedRules() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const CoordinationRule& a : rules_) {
+    for (const CoordinationRule& b : rules_) {
+      if (a.id() == b.id()) continue;
+      if (a.importer() != b.importer() || a.exporter() != b.exporter()) {
+        continue;
+      }
+      // Break id-order ties so mutually equivalent rules do not subsume
+      // each other away entirely.
+      DatabaseSchema exporter_schema = SchemaOf(a.exporter());
+      Result<bool> contained =
+          IsContained(a.query(), b.query(), exporter_schema);
+      if (!contained.ok() || !contained.value()) continue;
+      Result<bool> reverse =
+          IsContained(b.query(), a.query(), exporter_schema);
+      bool equivalent = reverse.ok() && reverse.value();
+      if (equivalent && a.id() < b.id()) continue;  // keep the smaller id
+      out.emplace_back(a.id(), b.id());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> NetworkConfig::AcquaintancesOf(
+    const std::string& node_name) const {
+  std::vector<std::string> out;
+  auto add = [&](const std::string& name) {
+    if (std::find(out.begin(), out.end(), name) == out.end()) {
+      out.push_back(name);
+    }
+  };
+  for (const CoordinationRule& rule : rules_) {
+    if (rule.importer() == node_name) add(rule.exporter());
+    if (rule.exporter() == node_name) add(rule.importer());
+  }
+  return out;
+}
+
+}  // namespace codb

@@ -1,0 +1,100 @@
+// The network configuration: node declarations plus the coordination-rule
+// file the super-peer reads and broadcasts (paper, section 4).
+//
+// Text format (one declaration per line; '#' starts a comment):
+//
+//   node n1
+//     relation r(a:int, b:string)
+//   node n2 mediator
+//     relation t(a:int)
+//   rule r1 n2 <- n1 : t(X) :- r(X, Y), X > 0.
+//
+// A rule line reads: rule <id> <importer> <- <exporter> : <glav query>.
+// The head of the query is over the importer's schema, the body over the
+// exporter's schema.
+
+#ifndef CODB_CORE_CONFIG_H_
+#define CODB_CORE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "query/rule.h"
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace codb {
+
+// A key (functional-dependency) constraint on one relation of a node:
+// the listed columns determine the whole tuple. Nodes whose local data
+// violates their own constraints are *locally inconsistent*; per the
+// paper's design principle (d), such inconsistency does not propagate —
+// an inconsistent node exports nothing until repaired.
+struct KeyConstraint {
+  std::string relation;
+  std::vector<std::string> columns;
+
+  std::string ToString() const;
+};
+
+struct NodeDecl {
+  std::string name;
+  bool mediator = false;
+  std::vector<RelationSchema> relations;
+  std::vector<KeyConstraint> keys;
+};
+
+class NetworkConfig {
+ public:
+  NetworkConfig() = default;
+
+  static Result<NetworkConfig> Parse(const std::string& text);
+  std::string Serialize() const;
+
+  Status AddNode(NodeDecl node);
+  Status AddRule(CoordinationRule rule);
+
+  // Structural checks: unique node names and rule ids, rules connecting
+  // two distinct declared nodes, and every rule type-checking against the
+  // two node schemas.
+  Status Validate() const;
+
+  const NodeDecl* FindNode(const std::string& name) const;
+  DatabaseSchema SchemaOf(const std::string& node_name) const;
+
+  const std::vector<NodeDecl>& nodes() const { return nodes_; }
+  const std::vector<CoordinationRule>& rules() const { return rules_; }
+
+  const CoordinationRule* FindRule(const std::string& rule_id) const;
+
+  // Rules a given node imports through (it is the importer).
+  std::vector<const CoordinationRule*> OutgoingOf(
+      const std::string& node_name) const;
+  // Rules a given node exports through (it is the exporter).
+  std::vector<const CoordinationRule*> IncomingOf(
+      const std::string& node_name) const;
+
+  // Names of the node's acquaintances: every node it shares at least one
+  // coordination rule with (in either direction). This — not mere pipe
+  // adjacency — is the set protocol floods address.
+  std::vector<std::string> AcquaintancesOf(const std::string& node_name)
+      const;
+
+  // Rule-level redundancy: (subsumed, subsuming) pairs of rule ids where
+  // both rules connect the same importer/exporter pair and the subsumed
+  // rule's query is contained in the subsuming rule's query — everything
+  // the first can ship, the second ships too, so executing the first is
+  // pure overhead. Detection uses Chandra–Merlin containment and only
+  // considers the comparison-free single-head fragment it supports;
+  // other rules are conservatively kept.
+  std::vector<std::pair<std::string, std::string>> FindSubsumedRules()
+      const;
+
+ private:
+  std::vector<NodeDecl> nodes_;
+  std::vector<CoordinationRule> rules_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_CORE_CONFIG_H_

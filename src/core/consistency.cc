@@ -1,0 +1,50 @@
+#include "core/consistency.h"
+
+#include <unordered_map>
+
+namespace codb {
+
+std::vector<std::string> FindKeyViolations(
+    const Database& db, const std::vector<KeyConstraint>& constraints) {
+  std::vector<std::string> violations;
+  for (const KeyConstraint& key : constraints) {
+    const Relation* relation = db.Find(key.relation);
+    if (relation == nullptr) {
+      violations.push_back(key.ToString() +
+                           " references an unknown relation");
+      continue;
+    }
+    std::vector<int> columns;
+    bool columns_ok = true;
+    for (const std::string& column : key.columns) {
+      int index = relation->schema().AttributeIndex(column);
+      if (index < 0) {
+        violations.push_back(key.ToString() + " references unknown column '" +
+                             column + "'");
+        columns_ok = false;
+        break;
+      }
+      columns.push_back(index);
+    }
+    if (!columns_ok) continue;
+
+    // First tuple seen per key value; any differing second tuple with the
+    // same key is a violation.
+    std::unordered_map<Tuple, const Tuple*, TupleHash> seen;
+    for (const Tuple& tuple : relation->rows()) {
+      std::vector<Value> key_values;
+      key_values.reserve(columns.size());
+      for (int index : columns) key_values.push_back(tuple.at(index));
+      Tuple key_tuple(std::move(key_values));
+      auto [it, inserted] = seen.emplace(std::move(key_tuple), &tuple);
+      if (!inserted && !(*it->second == tuple)) {
+        violations.push_back(key.ToString() + " violated by " +
+                             it->second->ToString() + " and " +
+                             tuple.ToString());
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace codb

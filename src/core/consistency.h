@@ -1,0 +1,31 @@
+// Local-inconsistency detection (paper, design principle (d): "local
+// inconsistency does not propagate").
+//
+// A node is *locally inconsistent* when its own store violates one of its
+// declared key constraints — two tuples agreeing on the key columns but
+// differing elsewhere. The update and query managers consult this check
+// and suppress the node's exports while it is inconsistent: its links
+// still open and close normally (termination is unaffected), but they
+// carry no data, so the inconsistency stays local.
+
+#ifndef CODB_CORE_CONSISTENCY_H_
+#define CODB_CORE_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "relation/database.h"
+
+namespace codb {
+
+// Human-readable descriptions of every violated constraint, e.g.
+// "key d(k) violated by (1, 2) and (1, 3)". Empty = consistent.
+// Constraints referencing unknown relations or columns are reported as
+// violations too (a misconfigured node must not silently export).
+std::vector<std::string> FindKeyViolations(
+    const Database& db, const std::vector<KeyConstraint>& constraints);
+
+}  // namespace codb
+
+#endif  // CODB_CORE_CONSISTENCY_H_

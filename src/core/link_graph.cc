@@ -1,0 +1,184 @@
+#include "core/link_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace codb {
+
+const std::vector<std::string> LinkGraph::kEmpty = {};
+
+LinkGraph LinkGraph::Build(const NetworkConfig& config) {
+  LinkGraph graph;
+  for (const CoordinationRule& rule : config.rules()) {
+    graph.index_[rule.id()] = static_cast<int>(graph.rule_ids_.size());
+    graph.rule_ids_.push_back(rule.id());
+  }
+  size_t n = graph.rule_ids_.size();
+  graph.successors_.resize(n);
+  graph.predecessors_.resize(n);
+  graph.successor_names_.resize(n);
+  graph.predecessor_names_.resize(n);
+
+  // Edge o -> i iff the importer of o is the exporter of i and o's head
+  // writes a relation read by i's body.
+  for (const CoordinationRule& o : config.rules()) {
+    std::vector<std::string> head_rels = o.HeadRelations();
+    for (const CoordinationRule& i : config.rules()) {
+      if (o.importer() != i.exporter()) continue;
+      std::vector<std::string> body_rels = i.BodyRelations();
+      bool overlaps = false;
+      for (const std::string& h : head_rels) {
+        if (std::find(body_rels.begin(), body_rels.end(), h) !=
+            body_rels.end()) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (!overlaps) continue;
+      int from = graph.index_.at(o.id());
+      int to = graph.index_.at(i.id());
+      graph.successors_[static_cast<size_t>(from)].push_back(to);
+      graph.predecessors_[static_cast<size_t>(to)].push_back(from);
+      graph.successor_names_[static_cast<size_t>(from)].push_back(i.id());
+      graph.predecessor_names_[static_cast<size_t>(to)].push_back(o.id());
+    }
+  }
+  graph.ComputeSccs();
+  return graph;
+}
+
+void LinkGraph::ComputeSccs() {
+  // Iterative Tarjan SCC.
+  size_t n = rule_ids_.size();
+  cyclic_.assign(n, false);
+  std::vector<int> dfs_index(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int counter = 0;
+
+  struct Frame {
+    int node;
+    size_t next_child;
+  };
+
+  for (size_t root = 0; root < n; ++root) {
+    if (dfs_index[root] != -1) continue;
+    std::vector<Frame> frames{{static_cast<int>(root), 0}};
+    dfs_index[root] = low[root] = counter++;
+    stack.push_back(static_cast<int>(root));
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      size_t u = static_cast<size_t>(frame.node);
+      if (frame.next_child < successors_[u].size()) {
+        int v = successors_[u][frame.next_child++];
+        size_t vs = static_cast<size_t>(v);
+        if (dfs_index[vs] == -1) {
+          dfs_index[vs] = low[vs] = counter++;
+          stack.push_back(v);
+          on_stack[vs] = true;
+          frames.push_back({v, 0});
+        } else if (on_stack[vs]) {
+          low[u] = std::min(low[u], dfs_index[vs]);
+        }
+      } else {
+        if (low[u] == dfs_index[u]) {
+          // Pop one SCC.
+          std::vector<int> component;
+          for (;;) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = false;
+            component.push_back(w);
+            if (w == frame.node) break;
+          }
+          bool is_cycle = component.size() > 1;
+          if (!is_cycle) {
+            // Self-loop?
+            int w = component[0];
+            const std::vector<int>& succ =
+                successors_[static_cast<size_t>(w)];
+            is_cycle = std::find(succ.begin(), succ.end(), w) != succ.end();
+          }
+          if (is_cycle) {
+            has_any_cycle_ = true;
+            for (int w : component) cyclic_[static_cast<size_t>(w)] = true;
+          }
+        }
+        int u_node = frame.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          size_t parent = static_cast<size_t>(frames.back().node);
+          low[parent] = std::min(low[parent],
+                                 low[static_cast<size_t>(u_node)]);
+        }
+      }
+    }
+  }
+}
+
+const std::vector<std::string>& LinkGraph::RelevantFor(
+    const std::string& rule_id) const {
+  auto it = index_.find(rule_id);
+  if (it == index_.end()) return kEmpty;
+  return predecessor_names_[static_cast<size_t>(it->second)];
+}
+
+const std::vector<std::string>& LinkGraph::DependentOn(
+    const std::string& rule_id) const {
+  auto it = index_.find(rule_id);
+  if (it == index_.end()) return kEmpty;
+  return successor_names_[static_cast<size_t>(it->second)];
+}
+
+bool LinkGraph::IsCyclic(const std::string& rule_id) const {
+  auto it = index_.find(rule_id);
+  if (it == index_.end()) return false;
+  return cyclic_[static_cast<size_t>(it->second)];
+}
+
+int LinkGraph::LongestSimplePath(size_t max_explored) const {
+  size_t n = rule_ids_.size();
+  int best = 0;
+  size_t explored = 0;
+  std::vector<bool> visited(n, false);
+
+  std::function<void(size_t, int)> dfs = [&](size_t u, int depth) {
+    if (explored >= max_explored) return;
+    ++explored;
+    best = std::max(best, depth);
+    for (int v : successors_[u]) {
+      size_t vs = static_cast<size_t>(v);
+      if (!visited[vs]) {
+        visited[vs] = true;
+        dfs(vs, depth + 1);
+        visited[vs] = false;
+      }
+    }
+  };
+
+  for (size_t start = 0; start < n; ++start) {
+    visited[start] = true;
+    dfs(start, 0);
+    visited[start] = false;
+  }
+  return best;
+}
+
+std::string LinkGraph::ToString() const {
+  std::string out = "link graph (" + std::to_string(rule_ids_.size()) +
+                    " links" + (has_any_cycle_ ? ", cyclic" : ", acyclic") +
+                    ")\n";
+  for (size_t i = 0; i < rule_ids_.size(); ++i) {
+    out += "  " + rule_ids_[i] + (cyclic_[i] ? " [cyclic]" : "") + " ->";
+    for (const std::string& succ : successor_names_[i]) {
+      out += " " + succ;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace codb

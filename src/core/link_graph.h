@@ -1,0 +1,84 @@
+// The link-dependency graph.
+//
+// Terminology from the paper (section 3): at a node, a coordination rule is
+// an *incoming link* if an acquaintance uses it to import data from that
+// node, and an *outgoing link* if the node itself imports through it. An
+// incoming link i *depends on* an outgoing link o — equivalently, o is
+// *relevant for* i — if the head of o references a relation referenced by
+// a body subgoal of i.
+//
+// Network-wide, every rule is the outgoing link of its importer and the
+// incoming link of its exporter, so the dependency relation forms a
+// directed graph over rules: edge o -> i iff importer(o) == exporter(i)
+// and head-relations(o) ∩ body-relations(i) ≠ ∅ (data arriving through o
+// can trigger new results on i).
+//
+// The graph is computable at every peer because the super-peer broadcasts
+// the complete rule file. It drives:
+//   * the incremental recomputation step (which incoming links to re-run
+//     when data arrives on an outgoing link),
+//   * link closing: rules on dependency cycles (non-trivial SCCs) cannot
+//     close inductively and wait for global quiescence,
+//   * the maximal-simple-dependency-path statistics of the demo.
+
+#ifndef CODB_CORE_LINK_GRAPH_H_
+#define CODB_CORE_LINK_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace codb {
+
+class LinkGraph {
+ public:
+  // Builds the dependency graph for `config` (which must Validate()).
+  static LinkGraph Build(const NetworkConfig& config);
+
+  // Outgoing links relevant for incoming link `rule_id` (predecessors).
+  const std::vector<std::string>& RelevantFor(
+      const std::string& rule_id) const;
+
+  // Incoming links dependent on outgoing link `rule_id` (successors).
+  const std::vector<std::string>& DependentOn(
+      const std::string& rule_id) const;
+
+  // True if the rule lies on a dependency cycle (member of a non-trivial
+  // SCC, or has a self-loop).
+  bool IsCyclic(const std::string& rule_id) const;
+
+  bool HasAnyCycle() const { return has_any_cycle_; }
+
+  size_t rule_count() const { return rule_ids_.size(); }
+  const std::vector<std::string>& rule_ids() const { return rule_ids_; }
+
+  // Length (in edges) of the longest simple path in the dependency graph.
+  // Exponential in the worst case; used for statistics on demo-sized
+  // networks only. Capped by `max_explored` DFS steps; returns a lower
+  // bound if the cap is hit.
+  int LongestSimplePath(size_t max_explored = 1'000'000) const;
+
+  std::string ToString() const;
+
+ private:
+  void ComputeSccs();
+
+  std::vector<std::string> rule_ids_;
+  std::map<std::string, int> index_;               // rule id -> dense index
+  std::vector<std::vector<int>> successors_;       // o -> dependent i's
+  std::vector<std::vector<int>> predecessors_;     // i -> relevant o's
+  std::vector<bool> cyclic_;
+  bool has_any_cycle_ = false;
+
+  // String views of adjacency, materialized for the public API.
+  std::vector<std::vector<std::string>> successor_names_;
+  std::vector<std::vector<std::string>> predecessor_names_;
+  static const std::vector<std::string> kEmpty;
+};
+
+}  // namespace codb
+
+#endif  // CODB_CORE_LINK_GRAPH_H_

@@ -1,0 +1,300 @@
+#include "core/node.h"
+
+#include "core/consistency.h"
+
+#include "relation/printer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace codb {
+
+Node::Node(NetworkBase* network, std::string name)
+    : network_(network), name_(std::move(name)) {}
+
+Result<std::unique_ptr<Node>> Node::Create(NetworkBase* network,
+                                           const std::string& name,
+                                           DatabaseSchema schema,
+                                           bool mediator, Options options) {
+  auto node = std::unique_ptr<Node>(new Node(network, name));
+  node->options_ = options;
+
+  if (mediator) {
+    CODB_ASSIGN_OR_RETURN(node->wrapper_,
+                          Wrapper::ForMediator(std::move(schema)));
+  } else {
+    node->ldb_ = std::make_unique<Database>();
+    for (const RelationSchema& rel : schema.relations()) {
+      CODB_RETURN_IF_ERROR(node->ldb_->CreateRelation(rel));
+    }
+    CODB_ASSIGN_OR_RETURN(
+        node->wrapper_,
+        Wrapper::ForDatabase(node->ldb_.get(), std::move(schema)));
+  }
+
+  node->id_ = network->Join(name, node.get());
+  node->minter_ = std::make_unique<NullMinter>(node->id_.value);
+  node->discovery_ =
+      std::make_unique<DiscoveryService>(network, node->id_);
+  node->AnnounceSelf();
+  return node;
+}
+
+void Node::AnnounceSelf() {
+  discovery_->Announce(name_, wrapper_->dbs().ExportedRelationNames());
+}
+
+Status Node::ApplyConfig(const NetworkConfig& config, uint64_t version) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (config_ != nullptr && version <= config_version_) {
+    return Status::Ok();  // stale broadcast
+  }
+  CODB_RETURN_IF_ERROR(config.Validate());
+
+  const NodeDecl* self_decl = config.FindNode(name_);
+  if (self_decl == nullptr) {
+    return Status::NotFound("node '" + name_ +
+                            "' is not part of this configuration");
+  }
+  // The declared schema must match the exported one: the config cannot
+  // change what the LDB can provide.
+  for (const RelationSchema& rel : self_decl->relations) {
+    const RelationSchema* exported =
+        wrapper_->dbs().exported().FindRelation(rel.name());
+    if (exported == nullptr || !(*exported == rel)) {
+      return Status::InvalidArgument(
+          "config schema for relation '" + rel.name() +
+          "' does not match node '" + name_ + "'");
+    }
+  }
+
+  config_ = std::make_unique<NetworkConfig>(config);
+  config_version_ = version;
+  link_graph_ = std::make_unique<LinkGraph>(LinkGraph::Build(*config_));
+
+  // "it drops 'old' rules and pipes, and creates new ones, where
+  // necessary": reconcile the rule-pipe set with the new acquaintances.
+  std::set<uint32_t> desired;
+  for (const std::string& other : config_->AcquaintancesOf(name_)) {
+    Result<PeerId> peer = network_->FindByName(other);
+    if (!peer.ok()) continue;  // acquaintance not on the network yet
+    desired.insert(peer.value().value);
+    if (!network_->HasPipe(id_, peer.value())) {
+      network_->OpenPipe(id_, peer.value(), options_.link_profile);
+    }
+  }
+  for (uint32_t stale : rule_pipes_) {
+    if (desired.find(stale) == desired.end() &&
+        network_->HasPipe(id_, PeerId(stale))) {
+      network_->ClosePipe(id_, PeerId(stale));
+    }
+  }
+  rule_pipes_ = std::move(desired);
+
+  // Rebuild the DBM against the new configuration. In-flight updates and
+  // queries of the previous configuration are abandoned (the initiators'
+  // termination detectors see the dropped peers as lost).
+  update_manager_ = std::make_unique<UpdateManager>(
+      network_, id_, name_, wrapper_.get(), config_.get(),
+      link_graph_.get(), &statistics_, minter_.get(), &update_seq_,
+      options_.update);
+  CODB_RETURN_IF_ERROR(update_manager_->Init());
+  query_manager_ = std::make_unique<QueryManager>(
+      network_, id_, name_, wrapper_.get(), config_.get(),
+      link_graph_.get(), &statistics_, minter_.get(), &query_seq_);
+  CODB_RETURN_IF_ERROR(query_manager_->Init());
+
+  AnnounceSelf();
+  CODB_LOG(kInfo) << name_ << ": applied configuration v" << version;
+  return Status::Ok();
+}
+
+Result<FlowId> Node::StartGlobalUpdate() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (update_manager_ == nullptr) {
+    return Status::FailedPrecondition(
+        "node '" + name_ + "' has no configuration; broadcast one first");
+  }
+  return update_manager_->StartUpdate();
+}
+
+Result<FlowId> Node::StartGlobalRefresh() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (update_manager_ == nullptr) {
+    return Status::FailedPrecondition(
+        "node '" + name_ + "' has no configuration; broadcast one first");
+  }
+  return update_manager_->StartUpdate(/*refresh=*/true);
+}
+
+Result<FlowId> Node::StartQuery(const ConjunctiveQuery& query,
+                                QueryManager::ProgressFn on_progress) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (query_manager_ == nullptr) {
+    return Status::FailedPrecondition(
+        "node '" + name_ + "' has no configuration; broadcast one first");
+  }
+  return query_manager_->StartQuery(query, std::move(on_progress));
+}
+
+bool Node::QueryDone(const FlowId& query) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return query_manager_ != nullptr && query_manager_->IsDone(query);
+}
+
+Result<std::vector<Tuple>> Node::QueryAnswers(const FlowId& query) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (query_manager_ == nullptr) {
+    return Status::FailedPrecondition("node has no configuration");
+  }
+  return query_manager_->Answers(query);
+}
+
+Result<std::vector<Tuple>> Node::CertainQueryAnswers(
+    const FlowId& query) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (query_manager_ == nullptr) {
+    return Status::FailedPrecondition("node has no configuration");
+  }
+  return query_manager_->CertainAnswers(query);
+}
+
+Result<std::vector<Tuple>> Node::LocalQuery(
+    const ConjunctiveQuery& query) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return wrapper_->EvaluateQuery(query);
+}
+
+std::vector<std::string> Node::ConsistencyViolations() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (config_ == nullptr) return {};
+  const NodeDecl* decl = config_->FindNode(name_);
+  if (decl == nullptr) return {};
+  return FindKeyViolations(wrapper_->storage(), decl->keys);
+}
+
+void Node::HandleMessage(const Message& message) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  switch (message.type) {
+    case MessageType::kAdvertisement:
+      discovery_->HandleAdvertisement(message);
+      return;
+
+    case MessageType::kConfigBroadcast: {
+      Result<ConfigBroadcastPayload> parsed =
+          ConfigBroadcastPayload::Deserialize(message.payload);
+      if (!parsed.ok()) {
+        CODB_LOG(kWarning) << name_ << ": bad config broadcast: "
+                           << parsed.status().ToString();
+        return;
+      }
+      Result<NetworkConfig> config =
+          NetworkConfig::Parse(parsed.value().config_text);
+      if (!config.ok()) {
+        CODB_LOG(kError) << name_ << ": config did not parse: "
+                         << config.status().ToString();
+        return;
+      }
+      Status applied =
+          ApplyConfig(config.value(), parsed.value().version);
+      if (!applied.ok()) {
+        CODB_LOG(kError) << name_ << ": config rejected: "
+                         << applied.ToString();
+      }
+      return;
+    }
+
+    case MessageType::kUpdateRequest:
+    case MessageType::kUpdateData:
+    case MessageType::kLinkClosed:
+    case MessageType::kUpdateComplete:
+      if (update_manager_ != nullptr) update_manager_->HandleMessage(message);
+      return;
+
+    case MessageType::kQueryRequest:
+    case MessageType::kQueryResult:
+    case MessageType::kQueryDone:
+      if (query_manager_ != nullptr) query_manager_->HandleMessage(message);
+      return;
+
+    case MessageType::kUpdateAck: {
+      Result<AckPayload> ack = AckPayload::Deserialize(message.payload);
+      if (!ack.ok()) return;
+      if (ack.value().flow.scope == FlowId::Scope::kUpdate) {
+        if (update_manager_ != nullptr) {
+          update_manager_->HandleMessage(message);
+        }
+      } else if (query_manager_ != nullptr) {
+        query_manager_->HandleMessage(message);
+      }
+      return;
+    }
+
+    case MessageType::kStatsRequest:
+      network_->Send(MakeMessage(id_, message.src, MessageType::kStatsReport,
+                                 statistics_.SerializeAll()));
+      return;
+
+    case MessageType::kStatsReport:
+      CODB_LOG(kWarning) << name_ << ": unexpected stats report from "
+                         << message.src.ToString();
+      return;
+  }
+}
+
+void Node::HandlePipeClosed(PeerId other) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (update_manager_ != nullptr) update_manager_->HandlePipeClosed(other);
+  if (query_manager_ != nullptr) query_manager_->HandlePipeClosed(other);
+}
+
+std::string Node::Report() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::string out = "=== node " + name_ + " (" + id_.ToString() + ")" +
+                    (is_mediator() ? " [mediator]" : "") + " ===\n";
+  out += "exported schema:\n";
+  for (const RelationSchema& rel : wrapper_->dbs().exported().relations()) {
+    out += "  " + rel.ToString() + "\n";
+  }
+  out += StrFormat("stored tuples: %zu\n", wrapper_->StoredTuples());
+  out += "pipes:";
+  for (PeerId neighbor : network_->Neighbors(id_)) {
+    out += " " + network_->NameOf(neighbor);
+  }
+  out += "\n";
+  if (update_manager_ != nullptr) {
+    out += "outgoing links (we import):";
+    for (const std::string& rule : update_manager_->OutgoingLinkIds()) {
+      out += " " + rule;
+    }
+    out += "\nincoming links (we export):";
+    for (const std::string& rule : update_manager_->IncomingLinkIds()) {
+      out += " " + rule;
+    }
+    out += "\n";
+  }
+  for (const auto& [flow, report] : statistics_.reports()) {
+    if (flow.scope == FlowId::Scope::kUpdate) out += report.Render();
+  }
+  return out;
+}
+
+std::string Node::DiscoveryView() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::set<uint32_t> acquainted;
+  std::string out = "--- discovery view of " + name_ + " ---\n";
+  out += "acquaintances (pipes):";
+  for (PeerId neighbor : network_->Neighbors(id_)) {
+    acquainted.insert(neighbor.value);
+    out += " " + network_->NameOf(neighbor);
+  }
+  out += "\ndiscovered (no pipe):";
+  for (const PeerAdvertisement& ad : discovery_->Known()) {
+    if (acquainted.find(ad.peer.value) == acquainted.end()) {
+      out += " " + ad.name;
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace codb

@@ -1,0 +1,163 @@
+// A coDB database peer: the first-level architecture of Figure 1.
+//
+//   Node = P2P layer (UI surface + DBM + JXTA layer + Wrapper)
+//        + Local Database (optional: mediator nodes have none)
+//        + Database Schema (always present)
+//
+// The DBM (database manager) is realized by the update and query managers;
+// the JXTA layer is the Network binding plus discovery; the UI is the
+// Report()/DiscoveryView() text surface the examples print. Nodes connect
+// to the network by creating pipes to the nodes they have coordination
+// rules with — several rules share one pipe, and a pipe without rules is
+// closed (paper, section 3).
+
+#ifndef CODB_CORE_NODE_H_
+#define CODB_CORE_NODE_H_
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/link_graph.h"
+#include "core/query_manager.h"
+#include "core/statistics.h"
+#include "core/update_manager.h"
+#include "net/discovery.h"
+#include "net/network_interface.h"
+#include "wrapper/wrapper.h"
+
+namespace codb {
+
+class Node : public NetworkPeer {
+ public:
+  struct Options {
+    UpdateManager::Options update;
+    LinkProfile link_profile;  // profile of the pipes this node opens
+  };
+
+  // Creates the node, joins the network, and announces itself. `schema`
+  // becomes both the LDB catalog and the exported DBS (mediators get a
+  // transient store instead of an LDB).
+  static Result<std::unique_ptr<Node>> Create(NetworkBase* network,
+                                              const std::string& name,
+                                              DatabaseSchema schema,
+                                              bool mediator = false,
+                                              Options options = Options());
+
+  ~Node() override = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  PeerId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  bool is_mediator() const { return wrapper_->is_mediator(); }
+
+  // The node's store, for seeding experiment data. Touch it only while
+  // the network is quiescent (before traffic starts / after Run()); the
+  // node's own handlers mutate it concurrently otherwise.
+  Database& database() { return wrapper_->storage(); }
+  const Database& database() const { return wrapper_->storage(); }
+
+  // Applies a network configuration locally: drops rules/pipes that
+  // disappeared, opens pipes for rules involving this node, rebuilds the
+  // link graph and the DBM. Older versions than the current one are
+  // ignored. (The super-peer delivers this via kConfigBroadcast; tests and
+  // examples may call it directly.)
+  Status ApplyConfig(const NetworkConfig& config, uint64_t version);
+
+  bool has_config() const { return config_ != nullptr; }
+  const NetworkConfig* config() const { return config_.get(); }
+  const LinkGraph* link_graph() const { return link_graph_.get(); }
+
+  // -- DBM operations ------------------------------------------------------
+
+  // Batch materialization: starts a global update rooted here.
+  Result<FlowId> StartGlobalUpdate();
+
+  // Refresh update: every node first drops its imported tuples, then the
+  // network re-derives everything — the batch form of deletion
+  // propagation (data deleted at its source does not come back).
+  Result<FlowId> StartGlobalRefresh();
+
+  // Query-time answering: distributed fetch + local evaluation.
+  Result<FlowId> StartQuery(const ConjunctiveQuery& query,
+                            QueryManager::ProgressFn on_progress = nullptr);
+  bool QueryDone(const FlowId& query) const;
+  Result<std::vector<Tuple>> QueryAnswers(const FlowId& query) const;
+  // Null-free (certain) answers only; see QueryManager::CertainAnswers.
+  Result<std::vector<Tuple>> CertainQueryAnswers(const FlowId& query) const;
+
+  // Purely local evaluation (what a query costs after a global update).
+  Result<std::vector<Tuple>> LocalQuery(const ConjunctiveQuery& query) const;
+
+  // Violations of this node's own key constraints (empty = consistent).
+  // While non-empty the node exports nothing (paper principle (d)).
+  std::vector<std::string> ConsistencyViolations() const;
+
+  // Attaches a write-ahead journal recording every imported tuple; see
+  // relation/wal.h. The journal is not owned and must outlive the node.
+  void AttachJournal(WriteAheadLog* journal) {
+    wrapper_->AttachJournal(journal);
+  }
+
+  // -- introspection -------------------------------------------------------
+
+  UpdateManager* update_manager() { return update_manager_.get(); }
+  const UpdateManager* update_manager() const {
+    return update_manager_.get();
+  }
+  QueryManager* query_manager() { return query_manager_.get(); }
+  StatisticsModule& statistics() { return statistics_; }
+  const StatisticsModule& statistics() const { return statistics_; }
+  DiscoveryService& discovery() { return *discovery_; }
+
+  // The textual "UI": schema, pipes, links, per-update reports (Figure 1's
+  // UI module / Figure 2's query window).
+  std::string Report() const;
+  // Acquaintances vs merely-discovered peers (Figure 3's window).
+  std::string DiscoveryView() const;
+
+  // -- NetworkPeer ----------------------------------------------------------
+
+  void HandleMessage(const Message& message) override;
+  void HandlePipeClosed(PeerId other) override;
+
+ private:
+  Node(NetworkBase* network, std::string name);
+
+  void AnnounceSelf();
+
+  // Serializes the public API against the node's own message handlers:
+  // on the threaded runtime an initiator keeps receiving replies while
+  // StartGlobalUpdate / StartQuery are still mutating its state.
+  // Recursive because the single-threaded simulator delivers pipe-closed
+  // notifications synchronously from within a handler.
+  mutable std::recursive_mutex mutex_;
+
+  NetworkBase* network_;
+  std::string name_;
+  PeerId id_;
+
+  std::unique_ptr<Database> ldb_;  // null for mediators
+  std::unique_ptr<Wrapper> wrapper_;
+  std::unique_ptr<DiscoveryService> discovery_;
+  StatisticsModule statistics_;
+  std::unique_ptr<NullMinter> minter_;
+  Options options_;
+
+  uint64_t config_version_ = 0;
+  std::unique_ptr<NetworkConfig> config_;
+  std::unique_ptr<LinkGraph> link_graph_;
+  std::unique_ptr<UpdateManager> update_manager_;
+  std::unique_ptr<QueryManager> query_manager_;
+  uint64_t update_seq_ = 0;  // survive manager rebuilds: ids stay unique
+  uint64_t query_seq_ = 0;
+  std::set<uint32_t> rule_pipes_;  // peers we opened pipes to, per config
+};
+
+}  // namespace codb
+
+#endif  // CODB_CORE_NODE_H_

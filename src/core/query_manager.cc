@@ -1,0 +1,422 @@
+#include "core/query_manager.h"
+
+#include <algorithm>
+
+#include "core/consistency.h"
+#include "query/evaluator.h"
+#include "util/logging.h"
+
+namespace codb {
+
+QueryManager::QueryManager(NetworkBase* network, PeerId self,
+                           std::string node_name, Wrapper* wrapper,
+                           const NetworkConfig* config,
+                           const LinkGraph* link_graph,
+                           StatisticsModule* stats, NullMinter* minter,
+                           uint64_t* query_seq)
+    : network_(network),
+      self_(self),
+      node_name_(std::move(node_name)),
+      wrapper_(wrapper),
+      config_(config),
+      link_graph_(link_graph),
+      stats_(stats),
+      minter_(minter),
+      termination_(self, [this](PeerId to, const FlowId& flow) {
+        AckPayload ack{flow};
+        network_->Send(MakeMessage(self_, to, MessageType::kUpdateAck,
+                                   ack.Serialize()));
+      }),
+      query_seq_(query_seq) {}
+
+Status QueryManager::Init() {
+  for (const CoordinationRule* rule : config_->IncomingOf(node_name_)) {
+    CoordinationRule compiled = *rule;
+    CODB_RETURN_IF_ERROR(
+        compiled.Compile(config_->SchemaOf(rule->exporter()),
+                         config_->SchemaOf(rule->importer())));
+    compiled_incoming_.emplace(rule->id(), std::move(compiled));
+  }
+  return Status::Ok();
+}
+
+Result<PeerId> QueryManager::ResolvePeer(const std::string& node_name) const {
+  auto it = peer_cache_.find(node_name);
+  if (it != peer_cache_.end()) return it->second;
+  CODB_ASSIGN_OR_RETURN(PeerId id, network_->FindByName(node_name));
+  peer_cache_.emplace(node_name, id);
+  return id;
+}
+
+QueryManager::QueryState& QueryManager::StateOf(const FlowId& query) {
+  return queries_[query];
+}
+
+Database& QueryManager::OverlayOf(QueryState& state) {
+  if (state.overlay == nullptr) {
+    state.overlay = std::make_unique<Database>();
+    const Database& storage = wrapper_->storage();
+    for (const std::string& name : storage.RelationNames()) {
+      const Relation* relation = storage.Find(name);
+      state.overlay->CreateRelation(relation->schema());
+      Relation* copy = state.overlay->Find(name);
+      for (const Tuple& tuple : relation->rows()) copy->Insert(tuple);
+    }
+  }
+  return *state.overlay;
+}
+
+Result<FlowId> QueryManager::StartQuery(const ConjunctiveQuery& query,
+                                        ProgressFn on_progress) {
+  CODB_RETURN_IF_ERROR(query.Validate());
+  if (query.head.size() != 1 || !query.ExistentialVars().empty()) {
+    return Status::InvalidArgument(
+        "node queries need a single, safe head atom");
+  }
+  DatabaseSchema own_schema = config_->SchemaOf(node_name_);
+  DatabaseSchema head_schema;  // head predicate is virtual; skip head check
+  for (const Atom& atom : query.body) {
+    if (own_schema.FindRelation(atom.predicate) == nullptr) {
+      return Status::NotFound("query body predicate '" + atom.predicate +
+                              "' not in this node's schema");
+    }
+  }
+
+  FlowId id{FlowId::Scope::kQuery, self_.value, (*query_seq_)++};
+  QueryState& state = StateOf(id);
+  state.owned = true;
+  state.user_query = query;
+  state.on_progress = std::move(on_progress);
+  OverlayOf(state);
+
+  UpdateReport& report = stats_->ReportFor(id);
+  report.start_virtual_us = network_->now_us();
+
+  termination_.StartRoot(id, [this](const FlowId& flow) {
+    FinishOwned(flow);
+  });
+
+  std::vector<std::string> needed;
+  for (const Atom& atom : query.body) {
+    if (std::find(needed.begin(), needed.end(), atom.predicate) ==
+        needed.end()) {
+      needed.push_back(atom.predicate);
+    }
+  }
+  Fetch(id, state, needed, /*label=*/{self_.value});
+  termination_.MaybeQuiesce();
+  return id;
+}
+
+void QueryManager::Fetch(const FlowId& query, QueryState& state,
+                         const std::vector<std::string>& relations,
+                         const std::vector<uint32_t>& label) {
+  // Ask the exporter of every outgoing link whose head writes one of the
+  // needed relations — unless the exporter is already on the request path.
+  for (const CoordinationRule* rule : config_->OutgoingOf(node_name_)) {
+    bool relevant = false;
+    for (const std::string& head_rel : rule->HeadRelations()) {
+      if (std::find(relations.begin(), relations.end(), head_rel) !=
+          relations.end()) {
+        relevant = true;
+        break;
+      }
+    }
+    if (!relevant) continue;
+
+    Result<PeerId> exporter = ResolvePeer(rule->exporter());
+    if (!exporter.ok()) continue;
+    if (std::find(label.begin(), label.end(), exporter.value().value) !=
+        label.end()) {
+      continue;  // simple-path guard
+    }
+    if (!state.requested.insert({rule->id(), label}).second) continue;
+
+    QueryRequestPayload request;
+    request.query = query;
+    request.rule_id = rule->id();
+    request.label = label;
+    SendBasic(query, exporter.value(), MessageType::kQueryRequest,
+              request.Serialize());
+    stats_->ReportFor(query).acquaintances_queried.insert(
+        exporter.value().value);
+  }
+}
+
+void QueryManager::HandleMessage(const Message& message) {
+  switch (message.type) {
+    case MessageType::kQueryRequest:
+      OnRequest(message);
+      break;
+    case MessageType::kQueryResult:
+      OnResult(message);
+      break;
+    case MessageType::kQueryDone:
+      OnDone(message);
+      break;
+    case MessageType::kUpdateAck: {
+      Result<AckPayload> ack = AckPayload::Deserialize(message.payload);
+      if (ack.ok()) termination_.OnAck(ack.value().flow, message.src);
+      break;
+    }
+    default:
+      CODB_LOG(kWarning) << node_name_ << ": query manager got unexpected "
+                         << MessageTypeName(message.type);
+      break;
+  }
+  termination_.MaybeQuiesce();
+}
+
+void QueryManager::OnRequest(const Message& message) {
+  Result<QueryRequestPayload> parsed =
+      QueryRequestPayload::Deserialize(message.payload);
+  if (!parsed.ok()) {
+    CODB_LOG(kWarning) << node_name_ << ": bad query request: "
+                       << parsed.status().ToString();
+    return;
+  }
+  QueryRequestPayload request = std::move(parsed).value();
+  termination_.OnBasicMessage(request.query, message.src);
+
+  auto rule_it = compiled_incoming_.find(request.rule_id);
+  if (rule_it == compiled_incoming_.end()) {
+    CODB_LOG(kWarning) << node_name_ << ": asked to serve unknown rule "
+                       << request.rule_id;
+    return;
+  }
+
+  QueryState& state = StateOf(request.query);
+  QueryState::Serving& serving = state.serving[request.rule_id];
+  serving.requester = message.src;
+  bool new_label = serving.labels.insert(request.label).second;
+
+  // Answer from local (overlay) data immediately...
+  Serve(request.query, state, request.rule_id, /*delta=*/nullptr);
+
+  // ...and forward the fetch through our own relevant outgoing links.
+  if (new_label) {
+    std::vector<uint32_t> extended = request.label;
+    extended.push_back(self_.value);
+    Fetch(request.query, state,
+          rule_it->second.BodyRelations(), extended);
+  }
+}
+
+void QueryManager::Serve(
+    const FlowId& query, QueryState& state, const std::string& rule_id,
+    const std::map<std::string, std::vector<Tuple>>* delta) {
+  // Local inconsistency does not propagate: serve nothing while the local
+  // store violates its own constraints.
+  if (LocallyInconsistent()) return;
+  const CoordinationRule& rule = compiled_incoming_.at(rule_id);
+  QueryState::Serving& serving = state.serving.at(rule_id);
+  Database& overlay = OverlayOf(state);
+
+  std::vector<Tuple> frontiers;
+  if (delta == nullptr) {
+    frontiers = rule.EvaluateFrontier(overlay);
+  } else {
+    for (const auto& [relation, rows] : *delta) {
+      bool referenced =
+          std::find_if(rule.query().body.begin(), rule.query().body.end(),
+                       [&](const Atom& atom) {
+                         return atom.predicate == relation;
+                       }) != rule.query().body.end();
+      if (!referenced) continue;
+      std::vector<Tuple> partial =
+          rule.EvaluateFrontierDelta(overlay, relation, rows);
+      frontiers.insert(frontiers.end(), partial.begin(), partial.end());
+    }
+  }
+
+  std::vector<Tuple> fresh;
+  for (Tuple& frontier : frontiers) {
+    if (serving.sent_frontiers.insert(frontier).second) {
+      fresh.push_back(std::move(frontier));
+    }
+  }
+  if (fresh.empty()) return;
+
+  QueryResultPayload result;
+  result.query = query;
+  result.rule_id = rule_id;
+  for (const Tuple& frontier : fresh) {
+    for (HeadTuple& ht : rule.InstantiateHead(frontier, *minter_)) {
+      result.tuples.push_back(std::move(ht));
+    }
+  }
+  size_t tuple_count = result.tuples.size();
+  std::vector<uint8_t> payload = result.Serialize();
+  size_t bytes = payload.size() + 12;
+  SendBasic(query, serving.requester, MessageType::kQueryResult,
+            std::move(payload));
+
+  UpdateReport& report = stats_->ReportFor(query);
+  ++report.data_messages_sent;
+  report.data_bytes_sent += bytes;
+  RuleTrafficStats& traffic = report.sent_per_rule[rule_id];
+  ++traffic.messages;
+  traffic.tuples += tuple_count;
+  traffic.bytes += bytes;
+  report.result_destinations.insert(serving.requester.value);
+}
+
+void QueryManager::OnResult(const Message& message) {
+  Result<QueryResultPayload> parsed =
+      QueryResultPayload::Deserialize(message.payload);
+  if (!parsed.ok()) {
+    CODB_LOG(kWarning) << node_name_ << ": bad query result: "
+                       << parsed.status().ToString();
+    return;
+  }
+  QueryResultPayload result = std::move(parsed).value();
+  termination_.OnBasicMessage(result.query, message.src);
+
+  QueryState& state = StateOf(result.query);
+  Database& overlay = OverlayOf(state);
+
+  UpdateReport& report = stats_->ReportFor(result.query);
+  ++report.data_messages_received;
+  report.data_bytes_received += message.WireSize();
+  RuleTrafficStats& traffic = report.received_per_rule[result.rule_id];
+  ++traffic.messages;
+  traffic.tuples += result.tuples.size();
+  traffic.bytes += message.WireSize();
+
+  // Reconcile into the overlay; collect the genuinely new tuples.
+  std::map<std::string, std::vector<Tuple>> delta;
+  size_t new_count = 0;
+  for (const HeadTuple& ht : result.tuples) {
+    Relation* relation = overlay.Find(ht.relation);
+    if (relation == nullptr) {
+      CODB_LOG(kWarning) << node_name_ << ": query result for unknown "
+                         << "relation " << ht.relation;
+      continue;
+    }
+    if (relation->Insert(ht.tuple)) {
+      delta[ht.relation].push_back(ht.tuple);
+      ++new_count;
+    }
+  }
+  report.tuples_added += new_count;
+
+  if (state.owned && state.on_progress && new_count > 0) {
+    state.on_progress({new_count, false});
+  }
+  if (delta.empty()) return;
+
+  // Re-serve every request that depends on the grown relations.
+  for (const std::string& dependent :
+       link_graph_->DependentOn(result.rule_id)) {
+    if (state.serving.find(dependent) != state.serving.end()) {
+      Serve(result.query, state, dependent, &delta);
+    }
+  }
+}
+
+void QueryManager::FinishOwned(const FlowId& query) {
+  QueryState& state = StateOf(query);
+  if (state.done) return;
+  state.done = true;
+
+  UpdateReport& report = stats_->ReportFor(query);
+  report.complete_virtual_us = network_->now_us();
+
+  if (state.on_progress) state.on_progress({0, true});
+
+  // Tell participants to drop their per-query state.
+  done_flood_seen_.insert(query);
+  QueryDonePayload done{query};
+  for (PeerId neighbor : Acquaintances()) {
+    network_->Send(MakeMessage(self_, neighbor, MessageType::kQueryDone,
+                               done.Serialize()));
+  }
+}
+
+void QueryManager::OnDone(const Message& message) {
+  Result<QueryDonePayload> parsed =
+      QueryDonePayload::Deserialize(message.payload);
+  if (!parsed.ok()) return;
+  const FlowId query = parsed.value().query;
+  if (!done_flood_seen_.insert(query).second) return;
+  auto it = queries_.find(query);
+  if (it != queries_.end() && !it->second.owned) {
+    queries_.erase(it);
+  }
+  for (PeerId neighbor : Acquaintances()) {
+    if (neighbor == message.src) continue;
+    network_->Send(MakeMessage(self_, neighbor, MessageType::kQueryDone,
+                               message.payload));
+  }
+}
+
+void QueryManager::HandlePipeClosed(PeerId other) {
+  termination_.OnPeerLost(other);
+  termination_.MaybeQuiesce();
+}
+
+void QueryManager::SendBasic(const FlowId& query, PeerId dst,
+                             MessageType type, std::vector<uint8_t> payload) {
+  Status sent =
+      network_->Send(MakeMessage(self_, dst, type, std::move(payload)));
+  if (sent.ok()) {
+    termination_.OnSent(query, dst);
+  } else {
+    CODB_LOG(kDebug) << node_name_ << ": query send failed: "
+                     << sent.ToString();
+  }
+}
+
+std::vector<PeerId> QueryManager::Acquaintances() const {
+  std::vector<PeerId> out;
+  for (const std::string& name : config_->AcquaintancesOf(node_name_)) {
+    Result<PeerId> peer = ResolvePeer(name);
+    if (peer.ok() && network_->IsAlive(peer.value()) &&
+        network_->HasPipe(self_, peer.value())) {
+      out.push_back(peer.value());
+    }
+  }
+  return out;
+}
+
+bool QueryManager::LocallyInconsistent() const {
+  const NodeDecl* decl = config_->FindNode(node_name_);
+  if (decl == nullptr || decl->keys.empty()) return false;
+  return !FindKeyViolations(wrapper_->storage(), decl->keys).empty();
+}
+
+bool QueryManager::IsDone(const FlowId& query) const {
+  auto it = queries_.find(query);
+  return it != queries_.end() && it->second.done;
+}
+
+Result<std::vector<Tuple>> QueryManager::Answers(const FlowId& query) const {
+  auto it = queries_.find(query);
+  if (it == queries_.end() || !it->second.owned) {
+    return Status::NotFound("not the origin of " + query.ToString());
+  }
+  const QueryState& state = it->second;
+  const ConjunctiveQuery& q = state.user_query;
+  std::vector<std::string> output;
+  for (const Term& term : q.head[0].terms) {
+    if (term.is_var()) output.push_back(term.var());
+  }
+  const Database& db =
+      state.overlay != nullptr ? *state.overlay : wrapper_->storage();
+  CODB_ASSIGN_OR_RETURN(
+      CompiledQuery compiled,
+      CompiledQuery::Compile(q, db.Schema(), output));
+  return compiled.Evaluate(db);
+}
+
+Result<std::vector<Tuple>> QueryManager::CertainAnswers(
+    const FlowId& query) const {
+  CODB_ASSIGN_OR_RETURN(std::vector<Tuple> all, Answers(query));
+  std::vector<Tuple> certain;
+  for (Tuple& tuple : all) {
+    if (!tuple.HasNull()) certain.push_back(std::move(tuple));
+  }
+  return certain;
+}
+
+}  // namespace codb

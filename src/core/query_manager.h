@@ -1,0 +1,157 @@
+// Distributed query answering at query time (paper, sections 1 and 3).
+//
+// A node is queried in its own schema. Data relevant to the query may live
+// anywhere in the network, so the node fetches it through its coordination
+// rules by a diffusing computation: it asks the exporter of every outgoing
+// link whose head writes a relation the query reads; that exporter answers
+// from its local data immediately, forwards fetch requests through its own
+// relevant outgoing links, and streams incremental results back as deeper
+// data arrives. Requests carry a node-id label and are never propagated to
+// a node already in the label (simple paths, the paper's cycle guard).
+//
+// Fetched data lives in a per-query *overlay* (a copy-on-start of the local
+// store), so query-time answering leaves the node databases untouched —
+// that is precisely the contrast with the global update, which materializes
+// the data and makes later queries local (experiment E2).
+
+#ifndef CODB_CORE_QUERY_MANAGER_H_
+#define CODB_CORE_QUERY_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/link_graph.h"
+#include "core/protocol.h"
+#include "core/statistics.h"
+#include "core/termination.h"
+#include "net/network_interface.h"
+#include "wrapper/wrapper.h"
+
+namespace codb {
+
+class QueryManager {
+ public:
+  // Called at the origin when new result tuples arrive (streaming UI) and
+  // once more on completion.
+  struct QueryProgress {
+    size_t new_tuples = 0;
+    bool done = false;
+  };
+  using ProgressFn = std::function<void(const QueryProgress&)>;
+
+  // `query_seq` is the node-owned counter of issued queries; it lives
+  // outside the manager so ids stay unique across reconfigurations.
+  QueryManager(NetworkBase* network, PeerId self, std::string node_name,
+               Wrapper* wrapper, const NetworkConfig* config,
+               const LinkGraph* link_graph, StatisticsModule* stats,
+               NullMinter* minter, uint64_t* query_seq);
+
+  // Compiles this node's incoming links (rules it may be asked to serve).
+  Status Init();
+
+  // Issues `query` (over this node's schema) from this node. The node
+  // becomes the root of the diffusing computation.
+  Result<FlowId> StartQuery(const ConjunctiveQuery& query,
+                            ProgressFn on_progress = nullptr);
+
+  // Routed by the node: kQueryRequest/kQueryResult/kQueryDone, plus
+  // kUpdateAck with query scope.
+  void HandleMessage(const Message& message);
+
+  void HandlePipeClosed(PeerId other);
+
+  // True once the diffusing computation of an owned query terminated.
+  bool IsDone(const FlowId& query) const;
+
+  // Current (streaming) or final answers of an owned query: the user query
+  // evaluated over local store + fetched overlay.
+  Result<std::vector<Tuple>> Answers(const FlowId& query) const;
+
+  // The null-free subset of Answers(): the *certain* answers under the
+  // marked-null semantics (for conjunctive queries, evaluating the naive
+  // tables and dropping rows with nulls is sound and complete).
+  Result<std::vector<Tuple>> CertainAnswers(const FlowId& query) const;
+
+ private:
+  struct QueryState {
+    // Set only at the origin.
+    bool owned = false;
+    bool done = false;
+    ConjunctiveQuery user_query;
+    ProgressFn on_progress;
+
+    // Overlay: local store copy + fetched data; created lazily.
+    std::unique_ptr<Database> overlay;
+
+    // Incoming links this node serves for the query: rule id -> requester
+    // and the set of labels under which it was requested.
+    struct Serving {
+      PeerId requester;
+      std::set<std::vector<uint32_t>> labels;
+      std::unordered_set<Tuple, TupleHash> sent_frontiers;
+    };
+    std::map<std::string, Serving> serving;
+
+    // (rule id, label) sub-requests already issued.
+    std::set<std::pair<std::string, std::vector<uint32_t>>> requested;
+  };
+
+  QueryState& StateOf(const FlowId& query);
+  Database& OverlayOf(QueryState& state);
+
+  void OnRequest(const Message& message);
+  void OnResult(const Message& message);
+  void OnDone(const Message& message);
+
+  // Issues sub-requests for every outgoing link relevant to `rule_id`
+  // (or, with empty rule_id, to the user query's body relations), under
+  // `label` extended with self.
+  void Fetch(const FlowId& query, QueryState& state,
+             const std::vector<std::string>& relations,
+             const std::vector<uint32_t>& label);
+
+  // Evaluates rule `rule_id` over the overlay (optionally delta-restricted)
+  // and streams fresh results to the requester.
+  void Serve(const FlowId& query, QueryState& state,
+             const std::string& rule_id,
+             const std::map<std::string, std::vector<Tuple>>* delta);
+
+  void SendBasic(const FlowId& query, PeerId dst, MessageType type,
+                 std::vector<uint8_t> payload);
+
+  void FinishOwned(const FlowId& query);
+
+  Result<PeerId> ResolvePeer(const std::string& node_name) const;
+
+  // Alive, pipe-connected rule acquaintances (flood targets).
+  std::vector<PeerId> Acquaintances() const;
+
+  // True when this node's store violates its own key constraints.
+  bool LocallyInconsistent() const;
+
+  NetworkBase* network_;
+  PeerId self_;
+  std::string node_name_;
+  Wrapper* wrapper_;
+  const NetworkConfig* config_;
+  const LinkGraph* link_graph_;
+  StatisticsModule* stats_;
+  NullMinter* minter_;
+
+  TerminationDetector termination_;
+  std::map<std::string, CoordinationRule> compiled_incoming_;
+  std::map<FlowId, QueryState> queries_;
+  std::set<FlowId> done_flood_seen_;
+  mutable std::map<std::string, PeerId> peer_cache_;
+  uint64_t* query_seq_;  // owned by the node
+};
+
+}  // namespace codb
+
+#endif  // CODB_CORE_QUERY_MANAGER_H_

@@ -1,0 +1,91 @@
+// The per-node statistical module (paper, section 4).
+//
+// "This module accumulates various information about global updates such
+// as: total execution time of an update, number of query result messages
+// received per coordination rule and the volume of the data in each
+// message, longest update propagation path, and so on."
+//
+// Each node accumulates an UpdateReport per global update; a super-peer
+// can collect every node's reports at any time and aggregate them into the
+// final statistical report (core/super_peer.h). Times come in two axes:
+// virtual microseconds (network cost, from the event simulator) and wall
+// microseconds (real compute spent in this node's handlers).
+
+#ifndef CODB_CORE_STATISTICS_H_
+#define CODB_CORE_STATISTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+#include "util/status.h"
+
+namespace codb {
+
+// Traffic observed on one coordination rule at this node.
+struct RuleTrafficStats {
+  uint64_t messages = 0;
+  uint64_t tuples = 0;
+  uint64_t bytes = 0;
+};
+
+struct UpdateReport {
+  FlowId update;
+
+  int64_t start_virtual_us = -1;     // node joined the update
+  int64_t closed_virtual_us = -1;    // all outgoing links closed
+  int64_t complete_virtual_us = -1;  // global completion observed
+  double wall_micros = 0;            // compute spent in handlers
+
+  uint64_t tuples_added = 0;
+  uint64_t data_messages_received = 0;
+  uint64_t data_bytes_received = 0;
+  uint64_t data_messages_sent = 0;
+  uint64_t data_bytes_sent = 0;
+
+  // Nodes on the longest update-propagation path observed at this node
+  // (the path label of a received data message, plus this node).
+  uint32_t longest_path_nodes = 0;
+
+  // Per outgoing link: query-result messages received through it.
+  std::map<std::string, RuleTrafficStats> received_per_rule;
+  // Per incoming link: data shipped through it.
+  std::map<std::string, RuleTrafficStats> sent_per_rule;
+
+  // "which acquaintances have been queried and to which nodes query
+  // results have been sent" (peer ids).
+  std::set<uint32_t> acquaintances_queried;
+  std::set<uint32_t> result_destinations;
+
+  void SerializeTo(WireWriter& writer) const;
+  static Result<UpdateReport> DeserializeFrom(WireReader& reader);
+
+  // The per-update "global update processing report" shown to the user.
+  std::string Render() const;
+};
+
+class StatisticsModule {
+ public:
+  // Creates (if needed) and returns the report for an update.
+  UpdateReport& ReportFor(const FlowId& update);
+
+  const UpdateReport* FindReport(const FlowId& update) const;
+  const std::map<FlowId, UpdateReport>& reports() const { return reports_; }
+
+  void Clear() { reports_.clear(); }
+
+  // Payload body of a kStatsReport message: every accumulated report.
+  std::vector<uint8_t> SerializeAll() const;
+  static Result<std::vector<UpdateReport>> DeserializeAll(
+      const std::vector<uint8_t>& payload);
+
+ private:
+  std::map<FlowId, UpdateReport> reports_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_CORE_STATISTICS_H_

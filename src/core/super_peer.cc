@@ -1,0 +1,194 @@
+#include "core/super_peer.h"
+
+#include <algorithm>
+
+#include "core/protocol.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace codb {
+
+SuperPeer::SuperPeer(NetworkBase* network, std::string name)
+    : network_(network), name_(std::move(name)) {}
+
+std::unique_ptr<SuperPeer> SuperPeer::Create(NetworkBase* network,
+                                             const std::string& name) {
+  auto peer = std::unique_ptr<SuperPeer>(new SuperPeer(network, name));
+  peer->id_ = network->Join(name, peer.get());
+  return peer;
+}
+
+Status SuperPeer::LoadConfigText(const std::string& text) {
+  CODB_ASSIGN_OR_RETURN(NetworkConfig config, NetworkConfig::Parse(text));
+  return LoadConfig(std::move(config));
+}
+
+Status SuperPeer::LoadConfig(NetworkConfig config) {
+  CODB_RETURN_IF_ERROR(config.Validate());
+  config_ = std::make_unique<NetworkConfig>(std::move(config));
+  return Status::Ok();
+}
+
+Status SuperPeer::BroadcastConfig() {
+  if (config_ == nullptr) {
+    return Status::FailedPrecondition("no configuration loaded");
+  }
+  ++config_version_;
+  ConfigBroadcastPayload payload;
+  payload.version = config_version_;
+  payload.config_text = config_->Serialize();
+
+  for (PeerId peer : network_->AlivePeers()) {
+    if (peer == id_) continue;
+    if (!network_->HasPipe(id_, peer)) {
+      CODB_RETURN_IF_ERROR(
+          network_->OpenPipe(id_, peer, LinkProfile::Lan()));
+    }
+    CODB_RETURN_IF_ERROR(network_->Send(MakeMessage(
+        id_, peer, MessageType::kConfigBroadcast, payload.Serialize())));
+  }
+  CODB_LOG(kInfo) << name_ << ": broadcast configuration v"
+                  << config_version_;
+  return Status::Ok();
+}
+
+Status SuperPeer::RequestStats() {
+  {
+    std::lock_guard<std::mutex> lock(collected_mutex_);
+    collected_.clear();
+  }
+  ++stats_request_id_;
+  StatsRequestPayload payload{stats_request_id_};
+  // Count the recipients up front: on the threaded runtime the first
+  // replies can arrive while later requests are still going out, and the
+  // pending counter must never dip to zero early.
+  std::vector<PeerId> recipients;
+  for (PeerId peer : network_->AlivePeers()) {
+    if (!(peer == id_)) recipients.push_back(peer);
+  }
+  pending_stats_.store(recipients.size());
+  size_t failed = 0;
+  for (PeerId peer : recipients) {
+    if (!network_->HasPipe(id_, peer)) {
+      CODB_RETURN_IF_ERROR(
+          network_->OpenPipe(id_, peer, LinkProfile::Lan()));
+    }
+    Status sent = network_->Send(MakeMessage(
+        id_, peer, MessageType::kStatsRequest, payload.Serialize()));
+    if (!sent.ok()) ++failed;
+  }
+  pending_stats_.fetch_sub(failed);
+  return Status::Ok();
+}
+
+void SuperPeer::HandleMessage(const Message& message) {
+  switch (message.type) {
+    case MessageType::kStatsReport: {
+      Result<std::vector<UpdateReport>> reports =
+          StatisticsModule::DeserializeAll(message.payload);
+      if (!reports.ok()) {
+        CODB_LOG(kWarning) << name_ << ": bad stats report: "
+                           << reports.status().ToString();
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(collected_mutex_);
+        collected_[network_->NameOf(message.src)] =
+            std::move(reports).value();
+      }
+      size_t pending = pending_stats_.load();
+      while (pending > 0 &&
+             !pending_stats_.compare_exchange_weak(pending, pending - 1)) {
+      }
+      return;
+    }
+    case MessageType::kAdvertisement:
+      // The super-peer is pipe-connected to everyone; nothing to learn.
+      return;
+    default:
+      // The super-peer does not take part in updates or queries.
+      CODB_LOG(kDebug) << name_ << ": ignoring "
+                       << MessageTypeName(message.type);
+      return;
+  }
+}
+
+std::vector<AggregatedUpdateStats> SuperPeer::Aggregate() const {
+  std::map<FlowId, AggregatedUpdateStats> by_update;
+  std::map<FlowId, int64_t> min_start;
+  std::map<FlowId, int64_t> max_complete;
+
+  for (const auto& [node, reports] : collected_) {
+    for (const UpdateReport& report : reports) {
+      if (report.update.scope != FlowId::Scope::kUpdate) continue;
+      AggregatedUpdateStats& agg = by_update[report.update];
+      agg.update = report.update;
+      ++agg.nodes_reporting;
+      agg.total_wall_micros += report.wall_micros;
+      agg.data_messages += report.data_messages_received;
+      agg.data_bytes += report.data_bytes_received;
+      agg.tuples_added += report.tuples_added;
+      agg.longest_path_nodes =
+          std::max(agg.longest_path_nodes, report.longest_path_nodes);
+      for (const auto& [rule, traffic] : report.received_per_rule) {
+        RuleTrafficStats& total = agg.per_rule[rule];
+        total.messages += traffic.messages;
+        total.tuples += traffic.tuples;
+        total.bytes += traffic.bytes;
+      }
+      if (report.start_virtual_us >= 0) {
+        auto [it, inserted] =
+            min_start.emplace(report.update, report.start_virtual_us);
+        if (!inserted) {
+          it->second = std::min(it->second, report.start_virtual_us);
+        }
+      }
+      if (report.complete_virtual_us >= 0) {
+        auto [it, inserted] =
+            max_complete.emplace(report.update, report.complete_virtual_us);
+        if (!inserted) {
+          it->second = std::max(it->second, report.complete_virtual_us);
+        }
+      }
+    }
+  }
+
+  std::vector<AggregatedUpdateStats> out;
+  for (auto& [update, agg] : by_update) {
+    auto start = min_start.find(update);
+    auto complete = max_complete.find(update);
+    if (start != min_start.end() && complete != max_complete.end()) {
+      agg.total_virtual_us = complete->second - start->second;
+    }
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+std::string SuperPeer::FinalReport() const {
+  std::string out = "===== final statistical report (" +
+                    std::to_string(collected_.size()) + " nodes) =====\n";
+  for (const AggregatedUpdateStats& agg : Aggregate()) {
+    out += agg.update.ToString() + ":\n";
+    out += StrFormat("  nodes          %zu\n", agg.nodes_reporting);
+    out += StrFormat("  total time     %lld us (virtual), %.0f us (wall)\n",
+                     static_cast<long long>(agg.total_virtual_us),
+                     agg.total_wall_micros);
+    out += StrFormat("  data messages  %llu (%s)\n",
+                     static_cast<unsigned long long>(agg.data_messages),
+                     HumanBytes(agg.data_bytes).c_str());
+    out += StrFormat("  tuples added   %llu\n",
+                     static_cast<unsigned long long>(agg.tuples_added));
+    out += StrFormat("  longest path   %u nodes\n", agg.longest_path_nodes);
+    for (const auto& [rule, traffic] : agg.per_rule) {
+      out += StrFormat("    rule %-12s %6llu msgs %8llu tuples %10s\n",
+                       rule.c_str(),
+                       static_cast<unsigned long long>(traffic.messages),
+                       static_cast<unsigned long long>(traffic.tuples),
+                       HumanBytes(traffic.bytes).c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace codb

@@ -1,0 +1,100 @@
+// The super-peer (paper, section 4).
+//
+// A peer with extra experiment-orchestration duties: it reads the
+// coordination rules for all peers from a file, broadcasts that file to
+// every peer on the network (peers then drop old rules/pipes and build the
+// new ones — the super-peer can therefore change the topology at runtime),
+// and collects each node's statistical module contents, aggregating them
+// into the final statistical report.
+
+#ifndef CODB_CORE_SUPER_PEER_H_
+#define CODB_CORE_SUPER_PEER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/statistics.h"
+#include "net/network_interface.h"
+
+namespace codb {
+
+// Network-wide aggregation of one global update, built from the per-node
+// reports the super-peer collected.
+struct AggregatedUpdateStats {
+  FlowId update;
+  size_t nodes_reporting = 0;
+  int64_t total_virtual_us = -1;   // max complete - min start across nodes
+  double total_wall_micros = 0;
+  uint64_t data_messages = 0;      // received side, network-wide
+  uint64_t data_bytes = 0;
+  uint64_t tuples_added = 0;
+  uint32_t longest_path_nodes = 0;
+  std::map<std::string, RuleTrafficStats> per_rule;  // received per rule
+};
+
+class SuperPeer : public NetworkPeer {
+ public:
+  // Joins the network under the given name.
+  static std::unique_ptr<SuperPeer> Create(NetworkBase* network,
+                                           const std::string& name =
+                                               "super-peer");
+
+  PeerId id() const { return id_; }
+
+  // Loads the coordination-rules file (text or parsed form).
+  Status LoadConfigText(const std::string& text);
+  Status LoadConfig(NetworkConfig config);
+  const NetworkConfig* config() const { return config_.get(); }
+
+  // Opens pipes to every alive peer and broadcasts the current
+  // configuration; each broadcast bumps the version, so re-broadcasting a
+  // modified config reconfigures the network at runtime.
+  Status BroadcastConfig();
+
+  // Asks every node for its statistical module contents. Collection is
+  // asynchronous: run the network, then check CollectionComplete().
+  // Thread-safe against concurrently arriving reports (replies can land
+  // on the threaded runtime while the requests are still going out).
+  Status RequestStats();
+  bool CollectionComplete() const { return pending_stats_.load() == 0; }
+
+  // Node name -> reports, from the last collection. Like the other
+  // read-side accessors (Aggregate, FinalReport), call this while the
+  // network is quiescent — after Run() returned.
+  const std::map<std::string, std::vector<UpdateReport>>& collected() const {
+    return collected_;
+  }
+
+  // Aggregates the collected reports per update.
+  std::vector<AggregatedUpdateStats> Aggregate() const;
+
+  // The final statistical report of the demo.
+  std::string FinalReport() const;
+
+  // -- NetworkPeer ----------------------------------------------------------
+  void HandleMessage(const Message& message) override;
+
+ private:
+  SuperPeer(NetworkBase* network, std::string name);
+
+  NetworkBase* network_;
+  std::string name_;
+  PeerId id_;
+  uint64_t config_version_ = 0;
+  std::unique_ptr<NetworkConfig> config_;
+
+  std::atomic<size_t> pending_stats_{0};
+  uint64_t stats_request_id_ = 0;
+  std::mutex collected_mutex_;  // guards collected_ against mid-request
+                                // replies on the threaded runtime
+  std::map<std::string, std::vector<UpdateReport>> collected_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_CORE_SUPER_PEER_H_

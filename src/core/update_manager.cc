@@ -1,0 +1,570 @@
+#include "core/update_manager.h"
+
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace codb {
+
+UpdateManager::UpdateManager(NetworkBase* network, PeerId self,
+                             std::string node_name, Wrapper* wrapper,
+                             const NetworkConfig* config,
+                             const LinkGraph* link_graph,
+                             StatisticsModule* stats, NullMinter* minter,
+                             uint64_t* update_seq, Options options)
+    : network_(network),
+      self_(self),
+      node_name_(std::move(node_name)),
+      wrapper_(wrapper),
+      config_(config),
+      link_graph_(link_graph),
+      stats_(stats),
+      minter_(minter),
+      options_(options),
+      termination_(self, [this](PeerId to, const FlowId& flow) {
+        AckPayload ack{flow};
+        // Ack loss is handled by the peer-lost path; ignore send failures.
+        network_->Send(MakeMessage(self_, to, MessageType::kUpdateAck,
+                                   ack.Serialize()));
+      }),
+      update_seq_(update_seq) {}
+
+Status UpdateManager::Init() {
+  for (const CoordinationRule* rule : config_->IncomingOf(node_name_)) {
+    CoordinationRule compiled = *rule;
+    CODB_RETURN_IF_ERROR(
+        compiled.Compile(config_->SchemaOf(rule->exporter()),
+                         config_->SchemaOf(rule->importer())));
+    compiled_incoming_.emplace(rule->id(), std::move(compiled));
+  }
+  if (options_.skip_subsumed) {
+    for (const auto& [subsumed, subsuming] :
+         config_->FindSubsumedRules()) {
+      if (compiled_incoming_.find(subsumed) != compiled_incoming_.end()) {
+        CODB_LOG(kInfo) << node_name_ << ": rule " << subsumed
+                        << " subsumed by " << subsuming
+                        << "; skipping its evaluation";
+        subsumed_incoming_.insert(subsumed);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<PeerId> UpdateManager::ResolvePeer(const std::string& node_name) const {
+  auto it = peer_cache_.find(node_name);
+  if (it != peer_cache_.end()) return it->second;
+  CODB_ASSIGN_OR_RETURN(PeerId id, network_->FindByName(node_name));
+  peer_cache_.emplace(node_name, id);
+  return id;
+}
+
+UpdateManager::UpdateState& UpdateManager::StateOf(const FlowId& update) {
+  auto [it, inserted] = updates_.try_emplace(update);
+  if (inserted) {
+    for (const CoordinationRule* rule : config_->IncomingOf(node_name_)) {
+      it->second.incoming.emplace(rule->id(), IncomingLinkState());
+    }
+    for (const CoordinationRule* rule : config_->OutgoingOf(node_name_)) {
+      it->second.outgoing.emplace(rule->id(), OutgoingLinkState());
+    }
+  }
+  return it->second;
+}
+
+FlowId UpdateManager::StartUpdate(bool refresh) {
+  FlowId update{FlowId::Scope::kUpdate, self_.value, (*update_seq_)++};
+  termination_.StartRoot(update, [this](const FlowId& flow) {
+    Complete(flow, /*via=*/PeerId());
+  });
+  Join(update, /*via=*/PeerId(), refresh);
+  termination_.MaybeQuiesce();
+  return update;
+}
+
+void UpdateManager::Join(const FlowId& update, PeerId via, bool refresh) {
+  UpdateState& state = StateOf(update);
+  if (state.joined) return;
+  state.joined = true;
+
+  UpdateReport& report = stats_->ReportFor(update);
+  report.start_virtual_us = network_->now_us();
+
+  // Local inconsistency does not propagate: an inconsistent node keeps
+  // its links running (termination is unaffected) but ships no data.
+  state.exports_suppressed = LocallyInconsistent();
+  if (state.exports_suppressed) {
+    CODB_LOG(kWarning) << node_name_
+                       << ": locally inconsistent; exports suppressed for "
+                       << update.ToString();
+  }
+
+  // A refresh drops previously imported data before re-deriving it; what
+  // the sources no longer provide simply never returns.
+  if (refresh) wrapper_->DropImported();
+
+  // "These acquaintances ... propagate the global update to their
+  // acquaintances" — flood the request, skipping where it came from.
+  UpdateRequestPayload request{update, refresh};
+  for (PeerId neighbor : Acquaintances()) {
+    if (neighbor == via) continue;
+    SendBasic(update, neighbor, MessageType::kUpdateRequest,
+              request.Serialize());
+  }
+
+  // Initial evaluation of every incoming link over the full local store.
+  for (auto& [rule_id, link] : state.incoming) {
+    FireInitial(update, state, rule_id);
+    link.initial_fired = true;
+  }
+  CheckClosing(update, state);
+}
+
+void UpdateManager::FireInitial(const FlowId& update, UpdateState& state,
+                                const std::string& rule_id) {
+  if (state.exports_suppressed) return;
+  if (subsumed_incoming_.find(rule_id) != subsumed_incoming_.end()) return;
+  const CoordinationRule& rule = compiled_incoming_.at(rule_id);
+  std::vector<Tuple> frontiers = rule.EvaluateFrontier(wrapper_->storage());
+  ShipFrontiers(update, state, rule_id, std::move(frontiers),
+                /*path=*/{self_.value});
+}
+
+void UpdateManager::ShipFrontiers(const FlowId& update, UpdateState& state,
+                                  const std::string& rule_id,
+                                  std::vector<Tuple> frontiers,
+                                  const std::vector<uint32_t>& path) {
+  IncomingLinkState& link = state.incoming.at(rule_id);
+  const CoordinationRule& rule = compiled_incoming_.at(rule_id);
+
+  std::vector<Tuple> fresh;
+  for (Tuple& frontier : frontiers) {
+    if (options_.dedup_sent) {
+      if (link.sent_frontiers.insert(frontier).second) {
+        fresh.push_back(std::move(frontier));
+      }
+    } else {
+      fresh.push_back(std::move(frontier));
+    }
+  }
+  if (fresh.empty()) return;
+
+  Result<PeerId> importer = ResolvePeer(rule.importer());
+  if (!importer.ok()) return;  // importer gone; nothing to ship
+
+  std::vector<HeadTuple> tuples;
+  for (const Tuple& frontier : fresh) {
+    for (HeadTuple& ht : rule.InstantiateHead(frontier, *minter_)) {
+      tuples.push_back(std::move(ht));
+    }
+  }
+
+  // Split into batches of max_batch_tuples (0 = everything in one
+  // message). Consecutive batches travel the same FIFO pipe, so the
+  // importer sees them in order.
+  size_t batch_size =
+      options_.max_batch_tuples > 0 ? options_.max_batch_tuples
+                                    : tuples.size();
+  UpdateReport& report = stats_->ReportFor(update);
+  for (size_t begin = 0; begin < tuples.size(); begin += batch_size) {
+    size_t end = std::min(begin + batch_size, tuples.size());
+    UpdateDataPayload data;
+    data.update = update;
+    data.rule_id = rule_id;
+    data.path = path;
+    data.tuples.assign(tuples.begin() + static_cast<long>(begin),
+                       tuples.begin() + static_cast<long>(end));
+
+    std::vector<uint8_t> payload = data.Serialize();
+    size_t bytes = payload.size() + 12;
+    Status sent = network_->Send(MakeMessage(self_, importer.value(),
+                                             MessageType::kUpdateData,
+                                             std::move(payload)));
+    if (!sent.ok()) {
+      CODB_LOG(kDebug) << node_name_ << ": data ship on " << rule_id
+                       << " failed: " << sent.ToString();
+      return;
+    }
+    termination_.OnSent(update, importer.value());
+
+    ++report.data_messages_sent;
+    report.data_bytes_sent += bytes;
+    RuleTrafficStats& traffic = report.sent_per_rule[rule_id];
+    ++traffic.messages;
+    traffic.tuples += data.tuples.size();
+    traffic.bytes += bytes;
+  }
+  report.result_destinations.insert(importer.value().value);
+}
+
+void UpdateManager::HandleMessage(const Message& message) {
+  Stopwatch wall;
+  switch (message.type) {
+    case MessageType::kUpdateRequest:
+      OnRequest(message);
+      break;
+    case MessageType::kUpdateData:
+      OnData(message);
+      break;
+    case MessageType::kLinkClosed:
+      OnLinkClosed(message);
+      break;
+    case MessageType::kUpdateComplete:
+      OnComplete(message);
+      break;
+    case MessageType::kUpdateAck: {
+      Result<AckPayload> ack = AckPayload::Deserialize(message.payload);
+      if (ack.ok()) {
+        termination_.OnAck(ack.value().flow, message.src);
+      }
+      break;
+    }
+    default:
+      CODB_LOG(kWarning) << node_name_ << ": update manager got unexpected "
+                         << MessageTypeName(message.type);
+      break;
+  }
+  termination_.MaybeQuiesce();
+  // Wall time is attributed to the most recently touched update inside the
+  // handlers; approximating with "all active updates" would double-count,
+  // so handlers record into the report directly where needed. Here we only
+  // account the envelope-level cost for data messages (the dominant cost).
+  if (message.type == MessageType::kUpdateData) {
+    Result<UpdateDataPayload> parsed =
+        UpdateDataPayload::Deserialize(message.payload);
+    if (parsed.ok()) {
+      stats_->ReportFor(parsed.value().update).wall_micros +=
+          static_cast<double>(wall.ElapsedMicros());
+    }
+  }
+}
+
+void UpdateManager::OnRequest(const Message& message) {
+  Result<UpdateRequestPayload> parsed =
+      UpdateRequestPayload::Deserialize(message.payload);
+  if (!parsed.ok()) {
+    CODB_LOG(kWarning) << node_name_ << ": bad update request: "
+                       << parsed.status().ToString();
+    return;
+  }
+  const FlowId update = parsed.value().update;
+  termination_.OnBasicMessage(update, message.src);
+  Join(update, message.src, parsed.value().refresh);
+}
+
+void UpdateManager::OnData(const Message& message) {
+  Result<UpdateDataPayload> parsed =
+      UpdateDataPayload::Deserialize(message.payload);
+  if (!parsed.ok()) {
+    CODB_LOG(kWarning) << node_name_ << ": bad update data: "
+                       << parsed.status().ToString();
+    return;
+  }
+  UpdateDataPayload data = std::move(parsed).value();
+  const FlowId update = data.update;
+  termination_.OnBasicMessage(update, message.src);
+  // Data can only come from a joined acquaintance, which always floods the
+  // request first on the same FIFO pipe — but a pipe created mid-update
+  // (dynamic topology) can skip that, so join defensively (the refresh
+  // flag, if any, arrived with the request on the same pipe).
+  Join(update, message.src, /*refresh=*/false);
+  UpdateState& state = StateOf(update);
+
+  // Statistics for this data message.
+  UpdateReport& report = stats_->ReportFor(update);
+  ++report.data_messages_received;
+  report.data_bytes_received += message.WireSize();
+  report.longest_path_nodes =
+      std::max(report.longest_path_nodes,
+               static_cast<uint32_t>(data.path.size() + 1));
+  report.acquaintances_queried.insert(message.src.value);
+  RuleTrafficStats& traffic = report.received_per_rule[data.rule_id];
+  ++traffic.messages;
+  traffic.tuples += data.tuples.size();
+  traffic.bytes += message.WireSize();
+
+  // T' = T \ R ; R += T'. The wrapper's set semantics performs the fused
+  // version; with dedup_received off the full batch is used as the delta.
+  Result<std::map<std::string, std::vector<Tuple>>> applied =
+      wrapper_->ApplyHeadTuples(data.tuples);
+  if (!applied.ok()) {
+    CODB_LOG(kError) << node_name_ << ": applying update data failed: "
+                     << applied.status().ToString();
+    return;
+  }
+  std::map<std::string, std::vector<Tuple>> delta =
+      std::move(applied).value();
+  for (const auto& [relation, rows] : delta) {
+    report.tuples_added += rows.size();
+  }
+  if (!options_.dedup_received) {
+    delta.clear();
+    for (const HeadTuple& ht : data.tuples) {
+      delta[ht.relation].push_back(ht.tuple);
+    }
+  }
+  if (delta.empty()) {
+    CheckClosing(update, state);
+    return;
+  }
+
+  if (state.exports_suppressed) {
+    CheckClosing(update, state);
+    return;
+  }
+
+  // Recompute the incoming links dependent on this outgoing link,
+  // substituting the delta, and forward along simple paths only.
+  std::vector<uint32_t> extended_path = data.path;
+  extended_path.push_back(self_.value);
+
+  for (const std::string& dependent : link_graph_->DependentOn(data.rule_id)) {
+    if (subsumed_incoming_.find(dependent) != subsumed_incoming_.end()) {
+      continue;
+    }
+    auto link_it = state.incoming.find(dependent);
+    if (link_it == state.incoming.end()) continue;  // stale config
+    if (link_it->second.closed) {
+      // Cannot happen while a relevant outgoing link still delivers; keep
+      // the protocol honest if it does.
+      CODB_LOG(kWarning) << node_name_ << ": data for closed link "
+                         << dependent;
+      continue;
+    }
+    const CoordinationRule& rule = compiled_incoming_.at(dependent);
+    Result<PeerId> importer = ResolvePeer(rule.importer());
+    if (!importer.ok()) continue;
+    // Simple-path constraint: never forward to a node already on the path.
+    if (std::find(data.path.begin(), data.path.end(),
+                  importer.value().value) != data.path.end()) {
+      continue;
+    }
+
+    std::vector<Tuple> frontiers;
+    for (const auto& [relation, rows] : delta) {
+      bool referenced =
+          std::find_if(rule.query().body.begin(), rule.query().body.end(),
+                       [&](const Atom& atom) {
+                         return atom.predicate == relation;
+                       }) != rule.query().body.end();
+      if (!referenced) continue;
+      std::vector<Tuple> partial =
+          rule.EvaluateFrontierDelta(wrapper_->storage(), relation, rows);
+      frontiers.insert(frontiers.end(), partial.begin(), partial.end());
+    }
+    ShipFrontiers(update, state, dependent, std::move(frontiers),
+                  extended_path);
+  }
+  CheckClosing(update, state);
+}
+
+void UpdateManager::OnLinkClosed(const Message& message) {
+  Result<LinkClosedPayload> parsed =
+      LinkClosedPayload::Deserialize(message.payload);
+  if (!parsed.ok()) {
+    CODB_LOG(kWarning) << node_name_ << ": bad link-closed: "
+                       << parsed.status().ToString();
+    return;
+  }
+  const FlowId update = parsed.value().update;
+  termination_.OnBasicMessage(update, message.src);
+  Join(update, message.src, /*refresh=*/false);
+  UpdateState& state = StateOf(update);
+  auto it = state.outgoing.find(parsed.value().rule_id);
+  if (it != state.outgoing.end()) {
+    it->second.closed = true;
+  }
+  CheckClosing(update, state);
+}
+
+bool UpdateManager::OutgoingQuiet(const UpdateState& state,
+                                  const std::string& rule_id) const {
+  auto it = state.outgoing.find(rule_id);
+  if (it == state.outgoing.end()) return true;  // not ours / stale
+  if (it->second.closed) return true;
+  const CoordinationRule* rule = config_->FindRule(rule_id);
+  if (rule == nullptr) return true;
+  // Churn: an unreachable exporter can never deliver again.
+  Result<PeerId> exporter = ResolvePeer(rule->exporter());
+  if (!exporter.ok()) return true;
+  return !network_->HasPipe(self_, exporter.value()) ||
+         !network_->IsAlive(exporter.value());
+}
+
+void UpdateManager::CheckClosing(const FlowId& update, UpdateState& state) {
+  if (!state.joined) return;
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& [rule_id, link] : state.incoming) {
+      if (link.closed || !link.initial_fired) continue;
+      // Links on dependency cycles wait for global quiescence.
+      if (link_graph_->IsCyclic(rule_id)) continue;
+      bool all_quiet = true;
+      for (const std::string& relevant : link_graph_->RelevantFor(rule_id)) {
+        if (!OutgoingQuiet(state, relevant)) {
+          all_quiet = false;
+          break;
+        }
+      }
+      if (!all_quiet) continue;
+
+      link.closed = true;
+      progressed = true;
+      const CoordinationRule& rule = compiled_incoming_.at(rule_id);
+      Result<PeerId> importer = ResolvePeer(rule.importer());
+      if (importer.ok() && network_->HasPipe(self_, importer.value())) {
+        LinkClosedPayload closed{update, rule_id};
+        SendBasic(update, importer.value(), MessageType::kLinkClosed,
+                  closed.Serialize());
+      }
+    }
+  }
+
+  // Node-level closed state: all outgoing links quiet.
+  UpdateReport& report = stats_->ReportFor(update);
+  if (report.closed_virtual_us < 0) {
+    bool all_closed = true;
+    for (const auto& [rule_id, link] : state.outgoing) {
+      if (!OutgoingQuiet(state, rule_id)) {
+        all_closed = false;
+        break;
+      }
+    }
+    if (all_closed) report.closed_virtual_us = network_->now_us();
+  }
+}
+
+void UpdateManager::Complete(const FlowId& update, PeerId via) {
+  UpdateState& state = StateOf(update);
+  if (state.complete) return;
+  state.complete = true;
+
+  // Force-close everything still open (cyclic links close here).
+  for (auto& [rule_id, link] : state.incoming) link.closed = true;
+  for (auto& [rule_id, link] : state.outgoing) link.closed = true;
+
+  UpdateReport& report = stats_->ReportFor(update);
+  if (report.closed_virtual_us < 0) {
+    report.closed_virtual_us = network_->now_us();
+  }
+  report.complete_virtual_us = network_->now_us();
+
+  // Flood completion (not a basic message; the computation is over).
+  UpdateCompletePayload payload{update};
+  for (PeerId neighbor : Acquaintances()) {
+    if (neighbor == via) continue;
+    network_->Send(MakeMessage(self_, neighbor, MessageType::kUpdateComplete,
+                               payload.Serialize()));
+  }
+  CODB_LOG(kInfo) << node_name_ << ": " << update.ToString() << " complete";
+}
+
+void UpdateManager::OnComplete(const Message& message) {
+  Result<UpdateCompletePayload> parsed =
+      UpdateCompletePayload::Deserialize(message.payload);
+  if (!parsed.ok()) {
+    CODB_LOG(kWarning) << node_name_ << ": bad update-complete: "
+                       << parsed.status().ToString();
+    return;
+  }
+  Complete(parsed.value().update, message.src);
+}
+
+void UpdateManager::HandlePipeClosed(PeerId other) {
+  termination_.OnPeerLost(other);
+  for (auto& [update, state] : updates_) {
+    if (!state.complete) CheckClosing(update, state);
+  }
+  termination_.MaybeQuiesce();
+}
+
+void UpdateManager::SendBasic(const FlowId& update, PeerId dst,
+                              MessageType type,
+                              std::vector<uint8_t> payload) {
+  Status sent =
+      network_->Send(MakeMessage(self_, dst, type, std::move(payload)));
+  if (sent.ok()) {
+    termination_.OnSent(update, dst);
+  } else {
+    CODB_LOG(kDebug) << node_name_ << ": send " << MessageTypeName(type)
+                     << " to " << dst.ToString()
+                     << " failed: " << sent.ToString();
+  }
+}
+
+std::vector<PeerId> UpdateManager::Acquaintances() const {
+  std::vector<PeerId> out;
+  for (const std::string& name : config_->AcquaintancesOf(node_name_)) {
+    Result<PeerId> peer = ResolvePeer(name);
+    if (peer.ok() && network_->IsAlive(peer.value()) &&
+        network_->HasPipe(self_, peer.value())) {
+      out.push_back(peer.value());
+    }
+  }
+  return out;
+}
+
+bool UpdateManager::LocallyInconsistent() const {
+  const NodeDecl* decl = config_->FindNode(node_name_);
+  if (decl == nullptr || decl->keys.empty()) return false;
+  return !FindKeyViolations(wrapper_->storage(), decl->keys).empty();
+}
+
+bool UpdateManager::IsJoined(const FlowId& update) const {
+  auto it = updates_.find(update);
+  return it != updates_.end() && it->second.joined;
+}
+
+bool UpdateManager::IsClosed(const FlowId& update) const {
+  auto it = updates_.find(update);
+  if (it == updates_.end()) return false;
+  for (const auto& [rule_id, link] : it->second.outgoing) {
+    if (!OutgoingQuiet(it->second, rule_id)) return false;
+  }
+  return it->second.joined;
+}
+
+bool UpdateManager::IsComplete(const FlowId& update) const {
+  auto it = updates_.find(update);
+  return it != updates_.end() && it->second.complete;
+}
+
+bool UpdateManager::OutgoingLinkClosed(const FlowId& update,
+                                       const std::string& rule_id) const {
+  auto it = updates_.find(update);
+  if (it == updates_.end()) return false;
+  auto link = it->second.outgoing.find(rule_id);
+  return link != it->second.outgoing.end() && link->second.closed;
+}
+
+bool UpdateManager::IncomingLinkClosed(const FlowId& update,
+                                       const std::string& rule_id) const {
+  auto it = updates_.find(update);
+  if (it == updates_.end()) return false;
+  auto link = it->second.incoming.find(rule_id);
+  return link != it->second.incoming.end() && link->second.closed;
+}
+
+std::vector<std::string> UpdateManager::OutgoingLinkIds() const {
+  std::vector<std::string> ids;
+  for (const CoordinationRule* rule : config_->OutgoingOf(node_name_)) {
+    ids.push_back(rule->id());
+  }
+  return ids;
+}
+
+std::vector<std::string> UpdateManager::IncomingLinkIds() const {
+  std::vector<std::string> ids;
+  for (const CoordinationRule* rule : config_->IncomingOf(node_name_)) {
+    ids.push_back(rule->id());
+  }
+  return ids;
+}
+
+}  // namespace codb

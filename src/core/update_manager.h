@@ -1,0 +1,198 @@
+// The global update algorithm (paper, section 3).
+//
+// A global update makes every node import, through its coordination rules,
+// all data reachable from its acquaintances — transitively, along *simple*
+// update-propagation paths — so that subsequent local queries need no
+// network access. Sketch, at a node n for update u:
+//
+//   join(u):      flood UpdateRequest(u) to all acquaintances (dedup by u);
+//                 for every incoming link i, evaluate its body over the
+//                 local store, dedup against the per-link sent-set, mint
+//                 fresh marked nulls for existential head variables, and
+//                 ship the head tuples with path label [n].
+//
+//   data(u,o,T,P): T' = T \ R; R += T' (set semantics); for every incoming
+//                 link i dependent on o whose importer m' is not on P∪{n},
+//                 recompute i semi-naively with delta T', dedup against the
+//                 sent-set of i, and forward with label P+[n].
+//
+//   closing:      an incoming link i closes when n has joined, fired i's
+//                 initial evaluation, and every outgoing link relevant for
+//                 i is closed (received LinkClosed) or unreachable. Links
+//                 on dependency cycles cannot close inductively; they close
+//                 when the initiator's diffusing computation detects global
+//                 quiescence and floods UpdateComplete.
+//
+// Termination is guaranteed: path labels bound every tuple's journey by
+// the number of nodes, even for cyclic rules with existential variables.
+
+#ifndef CODB_CORE_UPDATE_MANAGER_H_
+#define CODB_CORE_UPDATE_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/link_graph.h"
+#include "core/protocol.h"
+#include "core/statistics.h"
+#include "core/termination.h"
+#include "net/network_interface.h"
+#include "wrapper/wrapper.h"
+
+namespace codb {
+
+class UpdateManager {
+ public:
+  struct Options {
+    // T' = T \ R receiver-side dedup. Off: every received tuple is treated
+    // as a delta even when already stored (ablation E6; storage stays a
+    // set either way).
+    bool dedup_received = true;
+    // Frontier sent-sets per incoming link. Off: recomputed results are
+    // re-shipped every time (ablation E6).
+    bool dedup_sent = true;
+    // Maximum head tuples per kUpdateData message; larger result sets are
+    // split into consecutive batches on the same pipe (FIFO keeps them
+    // ordered). 0 = unlimited (one message per rule activation).
+    size_t max_batch_tuples = 0;
+    // Containment optimization: do not execute incoming links whose query
+    // another rule on the same importer/exporter pair subsumes (see
+    // NetworkConfig::FindSubsumedRules). The links still open and close
+    // normally; they just never carry data the subsuming rule ships
+    // anyway.
+    bool skip_subsumed = false;
+  };
+
+  // All pointers must outlive the manager. `node_name` is this node's name
+  // in `config`.
+  // `update_seq` is the node-owned counter of started updates; it lives
+  // outside the manager so ids stay unique across reconfigurations.
+  UpdateManager(NetworkBase* network, PeerId self, std::string node_name,
+                Wrapper* wrapper, const NetworkConfig* config,
+                const LinkGraph* link_graph, StatisticsModule* stats,
+                NullMinter* minter, uint64_t* update_seq, Options options);
+
+  // Compiles this node's incoming links. Must succeed before any traffic.
+  Status Init();
+
+  // Starts a global update from this node (it becomes the root of the
+  // diffusing computation). A *refresh* update additionally drops every
+  // node's previously imported tuples first, so deletions at the sources
+  // propagate. Returns the update id.
+  FlowId StartUpdate(bool refresh = false);
+
+  // Routed by the node: kUpdateRequest/kUpdateData/kLinkClosed/
+  // kUpdateComplete, plus kUpdateAck with update scope.
+  void HandleMessage(const Message& message);
+
+  // Churn notification from the node.
+  void HandlePipeClosed(PeerId other);
+
+  // -- introspection (reports, tests, benches) ----------------------------
+
+  bool IsJoined(const FlowId& update) const;
+  // All outgoing links closed at this node.
+  bool IsClosed(const FlowId& update) const;
+  // Global completion observed (or detected, at the root).
+  bool IsComplete(const FlowId& update) const;
+
+  bool OutgoingLinkClosed(const FlowId& update,
+                          const std::string& rule_id) const;
+  bool IncomingLinkClosed(const FlowId& update,
+                          const std::string& rule_id) const;
+
+  // Ids of this node's links (for the node report).
+  std::vector<std::string> OutgoingLinkIds() const;
+  std::vector<std::string> IncomingLinkIds() const;
+
+ private:
+  struct IncomingLinkState {  // we are the exporter: we ship data
+    bool closed = false;
+    bool initial_fired = false;
+    std::unordered_set<Tuple, TupleHash> sent_frontiers;
+  };
+  struct OutgoingLinkState {  // we are the importer: we receive data
+    bool closed = false;
+  };
+  struct UpdateState {
+    bool joined = false;
+    bool complete = false;
+    // Local inconsistency at join time: exports are suppressed for the
+    // whole update (paper principle (d)).
+    bool exports_suppressed = false;
+    std::map<std::string, IncomingLinkState> incoming;
+    std::map<std::string, OutgoingLinkState> outgoing;
+  };
+
+  UpdateState& StateOf(const FlowId& update);
+
+  // Marks the node joined: floods the request onward (skipping `via`, the
+  // peer it came from, if any) and fires the initial link evaluations.
+  // Refresh joins drop imported tuples before evaluating.
+  void Join(const FlowId& update, PeerId via, bool refresh);
+
+  void OnRequest(const Message& message);
+  void OnData(const Message& message);
+  void OnLinkClosed(const Message& message);
+  void OnComplete(const Message& message);
+
+  // Evaluates + ships the initial content of incoming link `rule_id`.
+  void FireInitial(const FlowId& update, UpdateState& state,
+                   const std::string& rule_id);
+
+  // Dedups `frontiers` against the sent-set, instantiates heads, ships.
+  void ShipFrontiers(const FlowId& update, UpdateState& state,
+                     const std::string& rule_id,
+                     std::vector<Tuple> frontiers,
+                     const std::vector<uint32_t>& path);
+
+  // Inductive link closing; records node-closed time when the last
+  // outgoing link closes.
+  void CheckClosing(const FlowId& update, UpdateState& state);
+
+  // True if outgoing link `rule_id` can no longer deliver data (closed by
+  // its exporter, or the exporter is unreachable).
+  bool OutgoingQuiet(const UpdateState& state,
+                     const std::string& rule_id) const;
+
+  // Marks the update complete locally and floods kUpdateComplete onward.
+  void Complete(const FlowId& update, PeerId via);
+
+  // Sends a basic protocol message and books the deficit.
+  void SendBasic(const FlowId& update, PeerId dst, MessageType type,
+                 std::vector<uint8_t> payload);
+
+  Result<PeerId> ResolvePeer(const std::string& node_name) const;
+
+  // Alive, pipe-connected rule acquaintances (flood targets).
+  std::vector<PeerId> Acquaintances() const;
+
+  // True when this node's store violates its own key constraints.
+  bool LocallyInconsistent() const;
+
+  NetworkBase* network_;
+  PeerId self_;
+  std::string node_name_;
+  Wrapper* wrapper_;
+  const NetworkConfig* config_;
+  const LinkGraph* link_graph_;
+  StatisticsModule* stats_;
+  NullMinter* minter_;
+  Options options_;
+
+  TerminationDetector termination_;
+  std::map<std::string, CoordinationRule> compiled_incoming_;
+  std::set<std::string> subsumed_incoming_;  // skip_subsumed option
+  std::map<FlowId, UpdateState> updates_;
+  mutable std::map<std::string, PeerId> peer_cache_;
+  uint64_t* update_seq_;  // owned by the node
+};
+
+}  // namespace codb
+
+#endif  // CODB_CORE_UPDATE_MANAGER_H_

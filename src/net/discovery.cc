@@ -1,0 +1,81 @@
+#include "net/discovery.h"
+
+#include "relation/wire.h"
+#include "util/logging.h"
+
+namespace codb {
+
+std::vector<uint8_t> PeerAdvertisement::Serialize() const {
+  WireWriter writer;
+  writer.WriteU32(peer.value);
+  writer.WriteU64(epoch);
+  writer.WriteString(name);
+  writer.WriteStringList(exported_relations);
+  return writer.Take();
+}
+
+Result<PeerAdvertisement> PeerAdvertisement::Deserialize(
+    const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  PeerAdvertisement ad;
+  CODB_ASSIGN_OR_RETURN(uint32_t peer, reader.ReadU32());
+  ad.peer = PeerId(peer);
+  CODB_ASSIGN_OR_RETURN(ad.epoch, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(ad.name, reader.ReadString());
+  CODB_ASSIGN_OR_RETURN(ad.exported_relations, reader.ReadStringList());
+  return ad;
+}
+
+void DiscoveryService::Announce(
+    const std::string& name, std::vector<std::string> exported_relations) {
+  PeerAdvertisement ad;
+  ad.peer = self_;
+  ad.epoch = ++epoch_;
+  ad.name = name;
+  ad.exported_relations = std::move(exported_relations);
+  forwarded_.insert({ad.peer.value, ad.epoch});
+  Flood(ad, /*except=*/self_);
+}
+
+void DiscoveryService::HandleAdvertisement(const Message& message) {
+  Result<PeerAdvertisement> parsed =
+      PeerAdvertisement::Deserialize(message.payload);
+  if (!parsed.ok()) {
+    CODB_LOG(kWarning) << "discovery: dropping malformed advertisement: "
+                       << parsed.status().ToString();
+    return;
+  }
+  PeerAdvertisement ad = std::move(parsed).value();
+  if (ad.peer == self_) return;
+
+  auto it = cache_.find(ad.peer.value);
+  if (it == cache_.end() || it->second.epoch < ad.epoch) {
+    cache_[ad.peer.value] = ad;
+  }
+  // Forward each (origin, epoch) once so floods terminate.
+  if (forwarded_.insert({ad.peer.value, ad.epoch}).second) {
+    Flood(ad, /*except=*/message.src);
+  }
+}
+
+std::vector<PeerAdvertisement> DiscoveryService::Known() const {
+  std::vector<PeerAdvertisement> out;
+  out.reserve(cache_.size());
+  for (const auto& [id, ad] : cache_) out.push_back(ad);
+  return out;
+}
+
+void DiscoveryService::Flood(const PeerAdvertisement& ad, PeerId except) {
+  for (PeerId neighbor : network_->Neighbors(self_)) {
+    if (neighbor == except) continue;
+    Message message;
+    message.src = self_;
+    message.dst = neighbor;
+    message.type = MessageType::kAdvertisement;
+    message.payload = ad.Serialize();
+    // Best effort; a racing pipe close is not an error for discovery.
+    network_->Send(std::move(message));
+  }
+}
+
+}  // namespace codb

@@ -1,0 +1,68 @@
+// Decentralized peer discovery.
+//
+// JXTA advertises network resources and lets peers discover them without a
+// central registry. Here each peer floods a PeerAdvertisement (name +
+// exported relations) to its pipe neighbours; every peer forwards each
+// advertisement once, so eventually every connected peer knows every other
+// — including peers it has no pipes or rules with, which is exactly what
+// the paper's peer-discovery window (Figure 3) displays.
+
+#ifndef CODB_NET_DISCOVERY_H_
+#define CODB_NET_DISCOVERY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/network_interface.h"
+#include "util/status.h"
+
+namespace codb {
+
+struct PeerAdvertisement {
+  PeerId peer;
+  uint64_t epoch = 0;  // bumped on each re-announce; newer wins
+  std::string name;
+  std::vector<std::string> exported_relations;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<PeerAdvertisement> Deserialize(
+      const std::vector<uint8_t>& payload);
+};
+
+// One instance per node. The owning node routes kAdvertisement messages
+// here and calls Announce when it joins or its exported schema changes.
+class DiscoveryService {
+ public:
+  DiscoveryService(NetworkBase* network, PeerId self) : network_(network),
+                                                    self_(self) {}
+
+  // Floods this peer's advertisement to all current neighbours.
+  void Announce(const std::string& name,
+                std::vector<std::string> exported_relations);
+
+  // Handles an incoming advertisement: caches it and forwards it once to
+  // every neighbour except the one it came from.
+  void HandleAdvertisement(const Message& message);
+
+  // Every peer discovered so far (excluding self), by peer id.
+  std::vector<PeerAdvertisement> Known() const;
+
+  bool Knows(PeerId peer) const { return cache_.count(peer.value) > 0; }
+
+ private:
+  void Flood(const PeerAdvertisement& ad, PeerId except);
+
+  NetworkBase* network_;
+  PeerId self_;
+  uint64_t epoch_ = 0;
+  std::map<uint32_t, PeerAdvertisement> cache_;
+  std::set<std::pair<uint32_t, uint64_t>> forwarded_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_NET_DISCOVERY_H_

@@ -1,0 +1,83 @@
+// Message envelopes.
+//
+// A JXTA message envelopes arbitrary data; here the envelope is a type tag
+// plus a binary payload produced by net/wire.h. The network charges the
+// bandwidth model with the payload size plus a fixed header, so the byte
+// volumes reported by the statistics module are real serialized sizes.
+
+#ifndef CODB_NET_MESSAGE_H_
+#define CODB_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/peer_id.h"
+
+namespace codb {
+
+// Wire-level message kinds. The values are part of the serialized format.
+enum class MessageType : uint16_t {
+  // Discovery protocol (net layer).
+  kAdvertisement = 1,
+
+  // coDB protocol (core layer). Declared here so the envelope is complete;
+  // payload formats live in core/protocol.h.
+  kConfigBroadcast = 10,
+  kUpdateRequest = 11,
+  kUpdateData = 12,
+  kLinkClosed = 13,
+  kUpdateAck = 14,
+  kUpdateComplete = 15,
+  kQueryRequest = 16,
+  kQueryResult = 17,
+  kQueryDone = 18,
+  kStatsRequest = 19,
+  kStatsReport = 20,
+};
+
+const char* MessageTypeName(MessageType type);
+
+struct Message {
+  PeerId src;
+  PeerId dst;
+  MessageType type = MessageType::kAdvertisement;
+  std::vector<uint8_t> payload;
+
+  // Bytes charged to the bandwidth model: fixed envelope header (source,
+  // destination, type, length — 12 bytes) plus the payload.
+  size_t WireSize() const { return 12 + payload.size(); }
+};
+
+inline const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kAdvertisement:
+      return "ADVERTISEMENT";
+    case MessageType::kConfigBroadcast:
+      return "CONFIG_BROADCAST";
+    case MessageType::kUpdateRequest:
+      return "UPDATE_REQUEST";
+    case MessageType::kUpdateData:
+      return "UPDATE_DATA";
+    case MessageType::kLinkClosed:
+      return "LINK_CLOSED";
+    case MessageType::kUpdateAck:
+      return "UPDATE_ACK";
+    case MessageType::kUpdateComplete:
+      return "UPDATE_COMPLETE";
+    case MessageType::kQueryRequest:
+      return "QUERY_REQUEST";
+    case MessageType::kQueryResult:
+      return "QUERY_RESULT";
+    case MessageType::kQueryDone:
+      return "QUERY_DONE";
+    case MessageType::kStatsRequest:
+      return "STATS_REQUEST";
+    case MessageType::kStatsReport:
+      return "STATS_REPORT";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace codb
+
+#endif  // CODB_NET_MESSAGE_H_

@@ -1,0 +1,213 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace codb {
+
+namespace {
+
+std::pair<uint32_t, uint32_t> PipeKey(PeerId from, PeerId to) {
+  return {from.value, to.value};
+}
+
+}  // namespace
+
+PeerId Network::Join(const std::string& name, NetworkPeer* peer) {
+  PeerId id(static_cast<uint32_t>(peers_.size()));
+  peers_.push_back({name, peer, /*alive=*/true});
+  CODB_LOG(kDebug) << "network: " << name << " joined as "
+                   << id.ToString();
+  return id;
+}
+
+Status Network::Leave(PeerId id) {
+  if (!IsAlive(id)) {
+    return Status::NotFound(id.ToString() + " is not on the network");
+  }
+  peers_[id.value].alive = false;
+  peers_[id.value].handler = nullptr;
+  std::vector<uint32_t> to_notify;
+  for (auto& [key, pipe] : pipes_) {
+    if (key.first == id.value || key.second == id.value) {
+      if (pipe.open() && key.first == id.value) {
+        to_notify.push_back(key.second);
+      }
+      pipe.Close();
+    }
+  }
+  for (uint32_t other : to_notify) {
+    NotifyPipeClosed(PeerId(other), id);
+  }
+  return Status::Ok();
+}
+
+void Network::NotifyPipeClosed(PeerId peer, PeerId other) {
+  if (!IsAlive(peer)) return;
+  NetworkPeer* handler = peers_[peer.value].handler;
+  if (handler != nullptr) handler->HandlePipeClosed(other);
+}
+
+bool Network::IsAlive(PeerId id) const {
+  return id.valid() && id.value < peers_.size() && peers_[id.value].alive;
+}
+
+std::string Network::NameOf(PeerId id) const {
+  if (!id.valid() || id.value >= peers_.size()) return "<unknown>";
+  return peers_[id.value].name;
+}
+
+Result<PeerId> Network::FindByName(const std::string& name) const {
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].alive && peers_[i].name == name) {
+      return PeerId(static_cast<uint32_t>(i));
+    }
+  }
+  return Status::NotFound("no alive peer named '" + name + "'");
+}
+
+std::vector<PeerId> Network::AlivePeers() const {
+  std::vector<PeerId> out;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].alive) out.push_back(PeerId(static_cast<uint32_t>(i)));
+  }
+  return out;
+}
+
+Status Network::OpenPipe(PeerId a, PeerId b, LinkProfile profile) {
+  if (!IsAlive(a) || !IsAlive(b)) {
+    return Status::Unavailable("both endpoints must be alive to open a pipe");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("cannot open a pipe to self");
+  }
+  // Re-opening replaces a closed pipe.
+  pipes_.insert_or_assign(PipeKey(a, b), Pipe(a, b, profile));
+  pipes_.insert_or_assign(PipeKey(b, a), Pipe(b, a, profile));
+  return Status::Ok();
+}
+
+Status Network::ClosePipe(PeerId a, PeerId b) {
+  Pipe* forward = FindPipe(a, b);
+  Pipe* backward = FindPipe(b, a);
+  if (forward == nullptr && backward == nullptr) {
+    return Status::NotFound("no pipe between " + a.ToString() + " and " +
+                            b.ToString());
+  }
+  bool was_open = (forward != nullptr && forward->open()) ||
+                  (backward != nullptr && backward->open());
+  if (forward != nullptr) forward->Close();
+  if (backward != nullptr) backward->Close();
+  if (was_open) {
+    NotifyPipeClosed(a, b);
+    NotifyPipeClosed(b, a);
+  }
+  return Status::Ok();
+}
+
+bool Network::HasPipe(PeerId from, PeerId to) const {
+  const Pipe* pipe = FindPipe(from, to);
+  return pipe != nullptr && pipe->open();
+}
+
+std::vector<PeerId> Network::Neighbors(PeerId id) const {
+  std::vector<PeerId> out;
+  for (const auto& [key, pipe] : pipes_) {
+    if (key.first == id.value && pipe.open() &&
+        IsAlive(PeerId(key.second))) {
+      out.push_back(PeerId(key.second));
+    }
+  }
+  return out;
+}
+
+size_t Network::open_pipe_count() const {
+  size_t n = 0;
+  for (const auto& [key, pipe] : pipes_) {
+    if (pipe.open()) ++n;
+  }
+  return n / 2;  // pipes are stored per direction
+}
+
+Pipe* Network::FindPipe(PeerId from, PeerId to) {
+  auto it = pipes_.find(PipeKey(from, to));
+  return it == pipes_.end() ? nullptr : &it->second;
+}
+
+const Pipe* Network::FindPipe(PeerId from, PeerId to) const {
+  auto it = pipes_.find(PipeKey(from, to));
+  return it == pipes_.end() ? nullptr : &it->second;
+}
+
+Status Network::Send(Message message) {
+  if (!IsAlive(message.src)) {
+    return Status::Unavailable("sender " + message.src.ToString() +
+                               " is not on the network");
+  }
+  Pipe* pipe = FindPipe(message.src, message.dst);
+  if (pipe == nullptr || !pipe->open()) {
+    return Status::Unavailable("no open pipe " + message.src.ToString() +
+                               " -> " + message.dst.ToString());
+  }
+  stats_.RecordSend(message);
+  Event event;
+  event.time_us = pipe->ScheduleArrival(now_us_, message.WireSize());
+  event.seq = next_seq_++;
+  event.message = std::make_unique<Message>(std::move(message));
+  events_.push_back(std::move(event));
+  std::push_heap(events_.begin(), events_.end(), EventLater());
+  return Status::Ok();
+}
+
+void Network::ScheduleAt(int64_t time_us, std::function<void()> action) {
+  Event event;
+  event.time_us = std::max(time_us, now_us_);
+  event.seq = next_seq_++;
+  event.action = std::move(action);
+  events_.push_back(std::move(event));
+  std::push_heap(events_.begin(), events_.end(), EventLater());
+}
+
+void Network::ScheduleAfter(int64_t delay_us, std::function<void()> action) {
+  ScheduleAt(now_us_ + delay_us, std::move(action));
+}
+
+bool Network::Step() {
+  if (events_.empty()) return false;
+  std::pop_heap(events_.begin(), events_.end(), EventLater());
+  Event event = std::move(events_.back());
+  events_.pop_back();
+  assert(event.time_us >= now_us_ && "virtual time must be monotone");
+  now_us_ = event.time_us;
+
+  if (event.message != nullptr) {
+    const Message& msg = *event.message;
+    // In-flight traffic is lost if the destination died or the pipe was
+    // closed while the message was on the wire.
+    if (!IsAlive(msg.dst) || !HasPipe(msg.src, msg.dst)) {
+      stats_.RecordDrop(msg);
+      return true;
+    }
+    NetworkPeer* handler = peers_[msg.dst.value].handler;
+    if (handler != nullptr) handler->HandleMessage(msg);
+  } else if (event.action) {
+    event.action();
+  }
+  return true;
+}
+
+uint64_t Network::Run(uint64_t max_events) {
+  uint64_t processed = 0;
+  while (processed < max_events && Step()) {
+    ++processed;
+  }
+  if (processed == max_events) {
+    CODB_LOG(kWarning) << "network: Run() hit the event cap ("
+                       << max_events << ")";
+  }
+  return processed;
+}
+
+}  // namespace codb

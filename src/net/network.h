@@ -1,0 +1,132 @@
+// The simulated P2P network: a deterministic discrete-event message bus.
+//
+// This is the stand-in for JXTA (see DESIGN.md §1). Peers join under a
+// name, open pipes to other peers, and exchange messages; the simulator
+// delivers each message after the pipe's latency/bandwidth cost, in a
+// single virtual timeline. Everything is deterministic: the same inputs
+// produce the same delivery order, message counts and byte volumes, which
+// is what makes the experiment suite reproducible.
+//
+// Churn (dynamic networks, a design goal of the paper) is first-class:
+// peers can leave, pipes can drop, and actions can be scheduled at virtual
+// times to rewire the network mid-experiment. In-flight messages to a dead
+// peer or across a closed pipe are dropped, like packets on a cut link.
+
+#ifndef CODB_NET_NETWORK_H_
+#define CODB_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/network_interface.h"
+#include "net/peer_id.h"
+#include "net/pipe.h"
+#include "net/transport_stats.h"
+#include "util/status.h"
+
+namespace codb {
+
+class Network : public NetworkBase {
+ public:
+  Network() = default;
+  ~Network() override = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  using NetworkBase::OpenPipe;
+  using NetworkBase::Run;
+
+  // -- membership ---------------------------------------------------------
+
+  // Joins under `name`; the peer pointer must outlive the network or be
+  // removed with Leave first.
+  PeerId Join(const std::string& name, NetworkPeer* peer) override;
+
+  // Removes the peer; its pipes close and in-flight traffic to it is lost.
+  Status Leave(PeerId id) override;
+
+  bool IsAlive(PeerId id) const override;
+  std::string NameOf(PeerId id) const override;
+  Result<PeerId> FindByName(const std::string& name) const override;
+  std::vector<PeerId> AlivePeers() const override;
+
+  // -- pipes --------------------------------------------------------------
+
+  // Opens both directions with the same profile. Idempotent.
+  Status OpenPipe(PeerId a, PeerId b, LinkProfile profile) override;
+
+  // Closes both directions. In-flight messages on the pipe are dropped.
+  Status ClosePipe(PeerId a, PeerId b) override;
+
+  bool HasPipe(PeerId from, PeerId to) const override;
+  std::vector<PeerId> Neighbors(PeerId id) const override;
+  size_t open_pipe_count() const override;
+
+  // -- traffic ------------------------------------------------------------
+
+  // Enqueues delivery of `message` over the pipe src->dst. Fails with
+  // kUnavailable if the sender is dead or no open pipe exists.
+  Status Send(Message message) override;
+
+  // Schedules `action` to run at the given virtual time (or `delay` from
+  // now). Used for churn scripts and node timers.
+  void ScheduleAt(int64_t time_us, std::function<void()> action) override;
+  void ScheduleAfter(int64_t delay_us,
+                     std::function<void()> action) override;
+
+  // -- simulation loop ----------------------------------------------------
+
+  int64_t now_us() const override { return now_us_; }
+
+  // Processes the next event; false if the queue is empty.
+  bool Step();
+
+  // Runs until quiescent or `max_events`; returns events processed.
+  uint64_t Run(uint64_t max_events) override;
+
+  TransportStats& stats() override { return stats_; }
+  const TransportStats& stats() const override { return stats_; }
+
+ private:
+  struct PeerEntry {
+    std::string name;
+    NetworkPeer* handler = nullptr;
+    bool alive = false;
+  };
+
+  struct Event {
+    int64_t time_us = 0;
+    uint64_t seq = 0;  // FIFO tie-break for equal timestamps
+    // Exactly one of the two is set.
+    std::unique_ptr<Message> message;
+    std::function<void()> action;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_us != b.time_us) return a.time_us > b.time_us;
+      return a.seq > b.seq;
+    }
+  };
+
+  Pipe* FindPipe(PeerId from, PeerId to);
+  const Pipe* FindPipe(PeerId from, PeerId to) const;
+  void NotifyPipeClosed(PeerId peer, PeerId other);
+
+  std::vector<PeerEntry> peers_;
+  std::map<std::pair<uint32_t, uint32_t>, Pipe> pipes_;
+  // priority_queue does not allow moving out of top(); use a mutable heap.
+  std::vector<Event> events_;
+  uint64_t next_seq_ = 0;
+  int64_t now_us_ = 0;
+  TransportStats stats_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_NET_NETWORK_H_

@@ -1,0 +1,92 @@
+// The network abstraction the coDB layers are written against.
+//
+// Two implementations exist:
+//   * Network (net/network.h) — the deterministic discrete-event simulator
+//     used by tests, benches and examples (virtual clock, reproducible);
+//   * ThreadedNetwork (net/threaded_network.h) — a real concurrent runtime
+//     with one delivery thread per peer and wall-clock time, demonstrating
+//     that the protocols do not depend on simulator determinism.
+//
+// Threading contract: each peer's messages are delivered sequentially (a
+// peer never handles two messages concurrently), distinct peers run
+// concurrently, and peer-facing API calls (starting updates/queries,
+// seeding data) must happen while the network is quiescent — i.e. before
+// traffic starts or after Run()/a quiescence wait returns. The simulator
+// satisfies this trivially.
+
+#ifndef CODB_NET_NETWORK_INTERFACE_H_
+#define CODB_NET_NETWORK_INTERFACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/peer_id.h"
+#include "net/pipe.h"
+#include "net/transport_stats.h"
+#include "util/status.h"
+
+namespace codb {
+
+// Implemented by anything that lives on the network (core::Node, the
+// super-peer, test fixtures). See the threading contract above.
+class NetworkPeer {
+ public:
+  virtual ~NetworkPeer() = default;
+  virtual void HandleMessage(const Message& message) = 0;
+
+  // Notification that the pipe to `other` is gone (explicit close or peer
+  // death) — the moral equivalent of a JXTA pipe-closed event. In-flight
+  // traffic on the pipe is lost. Delivered on the peer's handler context.
+  virtual void HandlePipeClosed(PeerId other) { (void)other; }
+};
+
+class NetworkBase {
+ public:
+  virtual ~NetworkBase() = default;
+
+  // -- membership ---------------------------------------------------------
+  virtual PeerId Join(const std::string& name, NetworkPeer* peer) = 0;
+  virtual Status Leave(PeerId id) = 0;
+  virtual bool IsAlive(PeerId id) const = 0;
+  virtual std::string NameOf(PeerId id) const = 0;
+  virtual Result<PeerId> FindByName(const std::string& name) const = 0;
+  virtual std::vector<PeerId> AlivePeers() const = 0;
+
+  // -- pipes ----------------------------------------------------------------
+  virtual Status OpenPipe(PeerId a, PeerId b, LinkProfile profile) = 0;
+  Status OpenPipe(PeerId a, PeerId b) {
+    return OpenPipe(a, b, LinkProfile());
+  }
+  virtual Status ClosePipe(PeerId a, PeerId b) = 0;
+  virtual bool HasPipe(PeerId from, PeerId to) const = 0;
+  virtual std::vector<PeerId> Neighbors(PeerId id) const = 0;
+  virtual size_t open_pipe_count() const = 0;
+
+  // -- traffic ----------------------------------------------------------------
+  virtual Status Send(Message message) = 0;
+  virtual void ScheduleAt(int64_t time_us, std::function<void()> action) = 0;
+  virtual void ScheduleAfter(int64_t delay_us,
+                             std::function<void()> action) = 0;
+
+  // Current time in microseconds: virtual for the simulator, wall-clock
+  // since construction for the threaded runtime.
+  virtual int64_t now_us() const = 0;
+
+  // Drives the network until quiescent (no queued traffic, no running
+  // handlers, no due timers) or `max_events`; returns events processed.
+  // The simulator executes events inline; the threaded runtime blocks the
+  // caller until the workers drain.
+  virtual uint64_t Run(uint64_t max_events) = 0;
+  uint64_t Run() { return Run(kDefaultEventCap); }
+
+  virtual TransportStats& stats() = 0;
+  virtual const TransportStats& stats() const = 0;
+
+  static constexpr uint64_t kDefaultEventCap = 50'000'000;
+};
+
+}  // namespace codb
+
+#endif  // CODB_NET_NETWORK_INTERFACE_H_

@@ -1,0 +1,39 @@
+// Peer identifiers.
+//
+// JXTA gives peers IP-independent identifiers; here a PeerId is an opaque
+// dense handle assigned by the Network when the peer joins. Human-readable
+// names live in the peer's advertisement.
+
+#ifndef CODB_NET_PEER_ID_H_
+#define CODB_NET_PEER_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace codb {
+
+struct PeerId {
+  uint32_t value = kInvalid;
+
+  static constexpr uint32_t kInvalid = 0xFFFFFFFF;
+
+  constexpr PeerId() = default;
+  constexpr explicit PeerId(uint32_t v) : value(v) {}
+
+  bool valid() const { return value != kInvalid; }
+  std::string ToString() const { return "peer" + std::to_string(value); }
+
+  friend bool operator==(PeerId a, PeerId b) { return a.value == b.value; }
+  friend auto operator<=>(PeerId a, PeerId b) = default;
+};
+
+struct PeerIdHash {
+  size_t operator()(PeerId id) const {
+    return std::hash<uint32_t>()(id.value);
+  }
+};
+
+}  // namespace codb
+
+#endif  // CODB_NET_PEER_ID_H_

@@ -1,0 +1,27 @@
+#include "net/pipe.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace codb {
+
+int64_t Pipe::ScheduleArrival(int64_t now, size_t bytes) {
+  int64_t start = std::max(now, busy_until_);
+  int64_t transmit_us = profile_.bandwidth_bpus > 0
+                            ? static_cast<int64_t>(
+                                  static_cast<double>(bytes) /
+                                  profile_.bandwidth_bpus)
+                            : 0;
+  busy_until_ = start + transmit_us;
+  return busy_until_ + profile_.latency_us;
+}
+
+std::string Pipe::ToString() const {
+  return StrFormat("pipe %s -> %s (lat=%lldus bw=%.1fB/us%s)",
+                   from_.ToString().c_str(), to_.ToString().c_str(),
+                   static_cast<long long>(profile_.latency_us),
+                   profile_.bandwidth_bpus, open_ ? "" : ", closed");
+}
+
+}  // namespace codb

@@ -1,0 +1,333 @@
+#include "net/threaded_network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace codb {
+
+namespace {
+
+std::pair<uint32_t, uint32_t> PipeKey(PeerId from, PeerId to) {
+  return {from.value, to.value};
+}
+
+}  // namespace
+
+ThreadedNetwork::ThreadedNetwork()
+    : epoch_(std::chrono::steady_clock::now()) {
+  timer_thread_ = std::thread([this] { TimerLoop(); });
+}
+
+ThreadedNetwork::~ThreadedNetwork() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+int64_t ThreadedNetwork::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+PeerId ThreadedNetwork::Join(const std::string& name, NetworkPeer* peer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t index = static_cast<uint32_t>(workers_.size());
+  auto worker = std::make_unique<Worker>();
+  worker->name = name;
+  worker->handler = peer;
+  worker->alive = true;
+  worker->thread = std::thread([this, index] { WorkerLoop(index); });
+  workers_.push_back(std::move(worker));
+  return PeerId(index);
+}
+
+Status ThreadedNetwork::Leave(PeerId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!id.valid() || id.value >= workers_.size() ||
+      !workers_[id.value]->alive) {
+    return Status::NotFound(id.ToString() + " is not on the network");
+  }
+  Worker& worker = *workers_[id.value];
+  worker.alive = false;
+  worker.handler = nullptr;
+  // Unprocessed inbox items are dropped; keep the busy count honest.
+  busy_ -= worker.inbox.size();
+  worker.inbox.clear();
+  for (auto& [key, pipe] : pipes_) {
+    if (!pipe.open) continue;
+    if (key.first == id.value || key.second == id.value) {
+      pipe.open = false;
+      if (key.first == id.value) {
+        NotifyPipeClosedLocked(PeerId(key.second), id);
+      }
+    }
+  }
+  work_cv_.notify_all();
+  if (busy_ == 0) quiescent_cv_.notify_all();
+  return Status::Ok();
+}
+
+bool ThreadedNetwork::IsAlive(PeerId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return id.valid() && id.value < workers_.size() &&
+         workers_[id.value]->alive;
+}
+
+std::string ThreadedNetwork::NameOf(PeerId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!id.valid() || id.value >= workers_.size()) return "<unknown>";
+  return workers_[id.value]->name;
+}
+
+Result<PeerId> ThreadedNetwork::FindByName(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i]->alive && workers_[i]->name == name) {
+      return PeerId(static_cast<uint32_t>(i));
+    }
+  }
+  return Status::NotFound("no alive peer named '" + name + "'");
+}
+
+std::vector<PeerId> ThreadedNetwork::AlivePeers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PeerId> out;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i]->alive) out.push_back(PeerId(static_cast<uint32_t>(i)));
+  }
+  return out;
+}
+
+Status ThreadedNetwork::OpenPipe(PeerId a, PeerId b, LinkProfile profile) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto alive = [this](PeerId id) {
+    return id.valid() && id.value < workers_.size() &&
+           workers_[id.value]->alive;
+  };
+  if (!alive(a) || !alive(b)) {
+    return Status::Unavailable("both endpoints must be alive to open a pipe");
+  }
+  if (a == b) return Status::InvalidArgument("cannot open a pipe to self");
+  pipes_[PipeKey(a, b)] = {profile, true, 0};
+  pipes_[PipeKey(b, a)] = {profile, true, 0};
+  return Status::Ok();
+}
+
+Status ThreadedNetwork::ClosePipe(PeerId a, PeerId b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto forward = pipes_.find(PipeKey(a, b));
+  auto backward = pipes_.find(PipeKey(b, a));
+  if (forward == pipes_.end() && backward == pipes_.end()) {
+    return Status::NotFound("no pipe between " + a.ToString() + " and " +
+                            b.ToString());
+  }
+  bool was_open = (forward != pipes_.end() && forward->second.open) ||
+                  (backward != pipes_.end() && backward->second.open);
+  if (forward != pipes_.end()) forward->second.open = false;
+  if (backward != pipes_.end()) backward->second.open = false;
+  if (was_open) {
+    NotifyPipeClosedLocked(a, b);
+    NotifyPipeClosedLocked(b, a);
+  }
+  return Status::Ok();
+}
+
+const ThreadedNetwork::PipeState* ThreadedNetwork::FindPipeLocked(
+    PeerId from, PeerId to) const {
+  auto it = pipes_.find(PipeKey(from, to));
+  return it == pipes_.end() ? nullptr : &it->second;
+}
+
+bool ThreadedNetwork::HasPipe(PeerId from, PeerId to) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const PipeState* pipe = FindPipeLocked(from, to);
+  return pipe != nullptr && pipe->open;
+}
+
+std::vector<PeerId> ThreadedNetwork::Neighbors(PeerId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PeerId> out;
+  for (const auto& [key, pipe] : pipes_) {
+    if (key.first == id.value && pipe.open &&
+        key.second < workers_.size() && workers_[key.second]->alive) {
+      out.push_back(PeerId(key.second));
+    }
+  }
+  return out;
+}
+
+size_t ThreadedNetwork::open_pipe_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [key, pipe] : pipes_) {
+    if (pipe.open) ++n;
+  }
+  return n / 2;
+}
+
+void ThreadedNetwork::EnqueueLocked(uint32_t peer, InboxItem item) {
+  Worker& worker = *workers_[peer];
+  worker.inbox.push_back(std::move(item));
+  ++busy_;
+  work_cv_.notify_all();
+}
+
+void ThreadedNetwork::NotifyPipeClosedLocked(PeerId peer, PeerId other) {
+  if (!peer.valid() || peer.value >= workers_.size()) return;
+  if (!workers_[peer.value]->alive) return;
+  InboxItem item;
+  item.pipe_closed = true;
+  item.closed_other = other;
+  item.due = std::chrono::steady_clock::now();
+  EnqueueLocked(peer.value, std::move(item));
+}
+
+Status ThreadedNetwork::Send(Message message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!message.src.valid() || message.src.value >= workers_.size() ||
+      !workers_[message.src.value]->alive) {
+    return Status::Unavailable("sender " + message.src.ToString() +
+                               " is not on the network");
+  }
+  auto it = pipes_.find(PipeKey(message.src, message.dst));
+  if (it == pipes_.end() || !it->second.open) {
+    return Status::Unavailable("no open pipe " + message.src.ToString() +
+                               " -> " + message.dst.ToString());
+  }
+  if (message.dst.value >= workers_.size() ||
+      !workers_[message.dst.value]->alive) {
+    stats_.RecordSend(message);
+    stats_.RecordDrop(message);
+    return Status::Ok();  // in-flight loss semantics
+  }
+  stats_.RecordSend(message);
+
+  // Latency + bandwidth queueing, like the simulator but in wall time.
+  PipeState& pipe = it->second;
+  int64_t now = now_us();
+  int64_t start = std::max(now, pipe.busy_until_us);
+  int64_t transmit =
+      pipe.profile.bandwidth_bpus > 0
+          ? static_cast<int64_t>(static_cast<double>(message.WireSize()) /
+                                 pipe.profile.bandwidth_bpus)
+          : 0;
+  pipe.busy_until_us = start + transmit;
+  int64_t arrival = pipe.busy_until_us + pipe.profile.latency_us;
+
+  uint32_t destination = message.dst.value;
+  InboxItem item;
+  item.message = std::make_unique<Message>(std::move(message));
+  item.due = epoch_ + std::chrono::microseconds(arrival);
+  EnqueueLocked(destination, std::move(item));
+  return Status::Ok();
+}
+
+void ThreadedNetwork::ScheduleAt(int64_t time_us,
+                                 std::function<void()> action) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timers_.push_back(
+      {epoch_ + std::chrono::microseconds(std::max(time_us, now_us())),
+       std::move(action)});
+  ++busy_;
+  work_cv_.notify_all();
+}
+
+void ThreadedNetwork::ScheduleAfter(int64_t delay_us,
+                                    std::function<void()> action) {
+  ScheduleAt(now_us() + delay_us, std::move(action));
+}
+
+void ThreadedNetwork::WorkerLoop(uint32_t index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Worker& worker = *workers_[index];
+  for (;;) {
+    if (shutdown_) return;
+    if (worker.inbox.empty()) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    // FIFO delivery, but not before the item's due time.
+    auto now = std::chrono::steady_clock::now();
+    if (worker.inbox.front().due > now) {
+      work_cv_.wait_until(lock, worker.inbox.front().due);
+      continue;
+    }
+    InboxItem item = std::move(worker.inbox.front());
+    worker.inbox.pop_front();
+
+    NetworkPeer* handler = worker.alive ? worker.handler : nullptr;
+    bool dropped = false;
+    if (item.message != nullptr) {
+      // In-flight loss: the pipe may have closed while the message waited.
+      const PipeState* pipe =
+          FindPipeLocked(item.message->src, item.message->dst);
+      if (pipe == nullptr || !pipe->open || handler == nullptr) {
+        stats_.RecordDrop(*item.message);
+        dropped = true;
+      }
+    }
+    if (!dropped && handler != nullptr) {
+      // Run the handler without the lock; the peer's serialization is
+      // preserved because only this thread drains this inbox.
+      lock.unlock();
+      if (item.message != nullptr) {
+        handler->HandleMessage(*item.message);
+      } else if (item.pipe_closed) {
+        handler->HandlePipeClosed(item.closed_other);
+      }
+      lock.lock();
+    }
+    ++events_processed_;
+    --busy_;
+    if (busy_ == 0) quiescent_cv_.notify_all();
+  }
+}
+
+void ThreadedNetwork::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (shutdown_) return;
+    // Find the earliest due timer.
+    auto earliest = timers_.end();
+    for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+      if (earliest == timers_.end() || it->due < earliest->due) {
+        earliest = it;
+      }
+    }
+    if (earliest == timers_.end()) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (earliest->due > now) {
+      work_cv_.wait_until(lock, earliest->due);
+      continue;
+    }
+    std::function<void()> action = std::move(earliest->action);
+    timers_.erase(earliest);
+    lock.unlock();
+    if (action) action();
+    lock.lock();
+    ++events_processed_;
+    --busy_;
+    if (busy_ == 0) quiescent_cv_.notify_all();
+  }
+}
+
+uint64_t ThreadedNetwork::Run(uint64_t max_events) {
+  (void)max_events;  // the threaded runtime has no event cap
+  std::unique_lock<std::mutex> lock(mutex_);
+  uint64_t before = events_processed_;
+  quiescent_cv_.wait(lock, [this] { return busy_ == 0 || shutdown_; });
+  return events_processed_ - before;
+}
+
+}  // namespace codb

@@ -1,0 +1,51 @@
+#include "net/transport_stats.h"
+
+#include "util/string_util.h"
+
+namespace codb {
+
+void TransportStats::RecordSend(const Message& message) {
+  ++total_messages_;
+  total_bytes_ += message.WireSize();
+  TypeCounters& c = per_type_[message.type];
+  ++c.messages;
+  c.bytes += message.WireSize();
+}
+
+void TransportStats::RecordDrop(const Message& message) {
+  (void)message;
+  ++dropped_messages_;
+}
+
+uint64_t TransportStats::MessagesOfType(MessageType type) const {
+  auto it = per_type_.find(type);
+  return it == per_type_.end() ? 0 : it->second.messages;
+}
+
+uint64_t TransportStats::BytesOfType(MessageType type) const {
+  auto it = per_type_.find(type);
+  return it == per_type_.end() ? 0 : it->second.bytes;
+}
+
+void TransportStats::Reset() {
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  dropped_messages_ = 0;
+  per_type_.clear();
+}
+
+std::string TransportStats::Report() const {
+  std::string out = StrFormat(
+      "transport: %llu messages, %s total, %llu dropped\n",
+      static_cast<unsigned long long>(total_messages_),
+      HumanBytes(total_bytes_).c_str(),
+      static_cast<unsigned long long>(dropped_messages_));
+  for (const auto& [type, counters] : per_type_) {
+    out += StrFormat("  %-18s %8llu msgs  %10s\n", MessageTypeName(type),
+                     static_cast<unsigned long long>(counters.messages),
+                     HumanBytes(counters.bytes).c_str());
+  }
+  return out;
+}
+
+}  // namespace codb

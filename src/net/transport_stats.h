@@ -1,0 +1,48 @@
+// Transport-level counters: messages and bytes per message type and per
+// pipe. These feed the statistics the paper's demo collects ("number of
+// query result messages received per coordination rule and the volume of
+// the data in each message").
+
+#ifndef CODB_NET_TRANSPORT_STATS_H_
+#define CODB_NET_TRANSPORT_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/message.h"
+
+namespace codb {
+
+class TransportStats {
+ public:
+  void RecordSend(const Message& message);
+  void RecordDrop(const Message& message);
+
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t dropped_messages() const { return dropped_messages_; }
+
+  uint64_t MessagesOfType(MessageType type) const;
+  uint64_t BytesOfType(MessageType type) const;
+
+  void Reset();
+
+  // Multi-line per-type breakdown.
+  std::string Report() const;
+
+ private:
+  struct TypeCounters {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+  };
+
+  uint64_t total_messages_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t dropped_messages_ = 0;
+  std::map<MessageType, TypeCounters> per_type_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_NET_TRANSPORT_STATS_H_

@@ -1,0 +1,204 @@
+#include "query/ast.h"
+
+#include <map>
+
+namespace codb {
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+const char* ComparisonOpName(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return "=";
+    case ComparisonOp::kNeq:
+      return "!=";
+    case ComparisonOp::kLt:
+      return "<";
+    case ComparisonOp::kLeq:
+      return "<=";
+    case ComparisonOp::kGt:
+      return ">";
+    case ComparisonOp::kGeq:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalComparison(const Value& lhs, ComparisonOp op, const Value& rhs) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return lhs == rhs;
+    case ComparisonOp::kNeq:
+      return !(lhs == rhs);
+    default:
+      break;
+  }
+  // Ordering comparisons: numeric if both sides numeric, lexicographic if
+  // both strings; everything else (marked nulls, mixed kinds) is false —
+  // a marked null carries no domain information to order by.
+  bool holds;
+  if (lhs.IsNumeric() && rhs.IsNumeric()) {
+    double a = lhs.AsNumeric();
+    double b = rhs.AsNumeric();
+    holds = op == ComparisonOp::kLt    ? a < b
+            : op == ComparisonOp::kLeq ? a <= b
+            : op == ComparisonOp::kGt  ? a > b
+                                       : a >= b;
+  } else if (lhs.type() == ValueType::kString &&
+             rhs.type() == ValueType::kString) {
+    const std::string& a = lhs.AsString();
+    const std::string& b = rhs.AsString();
+    holds = op == ComparisonOp::kLt    ? a < b
+            : op == ComparisonOp::kLeq ? a <= b
+            : op == ComparisonOp::kGt  ? a > b
+                                       : a >= b;
+  } else {
+    holds = false;
+  }
+  return holds;
+}
+
+std::string Comparison::ToString() const {
+  return lhs.ToString() + " " + ComparisonOpName(op) + " " + rhs.ToString();
+}
+
+namespace {
+
+void CollectVars(const std::vector<Atom>& atoms,
+                 std::set<std::string>& vars) {
+  for (const Atom& atom : atoms) {
+    for (const Term& term : atom.terms) {
+      if (term.is_var()) vars.insert(term.var());
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> ConjunctiveQuery::BodyVars() const {
+  std::set<std::string> vars;
+  CollectVars(body, vars);
+  return vars;
+}
+
+std::set<std::string> ConjunctiveQuery::HeadVars() const {
+  std::set<std::string> vars;
+  CollectVars(head, vars);
+  return vars;
+}
+
+std::set<std::string> ConjunctiveQuery::ExistentialVars() const {
+  std::set<std::string> body_vars = BodyVars();
+  std::set<std::string> out;
+  for (const std::string& v : HeadVars()) {
+    if (body_vars.find(v) == body_vars.end()) out.insert(v);
+  }
+  return out;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  if (head.empty()) {
+    return Status::InvalidArgument("query has no head atom");
+  }
+  if (body.empty()) {
+    return Status::InvalidArgument("query has no body atom");
+  }
+  std::set<std::string> body_vars = BodyVars();
+  for (const Comparison& c : comparisons) {
+    for (const Term* t : {&c.lhs, &c.rhs}) {
+      if (t->is_var() && body_vars.find(t->var()) == body_vars.end()) {
+        return Status::InvalidArgument(
+            "comparison variable '" + t->var() +
+            "' does not occur in any body atom (unsafe)");
+      }
+    }
+    if (!c.lhs.is_var() && !c.rhs.is_var()) {
+      return Status::InvalidArgument(
+          "comparison between two constants: " + c.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+Status TypeCheckAtoms(const std::vector<Atom>& atoms,
+                      const DatabaseSchema& schema, const char* side,
+                      std::map<std::string, ValueType>& var_types) {
+  for (const Atom& atom : atoms) {
+    const RelationSchema* rel = schema.FindRelation(atom.predicate);
+    if (rel == nullptr) {
+      return Status::NotFound(std::string(side) + " predicate '" +
+                              atom.predicate + "' not in schema");
+    }
+    if (rel->arity() != atom.arity()) {
+      return Status::InvalidArgument(
+          std::string(side) + " atom " + atom.ToString() + " has arity " +
+          std::to_string(atom.arity()) + ", schema says " +
+          std::to_string(rel->arity()));
+    }
+    for (int i = 0; i < atom.arity(); ++i) {
+      ValueType expected = rel->attributes()[static_cast<size_t>(i)].type;
+      const Term& term = atom.terms[static_cast<size_t>(i)];
+      if (term.is_var()) {
+        auto [it, inserted] = var_types.emplace(term.var(), expected);
+        if (!inserted && it->second != expected) {
+          return Status::InvalidArgument(
+              "variable '" + term.var() + "' used at both " +
+              ValueTypeName(it->second) + " and " + ValueTypeName(expected));
+        }
+      } else if (term.value().type() != expected &&
+                 !term.value().is_null()) {
+        return Status::InvalidArgument(
+            "constant " + term.value().ToString() + " in " +
+            atom.ToString() + " position " + std::to_string(i) +
+            " should have type " + ValueTypeName(expected));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ConjunctiveQuery::TypeCheck(const DatabaseSchema& body_schema,
+                                   const DatabaseSchema& head_schema) const {
+  std::map<std::string, ValueType> var_types;
+  CODB_RETURN_IF_ERROR(TypeCheckAtoms(body, body_schema, "body", var_types));
+  CODB_RETURN_IF_ERROR(TypeCheckAtoms(head, head_schema, "head", var_types));
+  return Status::Ok();
+}
+
+Status ConjunctiveQuery::TypeCheckBody(
+    const DatabaseSchema& body_schema) const {
+  std::map<std::string, ValueType> var_types;
+  return TypeCheckAtoms(body, body_schema, "body", var_types);
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head[i].ToString();
+  }
+  out += " :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString();
+  }
+  for (const Comparison& c : comparisons) {
+    out += ", " + c.ToString();
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace codb

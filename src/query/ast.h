@@ -1,0 +1,145 @@
+// Abstract syntax of conjunctive queries (CQs) and the building blocks of
+// GLAV coordination rules.
+//
+// A coordination rule is an inclusion of conjunctive queries
+//
+//     head_1(..), .., head_k(..)  :-  body_1(..), .., body_m(..), comps
+//
+// where the head is a conjunctive query over the *importer's* schema (and
+// may contain existentially quantified variables: head variables that do
+// not occur in the body), the body is a conjunctive query over the
+// *exporter's* schema, and `comps` is a set of comparison predicates
+// constraining the domain of body variables (paper, section 2).
+
+#ifndef CODB_QUERY_AST_H_
+#define CODB_QUERY_AST_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/value.h"
+#include "util/status.h"
+
+namespace codb {
+
+// A term is a variable (by name) or a constant value.
+class Term {
+ public:
+  static Term Var(std::string name) {
+    Term t;
+    t.is_var_ = true;
+    t.var_ = std::move(name);
+    return t;
+  }
+  static Term Const(Value value) {
+    Term t;
+    t.is_var_ = false;
+    t.value_ = std::move(value);
+    return t;
+  }
+
+  bool is_var() const { return is_var_; }
+  const std::string& var() const { return var_; }
+  const Value& value() const { return value_; }
+
+  std::string ToString() const {
+    return is_var_ ? var_ : value_.ToString();
+  }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return false;
+    return a.is_var_ ? a.var_ == b.var_ : a.value_ == b.value_;
+  }
+
+ private:
+  bool is_var_ = true;
+  std::string var_;
+  Value value_;
+};
+
+// A relational atom: predicate(t1, .., tn).
+struct Atom {
+  std::string predicate;
+  std::vector<Term> terms;
+
+  int arity() const { return static_cast<int>(terms.size()); }
+  std::string ToString() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.terms == b.terms;
+  }
+};
+
+enum class ComparisonOp {
+  kEq,   // =
+  kNeq,  // !=
+  kLt,   // <
+  kLeq,  // <=
+  kGt,   // >
+  kGeq,  // >=
+};
+
+const char* ComparisonOpName(ComparisonOp op);
+
+// Evaluates `lhs op rhs` on concrete values. Ordering comparisons between
+// non-comparable types (e.g. marked null < int) are false.
+bool EvalComparison(const Value& lhs, ComparisonOp op, const Value& rhs);
+
+// A comparison predicate between two terms, e.g. X < 5 or X != Y.
+struct Comparison {
+  Term lhs;
+  ComparisonOp op = ComparisonOp::kEq;
+  Term rhs;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Comparison& a, const Comparison& b) {
+    return a.lhs == b.lhs && a.op == b.op && a.rhs == b.rhs;
+  }
+};
+
+// A conjunctive query (also the syntactic body+head of a GLAV rule).
+struct ConjunctiveQuery {
+  std::vector<Atom> head;  // one or more atoms
+  std::vector<Atom> body;
+  std::vector<Comparison> comparisons;
+
+  // Variables occurring in the body atoms (not comparisons).
+  std::set<std::string> BodyVars() const;
+  // Variables occurring in head atoms.
+  std::set<std::string> HeadVars() const;
+  // Head variables with no body occurrence: the existentials of a GLAV head.
+  std::set<std::string> ExistentialVars() const;
+
+  // Well-formedness:
+  //  * at least one head atom and at least one body atom,
+  //  * safety: every comparison variable occurs in some body atom,
+  //  * (queries, not rules, additionally forbid existentials; callers that
+  //    need that check use ExistentialVars()).
+  Status Validate() const;
+
+  // Checks predicates/arities of the body against `body_schema` and of the
+  // head against `head_schema`, and that each variable is used at a single
+  // type. For plain queries both schemas are the node's own DBS.
+  Status TypeCheck(const DatabaseSchema& body_schema,
+                   const DatabaseSchema& head_schema) const;
+
+  // Body-only variant for plain queries, whose head predicate is a
+  // virtual answer relation that no schema declares.
+  Status TypeCheckBody(const DatabaseSchema& body_schema) const;
+
+  // "q(X, Y) :- r(X, Z), s(Z, Y), Z > 5."
+  std::string ToString() const;
+
+  friend bool operator==(const ConjunctiveQuery& a,
+                         const ConjunctiveQuery& b) {
+    return a.head == b.head && a.body == b.body &&
+           a.comparisons == b.comparisons;
+  }
+};
+
+}  // namespace codb
+
+#endif  // CODB_QUERY_AST_H_

@@ -1,0 +1,119 @@
+#include "query/containment.h"
+
+#include <map>
+
+#include "query/evaluator.h"
+#include "relation/database.h"
+
+namespace codb {
+
+namespace {
+
+Status CheckSupported(const ConjunctiveQuery& q, const char* which) {
+  CODB_RETURN_IF_ERROR(q.Validate());
+  if (q.head.size() != 1) {
+    return Status::InvalidArgument(
+        std::string(which) + ": containment needs a single head atom");
+  }
+  if (!q.comparisons.empty()) {
+    return Status::InvalidArgument(
+        std::string(which) +
+        ": containment with comparison predicates is not supported");
+  }
+  if (!q.ExistentialVars().empty()) {
+    return Status::InvalidArgument(
+        std::string(which) + ": containment needs a safe head");
+  }
+  return Status::Ok();
+}
+
+// Frozen constants are marked nulls from a reserved peer id: they are
+// distinct from every constant that can appear in a query, and equality on
+// them is label equality, which is exactly what freezing needs.
+constexpr uint32_t kFrozenPeer = 0xFFFFFFFF;
+
+Value Freeze(std::map<std::string, Value>& frozen, const std::string& var) {
+  auto it = frozen.find(var);
+  if (it == frozen.end()) {
+    it = frozen.emplace(var, Value::Null(kFrozenPeer, frozen.size())).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Result<bool> IsContained(const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2,
+                         const DatabaseSchema& schema) {
+  CODB_RETURN_IF_ERROR(CheckSupported(q1, "q1"));
+  CODB_RETURN_IF_ERROR(CheckSupported(q2, "q2"));
+  CODB_RETURN_IF_ERROR(q1.TypeCheckBody(schema));
+  CODB_RETURN_IF_ERROR(q2.TypeCheckBody(schema));
+
+  const Atom& h1 = q1.head[0];
+  const Atom& h2 = q2.head[0];
+  if (h1.predicate != h2.predicate || h1.arity() != h2.arity()) {
+    return false;
+  }
+
+  // Canonical database: freeze q1's body.
+  Database canonical;
+  std::map<std::string, Value> frozen;
+  for (const Atom& atom : q1.body) {
+    if (canonical.Find(atom.predicate) == nullptr) {
+      const RelationSchema* rel = schema.FindRelation(atom.predicate);
+      if (rel == nullptr) {
+        return Status::NotFound("predicate '" + atom.predicate +
+                                "' not in schema");
+      }
+      CODB_RETURN_IF_ERROR(canonical.CreateRelation(*rel));
+    }
+    std::vector<Value> values;
+    for (const Term& term : atom.terms) {
+      values.push_back(term.is_var() ? Freeze(frozen, term.var())
+                                     : term.value());
+    }
+    canonical.Find(atom.predicate)->Insert(Tuple(std::move(values)));
+  }
+
+  // Frozen head of q1.
+  std::vector<Value> target_values;
+  for (const Term& term : h1.terms) {
+    target_values.push_back(term.is_var() ? Freeze(frozen, term.var())
+                                          : term.value());
+  }
+  Tuple target(std::move(target_values));
+
+  // Evaluate q2 over the canonical database, producing head tuples.
+  std::vector<std::string> q2_head_vars;
+  for (const Term& term : h2.terms) {
+    if (term.is_var()) q2_head_vars.push_back(term.var());
+  }
+  CODB_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                        CompiledQuery::Compile(q2, schema, q2_head_vars));
+  for (const Tuple& frontier : compiled.Evaluate(canonical)) {
+    // Rebuild the head tuple of q2 under this binding.
+    std::vector<Value> values;
+    size_t var_pos = 0;
+    for (const Term& term : h2.terms) {
+      if (term.is_var()) {
+        values.push_back(frontier.at(static_cast<int>(var_pos++)));
+      } else {
+        values.push_back(term.value());
+      }
+    }
+    if (Tuple(std::move(values)) == target) return true;
+  }
+  return false;
+}
+
+Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2,
+                           const DatabaseSchema& schema) {
+  CODB_ASSIGN_OR_RETURN(bool forward, IsContained(q1, q2, schema));
+  if (!forward) return false;
+  CODB_ASSIGN_OR_RETURN(bool backward, IsContained(q2, q1, schema));
+  return backward;
+}
+
+}  // namespace codb

@@ -1,0 +1,30 @@
+// Conjunctive-query containment (Chandra–Merlin).
+//
+// Q1 ⊆ Q2 iff there is a containment mapping from Q2 to Q1 — equivalently,
+// iff evaluating Q2 over the canonical ("frozen") database of Q1 yields
+// Q1's frozen head. Used by tests and by the link optimizer to detect
+// subsumed coordination rules. Only comparison-free, single-head-atom
+// queries are supported; anything else reports kInvalidArgument.
+
+#ifndef CODB_QUERY_CONTAINMENT_H_
+#define CODB_QUERY_CONTAINMENT_H_
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace codb {
+
+// True iff every answer of q1 is an answer of q2 on every database
+// (over `schema`, which both queries must type-check against).
+Result<bool> IsContained(const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2,
+                         const DatabaseSchema& schema);
+
+// Containment in both directions.
+Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2,
+                           const DatabaseSchema& schema);
+
+}  // namespace codb
+
+#endif  // CODB_QUERY_CONTAINMENT_H_

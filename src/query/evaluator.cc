@@ -1,0 +1,317 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_set>
+
+namespace codb {
+
+Result<CompiledQuery> CompiledQuery::Compile(
+    const ConjunctiveQuery& query, const DatabaseSchema& body_schema,
+    std::vector<std::string> output_vars) {
+  CODB_RETURN_IF_ERROR(query.Validate());
+
+  CompiledQuery compiled;
+  std::map<std::string, int> var_ids;
+  auto intern = [&](const std::string& name) {
+    auto [it, inserted] =
+        var_ids.emplace(name, static_cast<int>(var_ids.size()));
+    if (inserted) compiled.var_names_.push_back(name);
+    return it->second;
+  };
+
+  for (const Atom& atom : query.body) {
+    const RelationSchema* rel = body_schema.FindRelation(atom.predicate);
+    if (rel == nullptr) {
+      return Status::NotFound("body predicate '" + atom.predicate +
+                              "' not in schema");
+    }
+    if (rel->arity() != atom.arity()) {
+      return Status::InvalidArgument(
+          "atom " + atom.ToString() + " arity mismatch vs schema " +
+          rel->ToString());
+    }
+    CompiledAtom ca;
+    ca.predicate = atom.predicate;
+    for (const Term& term : atom.terms) {
+      Slot slot;
+      if (term.is_var()) {
+        slot.is_var = true;
+        slot.var = intern(term.var());
+      } else {
+        slot.constant = term.value();
+      }
+      ca.slots.push_back(std::move(slot));
+    }
+    compiled.atoms_.push_back(std::move(ca));
+  }
+
+  for (const Comparison& c : query.comparisons) {
+    CompiledComparison cc;
+    cc.op = c.op;
+    for (auto [term, slot] : {std::pair{&c.lhs, &cc.lhs},
+                              std::pair{&c.rhs, &cc.rhs}}) {
+      if (term->is_var()) {
+        auto it = var_ids.find(term->var());
+        if (it == var_ids.end()) {
+          return Status::InvalidArgument("comparison variable '" +
+                                         term->var() + "' not in body");
+        }
+        slot->is_var = true;
+        slot->var = it->second;
+      } else {
+        slot->constant = term->value();
+      }
+    }
+    compiled.comparisons_.push_back(std::move(cc));
+  }
+
+  for (const std::string& name : output_vars) {
+    auto it = var_ids.find(name);
+    if (it == var_ids.end()) {
+      return Status::InvalidArgument("output variable '" + name +
+                                     "' does not occur in the body");
+    }
+    compiled.output_ids_.push_back(it->second);
+  }
+  compiled.output_vars_ = std::move(output_vars);
+  return compiled;
+}
+
+bool CompiledQuery::UsesRelation(const std::string& relation) const {
+  for (const CompiledAtom& atom : atoms_) {
+    if (atom.predicate == relation) return true;
+  }
+  return false;
+}
+
+std::vector<Tuple> CompiledQuery::Evaluate(const Database& db) const {
+  std::vector<Tuple> out;
+  Run(db, /*forced_first=*/-1, /*forced_rows=*/nullptr, out);
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> deduped;
+  for (Tuple& t : out) {
+    if (seen.insert(t).second) deduped.push_back(std::move(t));
+  }
+  return deduped;
+}
+
+std::vector<Tuple> CompiledQuery::EvaluateDelta(
+    const Database& db, const std::string& delta_relation,
+    const std::vector<Tuple>& delta) const {
+  // A new derivation must use a delta tuple for at least one occurrence of
+  // the updated relation. Running one pass per occurrence with the other
+  // occurrences reading the full (already-updated) relation covers every
+  // such derivation; the union may repeat frontiers, which the per-pass
+  // dedup below and the caller's sent-sets absorb.
+  std::vector<Tuple> out;
+  if (delta.empty()) return out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].predicate != delta_relation) continue;
+    Run(db, static_cast<int>(i), &delta, out);
+  }
+  // Cross-pass dedup.
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> deduped;
+  for (Tuple& t : out) {
+    if (seen.insert(t).second) deduped.push_back(std::move(t));
+  }
+  return deduped;
+}
+
+std::vector<int> CompiledQuery::ComputeOrder(const Database& db,
+                                             int forced_first) const {
+  // Greedy subgoal order: the forced atom first (delta mode), then by
+  // (bound-variable count desc, relation size asc).
+  std::vector<int> remaining;
+  for (int i = 0; i < static_cast<int>(atoms_.size()); ++i) {
+    if (i != forced_first) remaining.push_back(i);
+  }
+  std::vector<int> order;
+  std::vector<bool> var_seen(var_names_.size(), false);
+  auto mark_atom = [&](int idx) {
+    for (const Slot& slot : atoms_[static_cast<size_t>(idx)].slots) {
+      if (slot.is_var) var_seen[static_cast<size_t>(slot.var)] = true;
+    }
+  };
+  if (forced_first >= 0) {
+    order.push_back(forced_first);
+    mark_atom(forced_first);
+  }
+  while (!remaining.empty()) {
+    int best_pos = 0;
+    int best_bound = -1;
+    size_t best_size = 0;
+    for (size_t p = 0; p < remaining.size(); ++p) {
+      const CompiledAtom& atom = atoms_[static_cast<size_t>(remaining[p])];
+      int bound_count = 0;
+      for (const Slot& slot : atom.slots) {
+        if (!slot.is_var || var_seen[static_cast<size_t>(slot.var)]) {
+          ++bound_count;
+        }
+      }
+      const Relation* rel = db.Find(atom.predicate);
+      size_t size = rel != nullptr ? rel->size() : 0;
+      if (bound_count > best_bound ||
+          (bound_count == best_bound && size < best_size)) {
+        best_bound = bound_count;
+        best_size = size;
+        best_pos = static_cast<int>(p);
+      }
+    }
+    int chosen = remaining[static_cast<size_t>(best_pos)];
+    remaining.erase(remaining.begin() + best_pos);
+    order.push_back(chosen);
+    mark_atom(chosen);
+  }
+  return order;
+}
+
+std::string CompiledQuery::ExplainPlan(const Database& db) const {
+  std::vector<int> order = ComputeOrder(db, /*forced_first=*/-1);
+  std::vector<bool> var_seen(var_names_.size(), false);
+  std::string out = "plan:\n";
+  for (size_t step = 0; step < order.size(); ++step) {
+    const CompiledAtom& atom = atoms_[static_cast<size_t>(order[step])];
+    // Access path: index probe on the first bound/constant slot, else scan.
+    int probe_column = -1;
+    for (size_t i = 0; i < atom.slots.size(); ++i) {
+      const Slot& slot = atom.slots[i];
+      if (!slot.is_var || var_seen[static_cast<size_t>(slot.var)]) {
+        probe_column = static_cast<int>(i);
+        break;
+      }
+    }
+    const Relation* rel = db.Find(atom.predicate);
+    out += "  " + std::to_string(step + 1) + ". " + atom.predicate;
+    if (probe_column >= 0) {
+      out += " [probe col " + std::to_string(probe_column) + "]";
+    } else {
+      out += " [scan]";
+    }
+    out += " rows=" +
+           std::to_string(rel != nullptr ? rel->size() : 0) + "\n";
+    for (const Slot& slot : atom.slots) {
+      if (slot.is_var) var_seen[static_cast<size_t>(slot.var)] = true;
+    }
+  }
+  return out;
+}
+
+void CompiledQuery::Run(const Database& db, int forced_first,
+                        const std::vector<Tuple>* forced_rows,
+                        std::vector<Tuple>& out) const {
+  std::vector<int> order = ComputeOrder(db, forced_first);
+  std::vector<Value> binding(var_names_.size());
+  std::vector<bool> bound(var_names_.size(), false);
+  Join(db, order, 0, forced_first, forced_rows, binding, bound, out);
+}
+
+bool CompiledQuery::TryBindTuple(const CompiledAtom& atom, const Tuple& tuple,
+                                 std::vector<Value>& binding,
+                                 std::vector<bool>& bound,
+                                 std::vector<int>& newly_bound) const {
+  for (size_t i = 0; i < atom.slots.size(); ++i) {
+    const Slot& slot = atom.slots[i];
+    const Value& v = tuple.at(static_cast<int>(i));
+    if (!slot.is_var) {
+      if (!(slot.constant == v)) return false;
+      continue;
+    }
+    size_t var = static_cast<size_t>(slot.var);
+    if (bound[var]) {
+      if (!(binding[var] == v)) return false;
+    } else {
+      binding[var] = v;
+      bound[var] = true;
+      newly_bound.push_back(slot.var);
+    }
+  }
+  return true;
+}
+
+bool CompiledQuery::ComparisonsHold(const std::vector<Value>& binding,
+                                    const std::vector<bool>& bound) const {
+  for (const CompiledComparison& c : comparisons_) {
+    auto resolve = [&](const Slot& slot, Value& out_value) {
+      if (!slot.is_var) {
+        out_value = slot.constant;
+        return true;
+      }
+      size_t var = static_cast<size_t>(slot.var);
+      if (!bound[var]) return false;  // not yet decidable
+      out_value = binding[var];
+      return true;
+    };
+    Value lhs;
+    Value rhs;
+    if (!resolve(c.lhs, lhs) || !resolve(c.rhs, rhs)) continue;
+    if (!EvalComparison(lhs, c.op, rhs)) return false;
+  }
+  return true;
+}
+
+void CompiledQuery::Join(const Database& db, const std::vector<int>& order,
+                         size_t depth, int forced_first,
+                         const std::vector<Tuple>* forced_rows,
+                         std::vector<Value>& binding,
+                         std::vector<bool>& bound,
+                         std::vector<Tuple>& out) const {
+  if (depth == order.size()) {
+    std::vector<Value> frontier;
+    frontier.reserve(output_ids_.size());
+    for (int id : output_ids_) {
+      assert(bound[static_cast<size_t>(id)]);
+      frontier.push_back(binding[static_cast<size_t>(id)]);
+    }
+    out.emplace_back(std::move(frontier));
+    return;
+  }
+
+  int atom_index = order[depth];
+  const CompiledAtom& atom = atoms_[static_cast<size_t>(atom_index)];
+
+  // Candidate rows: the forced delta batch, an index probe on the first
+  // already-bound column, or a full scan.
+  const Relation* rel = db.Find(atom.predicate);
+  auto consider = [&](const Tuple& tuple) {
+    std::vector<int> newly_bound;
+    if (TryBindTuple(atom, tuple, binding, bound, newly_bound) &&
+        ComparisonsHold(binding, bound)) {
+      Join(db, order, depth + 1, forced_first, forced_rows, binding, bound,
+           out);
+    }
+    for (int var : newly_bound) bound[static_cast<size_t>(var)] = false;
+  };
+
+  if (atom_index == forced_first) {
+    for (const Tuple& t : *forced_rows) consider(t);
+    return;
+  }
+  if (rel == nullptr) return;  // relation absent -> no matches
+
+  int probe_column = -1;
+  Value probe_key;
+  for (size_t i = 0; i < atom.slots.size(); ++i) {
+    const Slot& slot = atom.slots[i];
+    if (!slot.is_var) {
+      probe_column = static_cast<int>(i);
+      probe_key = slot.constant;
+      break;
+    }
+    if (bound[static_cast<size_t>(slot.var)]) {
+      probe_column = static_cast<int>(i);
+      probe_key = binding[static_cast<size_t>(slot.var)];
+      break;
+    }
+  }
+
+  if (probe_column >= 0) {
+    for (const Tuple* t : rel->Probe(probe_column, probe_key)) consider(*t);
+  } else {
+    for (const Tuple& t : rel->rows()) consider(t);
+  }
+}
+
+}  // namespace codb

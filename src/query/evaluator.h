@@ -1,0 +1,109 @@
+// Conjunctive-query evaluation over a Database.
+//
+// A CompiledQuery is the analyzed/planned form of a ConjunctiveQuery body:
+// variables are numbered, subgoals are reordered greedily (bound-variable
+// count first, then relation size) and executed as an index-nested-loop
+// backtracking join with comparison predicates applied as early as their
+// variables are bound.
+//
+// Two evaluation modes:
+//   * Evaluate        — over the full database;
+//   * EvaluateDelta   — semi-naive: only derivations using at least one
+//     tuple of a delta batch for some occurrence of the updated relation
+//     (the "substituting R by T'" step of the paper's section 3,
+//     generalized to bodies referencing the updated relation repeatedly).
+//
+// Results are *frontier tuples*: projections of the body bindings onto an
+// explicit list of output variables (for plain queries, the head's
+// distinguished variables; for GLAV rules, the head variables shared with
+// the body). Dedup is applied to the projection.
+
+#ifndef CODB_QUERY_EVALUATOR_H_
+#define CODB_QUERY_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "relation/database.h"
+#include "util/status.h"
+
+namespace codb {
+
+class CompiledQuery {
+ public:
+  // `query` must Validate(); its body is checked against `body_schema`.
+  // `output_vars` must be body variables; they define the frontier layout.
+  static Result<CompiledQuery> Compile(const ConjunctiveQuery& query,
+                                       const DatabaseSchema& body_schema,
+                                       std::vector<std::string> output_vars);
+
+  // Frontier tuples of the body over `db`, deduplicated.
+  std::vector<Tuple> Evaluate(const Database& db) const;
+
+  // Frontier tuples of derivations that use at least one tuple of `delta`
+  // in place of some body occurrence of `delta_relation`. `db` must already
+  // contain the delta tuples (the caller inserts first, then runs deltas),
+  // so non-delta occurrences see the *new* state.
+  std::vector<Tuple> EvaluateDelta(const Database& db,
+                                   const std::string& delta_relation,
+                                   const std::vector<Tuple>& delta) const;
+
+  const std::vector<std::string>& output_vars() const { return output_vars_; }
+
+  // True if some body atom references `relation`.
+  bool UsesRelation(const std::string& relation) const;
+
+  // Human-readable execution plan against `db`: the greedy subgoal order
+  // the evaluator will use, with the access path (index probe vs scan)
+  // and current cardinality of each subgoal. Diagnostic only.
+  std::string ExplainPlan(const Database& db) const;
+
+ private:
+  // One body slot: a variable (by dense id) or a constant.
+  struct Slot {
+    bool is_var = false;
+    int var = -1;
+    Value constant;
+  };
+  struct CompiledAtom {
+    std::string predicate;
+    std::vector<Slot> slots;
+  };
+  struct CompiledComparison {
+    Slot lhs;
+    ComparisonOp op = ComparisonOp::kEq;
+    Slot rhs;
+  };
+
+  // Greedy subgoal ordering shared by Run and ExplainPlan.
+  std::vector<int> ComputeOrder(const Database& db, int forced_first) const;
+
+  // Join driver. `forced_first`: index into atoms_ evaluated first against
+  // `forced_rows` instead of the database (delta mode); -1 for none.
+  void Run(const Database& db, int forced_first,
+           const std::vector<Tuple>* forced_rows,
+           std::vector<Tuple>& out) const;
+
+  void Join(const Database& db, const std::vector<int>& order, size_t depth,
+            int forced_first, const std::vector<Tuple>* forced_rows,
+            std::vector<Value>& binding, std::vector<bool>& bound,
+            std::vector<Tuple>& out) const;
+
+  bool TryBindTuple(const CompiledAtom& atom, const Tuple& tuple,
+                    std::vector<Value>& binding, std::vector<bool>& bound,
+                    std::vector<int>& newly_bound) const;
+
+  bool ComparisonsHold(const std::vector<Value>& binding,
+                       const std::vector<bool>& bound) const;
+
+  std::vector<CompiledAtom> atoms_;
+  std::vector<CompiledComparison> comparisons_;
+  std::vector<std::string> var_names_;      // dense id -> name
+  std::vector<std::string> output_vars_;    // frontier layout
+  std::vector<int> output_ids_;             // frontier var ids
+};
+
+}  // namespace codb
+
+#endif  // CODB_QUERY_EVALUATOR_H_

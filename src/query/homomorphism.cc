@@ -1,0 +1,101 @@
+#include "query/homomorphism.h"
+
+#include <algorithm>
+
+namespace codb {
+
+namespace {
+
+// Flattened view: (relation, tuple) pairs of `from`, ordered so that tuples
+// with fewer nulls come first (they constrain the search most).
+struct Fact {
+  const std::string* relation;
+  const Tuple* tuple;
+  int null_count;
+};
+
+int CountNulls(const Tuple& t) {
+  int n = 0;
+  for (const Value& v : t.values()) {
+    if (v.is_null()) ++n;
+  }
+  return n;
+}
+
+// Tries to extend the null mapping so that h(fact) equals `candidate`.
+// Returns the list of nulls newly mapped (for undo), or nullopt.
+bool TryMatch(const Tuple& from, const Tuple& to,
+              std::map<NullLabel, Value>& mapping,
+              std::vector<NullLabel>& newly_mapped) {
+  if (from.arity() != to.arity()) return false;
+  for (int i = 0; i < from.arity(); ++i) {
+    const Value& f = from.at(i);
+    const Value& t = to.at(i);
+    if (!f.is_null()) {
+      if (!(f == t)) return false;
+      continue;
+    }
+    auto it = mapping.find(f.AsNull());
+    if (it != mapping.end()) {
+      if (!(it->second == t)) return false;
+    } else {
+      mapping.emplace(f.AsNull(), t);
+      newly_mapped.push_back(f.AsNull());
+    }
+  }
+  return true;
+}
+
+bool Search(const std::vector<Fact>& facts, size_t index,
+            const Instance& to, std::map<NullLabel, Value>& mapping) {
+  if (index == facts.size()) return true;
+  const Fact& fact = facts[index];
+  auto it = to.find(*fact.relation);
+  if (it == to.end()) return false;
+  for (const Tuple& candidate : it->second) {
+    std::vector<NullLabel> newly_mapped;
+    if (TryMatch(*fact.tuple, candidate, mapping, newly_mapped)) {
+      if (Search(facts, index + 1, to, mapping)) return true;
+    }
+    for (const NullLabel& label : newly_mapped) mapping.erase(label);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HasHomomorphism(const Instance& from, const Instance& to) {
+  std::vector<Fact> facts;
+  for (const auto& [relation, tuples] : from) {
+    for (const Tuple& t : tuples) {
+      facts.push_back({&relation, &t, CountNulls(t)});
+    }
+  }
+  // Ground facts first: they either match identically or fail fast, and
+  // they don't branch.
+  std::stable_sort(facts.begin(), facts.end(),
+                   [](const Fact& a, const Fact& b) {
+                     return a.null_count < b.null_count;
+                   });
+  std::map<NullLabel, Value> mapping;
+  return Search(facts, 0, to, mapping);
+}
+
+bool HomEquivalent(const Instance& a, const Instance& b) {
+  return HasHomomorphism(a, b) && HasHomomorphism(b, a);
+}
+
+Instance CertainPart(const Instance& instance) {
+  Instance out;
+  for (const auto& [relation, tuples] : instance) {
+    std::vector<Tuple> ground;
+    for (const Tuple& t : tuples) {
+      if (!t.HasNull()) ground.push_back(t);
+    }
+    std::sort(ground.begin(), ground.end());
+    out.emplace(relation, std::move(ground));
+  }
+  return out;
+}
+
+}  // namespace codb

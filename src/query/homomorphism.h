@@ -1,0 +1,44 @@
+// Homomorphisms between database instances with marked nulls.
+//
+// The distributed global-update algorithm is sound and complete w.r.t. the
+// reference semantics up to the renaming of marked nulls: the instance a
+// node computes and the instance the centralized oracle computes must be
+// *homomorphically equivalent* (each maps into the other, with constants
+// fixed and nulls mapped to arbitrary values). The tests use this module to
+// verify exactly that.
+
+#ifndef CODB_QUERY_HOMOMORPHISM_H_
+#define CODB_QUERY_HOMOMORPHISM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relation/database.h"
+#include "relation/tuple.h"
+
+namespace codb {
+
+// A database instance as plain data: relation name -> tuple set. This is
+// the exchange format between nodes/oracle snapshots and the checker.
+using Instance = std::map<std::string, std::vector<Tuple>>;
+
+// True iff there is a homomorphism from `from` into `to`: a mapping h on
+// values that is the identity on non-null values, maps marked nulls to
+// arbitrary values (consistently), and maps every tuple of every relation
+// of `from` to a tuple present in `to`. Backtracking search; exponential in
+// the number of distinct nulls in `from` in the worst case, fine for test
+// instances.
+bool HasHomomorphism(const Instance& from, const Instance& to);
+
+// Homomorphic equivalence in both directions.
+bool HomEquivalent(const Instance& a, const Instance& b);
+
+// The null-free subset of an instance (its "certain" part). Two
+// hom-equivalent instances have identical certain parts, which gives the
+// tests a fast necessary condition with readable failure output.
+Instance CertainPart(const Instance& instance);
+
+}  // namespace codb
+
+#endif  // CODB_QUERY_HOMOMORPHISM_H_

@@ -1,0 +1,60 @@
+#include "query/minimize.h"
+
+#include <set>
+
+#include "query/containment.h"
+
+namespace codb {
+
+namespace {
+
+// True if `query` stays safe without its `drop`-th body atom: the head
+// variables must still occur in some remaining body atom.
+bool StillSafe(const ConjunctiveQuery& query, size_t drop) {
+  std::set<std::string> remaining_vars;
+  for (size_t i = 0; i < query.body.size(); ++i) {
+    if (i == drop) continue;
+    for (const Term& term : query.body[i].terms) {
+      if (term.is_var()) remaining_vars.insert(term.var());
+    }
+  }
+  for (const std::string& v : query.HeadVars()) {
+    if (remaining_vars.find(v) == remaining_vars.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> MinimizeQuery(const ConjunctiveQuery& query,
+                                       const DatabaseSchema& schema) {
+  CODB_RETURN_IF_ERROR(query.Validate());
+  if (query.head.size() != 1 || !query.comparisons.empty() ||
+      !query.ExistentialVars().empty()) {
+    return Status::InvalidArgument(
+        "minimization needs a single safe head and no comparisons");
+  }
+
+  ConjunctiveQuery current = query;
+  bool changed = true;
+  while (changed && current.body.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < current.body.size(); ++i) {
+      if (!StillSafe(current, i)) continue;
+      ConjunctiveQuery candidate = current;
+      candidate.body.erase(candidate.body.begin() + static_cast<long>(i));
+      // Dropping an atom can only widen the query, so one direction
+      // suffices: candidate ⊆ current means equivalence.
+      CODB_ASSIGN_OR_RETURN(bool contained,
+                            IsContained(candidate, current, schema));
+      if (contained) {
+        current = std::move(candidate);
+        changed = true;
+        break;  // restart over the smaller body
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace codb

@@ -1,0 +1,25 @@
+// Conjunctive-query minimization (core computation).
+//
+// Removes redundant body atoms: an atom is redundant when dropping it
+// yields an equivalent query (checked with Chandra–Merlin containment).
+// The result is the query's *core* — the unique (up to renaming) minimal
+// equivalent conjunction. Useful for tidying machine-generated rules and
+// as a join-cost optimization before evaluation.
+//
+// Same restrictions as query/containment.h: single head atom, safe head,
+// no comparison predicates; anything else reports kInvalidArgument.
+
+#ifndef CODB_QUERY_MINIMIZE_H_
+#define CODB_QUERY_MINIMIZE_H_
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace codb {
+
+Result<ConjunctiveQuery> MinimizeQuery(const ConjunctiveQuery& query,
+                                       const DatabaseSchema& schema);
+
+}  // namespace codb
+
+#endif  // CODB_QUERY_MINIMIZE_H_

@@ -1,0 +1,243 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace codb {
+
+namespace {
+
+// Hand-rolled tokenizer + recursive-descent parser. The grammar is small
+// enough that error messages matter more than parser structure.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<ConjunctiveQuery> ParseQuery() {
+    ConjunctiveQuery query;
+    // Head atoms up to ":-".
+    for (;;) {
+      CODB_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      query.head.push_back(std::move(atom));
+      SkipSpace();
+      if (TryConsume(",")) continue;
+      if (TryConsume(":-")) break;
+      return Error("expected ',' or ':-' after head atom");
+    }
+    // Body literals.
+    for (;;) {
+      SkipSpace();
+      CODB_RETURN_IF_ERROR(ParseLiteral(query));
+      SkipSpace();
+      if (TryConsume(",")) continue;
+      break;
+    }
+    SkipSpace();
+    TryConsume(".");
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing input after query");
+    }
+    CODB_RETURN_IF_ERROR(query.Validate());
+    return query;
+  }
+
+  Result<RelationSchema> ParseSchema() {
+    SkipSpace();
+    CODB_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+    if (!TryConsume("(")) return Error("expected '(' after relation name");
+    std::vector<Attribute> attributes;
+    for (;;) {
+      SkipSpace();
+      CODB_ASSIGN_OR_RETURN(std::string attr, ParseIdent());
+      SkipSpace();
+      if (!TryConsume(":")) return Error("expected ':' after attribute name");
+      SkipSpace();
+      CODB_ASSIGN_OR_RETURN(std::string type_name, ParseIdent());
+      ValueType type;
+      if (type_name == "int") {
+        type = ValueType::kInt;
+      } else if (type_name == "double") {
+        type = ValueType::kDouble;
+      } else if (type_name == "string") {
+        type = ValueType::kString;
+      } else {
+        return Error("unknown attribute type '" + type_name + "'");
+      }
+      attributes.push_back({std::move(attr), type});
+      SkipSpace();
+      if (TryConsume(",")) continue;
+      if (TryConsume(")")) break;
+      return Error("expected ',' or ')' in attribute list");
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing input after schema");
+    return RelationSchema(std::move(name), std::move(attributes));
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " + std::to_string(pos_) +
+                              " in \"" + std::string(text_) + "\"");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool TryConsume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+         text_[pos_] == '_')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Term> ParseTerm() {
+    SkipSpace();
+    char c = Peek();
+    if (c == '\'') {
+      // String constant.
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+      if (pos_ == text_.size()) return Error("unterminated string constant");
+      std::string s(text_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+      return Term::Const(Value::String(std::move(s)));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      bool is_double = false;
+      while (pos_ < text_.size()) {
+        char digit = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(digit))) {
+          ++pos_;
+          continue;
+        }
+        // A '.' is a decimal point only if a digit follows; otherwise it
+        // terminates the query ("r(X, 30)." vs "r(X, 3.5)").
+        if (digit == '.' && !is_double && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+          is_double = true;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      std::string num(text_.substr(start, pos_ - start));
+      if (num.empty() || num == "-") return Error("malformed number");
+      if (is_double) {
+        return Term::Const(Value::Double(std::strtod(num.c_str(), nullptr)));
+      }
+      return Term::Const(
+          Value::Int(std::strtoll(num.c_str(), nullptr, 10)));
+    }
+    CODB_ASSIGN_OR_RETURN(std::string ident, ParseIdent());
+    char first = ident[0];
+    if (std::isupper(static_cast<unsigned char>(first)) || first == '_') {
+      return Term::Var(std::move(ident));
+    }
+    return Error("lower-case identifier '" + ident +
+                 "' used as a term (variables start upper-case)");
+  }
+
+  Result<Atom> ParseAtom() {
+    CODB_ASSIGN_OR_RETURN(std::string predicate, ParseIdent());
+    if (!TryConsume("(")) return Error("expected '(' after predicate");
+    Atom atom;
+    atom.predicate = std::move(predicate);
+    for (;;) {
+      CODB_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      atom.terms.push_back(std::move(term));
+      if (TryConsume(",")) continue;
+      if (TryConsume(")")) break;
+      return Error("expected ',' or ')' in atom");
+    }
+    return atom;
+  }
+
+  // A body literal is an atom (ident followed by '(') or a comparison.
+  Status ParseLiteral(ConjunctiveQuery& query) {
+    SkipSpace();
+    size_t mark = pos_;
+    char c = Peek();
+    bool could_be_atom =
+        std::isalpha(static_cast<unsigned char>(c)) &&
+        std::islower(static_cast<unsigned char>(c));
+    if (could_be_atom) {
+      // Look ahead: predicate '(' means atom.
+      Result<std::string> ident = ParseIdent();
+      if (ident.ok() && Peek() == '(') {
+        pos_ = mark;
+        CODB_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+        query.body.push_back(std::move(atom));
+        return Status::Ok();
+      }
+      pos_ = mark;
+    }
+    // Comparison: term op term.
+    CODB_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    SkipSpace();
+    ComparisonOp op;
+    if (TryConsume("!=")) {
+      op = ComparisonOp::kNeq;
+    } else if (TryConsume("<=")) {
+      op = ComparisonOp::kLeq;
+    } else if (TryConsume(">=")) {
+      op = ComparisonOp::kGeq;
+    } else if (TryConsume("<")) {
+      op = ComparisonOp::kLt;
+    } else if (TryConsume(">")) {
+      op = ComparisonOp::kGt;
+    } else if (TryConsume("=")) {
+      op = ComparisonOp::kEq;
+    } else {
+      return Error("expected comparison operator");
+    }
+    CODB_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    query.comparisons.push_back({std::move(lhs), op, std::move(rhs)});
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text) {
+  return Parser(text).ParseQuery();
+}
+
+Result<RelationSchema> ParseSchema(std::string_view text) {
+  return Parser(text).ParseSchema();
+}
+
+}  // namespace codb

@@ -1,0 +1,36 @@
+// Parser for the datalog-style surface syntax of conjunctive queries and
+// coordination-rule bodies.
+//
+// Grammar (informal):
+//
+//   query   :=  head ":-" body "."?
+//   head    :=  atom ("," atom)*          // multi-atom heads = GLAV heads
+//   body    :=  literal ("," literal)*
+//   literal :=  atom | comparison
+//   atom    :=  ident "(" term ("," term)* ")"
+//   term    :=  VARIABLE | NUMBER | STRING
+//   comparison := term op term,  op in  = != < <= > >=
+//
+// Identifiers starting with an upper-case letter (or '_') are variables;
+// lower-case identifiers are predicate names; 'single quoted' strings and
+// numbers (42, 3.5, -7) are constants.
+
+#ifndef CODB_QUERY_PARSER_H_
+#define CODB_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace codb {
+
+// Parses one conjunctive query / rule text. Errors carry position info.
+Result<ConjunctiveQuery> ParseQuery(std::string_view text);
+
+// Parses a schema declaration: "r(a:int, b:string, c:double)".
+Result<RelationSchema> ParseSchema(std::string_view text);
+
+}  // namespace codb
+
+#endif  // CODB_QUERY_PARSER_H_

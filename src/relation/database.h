@@ -1,0 +1,61 @@
+// Catalog of relations: the in-memory stand-in for the node's local
+// database (LDB). See DESIGN.md §1 for the substitution rationale.
+
+#ifndef CODB_RELATION_DATABASE_H_
+#define CODB_RELATION_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace codb {
+
+class Database {
+ public:
+  Database() = default;
+
+  // Databases own their relations and are not copyable; use Snapshot() to
+  // capture state for later comparison.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  Status CreateRelation(RelationSchema schema);
+
+  Relation* Find(const std::string& name);
+  const Relation* Find(const std::string& name) const;
+
+  // Lookup that reports an error instead of returning nullptr.
+  Result<Relation*> Get(const std::string& name);
+
+  std::vector<std::string> RelationNames() const;
+
+  // Schema of every relation (the full catalog; the exported subset is the
+  // wrapper's DbsRepository concern).
+  DatabaseSchema Schema() const;
+
+  // Total number of tuples across relations.
+  size_t TotalTuples() const;
+
+  // Deep copy of all contents, keyed by relation name.
+  std::map<std::string, std::vector<Tuple>> Snapshot() const;
+
+  // Restores a snapshot taken from a database with the same schema.
+  Status Restore(const std::map<std::string, std::vector<Tuple>>& snapshot);
+
+  std::string ToString() const;
+
+ private:
+  // std::map for deterministic iteration order in dumps and the oracle.
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_RELATION_DATABASE_H_

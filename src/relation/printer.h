@@ -1,0 +1,29 @@
+// Table-formatted rendering of relations and query results — the textual
+// equivalent of the paper's query-interface window (Figure 2).
+
+#ifndef CODB_RELATION_PRINTER_H_
+#define CODB_RELATION_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace codb {
+
+// Renders rows under a header as an aligned ASCII table:
+//
+//   +----+-------+
+//   | id | name  |
+//   +----+-------+
+//   | 1  | 'bob' |
+//   +----+-------+
+std::string FormatTable(const std::vector<std::string>& header,
+                        const std::vector<Tuple>& rows);
+
+// Convenience: a whole relation with its attribute names as header.
+std::string FormatRelation(const Relation& relation);
+
+}  // namespace codb
+
+#endif  // CODB_RELATION_PRINTER_H_

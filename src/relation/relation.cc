@@ -1,0 +1,83 @@
+#include "relation/relation.h"
+
+#include <cassert>
+
+namespace codb {
+
+const std::vector<const Tuple*> Relation::kEmptyBucket = {};
+
+bool Relation::Insert(const Tuple& tuple) {
+  assert(tuple.arity() == arity() && "tuple arity does not match schema");
+  auto [it, inserted] = index_.insert(tuple);
+  if (inserted) {
+    rows_.push_back(tuple);
+    InvalidateIndexes();
+  }
+  return inserted;
+}
+
+std::vector<Tuple> Relation::InsertNew(const std::vector<Tuple>& batch) {
+  std::vector<Tuple> fresh;
+  for (const Tuple& t : batch) {
+    if (Insert(t)) fresh.push_back(t);
+  }
+  return fresh;
+}
+
+std::vector<Tuple> Relation::Difference(
+    const std::vector<Tuple>& batch) const {
+  std::vector<Tuple> out;
+  for (const Tuple& t : batch) {
+    if (!Contains(t)) out.push_back(t);
+  }
+  return out;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  index_.clear();
+  InvalidateIndexes();
+}
+
+const std::vector<const Tuple*>& Relation::Probe(int column,
+                                                 const Value& key) const {
+  assert(column >= 0 && column < arity());
+  if (column_indexes_.empty()) {
+    column_indexes_.resize(static_cast<size_t>(arity()));
+  }
+  ColumnIndex& ci = column_indexes_[static_cast<size_t>(column)];
+  if (!ci.built) {
+    ci.buckets.clear();
+    for (const Tuple& t : rows_) {
+      ci.buckets[t.at(column)].push_back(&t);
+    }
+    ci.built = true;
+  }
+  auto it = ci.buckets.find(key);
+  return it == ci.buckets.end() ? kEmptyBucket : it->second;
+}
+
+void Relation::InvalidateIndexes() {
+  // rows_ may have reallocated, so pointers in every built index are stale.
+  for (ColumnIndex& ci : column_indexes_) {
+    ci.built = false;
+    ci.buckets.clear();
+  }
+}
+
+size_t Relation::WireSize() const {
+  size_t total = 0;
+  for (const Tuple& t : rows_) total += t.WireSize();
+  return total;
+}
+
+std::string Relation::ToString() const {
+  std::string out = schema_.ToString() + " {\n";
+  for (const Tuple& t : rows_) {
+    out += "  " + t.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace codb

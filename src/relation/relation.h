@@ -1,0 +1,79 @@
+// Set-semantics relation instances.
+//
+// The global-update algorithm repeatedly computes T' = T \ R ("we first
+// remove from T those tuples which are already in R") and R += T', so the
+// relation offers exactly those primitives plus scans and a hash index used
+// by the join evaluator.
+
+#ifndef CODB_RELATION_RELATION_H_
+#define CODB_RELATION_RELATION_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "util/status.h"
+
+namespace codb {
+
+class Relation {
+ public:
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+  int arity() const { return schema_.arity(); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  bool Contains(const Tuple& tuple) const {
+    return index_.find(tuple) != index_.end();
+  }
+
+  // Inserts if absent; returns true if the tuple was new. Arity-checked.
+  bool Insert(const Tuple& tuple);
+
+  // Inserts a batch and returns the sub-batch that was actually new — the
+  // T' = T \ R step of the paper, fused with R += T'.
+  std::vector<Tuple> InsertNew(const std::vector<Tuple>& batch);
+
+  // The tuples of `batch` not present in this relation (pure set diff; does
+  // not modify the relation).
+  std::vector<Tuple> Difference(const std::vector<Tuple>& batch) const;
+
+  // Ordered scan access. Insertion order; deterministic given a
+  // deterministic caller.
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  void Clear();
+
+  // Tuples whose column `column` equals `key`. The per-column hash index is
+  // built lazily on first probe and invalidated on insert.
+  const std::vector<const Tuple*>& Probe(int column, const Value& key) const;
+
+  // Total wire size of all rows (for volume statistics).
+  size_t WireSize() const;
+
+  std::string ToString() const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> index_;
+
+  // Lazy per-column indexes: column -> (value -> tuples).
+  struct ColumnIndex {
+    bool built = false;
+    std::unordered_map<Value, std::vector<const Tuple*>, ValueHash> buckets;
+  };
+  mutable std::vector<ColumnIndex> column_indexes_;
+  static const std::vector<const Tuple*> kEmptyBucket;
+
+  void InvalidateIndexes();
+};
+
+}  // namespace codb
+
+#endif  // CODB_RELATION_RELATION_H_

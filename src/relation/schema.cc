@@ -1,0 +1,50 @@
+#include "relation/schema.h"
+
+namespace codb {
+
+int RelationSchema::AttributeIndex(const std::string& attribute_name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == attribute_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RelationSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += ValueTypeName(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+Status DatabaseSchema::AddRelation(RelationSchema schema) {
+  if (FindRelation(schema.name()) != nullptr) {
+    return Status::AlreadyExists("relation '" + schema.name() +
+                                 "' already in schema");
+  }
+  relations_.push_back(std::move(schema));
+  return Status::Ok();
+}
+
+const RelationSchema* DatabaseSchema::FindRelation(
+    const std::string& name) const {
+  for (const RelationSchema& r : relations_) {
+    if (r.name() == name) return &r;
+  }
+  return nullptr;
+}
+
+std::string DatabaseSchema::ToString() const {
+  std::string out;
+  for (const RelationSchema& r : relations_) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace codb

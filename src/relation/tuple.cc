@@ -1,0 +1,54 @@
+#include "relation/tuple.h"
+
+#include <map>
+
+namespace codb {
+
+bool Tuple::HasNull() const {
+  for (const Value& v : values_) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+Tuple Tuple::CanonicalizeNulls() const {
+  std::map<NullLabel, uint64_t> renaming;
+  std::vector<Value> out;
+  out.reserve(values_.size());
+  for (const Value& v : values_) {
+    if (v.is_null()) {
+      auto [it, inserted] =
+          renaming.emplace(v.AsNull(), renaming.size());
+      out.push_back(Value::Null(0, it->second));
+    } else {
+      out.push_back(v);
+    }
+  }
+  return Tuple(std::move(out));
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : values_) {
+    h = h * 31 + v.Hash();
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t Tuple::WireSize() const {
+  size_t total = 2;  // arity prefix
+  for (const Value& v : values_) total += v.WireSize();
+  return total;
+}
+
+}  // namespace codb

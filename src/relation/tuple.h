@@ -1,0 +1,57 @@
+// Fixed-arity tuples of values.
+
+#ifndef CODB_RELATION_TUPLE_H_
+#define CODB_RELATION_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace codb {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  int arity() const { return static_cast<int>(values_.size()); }
+  const Value& at(int i) const { return values_[static_cast<size_t>(i)]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  // True if any component is a marked null.
+  bool HasNull() const;
+
+  // Renames every marked null to #0:k where k is the order of first
+  // occurrence inside this tuple. Two tuples whose nulls do not occur
+  // elsewhere are isomorphic iff their canonical forms are equal.
+  Tuple CanonicalizeNulls() const;
+
+  size_t Hash() const;
+
+  // "(1, 'a', #3:7)".
+  std::string ToString() const;
+
+  // Serialized payload size on the wire.
+  size_t WireSize() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace codb
+
+#endif  // CODB_RELATION_TUPLE_H_

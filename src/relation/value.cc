@@ -1,0 +1,90 @@
+#include "relation/value.h"
+
+#include "util/string_util.h"
+
+namespace codb {
+
+namespace {
+
+// 64-bit mix for combining hashes (from MurmurHash3 finalizer).
+size_t MixHash(size_t h) {
+  uint64_t x = h;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<size_t>(x);
+}
+
+}  // namespace
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kNull:
+      return "null";
+  }
+  return "unknown";
+}
+
+size_t Value::Hash() const {
+  size_t type_salt = static_cast<size_t>(type()) * 0x9e3779b97f4a7c15ULL;
+  switch (type()) {
+    case ValueType::kInt:
+      return MixHash(type_salt ^ static_cast<size_t>(AsInt()));
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return MixHash(type_salt ^ static_cast<size_t>(bits));
+    }
+    case ValueType::kString:
+      return MixHash(type_salt ^ std::hash<std::string>()(AsString()));
+    case ValueType::kNull: {
+      const NullLabel& label = AsNull();
+      return MixHash(type_salt ^ (static_cast<size_t>(label.peer) << 48) ^
+                     static_cast<size_t>(label.counter));
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return StrFormat("%lld", static_cast<long long>(AsInt()));
+    case ValueType::kDouble:
+      return StrFormat("%g", AsDouble());
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+    case ValueType::kNull: {
+      const NullLabel& label = AsNull();
+      return StrFormat("#%u:%llu", label.peer,
+                       static_cast<unsigned long long>(label.counter));
+    }
+  }
+  return "?";
+}
+
+size_t Value::WireSize() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return 1 + 8;
+    case ValueType::kDouble:
+      return 1 + 8;
+    case ValueType::kString:
+      return 1 + 4 + AsString().size();
+    case ValueType::kNull:
+      return 1 + 4 + 8;
+  }
+  return 1;
+}
+
+}  // namespace codb

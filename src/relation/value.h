@@ -1,0 +1,109 @@
+// Typed values, including marked nulls.
+//
+// coDB propagates data through GLAV rules whose heads may contain
+// existentially quantified variables; those are instantiated with *marked
+// nulls* (labelled Skolem constants, written ⊥_{peer:counter}). Marked nulls
+// are ordinary first-class values: they can be stored, joined on, and
+// propagated further, and two marked nulls are equal iff their labels are
+// equal (identity of the witness, per the paper's "fresh new marked null
+// values" in section 3).
+
+#ifndef CODB_RELATION_VALUE_H_
+#define CODB_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace codb {
+
+enum class ValueType {
+  kInt = 0,
+  kDouble = 1,
+  kString = 2,
+  kNull = 3,  // marked null
+};
+
+const char* ValueTypeName(ValueType type);
+
+// Label of a marked null: (minting peer, per-peer counter). Globally unique
+// without coordination, mirroring the paper's use of JXTA-generated ids.
+struct NullLabel {
+  uint32_t peer = 0;
+  uint64_t counter = 0;
+
+  friend bool operator==(const NullLabel& a, const NullLabel& b) {
+    return a.peer == b.peer && a.counter == b.counter;
+  }
+  friend auto operator<=>(const NullLabel& a, const NullLabel& b) = default;
+};
+
+class Value {
+ public:
+  // Default: int 0 (keeps Value regular; callers always overwrite).
+  Value() : rep_(int64_t{0}) {}
+
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Null(NullLabel label) { return Value(Rep(label)); }
+  static Value Null(uint32_t peer, uint64_t counter) {
+    return Value(Rep(NullLabel{peer, counter}));
+  }
+
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  // Accessors require the matching type (checked by assert in debug builds).
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  const NullLabel& AsNull() const { return std::get<NullLabel>(rep_); }
+
+  // Numeric view: ints and doubles compare by numeric value in comparison
+  // predicates. Requires a numeric type.
+  double AsNumeric() const {
+    return type() == ValueType::kInt ? static_cast<double>(AsInt())
+                                     : AsDouble();
+  }
+  bool IsNumeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  // Exact equality: same type and same payload (nulls by label). Int and
+  // double never compare equal even if numerically equal — rule bodies are
+  // typed, so cross-type joins do not arise.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+
+  // Total order (type index first, then payload) so values can key ordered
+  // containers deterministically.
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.rep_ < b.rep_;
+  }
+
+  size_t Hash() const;
+
+  // "42", "3.5", "'bob'", "#7:12" (marked null minted by peer 7).
+  std::string ToString() const;
+
+  // Serialized size in bytes on the wire (see net/wire.h); used for the
+  // data-volume statistics even before serialization happens.
+  size_t WireSize() const;
+
+ private:
+  using Rep = std::variant<int64_t, double, std::string, NullLabel>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace codb
+
+#endif  // CODB_RELATION_VALUE_H_

@@ -1,0 +1,59 @@
+// Write-ahead journal for the local database.
+//
+// The paper's nodes sit on top of an RDBMS whose durability they inherit;
+// the in-memory engine gets the same property from this append-only
+// journal: every tuple imported from the network is logged, and a
+// restarted node rebuilds its store by reloading its own base data and
+// replaying the journal. The byte format reuses the wire layer, so a
+// journal can also be shipped or checkpointed as one blob.
+
+#ifndef CODB_RELATION_WAL_H_
+#define CODB_RELATION_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/database.h"
+#include "relation/tuple.h"
+#include "util/status.h"
+
+namespace codb {
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+
+  // Appends one insertion record.
+  void LogInsert(const std::string& relation, const Tuple& tuple);
+
+  size_t entry_count() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+  // Re-applies every record, in order, to `db` (set semantics absorbs
+  // duplicates). Unknown relations are an error.
+  Status ReplayInto(Database& db) const;
+
+  // One blob; Deserialize is bounds-checked and rejects corrupt input.
+  std::vector<uint8_t> Serialize() const;
+  static Result<WriteAheadLog> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+  // File persistence (whole-journal write/read; atomic via rename is the
+  // caller's concern). <filesystem> is deliberately avoided per house
+  // style; plain stdio suffices.
+  Status SaveToFile(const std::string& path) const;
+  static Result<WriteAheadLog> LoadFromFile(const std::string& path);
+
+ private:
+  struct Entry {
+    std::string relation;
+    Tuple tuple;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_RELATION_WAL_H_

@@ -1,0 +1,212 @@
+#include "relation/wire.h"
+
+#include <cstring>
+
+namespace codb {
+
+void WireWriter::WriteU8(uint8_t v) { buffer_.push_back(v); }
+
+void WireWriter::WriteU16(uint16_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v));
+  buffer_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::WriteI64(int64_t v) {
+  WriteU64(static_cast<uint64_t>(v));
+}
+
+void WireWriter::WriteDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void WireWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void WireWriter::WriteValue(const Value& v) {
+  WriteU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt:
+      WriteI64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      WriteDouble(v.AsDouble());
+      break;
+    case ValueType::kString:
+      WriteString(v.AsString());
+      break;
+    case ValueType::kNull:
+      WriteU32(v.AsNull().peer);
+      WriteU64(v.AsNull().counter);
+      break;
+  }
+}
+
+void WireWriter::WriteTuple(const Tuple& t) {
+  WriteU16(static_cast<uint16_t>(t.arity()));
+  for (const Value& v : t.values()) WriteValue(v);
+}
+
+void WireWriter::WriteTuples(const std::vector<Tuple>& tuples) {
+  WriteU32(static_cast<uint32_t>(tuples.size()));
+  for (const Tuple& t : tuples) WriteTuple(t);
+}
+
+void WireWriter::WriteStringList(const std::vector<std::string>& strings) {
+  WriteU32(static_cast<uint32_t>(strings.size()));
+  for (const std::string& s : strings) WriteString(s);
+}
+
+void WireWriter::WriteU32List(const std::vector<uint32_t>& values) {
+  WriteU32(static_cast<uint32_t>(values.size()));
+  for (uint32_t v : values) WriteU32(v);
+}
+
+Status WireReader::Need(size_t n) {
+  if (size_ - pos_ < n) {
+    return Status::ParseError("wire: truncated input (need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(size_ - pos_) + ")");
+  }
+  return Status::Ok();
+}
+
+Result<uint8_t> WireReader::ReadU8() {
+  CODB_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint16_t> WireReader::ReadU16() {
+  CODB_RETURN_IF_ERROR(Need(2));
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> WireReader::ReadU32() {
+  CODB_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::ReadU64() {
+  CODB_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> WireReader::ReadI64() {
+  CODB_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  return static_cast<int64_t>(bits);
+}
+
+Result<double> WireReader::ReadDouble() {
+  CODB_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+Result<std::string> WireReader::ReadString() {
+  CODB_ASSIGN_OR_RETURN(uint32_t length, ReadU32());
+  CODB_RETURN_IF_ERROR(Need(length));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), length);
+  pos_ += length;
+  return s;
+}
+
+Result<Value> WireReader::ReadValue() {
+  CODB_ASSIGN_OR_RETURN(uint8_t tag, ReadU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt: {
+      CODB_ASSIGN_OR_RETURN(int64_t v, ReadI64());
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      CODB_ASSIGN_OR_RETURN(double v, ReadDouble());
+      return Value::Double(v);
+    }
+    case ValueType::kString: {
+      CODB_ASSIGN_OR_RETURN(std::string v, ReadString());
+      return Value::String(std::move(v));
+    }
+    case ValueType::kNull: {
+      CODB_ASSIGN_OR_RETURN(uint32_t peer, ReadU32());
+      CODB_ASSIGN_OR_RETURN(uint64_t counter, ReadU64());
+      return Value::Null(peer, counter);
+    }
+  }
+  return Status::ParseError("wire: unknown value tag " + std::to_string(tag));
+}
+
+Result<Tuple> WireReader::ReadTuple() {
+  CODB_ASSIGN_OR_RETURN(uint16_t arity, ReadU16());
+  std::vector<Value> values;
+  values.reserve(arity);
+  for (uint16_t i = 0; i < arity; ++i) {
+    CODB_ASSIGN_OR_RETURN(Value v, ReadValue());
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+Result<std::vector<Tuple>> WireReader::ReadTuples() {
+  CODB_ASSIGN_OR_RETURN(uint32_t count, ReadU32());
+  std::vector<Tuple> tuples;
+  tuples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CODB_ASSIGN_OR_RETURN(Tuple t, ReadTuple());
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+Result<std::vector<std::string>> WireReader::ReadStringList() {
+  CODB_ASSIGN_OR_RETURN(uint32_t count, ReadU32());
+  std::vector<std::string> strings;
+  strings.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CODB_ASSIGN_OR_RETURN(std::string s, ReadString());
+    strings.push_back(std::move(s));
+  }
+  return strings;
+}
+
+Result<std::vector<uint32_t>> WireReader::ReadU32List() {
+  CODB_ASSIGN_OR_RETURN(uint32_t count, ReadU32());
+  std::vector<uint32_t> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CODB_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace codb

@@ -1,0 +1,74 @@
+// Binary serialization for message payloads.
+//
+// Little-endian fixed-width integers, length-prefixed strings, and typed
+// values/tuples. Reads are bounds-checked and report kParseError instead of
+// crashing on truncated or corrupt input, so a malformed message cannot
+// take a peer down.
+
+#ifndef CODB_RELATION_WIRE_H_
+#define CODB_RELATION_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/tuple.h"
+#include "relation/value.h"
+#include "util/status.h"
+
+namespace codb {
+
+class WireWriter {
+ public:
+  void WriteU8(uint8_t v);
+  void WriteU16(uint16_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteValue(const Value& v);
+  void WriteTuple(const Tuple& t);
+  void WriteTuples(const std::vector<Tuple>& tuples);
+  void WriteStringList(const std::vector<std::string>& strings);
+  void WriteU32List(const std::vector<uint32_t>& values);
+
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<uint8_t>& buffer)
+      : data_(buffer.data()), size_(buffer.size()) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<Value> ReadValue();
+  Result<Tuple> ReadTuple();
+  Result<std::vector<Tuple>> ReadTuples();
+  Result<std::vector<std::string>> ReadStringList();
+  Result<std::vector<uint32_t>> ReadU32List();
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace codb
+
+#endif  // CODB_RELATION_WIRE_H_

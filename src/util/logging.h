@@ -1,0 +1,58 @@
+// Minimal leveled logger used across codb.
+//
+// Logging is stream-based and cheap when the level is disabled:
+//
+//   CODB_LOG(kInfo) << "update " << id << " finished";
+//
+// The default level is kWarning so tests and benchmarks stay quiet; examples
+// raise it to kInfo to narrate what the network is doing.
+
+#ifndef CODB_UTIL_LOGGING_H_
+#define CODB_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace codb {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,  // disables all logging
+};
+
+// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace codb
+
+#define CODB_LOG(level)                                          \
+  if (::codb::LogLevel::level < ::codb::GetLogLevel()) {         \
+  } else                                                         \
+    ::codb::internal_logging::LogMessage(::codb::LogLevel::level, \
+                                         __FILE__, __LINE__)     \
+        .stream()
+
+#endif  // CODB_UTIL_LOGGING_H_

@@ -1,0 +1,55 @@
+// Seedable pseudo-random number generator for workload generation.
+//
+// Workload generators and property tests must be reproducible across
+// platforms, so codb carries its own small PRNG (xoshiro256**) instead of
+// relying on the unspecified distributions of <random>.
+
+#ifndef CODB_UTIL_RANDOM_H_
+#define CODB_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace codb {
+
+class Rng {
+ public:
+  // Seeds the four 64-bit lanes from `seed` via splitmix64, so any seed
+  // (including 0) produces a well-mixed state.
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound) ; bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Bernoulli trial with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  // Random lowercase ASCII string of the given length.
+  std::string RandomString(int length);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace codb
+
+#endif  // CODB_UTIL_RANDOM_H_

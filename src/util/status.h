@@ -1,0 +1,127 @@
+// Status and Result<T>: exception-free error handling for the coDB library.
+//
+// Every fallible public API in codb returns a Status (for operations with no
+// payload) or a Result<T> (for operations producing a value). Exceptions are
+// not thrown across library boundaries.
+
+#ifndef CODB_UTIL_STATUS_H_
+#define CODB_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace codb {
+
+// Error taxonomy. Kept deliberately small; the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named entity (relation, peer, rule, ...) missing
+  kAlreadyExists,     // uniqueness violated (duplicate relation, peer, ...)
+  kFailedPrecondition,// operation not valid in the current state
+  kParseError,        // query / rule-file text could not be parsed
+  kUnavailable,       // network target unreachable (dropped pipe, dead peer)
+  kInternal,          // invariant violation inside codb itself
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error outcome. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "PARSE_ERROR: unexpected token ','".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. Access to value() requires ok().
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // inside functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {   // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace codb
+
+// Early-return helpers. These are the only macros the library exports; they
+// carry the project prefix per style rules.
+#define CODB_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::codb::Status codb_status_tmp_ = (expr);      \
+    if (!codb_status_tmp_.ok()) return codb_status_tmp_; \
+  } while (0)
+
+#define CODB_CONCAT_INNER_(a, b) a##b
+#define CODB_CONCAT_(a, b) CODB_CONCAT_INNER_(a, b)
+
+#define CODB_ASSIGN_OR_RETURN(lhs, expr) \
+  CODB_ASSIGN_OR_RETURN_IMPL_(CODB_CONCAT_(codb_result_, __LINE__), lhs, expr)
+
+#define CODB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // CODB_UTIL_STATUS_H_

@@ -1,0 +1,37 @@
+// Wall-clock stopwatch used by the statistics module to time real
+// computation (the network cost axis is measured in virtual time by the
+// event simulator; see net/network.h).
+
+#ifndef CODB_UTIL_STOPWATCH_H_
+#define CODB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace codb {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction / last Restart, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_UTIL_STOPWATCH_H_

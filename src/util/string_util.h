@@ -1,0 +1,34 @@
+// Small string helpers shared across codb (split/join/trim/format).
+
+#ifndef CODB_UTIL_STRING_UTIL_H_
+#define CODB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace codb {
+
+// Splits on `sep`; empty pieces are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Joins pieces with `sep` between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Renders a byte count as "1.2 KiB" / "3.4 MiB" for reports.
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace codb
+
+#endif  // CODB_UTIL_STRING_UTIL_H_

@@ -1,0 +1,94 @@
+#include "workload/testbed.h"
+
+namespace codb {
+
+Result<std::unique_ptr<Testbed>> Testbed::Create(
+    const GeneratedNetwork& generated, Options options) {
+  auto testbed = std::unique_ptr<Testbed>(new Testbed());
+  if (options.threaded) {
+    testbed->network_ = std::make_unique<ThreadedNetwork>();
+  } else {
+    testbed->network_ = std::make_unique<Network>();
+  }
+
+  for (const NodeDecl& decl : generated.config.nodes()) {
+    DatabaseSchema schema;
+    for (const RelationSchema& rel : decl.relations) {
+      CODB_RETURN_IF_ERROR(schema.AddRelation(rel));
+    }
+    CODB_ASSIGN_OR_RETURN(
+        std::unique_ptr<Node> node,
+        Node::Create(testbed->network_.get(), decl.name,
+                     std::move(schema), decl.mediator, options.node));
+
+    auto seed = generated.seeds.find(decl.name);
+    if (seed != generated.seeds.end()) {
+      for (const auto& [relation, tuples] : seed->second) {
+        CODB_ASSIGN_OR_RETURN(Relation * r,
+                              node->database().Get(relation));
+        for (const Tuple& tuple : tuples) r->Insert(tuple);
+      }
+    }
+    testbed->by_name_.emplace(decl.name, node.get());
+    testbed->nodes_.push_back(std::move(node));
+  }
+
+  testbed->super_peer_ = SuperPeer::Create(testbed->network_.get());
+  CODB_RETURN_IF_ERROR(
+      testbed->super_peer_->LoadConfig(generated.config));
+  CODB_RETURN_IF_ERROR(testbed->super_peer_->BroadcastConfig());
+  testbed->network_->Run(options.settle_event_cap);
+
+  for (const auto& node : testbed->nodes_) {
+    if (!node->has_config()) {
+      return Status::Internal("node '" + node->name() +
+                              "' did not receive the configuration");
+    }
+  }
+  return testbed;
+}
+
+Node* Testbed::node(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Result<FlowId> Testbed::RunGlobalUpdate(const std::string& initiator) {
+  Node* start = node(initiator);
+  if (start == nullptr) {
+    return Status::NotFound("no node named '" + initiator + "'");
+  }
+  CODB_ASSIGN_OR_RETURN(FlowId update, start->StartGlobalUpdate());
+  network_->Run();
+  return update;
+}
+
+bool Testbed::AllComplete(const FlowId& update) const {
+  for (const auto& node : nodes_) {
+    const UpdateManager* manager = node->update_manager();
+    if (manager == nullptr) return false;
+    if (manager->IsJoined(update) && !manager->IsComplete(update)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+NetworkInstance Testbed::Snapshot() const {
+  NetworkInstance out;
+  for (const auto& node : nodes_) {
+    out.emplace(node->name(), node->database().Snapshot());
+  }
+  return out;
+}
+
+Status Testbed::CollectStats() {
+  CODB_RETURN_IF_ERROR(super_peer_->RequestStats());
+  network_->Run();
+  if (!super_peer_->CollectionComplete()) {
+    return Status::Unavailable("some nodes did not report statistics");
+  }
+  return Status::Ok();
+}
+
+}  // namespace codb

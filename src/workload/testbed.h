@@ -1,0 +1,76 @@
+// Testbed: stands up a complete simulated coDB deployment from a generated
+// (or hand-written) network description — nodes, seed data, super-peer,
+// config broadcast — ready for experiments. Shared by the test suite, the
+// benchmark harness and the examples.
+
+#ifndef CODB_WORKLOAD_TESTBED_H_
+#define CODB_WORKLOAD_TESTBED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+#include "core/super_peer.h"
+#include "net/network.h"
+#include "net/threaded_network.h"
+#include "workload/topology_gen.h"
+
+namespace codb {
+
+class Testbed {
+ public:
+  struct Options {
+    Node::Options node;
+    // Events the initial settle run may consume (discovery + config).
+    uint64_t settle_event_cap = 1'000'000;
+    // false: deterministic discrete-event simulator (the default).
+    // true: ThreadedNetwork — one real delivery thread per peer.
+    bool threaded = false;
+  };
+
+  // Builds the network, creates one Node per declaration, seeds the data,
+  // creates the super-peer, broadcasts the configuration, and runs the
+  // network until the configuration has settled.
+  static Result<std::unique_ptr<Testbed>> Create(
+      const GeneratedNetwork& generated, Options options);
+  static Result<std::unique_ptr<Testbed>> Create(
+      const GeneratedNetwork& generated) {
+    return Create(generated, Options());
+  }
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  NetworkBase& network() { return *network_; }
+  SuperPeer& super_peer() { return *super_peer_; }
+
+  Node* node(const std::string& name);
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+  // Runs a global update from `initiator` to completion (network
+  // quiescence) and returns the update id.
+  Result<FlowId> RunGlobalUpdate(const std::string& initiator);
+
+  // True if every node that joined `update` observed completion.
+  bool AllComplete(const FlowId& update) const;
+
+  // Every node's current store, for oracle comparison.
+  NetworkInstance Snapshot() const;
+
+  // Collects statistics into the super-peer (runs the network).
+  Status CollectStats();
+
+ private:
+  Testbed() = default;
+
+  std::unique_ptr<NetworkBase> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::string, Node*> by_name_;
+  std::unique_ptr<SuperPeer> super_peer_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_WORKLOAD_TESTBED_H_

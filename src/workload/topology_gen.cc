@@ -1,0 +1,305 @@
+#include "workload/topology_gen.h"
+
+#include <cassert>
+
+#include "query/parser.h"
+
+namespace codb {
+
+namespace {
+
+// Builds the GLAV query text for one rule of the given style.
+std::string RuleQueryText(RuleStyle style, int filter_threshold) {
+  switch (style) {
+    case RuleStyle::kCopy:
+      return "d(K, V) :- d(K, V).";
+    case RuleStyle::kProject:
+      return "d(K, Z) :- d(K, V).";
+    case RuleStyle::kJoin:
+      return "d(K, W) :- d(K, V), e(K, W).";
+    case RuleStyle::kFilter:
+      return "d(K, V) :- d(K, V), V < " +
+             std::to_string(filter_threshold) + ".";
+    case RuleStyle::kMultiHead:
+      return "d(K, Z), e(K, Z) :- d(K, V).";
+  }
+  return "d(K, V) :- d(K, V).";
+}
+
+struct Builder {
+  explicit Builder(const WorkloadOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  void AddNodes(int count) {
+    for (int i = 0; i < count; ++i) {
+      NodeDecl decl;
+      decl.name = NodeName(i);
+      decl.mediator = options_.mediator_every > 0 &&
+                      i % options_.mediator_every == options_.mediator_every - 1;
+      DatabaseSchema schema = StandardSchema();
+      for (const RelationSchema& rel : schema.relations()) {
+        decl.relations.push_back(rel);
+      }
+      config_.AddNode(std::move(decl));
+      SeedNode(i);
+    }
+  }
+
+  // importer <- exporter.
+  void AddRule(int importer, int exporter) {
+    std::string id = "r" + std::to_string(rule_counter_++);
+    Result<ConjunctiveQuery> query = ParseQuery(
+        RuleQueryText(options_.style, options_.filter_threshold));
+    assert(query.ok());
+    config_.AddRule(CoordinationRule(id, NodeName(importer),
+                                     NodeName(exporter),
+                                     std::move(query).value()));
+  }
+
+  void SeedNode(int index) {
+    Instance& instance = seeds_[NodeName(index)];
+    std::vector<Tuple>& d = instance["d"];
+    std::vector<Tuple>& e = instance["e"];
+    for (int t = 0; t < options_.tuples_per_node; ++t) {
+      int64_t key = static_cast<int64_t>(index) * 10000 + t;
+      d.push_back(Tuple{Value::Int(key),
+                        Value::Int(rng_.UniformInt(
+                            0, options_.value_range - 1))});
+      e.push_back(Tuple{Value::Int(key),
+                        Value::Int(rng_.UniformInt(
+                            0, options_.value_range - 1))});
+    }
+  }
+
+  GeneratedNetwork Finish() {
+    Status valid = config_.Validate();
+    assert(valid.ok());
+    (void)valid;
+    return {std::move(config_), std::move(seeds_)};
+  }
+
+  const WorkloadOptions& options_;
+  Rng rng_;
+  NetworkConfig config_;
+  NetworkInstance seeds_;
+  int rule_counter_ = 0;
+};
+
+}  // namespace
+
+DatabaseSchema StandardSchema() {
+  DatabaseSchema schema;
+  schema.AddRelation(RelationSchema(
+      "d", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}));
+  schema.AddRelation(RelationSchema(
+      "e", {{"k", ValueType::kInt}, {"w", ValueType::kInt}}));
+  return schema;
+}
+
+std::string NodeName(int index) { return "n" + std::to_string(index); }
+
+GeneratedNetwork MakeChain(const WorkloadOptions& options) {
+  Builder builder(options);
+  builder.AddNodes(options.nodes);
+  for (int i = 0; i + 1 < options.nodes; ++i) {
+    builder.AddRule(/*importer=*/i, /*exporter=*/i + 1);
+  }
+  return builder.Finish();
+}
+
+GeneratedNetwork MakeRing(const WorkloadOptions& options) {
+  Builder builder(options);
+  builder.AddNodes(options.nodes);
+  for (int i = 0; i < options.nodes; ++i) {
+    builder.AddRule(/*importer=*/i, /*exporter=*/(i + 1) % options.nodes);
+  }
+  return builder.Finish();
+}
+
+GeneratedNetwork MakeStar(const WorkloadOptions& options) {
+  Builder builder(options);
+  builder.AddNodes(options.nodes);
+  for (int i = 1; i < options.nodes; ++i) {
+    builder.AddRule(/*importer=*/0, /*exporter=*/i);
+  }
+  return builder.Finish();
+}
+
+GeneratedNetwork MakeTree(const WorkloadOptions& options) {
+  Builder builder(options);
+  builder.AddNodes(options.nodes);
+  int fanout = options.tree_fanout > 0 ? options.tree_fanout : 2;
+  for (int child = 1; child < options.nodes; ++child) {
+    int parent = (child - 1) / fanout;
+    builder.AddRule(/*importer=*/parent, /*exporter=*/child);
+  }
+  return builder.Finish();
+}
+
+GeneratedNetwork MakeGrid(const WorkloadOptions& options) {
+  WorkloadOptions adjusted = options;
+  int rows = options.grid_rows;
+  int cols = options.grid_cols;
+  adjusted.nodes = rows * cols;
+  Builder builder(adjusted);
+  builder.AddNodes(adjusted.nodes);
+  auto index = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (r + 1 < rows) builder.AddRule(index(r, c), index(r + 1, c));
+      if (c + 1 < cols) builder.AddRule(index(r, c), index(r, c + 1));
+    }
+  }
+  return builder.Finish();
+}
+
+namespace {
+
+// One source node of the integration scenario; kind cycles with index.
+struct SourceSpec {
+  std::string name;
+  int kind = 0;  // 0: filtered rename, 1: join, 2: existential project
+};
+
+void AddIntegrationSource(NetworkConfig& config, NetworkInstance& seeds,
+                          Rng& rng, const WorkloadOptions& options,
+                          const SourceSpec& source, int index,
+                          const std::string& importer, int* rule_counter) {
+  NodeDecl decl;
+  decl.name = source.name;
+  auto add_rule = [&](const std::string& text) {
+    Result<ConjunctiveQuery> query = ParseQuery(text);
+    assert(query.ok());
+    Status added = config.AddRule(
+        CoordinationRule("m" + std::to_string((*rule_counter)++), importer,
+                         source.name, std::move(query).value()));
+    assert(added.ok());
+    (void)added;
+  };
+
+  Instance& instance = seeds[source.name];
+  int64_t base = static_cast<int64_t>(index) * 10000;
+  switch (source.kind) {
+    case 0: {
+      decl.relations.push_back(RelationSchema(
+          "people", {{"pid", ValueType::kInt},
+                     {"name", ValueType::kString},
+                     {"age", ValueType::kInt}}));
+      config.AddNode(std::move(decl));
+      for (int t = 0; t < options.tuples_per_node; ++t) {
+        instance["people"].push_back(
+            Tuple{Value::Int(base + t),
+                  Value::String(rng.RandomString(6)),
+                  Value::Int(rng.UniformInt(0, 40))});
+      }
+      add_rule("person(P, N) :- people(P, N, A), A >= 18.");
+      add_rule("origin(P, " + std::to_string(index) +
+               ") :- people(P, N, A).");
+      break;
+    }
+    case 1: {
+      decl.relations.push_back(RelationSchema(
+          "emp", {{"eid", ValueType::kInt}, {"dept", ValueType::kInt}}));
+      decl.relations.push_back(RelationSchema(
+          "dept_name", {{"dept", ValueType::kInt},
+                        {"dname", ValueType::kString}}));
+      config.AddNode(std::move(decl));
+      for (int d = 0; d < 3; ++d) {
+        instance["dept_name"].push_back(
+            Tuple{Value::Int(d), Value::String(rng.RandomString(5))});
+      }
+      for (int t = 0; t < options.tuples_per_node; ++t) {
+        instance["emp"].push_back(Tuple{Value::Int(base + t),
+                                        Value::Int(rng.UniformInt(0, 2))});
+      }
+      add_rule("person(E, DN) :- emp(E, D), dept_name(D, DN).");
+      add_rule("origin(E, " + std::to_string(index) +
+               ") :- emp(E, D).");
+      break;
+    }
+    default: {
+      decl.relations.push_back(
+          RelationSchema("clients", {{"cid", ValueType::kInt}}));
+      config.AddNode(std::move(decl));
+      for (int t = 0; t < options.tuples_per_node; ++t) {
+        instance["clients"].push_back(Tuple{Value::Int(base + t)});
+      }
+      // Existential witness: the client's name is unknown.
+      add_rule("person(C, Z) :- clients(C).");
+      add_rule("origin(C, " + std::to_string(index) +
+               ") :- clients(C).");
+      break;
+    }
+  }
+}
+
+std::vector<RelationSchema> RegistrySchema() {
+  return {RelationSchema("person", {{"id", ValueType::kInt},
+                                    {"name", ValueType::kString}}),
+          RelationSchema("origin", {{"id", ValueType::kInt},
+                                    {"src", ValueType::kInt}})};
+}
+
+}  // namespace
+
+GeneratedNetwork MakeIntegration(const WorkloadOptions& options,
+                                 int sources, bool with_mediators) {
+  Rng rng(options.seed);
+  NetworkConfig config;
+  NetworkInstance seeds;
+  int rule_counter = 0;
+
+  NodeDecl registry;
+  registry.name = "registry";
+  registry.relations = RegistrySchema();
+  config.AddNode(std::move(registry));
+
+  for (int i = 0; i < sources; ++i) {
+    SourceSpec source{"src" + std::to_string(i), i % 3};
+    std::string importer = "registry";
+    if (with_mediators && i % 2 == 1) {
+      // Route this source through a mediator with the registry schema.
+      std::string mediator_name = "med" + std::to_string(i);
+      NodeDecl mediator;
+      mediator.name = mediator_name;
+      mediator.mediator = true;
+      mediator.relations = RegistrySchema();
+      config.AddNode(std::move(mediator));
+      auto relay = [&](const char* text) {
+        Result<ConjunctiveQuery> query = ParseQuery(text);
+        assert(query.ok());
+        config.AddRule(CoordinationRule(
+            "relay" + std::to_string(rule_counter++), "registry",
+            mediator_name, std::move(query).value()));
+      };
+      relay("person(I, N) :- person(I, N).");
+      relay("origin(I, S) :- origin(I, S).");
+      importer = mediator_name;
+    }
+    AddIntegrationSource(config, seeds, rng, options, source, i, importer,
+                         &rule_counter);
+  }
+
+  Status valid = config.Validate();
+  assert(valid.ok());
+  (void)valid;
+  return {std::move(config), std::move(seeds)};
+}
+
+GeneratedNetwork MakeRandom(const WorkloadOptions& options) {
+  Builder builder(options);
+  builder.AddNodes(options.nodes);
+  for (int i = 0; i < options.nodes; ++i) {
+    for (int j = i + 1; j < options.nodes; ++j) {
+      if (!builder.rng_.Chance(options.edge_probability)) continue;
+      if (builder.rng_.Chance(0.5)) {
+        builder.AddRule(i, j);
+      } else {
+        builder.AddRule(j, i);
+      }
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace codb

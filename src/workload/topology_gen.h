@@ -1,0 +1,101 @@
+// Workload generators for the demo's experiment suite: network topologies
+// (chain, ring, star, tree, grid, random), GLAV rule styles, and seeded
+// per-node data.
+//
+// Every node gets the same two-relation schema
+//
+//     d(k:int, v:int)      — primary data
+//     e(k:int, w:int)      — secondary, used by join-style rules
+//
+// and a seeded instance whose keys are disjoint across nodes (node i owns
+// keys [i*10000, i*10000+tuples)), so every propagated tuple has a unique
+// derivation — which is what lets tests assert exact agreement with the
+// path-bounded oracle.
+
+#ifndef CODB_WORKLOAD_TOPOLOGY_GEN_H_
+#define CODB_WORKLOAD_TOPOLOGY_GEN_H_
+
+#include <string>
+
+#include "core/config.h"
+#include "core/oracle.h"
+#include "util/random.h"
+
+namespace codb {
+
+// What a generated coordination rule looks like.
+enum class RuleStyle {
+  kCopy,       // d(K,V) :- d(K,V).                 GAV copy
+  kProject,    // d(K,Z) :- d(K,V).                 GLAV: Z existential
+  kJoin,       // d(K,W) :- d(K,V), e(K,W).         body join
+  kFilter,     // d(K,V) :- d(K,V), V < threshold.  comparison predicate
+  kMultiHead,  // d(K,Z), e(K,Z) :- d(K,V).        multi-atom GLAV head
+               // (one shared witness per firing)
+};
+
+struct WorkloadOptions {
+  int nodes = 8;
+  int tuples_per_node = 20;
+  uint64_t seed = 42;
+  RuleStyle style = RuleStyle::kCopy;
+  int value_range = 100;      // v/w drawn from [0, value_range)
+  int filter_threshold = 50;  // kFilter: V < threshold
+  int tree_fanout = 2;
+  int grid_rows = 3;
+  int grid_cols = 3;          // grid ignores `nodes`
+  double edge_probability = 0.3;  // random graphs
+  int mediator_every = 0;     // >0: every k-th node is a mediator
+};
+
+struct GeneratedNetwork {
+  NetworkConfig config;
+  NetworkInstance seeds;  // node name -> relation -> tuples
+};
+
+// Chain: n0 <- n1 <- ... <- n{k-1}; data converges on n0.
+GeneratedNetwork MakeChain(const WorkloadOptions& options);
+
+// Directed ring: n_i imports from n_{(i+1) mod k}; the rule set is cyclic.
+GeneratedNetwork MakeRing(const WorkloadOptions& options);
+
+// Star: n0 (the hub) imports from every other node.
+GeneratedNetwork MakeStar(const WorkloadOptions& options);
+
+// Balanced tree with the given fanout; parents import from children.
+GeneratedNetwork MakeTree(const WorkloadOptions& options);
+
+// rows x cols grid; node (r,c) imports from (r+1,c) and (r,c+1).
+GeneratedNetwork MakeGrid(const WorkloadOptions& options);
+
+// Erdős–Rényi: each unordered pair gets a rule with edge_probability, in a
+// uniformly random direction.
+GeneratedNetwork MakeRandom(const WorkloadOptions& options);
+
+// A heterogeneous data-integration scenario (the setting the paper's
+// introduction motivates): `sources` source nodes with *different* local
+// schemas, a registry node integrating them, and optionally a mediator
+// between every second source and the registry. The GLAV mappings mix all
+// four rule shapes: renamings, projections with existential witnesses,
+// joins, and comparison filters.
+//
+//   source_0:  people(pid, name, age)        -> registry.person (filter)
+//   source_1:  emp(eid, dept), dept_name(dept, dname)
+//                                            -> registry.person (join)
+//   source_2:  clients(cid)                  -> registry.person (project:
+//                                               name witnessed by a null)
+//   ... repeating in round-robin for more sources.
+//
+// Every source also exports into registry.origin(id, src) with a constant
+// marking its index, so tests can attribute tuples.
+GeneratedNetwork MakeIntegration(const WorkloadOptions& options,
+                                 int sources, bool with_mediators);
+
+// The per-node schema used by all generators.
+DatabaseSchema StandardSchema();
+
+// Name of node `index` ("n<index>").
+std::string NodeName(int index);
+
+}  // namespace codb
+
+#endif  // CODB_WORKLOAD_TOPOLOGY_GEN_H_

@@ -1,0 +1,35 @@
+#include "wrapper/dbs_repository.h"
+
+namespace codb {
+
+Status DbsRepository::SetExported(DatabaseSchema exported,
+                                  const DatabaseSchema* full_catalog) {
+  if (full_catalog != nullptr) {
+    for (const RelationSchema& rel : exported.relations()) {
+      const RelationSchema* in_catalog =
+          full_catalog->FindRelation(rel.name());
+      if (in_catalog == nullptr) {
+        return Status::NotFound("exported relation '" + rel.name() +
+                                "' not in the local catalog");
+      }
+      if (!(*in_catalog == rel)) {
+        return Status::InvalidArgument(
+            "exported schema for '" + rel.name() +
+            "' differs from the local catalog: " + rel.ToString() + " vs " +
+            in_catalog->ToString());
+      }
+    }
+  }
+  exported_ = std::move(exported);
+  return Status::Ok();
+}
+
+std::vector<std::string> DbsRepository::ExportedRelationNames() const {
+  std::vector<std::string> names;
+  for (const RelationSchema& rel : exported_.relations()) {
+    names.push_back(rel.name());
+  }
+  return names;
+}
+
+}  // namespace codb

@@ -1,0 +1,43 @@
+// The DBS repository: stores and maintains the node's exported database
+// schema (the rounded-corner box of Figure 1 in the paper).
+//
+// The DBS describes the part of the local database that is shared with the
+// network; it must always be present for a node to participate, even when
+// the local database itself is absent (mediator nodes).
+
+#ifndef CODB_WRAPPER_DBS_REPOSITORY_H_
+#define CODB_WRAPPER_DBS_REPOSITORY_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace codb {
+
+class DbsRepository {
+ public:
+  DbsRepository() = default;
+
+  // Replaces the exported schema. If `full_catalog` is non-null, each
+  // exported relation must exist in the catalog with an identical schema
+  // (you cannot export what the LDB cannot provide).
+  Status SetExported(DatabaseSchema exported,
+                     const DatabaseSchema* full_catalog);
+
+  const DatabaseSchema& exported() const { return exported_; }
+
+  bool Exports(const std::string& relation) const {
+    return exported_.FindRelation(relation) != nullptr;
+  }
+
+  std::vector<std::string> ExportedRelationNames() const;
+
+ private:
+  DatabaseSchema exported_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_WRAPPER_DBS_REPOSITORY_H_

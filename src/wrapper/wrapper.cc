@@ -1,0 +1,103 @@
+#include "wrapper/wrapper.h"
+
+#include "query/evaluator.h"
+
+namespace codb {
+
+Result<std::unique_ptr<Wrapper>> Wrapper::ForDatabase(
+    Database* ldb, DatabaseSchema exported) {
+  if (ldb == nullptr) {
+    return Status::InvalidArgument(
+        "ForDatabase needs a database; use ForMediator for LDB-less nodes");
+  }
+  auto wrapper = std::unique_ptr<Wrapper>(new Wrapper());
+  DatabaseSchema catalog = ldb->Schema();
+  CODB_RETURN_IF_ERROR(wrapper->dbs_.SetExported(std::move(exported),
+                                                 &catalog));
+  wrapper->ldb_ = ldb;
+  wrapper->storage_ = ldb;
+  return wrapper;
+}
+
+Result<std::unique_ptr<Wrapper>> Wrapper::ForMediator(
+    DatabaseSchema exported) {
+  auto wrapper = std::unique_ptr<Wrapper>(new Wrapper());
+  wrapper->is_mediator_ = true;
+  wrapper->transient_ = std::make_unique<Database>();
+  for (const RelationSchema& rel : exported.relations()) {
+    CODB_RETURN_IF_ERROR(wrapper->transient_->CreateRelation(rel));
+  }
+  CODB_RETURN_IF_ERROR(wrapper->dbs_.SetExported(std::move(exported),
+                                                 /*full_catalog=*/nullptr));
+  wrapper->storage_ = wrapper->transient_.get();
+  return wrapper;
+}
+
+Result<std::map<std::string, std::vector<Tuple>>> Wrapper::ApplyHeadTuples(
+    const std::vector<HeadTuple>& tuples) {
+  // Group by relation so InsertNew batches per relation.
+  std::map<std::string, std::vector<Tuple>> grouped;
+  for (const HeadTuple& ht : tuples) {
+    grouped[ht.relation].push_back(ht.tuple);
+  }
+  std::map<std::string, std::vector<Tuple>> fresh;
+  for (auto& [relation, batch] : grouped) {
+    CODB_ASSIGN_OR_RETURN(Relation * rel, storage_->Get(relation));
+    std::vector<Tuple> added = rel->InsertNew(batch);
+    if (added.empty()) continue;
+    std::unordered_set<Tuple, TupleHash>& provenance = imported_[relation];
+    for (const Tuple& tuple : added) {
+      provenance.insert(tuple);
+      if (journal_ != nullptr) journal_->LogInsert(relation, tuple);
+    }
+    fresh.emplace(relation, std::move(added));
+  }
+  return fresh;
+}
+
+void Wrapper::DropImported() {
+  for (auto& [relation_name, provenance] : imported_) {
+    Relation* relation = storage_->Find(relation_name);
+    if (relation == nullptr || provenance.empty()) continue;
+    std::vector<Tuple> kept;
+    kept.reserve(relation->size());
+    for (const Tuple& tuple : relation->rows()) {
+      if (provenance.find(tuple) == provenance.end()) {
+        kept.push_back(tuple);
+      }
+    }
+    relation->Clear();
+    for (const Tuple& tuple : kept) relation->Insert(tuple);
+  }
+  imported_.clear();
+}
+
+size_t Wrapper::ImportedCount() const {
+  size_t total = 0;
+  for (const auto& [relation, provenance] : imported_) {
+    total += provenance.size();
+  }
+  return total;
+}
+
+Result<std::vector<Tuple>> Wrapper::EvaluateQuery(
+    const ConjunctiveQuery& query) const {
+  if (query.head.size() != 1) {
+    return Status::InvalidArgument(
+        "node queries must have a single head atom");
+  }
+  if (!query.ExistentialVars().empty()) {
+    return Status::InvalidArgument(
+        "node queries must have a safe head (no existential variables)");
+  }
+  std::vector<std::string> output;
+  for (const Term& term : query.head[0].terms) {
+    if (term.is_var()) output.push_back(term.var());
+  }
+  DatabaseSchema schema = storage_->Schema();
+  CODB_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                        CompiledQuery::Compile(query, schema, output));
+  return compiled.Evaluate(*storage_);
+}
+
+}  // namespace codb

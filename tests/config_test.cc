@@ -1,0 +1,131 @@
+// Unit tests for the network configuration / coordination-rules file.
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace codb {
+namespace {
+
+const char* kSample = R"(
+# university network
+node uni_a
+  relation student(id:int, name:string)
+  relation takes(sid:int, course:string)
+node uni_b mediator
+  relation person(id:int, name:string)
+rule r1 uni_b <- uni_a : person(I, N) :- student(I, N).
+rule r2 uni_b <- uni_a : person(I, N) :- student(I, N), takes(I, C), C = 'db'.
+)";
+
+TEST(ConfigTest, ParsesNodesRelationsAndRules) {
+  Result<NetworkConfig> config = NetworkConfig::Parse(kSample);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const NetworkConfig& c = config.value();
+
+  ASSERT_EQ(c.nodes().size(), 2u);
+  EXPECT_EQ(c.nodes()[0].name, "uni_a");
+  EXPECT_FALSE(c.nodes()[0].mediator);
+  EXPECT_EQ(c.nodes()[0].relations.size(), 2u);
+  EXPECT_TRUE(c.nodes()[1].mediator);
+
+  ASSERT_EQ(c.rules().size(), 2u);
+  EXPECT_EQ(c.rules()[0].id(), "r1");
+  EXPECT_EQ(c.rules()[0].importer(), "uni_b");
+  EXPECT_EQ(c.rules()[0].exporter(), "uni_a");
+  EXPECT_EQ(c.rules()[1].query().comparisons.size(), 1u);
+}
+
+TEST(ConfigTest, SerializeParseRoundTrip) {
+  Result<NetworkConfig> config = NetworkConfig::Parse(kSample);
+  ASSERT_TRUE(config.ok());
+  std::string text = config.value().Serialize();
+  Result<NetworkConfig> again = NetworkConfig::Parse(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().Serialize(), text);
+  EXPECT_EQ(again.value().nodes().size(), 2u);
+  EXPECT_EQ(again.value().rules().size(), 2u);
+}
+
+TEST(ConfigTest, LookupHelpers) {
+  Result<NetworkConfig> config = NetworkConfig::Parse(kSample);
+  ASSERT_TRUE(config.ok());
+  const NetworkConfig& c = config.value();
+
+  EXPECT_NE(c.FindNode("uni_a"), nullptr);
+  EXPECT_EQ(c.FindNode("nope"), nullptr);
+  EXPECT_NE(c.FindRule("r1"), nullptr);
+  EXPECT_EQ(c.FindRule("nope"), nullptr);
+
+  EXPECT_EQ(c.OutgoingOf("uni_b").size(), 2u);  // uni_b imports
+  EXPECT_EQ(c.IncomingOf("uni_a").size(), 2u);  // uni_a exports
+  EXPECT_TRUE(c.OutgoingOf("uni_a").empty());
+
+  EXPECT_EQ(c.AcquaintancesOf("uni_a"),
+            (std::vector<std::string>{"uni_b"}));
+  EXPECT_EQ(c.AcquaintancesOf("uni_b"),
+            (std::vector<std::string>{"uni_a"}));
+
+  DatabaseSchema schema = c.SchemaOf("uni_a");
+  EXPECT_NE(schema.FindRelation("student"), nullptr);
+  EXPECT_NE(schema.FindRelation("takes"), nullptr);
+}
+
+TEST(ConfigTest, RejectsStructuralErrors) {
+  // Duplicate node.
+  EXPECT_FALSE(NetworkConfig::Parse("node a\nnode a\n").ok());
+  // Rule referencing an undeclared node.
+  EXPECT_FALSE(NetworkConfig::Parse(
+                   "node a\n  relation r(x:int)\n"
+                   "rule r1 a <- ghost : r(X) :- r(X).\n")
+                   .ok());
+  // Self-rule.
+  EXPECT_FALSE(NetworkConfig::Parse(
+                   "node a\n  relation r(x:int)\n"
+                   "rule r1 a <- a : r(X) :- r(X).\n")
+                   .ok());
+  // Duplicate rule id.
+  EXPECT_FALSE(NetworkConfig::Parse(
+                   "node a\n  relation r(x:int)\n"
+                   "node b\n  relation r(x:int)\n"
+                   "rule r1 a <- b : r(X) :- r(X).\n"
+                   "rule r1 a <- b : r(X) :- r(X).\n")
+                   .ok());
+  // Rule that does not type-check (arity).
+  EXPECT_FALSE(NetworkConfig::Parse(
+                   "node a\n  relation r(x:int)\n"
+                   "node b\n  relation r(x:int)\n"
+                   "rule r1 a <- b : r(X, Y) :- r(X).\n")
+                   .ok());
+  // Relation outside a node block.
+  EXPECT_FALSE(NetworkConfig::Parse("relation r(x:int)\n").ok());
+  // Unknown declaration.
+  EXPECT_FALSE(NetworkConfig::Parse("frobnicate everything\n").ok());
+}
+
+TEST(ConfigTest, ErrorsCarryLineNumbers) {
+  Result<NetworkConfig> bad =
+      NetworkConfig::Parse("node a\n  relation r(x:int)\nbogus line\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ConfigTest, ProgrammaticConstruction) {
+  NetworkConfig config;
+  NodeDecl a{"a", false, {RelationSchema("r", {{"x", ValueType::kInt}})}, {}};
+  NodeDecl b{"b", false, {RelationSchema("r", {{"x", ValueType::kInt}})}, {}};
+  ASSERT_TRUE(config.AddNode(a).ok());
+  ASSERT_TRUE(config.AddNode(b).ok());
+  EXPECT_EQ(config.AddNode(a).code(), StatusCode::kAlreadyExists);
+
+  ConjunctiveQuery q;
+  q.head.push_back({"r", {Term::Var("X")}});
+  q.body.push_back({"r", {Term::Var("X")}});
+  ASSERT_TRUE(config.AddRule(CoordinationRule("r1", "a", "b", q)).ok());
+  EXPECT_EQ(config.AddRule(CoordinationRule("r1", "b", "a", q)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace codb

@@ -1,0 +1,116 @@
+// Unit tests for conjunctive-query containment (Chandra–Merlin).
+
+#include <gtest/gtest.h>
+
+#include "query/containment.h"
+#include "query/parser.h"
+
+namespace codb {
+namespace {
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_.AddRelation(RelationSchema(
+        "r", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+    schema_.AddRelation(RelationSchema(
+        "s", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+    schema_.AddRelation(RelationSchema(
+        "q", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+    schema_.AddRelation(RelationSchema("p", {{"a", ValueType::kInt}}));
+  }
+
+  bool Contained(const std::string& q1, const std::string& q2) {
+    Result<ConjunctiveQuery> a = ParseQuery(q1);
+    Result<ConjunctiveQuery> b = ParseQuery(q2);
+    EXPECT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_TRUE(b.ok()) << b.status().ToString();
+    Result<bool> result = IsContained(a.value(), b.value(), schema_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() && result.value();
+  }
+
+  DatabaseSchema schema_;
+};
+
+TEST_F(ContainmentTest, IdenticalQueriesContainEachOther) {
+  EXPECT_TRUE(Contained("q(X, Y) :- r(X, Y).", "q(A, B) :- r(A, B)."));
+}
+
+TEST_F(ContainmentTest, MoreJoinsMeansSmaller) {
+  // Joining with s restricts the answers.
+  EXPECT_TRUE(Contained("q(X, Y) :- r(X, Y), s(X, Y).",
+                        "q(X, Y) :- r(X, Y)."));
+  EXPECT_FALSE(Contained("q(X, Y) :- r(X, Y).",
+                         "q(X, Y) :- r(X, Y), s(X, Y)."));
+}
+
+TEST_F(ContainmentTest, ClassicPathFolding) {
+  // A two-hop path query is contained in the one-hop-with-anything query.
+  EXPECT_TRUE(Contained("q(X, X) :- r(X, X).",
+                        "q(A, B) :- r(A, B)."));
+  EXPECT_FALSE(Contained("q(A, B) :- r(A, B).",
+                         "q(X, X) :- r(X, X)."));
+}
+
+TEST_F(ContainmentTest, SelfJoinFoldsOntoLoop) {
+  // r(X,Y),r(Y,Z) can be satisfied by mapping onto a single loop r(A,A):
+  // so the loop query is contained in the path query.
+  EXPECT_TRUE(Contained("q(A, A) :- r(A, A).",
+                        "q(X, Z) :- r(X, Y), r(Y, Z)."));
+}
+
+TEST_F(ContainmentTest, ConstantsMustMatch) {
+  EXPECT_TRUE(Contained("q(X, 5) :- r(X, 5).", "q(A, B) :- r(A, B)."));
+  EXPECT_FALSE(Contained("q(A, B) :- r(A, B).", "q(X, 5) :- r(X, 5)."));
+  EXPECT_FALSE(Contained("q(X, 4) :- r(X, 4).", "q(X, 5) :- r(X, 5)."));
+}
+
+TEST_F(ContainmentTest, DifferentHeadPredicatesNeverContained) {
+  // Head arity mismatch -> trivially false.
+  Result<ConjunctiveQuery> a = ParseQuery("p(X) :- r(X, Y).");
+  Result<ConjunctiveQuery> b = ParseQuery("q(X, Y) :- r(X, Y).");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<bool> result = IsContained(a.value(), b.value(), schema_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value());
+}
+
+TEST_F(ContainmentTest, EquivalenceOfRenamedQueries) {
+  Result<ConjunctiveQuery> a = ParseQuery("q(X, Y) :- r(X, Z), r(Z, Y).");
+  Result<ConjunctiveQuery> b = ParseQuery("q(U, V) :- r(U, W), r(W, V).");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<bool> eq = AreEquivalent(a.value(), b.value(), schema_);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value());
+}
+
+TEST_F(ContainmentTest, RedundantAtomElimination) {
+  // The duplicated atom is redundant: both directions hold.
+  Result<ConjunctiveQuery> minimal = ParseQuery("q(X, Y) :- r(X, Y).");
+  Result<ConjunctiveQuery> redundant =
+      ParseQuery("q(X, Y) :- r(X, Y), r(X, W).");
+  ASSERT_TRUE(minimal.ok() && redundant.ok());
+  Result<bool> eq = AreEquivalent(minimal.value(), redundant.value(),
+                                  schema_);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value());
+}
+
+TEST_F(ContainmentTest, UnsupportedFeaturesReportErrors) {
+  Result<ConjunctiveQuery> comparison =
+      ParseQuery("q(X) :- r(X, Y), Y > 3.");
+  Result<ConjunctiveQuery> plain = ParseQuery("q(X) :- r(X, Y).");
+  ASSERT_TRUE(comparison.ok() && plain.ok());
+  Result<bool> result =
+      IsContained(comparison.value(), plain.value(), schema_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  Result<ConjunctiveQuery> glav = ParseQuery("q(X, Z) :- r(X, Y).");
+  ASSERT_TRUE(glav.ok());
+  EXPECT_FALSE(IsContained(glav.value(), plain.value(), schema_).ok());
+}
+
+}  // namespace
+}  // namespace codb

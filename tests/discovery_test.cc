@@ -1,0 +1,123 @@
+// Unit tests for the peer-discovery protocol (advertisement flooding).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/discovery.h"
+#include "net/network.h"
+
+namespace codb {
+namespace {
+
+// A peer that routes advertisements into its DiscoveryService.
+class DiscoveryPeer : public NetworkPeer {
+ public:
+  void Attach(Network* network, PeerId id) {
+    service = std::make_unique<DiscoveryService>(network, id);
+  }
+  void HandleMessage(const Message& message) override {
+    if (message.type == MessageType::kAdvertisement) {
+      service->HandleAdvertisement(message);
+    }
+  }
+  std::unique_ptr<DiscoveryService> service;
+};
+
+class DiscoveryTest : public ::testing::Test {
+ protected:
+  PeerId Add(const std::string& name) {
+    peers_.push_back(std::make_unique<DiscoveryPeer>());
+    PeerId id = network_.Join(name, peers_.back().get());
+    peers_.back()->Attach(&network_, id);
+    return id;
+  }
+  DiscoveryPeer& peer(size_t i) { return *peers_[i]; }
+
+  Network network_;
+  std::vector<std::unique_ptr<DiscoveryPeer>> peers_;
+};
+
+TEST_F(DiscoveryTest, AdvertisementRoundTrip) {
+  PeerAdvertisement ad;
+  ad.peer = PeerId(5);
+  ad.epoch = 3;
+  ad.name = "node-x";
+  ad.exported_relations = {"d", "e"};
+  Result<PeerAdvertisement> back =
+      PeerAdvertisement::Deserialize(ad.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().peer, PeerId(5));
+  EXPECT_EQ(back.value().epoch, 3u);
+  EXPECT_EQ(back.value().name, "node-x");
+  EXPECT_EQ(back.value().exported_relations,
+            (std::vector<std::string>{"d", "e"}));
+}
+
+TEST_F(DiscoveryTest, FloodReachesTransitivePeers) {
+  // a - b - c chain of pipes; a's announce reaches c through b.
+  PeerId a = Add("a");
+  PeerId b = Add("b");
+  PeerId c = Add("c");
+  ASSERT_TRUE(network_.OpenPipe(a, b).ok());
+  ASSERT_TRUE(network_.OpenPipe(b, c).ok());
+
+  peer(0).service->Announce("a", {"d"});
+  network_.Run();
+
+  EXPECT_TRUE(peer(1).service->Knows(a));
+  EXPECT_TRUE(peer(2).service->Knows(a));
+  ASSERT_EQ(peer(2).service->Known().size(), 1u);
+  EXPECT_EQ(peer(2).service->Known()[0].name, "a");
+  EXPECT_EQ(peer(2).service->Known()[0].exported_relations,
+            (std::vector<std::string>{"d"}));
+}
+
+TEST_F(DiscoveryTest, FloodTerminatesOnCycles) {
+  PeerId a = Add("a");
+  PeerId b = Add("b");
+  PeerId c = Add("c");
+  ASSERT_TRUE(network_.OpenPipe(a, b).ok());
+  ASSERT_TRUE(network_.OpenPipe(b, c).ok());
+  ASSERT_TRUE(network_.OpenPipe(c, a).ok());
+
+  peer(0).service->Announce("a", {});
+  uint64_t events = network_.Run();
+  // Bounded: each peer forwards each (origin, epoch) once.
+  EXPECT_LT(events, 20u);
+  EXPECT_TRUE(peer(1).service->Knows(a));
+  EXPECT_TRUE(peer(2).service->Knows(a));
+}
+
+TEST_F(DiscoveryTest, NewerEpochReplacesOlder) {
+  PeerId a = Add("a");
+  PeerId b = Add("b");
+  ASSERT_TRUE(network_.OpenPipe(a, b).ok());
+
+  peer(0).service->Announce("a", {"d"});
+  network_.Run();
+  peer(0).service->Announce("a", {"d", "e"});
+  network_.Run();
+
+  ASSERT_EQ(peer(1).service->Known().size(), 1u);
+  EXPECT_EQ(peer(1).service->Known()[0].exported_relations,
+            (std::vector<std::string>{"d", "e"}));
+  EXPECT_EQ(peer(1).service->Known()[0].epoch, 2u);
+}
+
+TEST_F(DiscoveryTest, MalformedAdvertisementIsDropped) {
+  PeerId a = Add("a");
+  PeerId b = Add("b");
+  ASSERT_TRUE(network_.OpenPipe(a, b).ok());
+  Message junk;
+  junk.src = a;
+  junk.dst = b;
+  junk.type = MessageType::kAdvertisement;
+  junk.payload = {1, 2, 3};
+  ASSERT_TRUE(network_.Send(junk).ok());
+  network_.Run();
+  EXPECT_TRUE(peer(1).service->Known().empty());
+}
+
+}  // namespace
+}  // namespace codb

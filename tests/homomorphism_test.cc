@@ -1,0 +1,115 @@
+// Unit tests for instance homomorphisms and the certain-part helper.
+
+#include <gtest/gtest.h>
+
+#include "query/homomorphism.h"
+
+namespace codb {
+namespace {
+
+Tuple T2(Value a, Value b) { return Tuple{std::move(a), std::move(b)}; }
+
+TEST(HomomorphismTest, GroundInstancesRequireSubsetInclusion) {
+  Instance small = {{"r", {T2(Value::Int(1), Value::Int(2))}}};
+  Instance big = {{"r",
+                   {T2(Value::Int(1), Value::Int(2)),
+                    T2(Value::Int(3), Value::Int(4))}}};
+  EXPECT_TRUE(HasHomomorphism(small, big));
+  EXPECT_FALSE(HasHomomorphism(big, small));
+  EXPECT_FALSE(HomEquivalent(small, big));
+  EXPECT_TRUE(HomEquivalent(big, big));
+}
+
+TEST(HomomorphismTest, NullMapsToAnyValue) {
+  Instance with_null = {{"r", {T2(Value::Int(1), Value::Null(0, 0))}}};
+  Instance ground = {{"r", {T2(Value::Int(1), Value::Int(99))}}};
+  // The null can map onto 99...
+  EXPECT_TRUE(HasHomomorphism(with_null, ground));
+  // ...but 99 cannot map onto a null (constants are fixed).
+  EXPECT_FALSE(HasHomomorphism(ground, with_null));
+}
+
+TEST(HomomorphismTest, NullMappingMustBeConsistent) {
+  Value null = Value::Null(0, 0);
+  // The same null twice must map to the same value.
+  Instance from = {{"r", {T2(null, null)}}};
+  Instance ok = {{"r", {T2(Value::Int(5), Value::Int(5))}}};
+  Instance bad = {{"r", {T2(Value::Int(5), Value::Int(6))}}};
+  EXPECT_TRUE(HasHomomorphism(from, ok));
+  EXPECT_FALSE(HasHomomorphism(from, bad));
+}
+
+TEST(HomomorphismTest, CrossTupleNullSharing) {
+  Value null = Value::Null(0, 0);
+  Instance from = {{"r", {T2(Value::Int(1), null)}},
+                   {"s", {T2(null, Value::Int(2))}}};
+  // Consistent witness 7 in both relations.
+  Instance ok = {{"r", {T2(Value::Int(1), Value::Int(7))}},
+                 {"s", {T2(Value::Int(7), Value::Int(2))}}};
+  // Inconsistent witnesses.
+  Instance bad = {{"r", {T2(Value::Int(1), Value::Int(7))}},
+                  {"s", {T2(Value::Int(8), Value::Int(2))}}};
+  EXPECT_TRUE(HasHomomorphism(from, ok));
+  EXPECT_FALSE(HasHomomorphism(from, bad));
+}
+
+TEST(HomomorphismTest, RenamedNullsAreEquivalent) {
+  Instance a = {{"r", {T2(Value::Int(1), Value::Null(1, 1))}}};
+  Instance b = {{"r", {T2(Value::Int(1), Value::Null(2, 9))}}};
+  EXPECT_TRUE(HomEquivalent(a, b));
+}
+
+TEST(HomomorphismTest, NullCanFoldOntoAnotherTuple) {
+  // {r(1,⊥)} maps into {r(1,2)} and vice versa {r(1,2), r(1,⊥)} is
+  // hom-equivalent to {r(1,2)} (the null folds onto 2).
+  Instance a = {{"r",
+                 {T2(Value::Int(1), Value::Int(2)),
+                  T2(Value::Int(1), Value::Null(0, 0))}}};
+  Instance b = {{"r", {T2(Value::Int(1), Value::Int(2))}}};
+  EXPECT_TRUE(HomEquivalent(a, b));
+}
+
+TEST(HomomorphismTest, MissingRelationBlocksHomomorphism) {
+  Instance from = {{"r", {T2(Value::Int(1), Value::Int(2))}}};
+  Instance to = {{"s", {T2(Value::Int(1), Value::Int(2))}}};
+  EXPECT_FALSE(HasHomomorphism(from, to));
+  // An empty relation on the from-side is no constraint.
+  Instance empty_rel = {{"r", {}}};
+  EXPECT_TRUE(HasHomomorphism(empty_rel, to));
+}
+
+TEST(HomomorphismTest, EmptyInstanceMapsAnywhere) {
+  Instance empty;
+  Instance any = {{"r", {T2(Value::Int(1), Value::Int(2))}}};
+  EXPECT_TRUE(HasHomomorphism(empty, any));
+  EXPECT_TRUE(HasHomomorphism(empty, empty));
+  EXPECT_FALSE(HasHomomorphism(any, empty));
+}
+
+TEST(HomomorphismTest, BacktrackingFindsNonGreedyAssignment) {
+  Value n1 = Value::Null(0, 1);
+  Value n2 = Value::Null(0, 2);
+  // n1 must be 3 (forced by s); greedy matching of r could try n1=1 first.
+  Instance from = {{"r", {T2(n1, n2)}},
+                   {"s", {Tuple{n1}}}};
+  Instance to = {{"r",
+                  {T2(Value::Int(1), Value::Int(2)),
+                   T2(Value::Int(3), Value::Int(4))}},
+                 {"s", {Tuple{Value::Int(3)}}}};
+  EXPECT_TRUE(HasHomomorphism(from, to));
+}
+
+TEST(HomomorphismTest, CertainPartStripsNullTuples) {
+  Instance mixed = {{"r",
+                     {T2(Value::Int(2), Value::Int(1)),
+                      T2(Value::Int(1), Value::Null(0, 0)),
+                      T2(Value::Int(1), Value::Int(9))}}};
+  Instance certain = CertainPart(mixed);
+  ASSERT_EQ(certain.at("r").size(), 2u);
+  // Sorted for stable comparison.
+  EXPECT_EQ(certain.at("r")[0], T2(Value::Int(1), Value::Int(9)));
+  EXPECT_EQ(certain.at("r")[1], T2(Value::Int(2), Value::Int(1)));
+}
+
+}  // namespace
+}  // namespace codb

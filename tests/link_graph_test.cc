@@ -1,0 +1,143 @@
+// Unit tests for the link-dependency graph: dependency edges, SCC-based
+// cycle classification, and longest simple paths.
+
+#include <gtest/gtest.h>
+
+#include "core/link_graph.h"
+
+namespace codb {
+namespace {
+
+// Builds a config where every node has relations d and e, with the given
+// "rule id -> (importer, exporter, head rel, body rel)" entries.
+struct Edge {
+  std::string id;
+  std::string importer;
+  std::string exporter;
+  std::string head_rel = "d";
+  std::string body_rel = "d";
+};
+
+NetworkConfig MakeConfig(const std::vector<std::string>& nodes,
+                         const std::vector<Edge>& edges) {
+  NetworkConfig config;
+  for (const std::string& name : nodes) {
+    NodeDecl decl;
+    decl.name = name;
+    decl.relations.push_back(
+        RelationSchema("d", {{"k", ValueType::kInt}}));
+    decl.relations.push_back(
+        RelationSchema("e", {{"k", ValueType::kInt}}));
+    EXPECT_TRUE(config.AddNode(decl).ok());
+  }
+  for (const Edge& edge : edges) {
+    ConjunctiveQuery q;
+    q.head.push_back({edge.head_rel, {Term::Var("X")}});
+    q.body.push_back({edge.body_rel, {Term::Var("X")}});
+    EXPECT_TRUE(config
+                    .AddRule(CoordinationRule(edge.id, edge.importer,
+                                              edge.exporter, q))
+                    .ok());
+  }
+  EXPECT_TRUE(config.Validate().ok());
+  return config;
+}
+
+TEST(LinkGraphTest, ChainDependencies) {
+  // c <- b via r1; b <- a via r2: data through r2 (into b) can trigger r1
+  // (exported by b). Edge r2 -> r1.
+  NetworkConfig config = MakeConfig(
+      {"a", "b", "c"},
+      {{"r1", "c", "b"}, {"r2", "b", "a"}});
+  LinkGraph graph = LinkGraph::Build(config);
+
+  EXPECT_EQ(graph.rule_count(), 2u);
+  EXPECT_EQ(graph.DependentOn("r2"),
+            (std::vector<std::string>{"r1"}));
+  EXPECT_EQ(graph.RelevantFor("r1"),
+            (std::vector<std::string>{"r2"}));
+  EXPECT_TRUE(graph.DependentOn("r1").empty());
+  EXPECT_TRUE(graph.RelevantFor("r2").empty());
+  EXPECT_FALSE(graph.HasAnyCycle());
+  EXPECT_FALSE(graph.IsCyclic("r1"));
+  EXPECT_EQ(graph.LongestSimplePath(), 1);
+}
+
+TEST(LinkGraphTest, NoEdgeWhenRelationsDisjoint) {
+  // r2 writes e at b, but r1's body reads d at b: no dependency.
+  NetworkConfig config = MakeConfig(
+      {"a", "b", "c"},
+      {{"r1", "c", "b", "d", "d"}, {"r2", "b", "a", "e", "d"}});
+  LinkGraph graph = LinkGraph::Build(config);
+  EXPECT_TRUE(graph.DependentOn("r2").empty());
+  EXPECT_TRUE(graph.RelevantFor("r1").empty());
+}
+
+TEST(LinkGraphTest, NoEdgeAcrossDifferentNodes) {
+  // r2 imports into b', not b: even with matching relations, no edge.
+  NetworkConfig config = MakeConfig(
+      {"a", "b", "b2", "c"},
+      {{"r1", "c", "b"}, {"r2", "b2", "a"}});
+  LinkGraph graph = LinkGraph::Build(config);
+  EXPECT_TRUE(graph.DependentOn("r2").empty());
+}
+
+TEST(LinkGraphTest, RingIsOneCyclicScc) {
+  NetworkConfig config = MakeConfig(
+      {"a", "b", "c"},
+      {{"r0", "a", "b"}, {"r1", "b", "c"}, {"r2", "c", "a"}});
+  LinkGraph graph = LinkGraph::Build(config);
+  EXPECT_TRUE(graph.HasAnyCycle());
+  EXPECT_TRUE(graph.IsCyclic("r0"));
+  EXPECT_TRUE(graph.IsCyclic("r1"));
+  EXPECT_TRUE(graph.IsCyclic("r2"));
+}
+
+TEST(LinkGraphTest, MixedCyclicAndAcyclicParts) {
+  // Two-cycle between a and b, plus an acyclic tail into c.
+  NetworkConfig config = MakeConfig(
+      {"a", "b", "c"},
+      {{"cyc1", "a", "b"}, {"cyc2", "b", "a"}, {"tail", "c", "a"}});
+  LinkGraph graph = LinkGraph::Build(config);
+  EXPECT_TRUE(graph.HasAnyCycle());
+  EXPECT_TRUE(graph.IsCyclic("cyc1"));
+  EXPECT_TRUE(graph.IsCyclic("cyc2"));
+  EXPECT_FALSE(graph.IsCyclic("tail"));
+  // Data through cyc2 (into b)... cyc1 is exported by b? cyc1 imports
+  // into a from b, so cyc1 is b's incoming link: edge cyc2 -> cyc1.
+  EXPECT_EQ(graph.DependentOn("cyc2"),
+            (std::vector<std::string>{"cyc1"}));
+}
+
+TEST(LinkGraphTest, LongestSimplePathOnChain) {
+  std::vector<std::string> nodes;
+  std::vector<Edge> edges;
+  for (int i = 0; i < 6; ++i) nodes.push_back("n" + std::to_string(i));
+  // n0 <- n1 <- ... <- n5: 5 links, path length 4 edges.
+  for (int i = 0; i + 1 < 6; ++i) {
+    edges.push_back({"r" + std::to_string(i), "n" + std::to_string(i),
+                     "n" + std::to_string(i + 1)});
+  }
+  LinkGraph graph = LinkGraph::Build(MakeConfig(nodes, edges));
+  EXPECT_EQ(graph.LongestSimplePath(), 4);
+}
+
+TEST(LinkGraphTest, UnknownRuleIsSafe) {
+  NetworkConfig config = MakeConfig({"a", "b"}, {{"r1", "a", "b"}});
+  LinkGraph graph = LinkGraph::Build(config);
+  EXPECT_TRUE(graph.DependentOn("ghost").empty());
+  EXPECT_TRUE(graph.RelevantFor("ghost").empty());
+  EXPECT_FALSE(graph.IsCyclic("ghost"));
+}
+
+TEST(LinkGraphTest, ToStringListsLinks) {
+  NetworkConfig config = MakeConfig(
+      {"a", "b"}, {{"r1", "a", "b"}, {"r2", "b", "a"}});
+  LinkGraph graph = LinkGraph::Build(config);
+  std::string text = graph.ToString();
+  EXPECT_NE(text.find("r1"), std::string::npos);
+  EXPECT_NE(text.find("cyclic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace codb

@@ -1,0 +1,229 @@
+// Unit tests for the discrete-event network simulator: delivery order,
+// latency/bandwidth cost model, FIFO pipes, churn, and scheduled actions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace codb {
+namespace {
+
+// Records every delivery it sees.
+class RecordingPeer : public NetworkPeer {
+ public:
+  void HandleMessage(const Message& message) override {
+    received.push_back(message);
+    receive_times.push_back(now_source != nullptr ? now_source->now_us()
+                                                  : 0);
+  }
+  void HandlePipeClosed(PeerId other) override {
+    closed_pipes.push_back(other);
+  }
+
+  Network* now_source = nullptr;
+  std::vector<Message> received;
+  std::vector<int64_t> receive_times;
+  std::vector<PeerId> closed_pipes;
+};
+
+Message Msg(PeerId src, PeerId dst, size_t payload_bytes = 0) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = MessageType::kAdvertisement;
+  m.payload.assign(payload_bytes, 0x55);
+  return m;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_.now_source = &network_;
+    b_.now_source = &network_;
+    id_a_ = network_.Join("a", &a_);
+    id_b_ = network_.Join("b", &b_);
+  }
+
+  Network network_;
+  RecordingPeer a_;
+  RecordingPeer b_;
+  PeerId id_a_;
+  PeerId id_b_;
+};
+
+TEST_F(NetworkTest, SendRequiresAPipe) {
+  Status no_pipe = network_.Send(Msg(id_a_, id_b_));
+  EXPECT_EQ(no_pipe.code(), StatusCode::kUnavailable);
+
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_).ok());
+  EXPECT_TRUE(network_.Send(Msg(id_a_, id_b_)).ok());
+  network_.Run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, LatencyAndBandwidthDelayDelivery) {
+  LinkProfile profile;
+  profile.latency_us = 1000;
+  profile.bandwidth_bpus = 2.0;  // 2 bytes per us
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_, profile).ok());
+
+  // WireSize = 12 header + 88 payload = 100 bytes -> 50us transmit.
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 88)).ok());
+  network_.Run();
+  ASSERT_EQ(b_.receive_times.size(), 1u);
+  EXPECT_EQ(b_.receive_times[0], 1050);
+}
+
+TEST_F(NetworkTest, PipeIsFifoAndSerializesBandwidth) {
+  LinkProfile profile;
+  profile.latency_us = 10;
+  profile.bandwidth_bpus = 1.0;
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_, profile).ok());
+
+  // Two 100-byte messages sent back to back at t=0: the second waits for
+  // the first to clear the link (FIFO serialization).
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 88)).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 88)).ok());
+  network_.Run();
+  ASSERT_EQ(b_.receive_times.size(), 2u);
+  EXPECT_EQ(b_.receive_times[0], 110);   // 100 transmit + 10 latency
+  EXPECT_EQ(b_.receive_times[1], 210);   // starts at 100, arrives 210
+}
+
+TEST_F(NetworkTest, OppositeDirectionsDoNotShareBandwidth) {
+  LinkProfile profile;
+  profile.latency_us = 10;
+  profile.bandwidth_bpus = 1.0;
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_, profile).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 88)).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_b_, id_a_, 88)).ok());
+  network_.Run();
+  ASSERT_EQ(b_.receive_times.size(), 1u);
+  ASSERT_EQ(a_.receive_times.size(), 1u);
+  EXPECT_EQ(b_.receive_times[0], 110);
+  EXPECT_EQ(a_.receive_times[0], 110);  // full duplex
+}
+
+TEST_F(NetworkTest, EqualTimestampsDeliverInSendOrder) {
+  RecordingPeer c;
+  c.now_source = &network_;
+  PeerId id_c = network_.Join("c", &c);
+  LinkProfile instant;
+  instant.latency_us = 5;
+  instant.bandwidth_bpus = 0;  // no serialization delay
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_c, instant).ok());
+  ASSERT_TRUE(network_.OpenPipe(id_b_, id_c, instant).ok());
+
+  Message first = Msg(id_a_, id_c);
+  first.type = MessageType::kUpdateRequest;
+  Message second = Msg(id_b_, id_c);
+  second.type = MessageType::kUpdateData;
+  ASSERT_TRUE(network_.Send(first).ok());
+  ASSERT_TRUE(network_.Send(second).ok());
+  network_.Run();
+  ASSERT_EQ(c.received.size(), 2u);
+  EXPECT_EQ(c.received[0].type, MessageType::kUpdateRequest);
+  EXPECT_EQ(c.received[1].type, MessageType::kUpdateData);
+}
+
+TEST_F(NetworkTest, InFlightMessagesDropOnPipeClose) {
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_)).ok());
+  ASSERT_TRUE(network_.ClosePipe(id_a_, id_b_).ok());
+  network_.Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(network_.stats().dropped_messages(), 1u);
+  // Both endpoints were notified.
+  ASSERT_EQ(a_.closed_pipes.size(), 1u);
+  EXPECT_EQ(a_.closed_pipes[0], id_b_);
+  ASSERT_EQ(b_.closed_pipes.size(), 1u);
+  EXPECT_EQ(b_.closed_pipes[0], id_a_);
+}
+
+TEST_F(NetworkTest, LeaveKillsPipesAndDropsTraffic) {
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_)).ok());
+  ASSERT_TRUE(network_.Leave(id_b_).ok());
+  EXPECT_FALSE(network_.IsAlive(id_b_));
+  network_.Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(network_.stats().dropped_messages(), 1u);
+  // Survivor was notified; the dead peer was not.
+  ASSERT_EQ(a_.closed_pipes.size(), 1u);
+  EXPECT_TRUE(b_.closed_pipes.empty());
+  // Sends from a dead peer fail.
+  EXPECT_FALSE(network_.Send(Msg(id_b_, id_a_)).ok());
+}
+
+TEST_F(NetworkTest, FindByNameAndNeighbors) {
+  EXPECT_EQ(network_.FindByName("a").value(), id_a_);
+  EXPECT_FALSE(network_.FindByName("zz").ok());
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_).ok());
+  EXPECT_EQ(network_.Neighbors(id_a_),
+            (std::vector<PeerId>{id_b_}));
+  EXPECT_EQ(network_.open_pipe_count(), 1u);
+  network_.ClosePipe(id_a_, id_b_);
+  EXPECT_TRUE(network_.Neighbors(id_a_).empty());
+  EXPECT_EQ(network_.open_pipe_count(), 0u);
+}
+
+TEST_F(NetworkTest, ReopeningAClosedPipeWorks) {
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_).ok());
+  ASSERT_TRUE(network_.ClosePipe(id_a_, id_b_).ok());
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_)).ok());
+  network_.Run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, ScheduledActionsRunAtTheirTime) {
+  std::vector<int64_t> fired_at;
+  network_.ScheduleAt(500, [&] { fired_at.push_back(network_.now_us()); });
+  network_.ScheduleAfter(100, [&] { fired_at.push_back(network_.now_us()); });
+  network_.Run();
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_EQ(fired_at[0], 100);
+  EXPECT_EQ(fired_at[1], 500);
+  EXPECT_EQ(network_.now_us(), 500);
+}
+
+TEST_F(NetworkTest, ChurnScriptRewiresMidFlight) {
+  // Cut the pipe at t=500 while traffic is flowing.
+  LinkProfile slow;
+  slow.latency_us = 1000;
+  slow.bandwidth_bpus = 0;
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_, slow).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_)).ok());  // arrives t=1000
+  network_.ScheduleAt(500, [&] { network_.ClosePipe(id_a_, id_b_); });
+  network_.Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(network_.stats().dropped_messages(), 1u);
+}
+
+TEST_F(NetworkTest, RunHonorsEventCap) {
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_)).ok());
+  }
+  EXPECT_EQ(network_.Run(/*max_events=*/3), 3u);
+  EXPECT_EQ(b_.received.size(), 3u);
+  network_.Run();
+  EXPECT_EQ(b_.received.size(), 10u);
+}
+
+TEST_F(NetworkTest, StatsCountMessagesAndBytes) {
+  ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 88)).ok());
+  network_.Run();
+  EXPECT_EQ(network_.stats().total_messages(), 1u);
+  EXPECT_EQ(network_.stats().total_bytes(), 100u);
+  EXPECT_EQ(network_.stats().MessagesOfType(MessageType::kAdvertisement),
+            1u);
+  EXPECT_EQ(network_.stats().BytesOfType(MessageType::kAdvertisement),
+            100u);
+}
+
+}  // namespace
+}  // namespace codb

@@ -1,0 +1,162 @@
+// Direct tests of the Node API: creation, configuration errors, pipe
+// lifecycle driven by rules, discovery integration, and the operations
+// that require a configuration.
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "core/node.h"
+#include "core/super_peer.h"
+#include "query/parser.h"
+#include "workload/topology_gen.h"
+
+namespace codb {
+namespace {
+
+DatabaseSchema OneRelation() {
+  DatabaseSchema schema;
+  schema.AddRelation(RelationSchema("d", {{"k", ValueType::kInt}}));
+  return schema;
+}
+
+TEST(NodeTest, CreateJoinsNetworkAndAnnounces) {
+  Network network;
+  Result<std::unique_ptr<Node>> node =
+      Node::Create(&network, "solo", OneRelation());
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  EXPECT_TRUE(node.value()->id().valid());
+  EXPECT_EQ(node.value()->name(), "solo");
+  EXPECT_FALSE(node.value()->is_mediator());
+  EXPECT_TRUE(network.IsAlive(node.value()->id()));
+  EXPECT_EQ(network.NameOf(node.value()->id()), "solo");
+}
+
+TEST(NodeTest, MediatorHasTransientStore) {
+  Network network;
+  Result<std::unique_ptr<Node>> node =
+      Node::Create(&network, "relay", OneRelation(), /*mediator=*/true);
+  ASSERT_TRUE(node.ok());
+  EXPECT_TRUE(node.value()->is_mediator());
+  EXPECT_NE(node.value()->database().Find("d"), nullptr);
+}
+
+TEST(NodeTest, OperationsRequireConfiguration) {
+  Network network;
+  Result<std::unique_ptr<Node>> node =
+      Node::Create(&network, "lonely", OneRelation());
+  ASSERT_TRUE(node.ok());
+
+  EXPECT_EQ(node.value()->StartGlobalUpdate().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(node.value()->StartGlobalRefresh().status().code(),
+            StatusCode::kFailedPrecondition);
+  Result<ConjunctiveQuery> q = ParseQuery("q(K) :- d(K).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(node.value()->StartQuery(q.value()).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Local queries work without a configuration.
+  EXPECT_TRUE(node.value()->LocalQuery(q.value()).ok());
+  EXPECT_FALSE(node.value()->has_config());
+  EXPECT_TRUE(node.value()->ConsistencyViolations().empty());
+}
+
+TEST(NodeTest, ConfigSchemaMismatchRejected) {
+  Network network;
+  Result<std::unique_ptr<Node>> node =
+      Node::Create(&network, "a", OneRelation());
+  ASSERT_TRUE(node.ok());
+
+  // Config declares a's relation with a different type.
+  Result<NetworkConfig> config = NetworkConfig::Parse(
+      "node a\n  relation d(k:string)\n"
+      "node b\n  relation d(k:string)\n"
+      "rule r1 a <- b : d(K) :- d(K).\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  Status applied = node.value()->ApplyConfig(config.value(), 1);
+  EXPECT_EQ(applied.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(node.value()->has_config());
+}
+
+TEST(NodeTest, RulesDrivePipeLifecycle) {
+  Network network;
+  Result<std::unique_ptr<Node>> a =
+      Node::Create(&network, "a", OneRelation());
+  Result<std::unique_ptr<Node>> b =
+      Node::Create(&network, "b", OneRelation());
+  Result<std::unique_ptr<Node>> c =
+      Node::Create(&network, "c", OneRelation());
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  Result<NetworkConfig> with_ab = NetworkConfig::Parse(
+      "node a\n  relation d(k:int)\n"
+      "node b\n  relation d(k:int)\n"
+      "node c\n  relation d(k:int)\n"
+      "rule r1 a <- b : d(K) :- d(K).\n");
+  ASSERT_TRUE(with_ab.ok());
+  ASSERT_TRUE(a.value()->ApplyConfig(with_ab.value(), 1).ok());
+  EXPECT_TRUE(network.HasPipe(a.value()->id(), b.value()->id()));
+  EXPECT_FALSE(network.HasPipe(a.value()->id(), c.value()->id()));
+
+  // New config connects a to c instead: the a-b pipe is dropped.
+  Result<NetworkConfig> with_ac = NetworkConfig::Parse(
+      "node a\n  relation d(k:int)\n"
+      "node b\n  relation d(k:int)\n"
+      "node c\n  relation d(k:int)\n"
+      "rule r2 a <- c : d(K) :- d(K).\n");
+  ASSERT_TRUE(with_ac.ok());
+  ASSERT_TRUE(a.value()->ApplyConfig(with_ac.value(), 2).ok());
+  EXPECT_FALSE(network.HasPipe(a.value()->id(), b.value()->id()));
+  EXPECT_TRUE(network.HasPipe(a.value()->id(), c.value()->id()));
+}
+
+TEST(NodeTest, ReportWorksBeforeConfiguration) {
+  Network network;
+  Result<std::unique_ptr<Node>> node =
+      Node::Create(&network, "bare", OneRelation());
+  ASSERT_TRUE(node.ok());
+  std::string report = node.value()->Report();
+  EXPECT_NE(report.find("node bare"), std::string::npos);
+  EXPECT_NE(report.find("exported schema"), std::string::npos);
+  std::string view = node.value()->DiscoveryView();
+  EXPECT_NE(view.find("acquaintances"), std::string::npos);
+}
+
+TEST(NodeTest, QueryAnswersForUnknownFlowFails) {
+  Network network;
+  Result<std::unique_ptr<Node>> a =
+      Node::Create(&network, "a", OneRelation());
+  Result<std::unique_ptr<Node>> b =
+      Node::Create(&network, "b", OneRelation());
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<NetworkConfig> config = NetworkConfig::Parse(
+      "node a\n  relation d(k:int)\n"
+      "node b\n  relation d(k:int)\n"
+      "rule r1 a <- b : d(K) :- d(K).\n");
+  ASSERT_TRUE(config.ok());
+  ASSERT_TRUE(a.value()->ApplyConfig(config.value(), 1).ok());
+
+  FlowId ghost{FlowId::Scope::kQuery, 0, 42};
+  EXPECT_FALSE(a.value()->QueryAnswers(ghost).ok());
+  EXPECT_FALSE(a.value()->QueryDone(ghost));
+}
+
+TEST(NodeTest, DuplicateNamesResolveToFirstAlive) {
+  // The network allows duplicate names (peers are ids); name resolution
+  // returns the first alive peer, and nodes keep working.
+  Network network;
+  Result<std::unique_ptr<Node>> first =
+      Node::Create(&network, "twin", OneRelation());
+  Result<std::unique_ptr<Node>> second =
+      Node::Create(&network, "twin", OneRelation());
+  ASSERT_TRUE(first.ok() && second.ok());
+  Result<PeerId> resolved = network.FindByName("twin");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value(), first.value()->id());
+  ASSERT_TRUE(network.Leave(first.value()->id()).ok());
+  Result<PeerId> after = network.FindByName("twin");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), second.value()->id());
+}
+
+}  // namespace
+}  // namespace codb

@@ -1,0 +1,191 @@
+// Unit tests for the centralized reference semantics (the oracle itself),
+// including the cases where the path-bounded semantics deliberately
+// differs from the naive fixpoint.
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "query/parser.h"
+
+namespace codb {
+namespace {
+
+NetworkConfig TwoNodeLoop() {
+  // a <-> b over relation d; data copied in both directions.
+  NetworkConfig config;
+  for (const char* name : {"a", "b"}) {
+    NodeDecl decl;
+    decl.name = name;
+    decl.relations.push_back(RelationSchema(
+        "d", {{"k", ValueType::kInt}}));
+    config.AddNode(decl);
+  }
+  auto q = ParseQuery("d(X) :- d(X).");
+  config.AddRule(CoordinationRule("ab", "a", "b", q.value()));
+  config.AddRule(CoordinationRule("ba", "b", "a", q.value()));
+  return config;
+}
+
+Instance D(std::vector<int64_t> keys) {
+  Instance instance;
+  for (int64_t k : keys) instance["d"].push_back(Tuple{Value::Int(k)});
+  return instance;
+}
+
+TEST(OracleTest, TwoCycleDoesNotReflectOwnData) {
+  // The defining corner case of the path-bounded semantics: in a 2-cycle,
+  // a's own data travels to b but is never reflected back to a (the path
+  // a -> b -> a is not simple).
+  NetworkConfig config = TwoNodeLoop();
+  NetworkInstance seeds = {{"a", D({1})}, {"b", D({2})}};
+
+  Result<NetworkInstance> bounded = Oracle::PathBounded(config, seeds);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+  EXPECT_EQ(bounded.value().at("a").at("d").size(), 2u);  // 1 and 2
+  EXPECT_EQ(bounded.value().at("b").at("d").size(), 2u);  // 2 and 1
+
+  // The naive fixpoint agrees here (reflection adds no new tuples for
+  // copy rules), making the ring a safe exactness test.
+  Result<NetworkInstance> naive = Oracle::NaiveFixpoint(config, seeds);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(bounded.value(), naive.value());
+}
+
+TEST(OracleTest, ReflectionDifferenceWithRenaming) {
+  // With a renaming through another relation the difference becomes
+  // observable: b re-exports a's data into a *different* relation of a,
+  // which the path bound forbids (a -> b -> a is not simple) but the
+  // naive fixpoint allows.
+  NetworkConfig config;
+  {
+    NodeDecl a;
+    a.name = "a";
+    a.relations.push_back(RelationSchema("d", {{"k", ValueType::kInt}}));
+    a.relations.push_back(RelationSchema("back", {{"k", ValueType::kInt}}));
+    config.AddNode(a);
+    NodeDecl b;
+    b.name = "b";
+    b.relations.push_back(RelationSchema("d", {{"k", ValueType::kInt}}));
+    config.AddNode(b);
+  }
+  config.AddRule(CoordinationRule(
+      "ab", "b", "a", ParseQuery("d(X) :- d(X).").value()));
+  config.AddRule(CoordinationRule(
+      "ba", "a", "b", ParseQuery("back(X) :- d(X).").value()));
+  ASSERT_TRUE(config.Validate().ok());
+
+  NetworkInstance seeds = {{"a", D({1})}, {"b", D({2})}};
+
+  Result<NetworkInstance> bounded = Oracle::PathBounded(config, seeds);
+  ASSERT_TRUE(bounded.ok());
+  // back at a holds only b's own key (2): key 1 would have had to travel
+  // a -> b -> a.
+  ASSERT_EQ(bounded.value().at("a").at("back").size(), 1u);
+  EXPECT_EQ(bounded.value().at("a").at("back")[0], Tuple{Value::Int(2)});
+
+  Result<NetworkInstance> naive = Oracle::NaiveFixpoint(config, seeds);
+  ASSERT_TRUE(naive.ok());
+  // The naive fixpoint reflects key 1 back.
+  EXPECT_EQ(naive.value().at("a").at("back").size(), 2u);
+}
+
+TEST(OracleTest, ExistentialCycleTerminatesUnderPathBound) {
+  // d(K,Z) :- d(K,V) around a 2-cycle: the unbounded chase would mint
+  // nulls forever; the path bound stops after one lap.
+  NetworkConfig config;
+  for (const char* name : {"a", "b"}) {
+    NodeDecl decl;
+    decl.name = name;
+    decl.relations.push_back(RelationSchema(
+        "d", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}));
+    config.AddNode(decl);
+  }
+  auto q = ParseQuery("d(K, Z) :- d(K, V).");
+  config.AddRule(CoordinationRule("ab", "a", "b", q.value()));
+  config.AddRule(CoordinationRule("ba", "b", "a", q.value()));
+  ASSERT_TRUE(config.Validate().ok());
+
+  NetworkInstance seeds = {
+      {"a", {{"d", {Tuple{Value::Int(1), Value::Int(10)}}}}},
+      {"b", {{"d", {Tuple{Value::Int(2), Value::Int(20)}}}}}};
+
+  Result<NetworkInstance> bounded = Oracle::PathBounded(config, seeds);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+  // a: own tuple + (2, null) imported from b. The import of (1, null)
+  // back into a is blocked by the path bound.
+  EXPECT_EQ(bounded.value().at("a").at("d").size(), 2u);
+
+  // The naive fixpoint converges here too: the frontier projects away the
+  // existential, so firings are keyed by the (finite) key values.
+  Result<NetworkInstance> naive =
+      Oracle::NaiveFixpoint(config, seeds, /*max_rounds=*/50);
+  ASSERT_TRUE(naive.ok());
+  // Naively, a additionally receives the reflected (1, null) via b.
+  EXPECT_EQ(naive.value().at("a").at("d").size(), 3u);
+}
+
+TEST(OracleTest, NullFeedingCycleDivergesNaivelyButNotPathBounded) {
+  // d(Z, K) :- d(K, V): the fresh null becomes next lap's key, so the
+  // unbounded chase mints a genuinely new frontier every lap and never
+  // converges — while the path bound stops after one lap per seed.
+  NetworkConfig config;
+  for (const char* name : {"a", "b"}) {
+    NodeDecl decl;
+    decl.name = name;
+    decl.relations.push_back(RelationSchema(
+        "d", {{"k", ValueType::kInt}, {"v", ValueType::kInt}}));
+    config.AddNode(decl);
+  }
+  auto q = ParseQuery("d(Z, K) :- d(K, V).");
+  config.AddRule(CoordinationRule("ab", "a", "b", q.value()));
+  config.AddRule(CoordinationRule("ba", "b", "a", q.value()));
+  ASSERT_TRUE(config.Validate().ok());
+
+  NetworkInstance seeds = {
+      {"a", {{"d", {Tuple{Value::Int(1), Value::Int(10)}}}}},
+      {"b", {{"d", {Tuple{Value::Int(2), Value::Int(20)}}}}}};
+
+  Result<NetworkInstance> bounded = Oracle::PathBounded(config, seeds);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+
+  Result<NetworkInstance> naive =
+      Oracle::NaiveFixpoint(config, seeds, /*max_rounds=*/50);
+  EXPECT_FALSE(naive.ok());
+  EXPECT_EQ(naive.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OracleTest, SeedsForUnknownRelationsAreErrors) {
+  NetworkConfig config = TwoNodeLoop();
+  NetworkInstance seeds = {{"a", {{"ghost", {Tuple{Value::Int(1)}}}}}};
+  Result<NetworkInstance> bounded = Oracle::PathBounded(config, seeds);
+  EXPECT_FALSE(bounded.ok());
+}
+
+TEST(OracleTest, JoinRuleRequiresBothSides) {
+  // b imports d-join-e from a; only keys present in both propagate.
+  NetworkConfig config;
+  for (const char* name : {"a", "b"}) {
+    NodeDecl decl;
+    decl.name = name;
+    decl.relations.push_back(RelationSchema(
+        "d", {{"k", ValueType::kInt}}));
+    decl.relations.push_back(RelationSchema(
+        "e", {{"k", ValueType::kInt}}));
+    config.AddNode(decl);
+  }
+  config.AddRule(CoordinationRule(
+      "r", "b", "a", ParseQuery("d(K) :- d(K), e(K).").value()));
+  ASSERT_TRUE(config.Validate().ok());
+
+  NetworkInstance seeds = {
+      {"a",
+       {{"d", {Tuple{Value::Int(1)}, Tuple{Value::Int(2)}}},
+        {"e", {Tuple{Value::Int(2)}}}}}};
+  Result<NetworkInstance> bounded = Oracle::PathBounded(config, seeds);
+  ASSERT_TRUE(bounded.ok());
+  ASSERT_EQ(bounded.value().at("b").at("d").size(), 1u);
+  EXPECT_EQ(bounded.value().at("b").at("d")[0], Tuple{Value::Int(2)});
+}
+
+}  // namespace
+}  // namespace codb

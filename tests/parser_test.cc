@@ -1,0 +1,134 @@
+// Unit tests for the query/schema parser.
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace codb {
+namespace {
+
+TEST(ParserTest, SimpleQuery) {
+  Result<ConjunctiveQuery> q = ParseQuery("q(X, Y) :- r(X, Z), s(Z, Y).");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().head.size(), 1u);
+  EXPECT_EQ(q.value().head[0].predicate, "q");
+  EXPECT_EQ(q.value().body.size(), 2u);
+  EXPECT_EQ(q.value().body[1].predicate, "s");
+  EXPECT_TRUE(q.value().comparisons.empty());
+}
+
+TEST(ParserTest, ConstantsOfAllKinds) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("q(X) :- r(X, 42, -7, 3.5, 'hello world').");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const Atom& atom = q.value().body[0];
+  EXPECT_EQ(atom.terms[1].value(), Value::Int(42));
+  EXPECT_EQ(atom.terms[2].value(), Value::Int(-7));
+  EXPECT_EQ(atom.terms[3].value(), Value::Double(3.5));
+  EXPECT_EQ(atom.terms[4].value(), Value::String("hello world"));
+}
+
+TEST(ParserTest, ComparisonsAllOperators) {
+  Result<ConjunctiveQuery> q = ParseQuery(
+      "q(X) :- r(X, Y), X < 5, X <= Y, Y > 0, Y >= X, X != 3, Y = 2.");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().comparisons.size(), 6u);
+  EXPECT_EQ(q.value().comparisons[0].op, ComparisonOp::kLt);
+  EXPECT_EQ(q.value().comparisons[1].op, ComparisonOp::kLeq);
+  EXPECT_EQ(q.value().comparisons[2].op, ComparisonOp::kGt);
+  EXPECT_EQ(q.value().comparisons[3].op, ComparisonOp::kGeq);
+  EXPECT_EQ(q.value().comparisons[4].op, ComparisonOp::kNeq);
+  EXPECT_EQ(q.value().comparisons[5].op, ComparisonOp::kEq);
+}
+
+TEST(ParserTest, MultiAtomHead) {
+  Result<ConjunctiveQuery> q =
+      ParseQuery("a(X), b(X, Z) :- r(X).");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().head.size(), 2u);
+  // Z is existential (GLAV head).
+  EXPECT_EQ(q.value().ExistentialVars(),
+            (std::set<std::string>{"Z"}));
+}
+
+TEST(ParserTest, UnderscoreAndUppercaseAreVariables) {
+  Result<ConjunctiveQuery> q = ParseQuery("q(_x, Y) :- r(_x, Y).");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q.value().head[0].terms[0].is_var());
+  EXPECT_EQ(q.value().head[0].terms[0].var(), "_x");
+}
+
+TEST(ParserTest, TrailingPeriodOptional) {
+  EXPECT_TRUE(ParseQuery("q(X) :- r(X)").ok());
+  EXPECT_TRUE(ParseQuery("q(X) :- r(X).").ok());
+}
+
+TEST(ParserTest, ErrorsArePreciseAndNonFatal) {
+  struct Case {
+    const char* text;
+    const char* expect_substring;
+  };
+  const Case cases[] = {
+      {"", "expected identifier"},
+      {"q(X)", "expected ',' or ':-'"},
+      {"q(X) :- ", "expected identifier"},
+      {"q(X) :- r(X", "expected ',' or ')'"},
+      {"q(X) :- r(X) extra", "trailing input"},
+      {"q(X) :- r(X, 'oops)", "unterminated string"},
+      {"q(X) :- r(lower)", "lower-case identifier"},
+      {"q(X) :- r(X), X ~ 3", "comparison operator"},
+  };
+  for (const Case& c : cases) {
+    Result<ConjunctiveQuery> q = ParseQuery(c.text);
+    ASSERT_FALSE(q.ok()) << "should fail: " << c.text;
+    EXPECT_EQ(q.status().code(), StatusCode::kParseError) << c.text;
+    EXPECT_NE(q.status().message().find(c.expect_substring),
+              std::string::npos)
+        << "for \"" << c.text << "\" got: " << q.status().message();
+  }
+}
+
+TEST(ParserTest, ConstantOnlyComparisonRejectedByValidation) {
+  Result<ConjunctiveQuery> q = ParseQuery("q(X) :- r(X), 1 = 2.");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("between two constants"),
+            std::string::npos);
+}
+
+TEST(ParserTest, UnsafeComparisonVariableRejected) {
+  // W occurs only in a comparison -> unsafe.
+  Result<ConjunctiveQuery> q = ParseQuery("q(X) :- r(X), W > 3.");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, SchemaDeclaration) {
+  Result<RelationSchema> schema =
+      ParseSchema("emp(id:int, name:string, salary:double)");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema.value().name(), "emp");
+  ASSERT_EQ(schema.value().arity(), 3);
+  EXPECT_EQ(schema.value().attributes()[0].type, ValueType::kInt);
+  EXPECT_EQ(schema.value().attributes()[1].type, ValueType::kString);
+  EXPECT_EQ(schema.value().attributes()[2].type, ValueType::kDouble);
+}
+
+TEST(ParserTest, SchemaErrors) {
+  EXPECT_FALSE(ParseSchema("emp(id:int").ok());
+  EXPECT_FALSE(ParseSchema("emp(id:blob)").ok());
+  EXPECT_FALSE(ParseSchema("emp(id int)").ok());
+  EXPECT_FALSE(ParseSchema("emp()").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* text = "q(X, Y) :- r(X, Z), s(Z, Y), Z > 5, X != 'a'.";
+  Result<ConjunctiveQuery> q1 = ParseQuery(text);
+  ASSERT_TRUE(q1.ok());
+  Result<ConjunctiveQuery> q2 = ParseQuery(q1.value().ToString());
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(q1.value(), q2.value());
+}
+
+}  // namespace
+}  // namespace codb

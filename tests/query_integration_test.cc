@@ -1,0 +1,207 @@
+// End-to-end tests of distributed query answering: streaming results,
+// simple-path labels, overlay isolation (query-time fetch does not mutate
+// node databases), and equivalence with querying after a global update.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "query/parser.h"
+#include "workload/testbed.h"
+#include "workload/topology_gen.h"
+
+namespace codb {
+namespace {
+
+ConjunctiveQuery Q(const std::string& text) {
+  Result<ConjunctiveQuery> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+TEST(QueryAnsweringTest, FetchesRemoteDataWithoutMutatingStores) {
+  WorkloadOptions options;
+  options.nodes = 3;
+  options.tuples_per_node = 4;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+  Testbed& bed = *testbed.value();
+
+  Node* n0 = bed.node("n0");
+  size_t before = n0->database().Find("d")->size();
+
+  Result<FlowId> query = n0->StartQuery(Q("q(K, V) :- d(K, V)."));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  bed.network().Run();
+
+  EXPECT_TRUE(n0->QueryDone(query.value()));
+  Result<std::vector<Tuple>> answers = n0->QueryAnswers(query.value());
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  // All three nodes' d-tuples are visible through the chain.
+  EXPECT_EQ(answers.value().size(), 12u);
+
+  // But the local store was not touched (overlay isolation)...
+  EXPECT_EQ(n0->database().Find("d")->size(), before);
+  // ...on any node.
+  EXPECT_EQ(bed.node("n1")->database().Find("d")->size(), 4u);
+  EXPECT_EQ(bed.node("n2")->database().Find("d")->size(), 4u);
+}
+
+TEST(QueryAnsweringTest, StreamsResultsInWaves) {
+  WorkloadOptions options;
+  options.nodes = 3;
+  options.tuples_per_node = 2;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+  Testbed& bed = *testbed.value();
+
+  int waves = 0;
+  bool completed = false;
+  Result<FlowId> query = bed.node("n0")->StartQuery(
+      Q("q(K) :- d(K, V)."),
+      [&](const QueryManager::QueryProgress& progress) {
+        if (progress.done) {
+          completed = true;
+        } else if (progress.new_tuples > 0) {
+          ++waves;
+        }
+      });
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  bed.network().Run();
+
+  EXPECT_TRUE(completed);
+  // n1's data and n2's data arrive in separate waves (one hop vs two).
+  EXPECT_GE(waves, 2);
+}
+
+TEST(QueryAnsweringTest, AgreesWithQueryAfterGlobalUpdate) {
+  WorkloadOptions options;
+  options.nodes = 4;
+  options.tuples_per_node = 3;
+  options.style = RuleStyle::kJoin;
+  GeneratedNetwork generated = MakeTree(options);
+
+  // Query-time answering on a cold network...
+  Result<std::unique_ptr<Testbed>> cold_bed = Testbed::Create(generated);
+  ASSERT_TRUE(cold_bed.ok());
+  Result<FlowId> query =
+      cold_bed.value()->node("n0")->StartQuery(Q("q(K, V) :- d(K, V)."));
+  ASSERT_TRUE(query.ok());
+  cold_bed.value()->network().Run();
+  Result<std::vector<Tuple>> cold =
+      cold_bed.value()->node("n0")->QueryAnswers(query.value());
+  ASSERT_TRUE(cold.ok());
+
+  // ...matches local answering after a global update.
+  Result<std::unique_ptr<Testbed>> warm_bed = Testbed::Create(generated);
+  ASSERT_TRUE(warm_bed.ok());
+  Result<FlowId> update = warm_bed.value()->RunGlobalUpdate("n0");
+  ASSERT_TRUE(update.ok());
+  Result<std::vector<Tuple>> warm =
+      warm_bed.value()->node("n0")->LocalQuery(Q("q(K, V) :- d(K, V)."));
+  ASSERT_TRUE(warm.ok());
+
+  std::vector<Tuple> cold_sorted = cold.value();
+  std::vector<Tuple> warm_sorted = warm.value();
+  std::sort(cold_sorted.begin(), cold_sorted.end());
+  std::sort(warm_sorted.begin(), warm_sorted.end());
+  EXPECT_EQ(cold_sorted, warm_sorted);
+}
+
+TEST(QueryAnsweringTest, CertainAnswersDropNullWitnesses) {
+  // A projection rule invents null name-witnesses; the certain answers
+  // keep only the null-free rows.
+  WorkloadOptions options;
+  options.nodes = 2;
+  options.tuples_per_node = 3;
+  options.style = RuleStyle::kProject;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> query =
+      bed.node("n0")->StartQuery(Q("q(K, V) :- d(K, V)."));
+  ASSERT_TRUE(query.ok());
+  bed.network().Run();
+
+  Result<std::vector<Tuple>> all =
+      bed.node("n0")->QueryAnswers(query.value());
+  Result<std::vector<Tuple>> certain =
+      bed.node("n0")->CertainQueryAnswers(query.value());
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(all.value().size(), 6u);      // 3 own + 3 imported-with-null
+  EXPECT_EQ(certain.value().size(), 3u);  // own rows only
+  for (const Tuple& t : certain.value()) {
+    EXPECT_FALSE(t.HasNull());
+  }
+}
+
+TEST(QueryAnsweringTest, QueryOnRingTerminates) {
+  WorkloadOptions options;
+  options.nodes = 4;
+  options.tuples_per_node = 2;
+  GeneratedNetwork generated = MakeRing(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> query = bed.node("n0")->StartQuery(Q("q(K) :- d(K, V)."));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  bed.network().Run();
+
+  EXPECT_TRUE(bed.node("n0")->QueryDone(query.value()));
+  Result<std::vector<Tuple>> answers =
+      bed.node("n0")->QueryAnswers(query.value());
+  ASSERT_TRUE(answers.ok());
+  // All four nodes' keys reachable around the ring.
+  EXPECT_EQ(answers.value().size(), 8u);
+}
+
+TEST(QueryAnsweringTest, LocalQueryNeedsNoNetwork) {
+  WorkloadOptions options;
+  options.nodes = 2;
+  options.tuples_per_node = 3;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+
+  uint64_t messages_before = bed.network().stats().total_messages();
+  Result<std::vector<Tuple>> local =
+      bed.node("n0")->LocalQuery(Q("q(K, V) :- d(K, V)."));
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local.value().size(), 3u);  // own data only
+  EXPECT_EQ(bed.network().stats().total_messages(), messages_before);
+}
+
+TEST(QueryAnsweringTest, RejectsMalformedQueries) {
+  WorkloadOptions options;
+  options.nodes = 2;
+  GeneratedNetwork generated = MakeChain(options);
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+
+  // Unknown relation.
+  Result<FlowId> bad =
+      testbed.value()->node("n0")->StartQuery(Q("q(X) :- nope(X)."));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+
+  // Existential head variable.
+  Result<FlowId> unsafe =
+      testbed.value()->node("n0")->StartQuery(Q("q(X, Y) :- d(X, V)."));
+  EXPECT_FALSE(unsafe.ok());
+  EXPECT_EQ(unsafe.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace codb

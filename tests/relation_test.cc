@@ -1,0 +1,136 @@
+// Unit tests for relations, databases, and the table printer.
+
+#include <gtest/gtest.h>
+
+#include "relation/database.h"
+#include "relation/printer.h"
+#include "relation/relation.h"
+
+namespace codb {
+namespace {
+
+RelationSchema TwoIntSchema(const std::string& name) {
+  return RelationSchema(name, {{"a", ValueType::kInt},
+                               {"b", ValueType::kInt}});
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(TwoIntSchema("r"));
+  EXPECT_TRUE(r.Insert(Tuple{Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(r.Insert(Tuple{Value::Int(1), Value::Int(2)}));
+  EXPECT_TRUE(r.Insert(Tuple{Value::Int(1), Value::Int(3)}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Tuple{Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(r.Contains(Tuple{Value::Int(9), Value::Int(9)}));
+}
+
+TEST(RelationTest, InsertNewReturnsOnlyFreshTuples) {
+  Relation r(TwoIntSchema("r"));
+  r.Insert(Tuple{Value::Int(1), Value::Int(1)});
+  std::vector<Tuple> batch = {
+      Tuple{Value::Int(1), Value::Int(1)},  // duplicate
+      Tuple{Value::Int(2), Value::Int(2)},
+      Tuple{Value::Int(2), Value::Int(2)},  // duplicate within batch
+      Tuple{Value::Int(3), Value::Int(3)},
+  };
+  std::vector<Tuple> fresh = r.InsertNew(batch);
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0], (Tuple{Value::Int(2), Value::Int(2)}));
+  EXPECT_EQ(fresh[1], (Tuple{Value::Int(3), Value::Int(3)}));
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(RelationTest, DifferenceDoesNotMutate) {
+  Relation r(TwoIntSchema("r"));
+  r.Insert(Tuple{Value::Int(1), Value::Int(1)});
+  std::vector<Tuple> batch = {Tuple{Value::Int(1), Value::Int(1)},
+                              Tuple{Value::Int(2), Value::Int(2)}};
+  std::vector<Tuple> diff = r.Difference(batch);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], (Tuple{Value::Int(2), Value::Int(2)}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, ProbeFindsMatchingRows) {
+  Relation r(TwoIntSchema("r"));
+  for (int i = 0; i < 10; ++i) {
+    r.Insert(Tuple{Value::Int(i % 3), Value::Int(i)});
+  }
+  const auto& bucket = r.Probe(0, Value::Int(1));
+  EXPECT_EQ(bucket.size(), 3u);  // i = 1, 4, 7
+  for (const Tuple* t : bucket) {
+    EXPECT_EQ(t->at(0), Value::Int(1));
+  }
+}
+
+TEST(RelationTest, ProbeIndexInvalidatedByInsert) {
+  Relation r(TwoIntSchema("r"));
+  r.Insert(Tuple{Value::Int(1), Value::Int(10)});
+  EXPECT_EQ(r.Probe(0, Value::Int(1)).size(), 1u);
+  r.Insert(Tuple{Value::Int(1), Value::Int(20)});
+  EXPECT_EQ(r.Probe(0, Value::Int(1)).size(), 2u);
+  EXPECT_EQ(r.Probe(1, Value::Int(20)).size(), 1u);
+}
+
+TEST(RelationTest, ClearResetsEverything) {
+  Relation r(TwoIntSchema("r"));
+  r.Insert(Tuple{Value::Int(1), Value::Int(1)});
+  r.Probe(0, Value::Int(1));
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.Probe(0, Value::Int(1)).empty());
+  EXPECT_TRUE(r.Insert(Tuple{Value::Int(1), Value::Int(1)}));
+}
+
+TEST(DatabaseTest, CreateAndLookup) {
+  Database db;
+  EXPECT_TRUE(db.CreateRelation(TwoIntSchema("r")).ok());
+  EXPECT_TRUE(db.CreateRelation(TwoIntSchema("s")).ok());
+  // Duplicate names rejected.
+  Status dup = db.CreateRelation(TwoIntSchema("r"));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+
+  EXPECT_NE(db.Find("r"), nullptr);
+  EXPECT_NE(db.Find("s"), nullptr);
+  EXPECT_EQ(db.Find("t"), nullptr);
+  EXPECT_FALSE(db.Get("t").ok());
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"r", "s"}));
+}
+
+TEST(DatabaseTest, SchemaReflectsAllRelations) {
+  // Regression: CreateRelation once lost relations to an unsequenced move.
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(TwoIntSchema("d")).ok());
+  ASSERT_TRUE(db.CreateRelation(TwoIntSchema("e")).ok());
+  DatabaseSchema schema = db.Schema();
+  EXPECT_NE(schema.FindRelation("d"), nullptr);
+  EXPECT_NE(schema.FindRelation("e"), nullptr);
+  EXPECT_EQ(schema.relations().size(), 2u);
+}
+
+TEST(DatabaseTest, SnapshotAndRestoreRoundTrip) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(TwoIntSchema("r")).ok());
+  db.Find("r")->Insert(Tuple{Value::Int(1), Value::Int(2)});
+  auto snapshot = db.Snapshot();
+
+  db.Find("r")->Insert(Tuple{Value::Int(3), Value::Int(4)});
+  EXPECT_EQ(db.TotalTuples(), 2u);
+
+  ASSERT_TRUE(db.Restore(snapshot).ok());
+  EXPECT_EQ(db.TotalTuples(), 1u);
+  EXPECT_TRUE(db.Find("r")->Contains(Tuple{Value::Int(1), Value::Int(2)}));
+}
+
+TEST(PrinterTest, FormatsAlignedTable) {
+  Relation r(RelationSchema("people", {{"id", ValueType::kInt},
+                                       {"name", ValueType::kString}}));
+  r.Insert(Tuple{Value::Int(1), Value::String("bob")});
+  r.Insert(Tuple{Value::Int(42), Value::String("alice")});
+  std::string table = FormatRelation(r);
+  EXPECT_NE(table.find("| id | name    |"), std::string::npos);
+  EXPECT_NE(table.find("| 42 | 'alice' |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace codb

@@ -1,0 +1,158 @@
+// Unit tests for GLAV coordination rules: compilation, frontier
+// evaluation, head instantiation with marked nulls, multi-atom heads.
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/rule.h"
+#include "relation/database.h"
+
+namespace codb {
+namespace {
+
+ConjunctiveQuery Q(const std::string& text) {
+  Result<ConjunctiveQuery> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+class RuleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Exporter schema: src(a, b); importer schema: dst(x, y), extra(x).
+    exporter_schema_.AddRelation(RelationSchema(
+        "src", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+    importer_schema_.AddRelation(RelationSchema(
+        "dst", {{"x", ValueType::kInt}, {"y", ValueType::kInt}}));
+    importer_schema_.AddRelation(
+        RelationSchema("extra", {{"x", ValueType::kInt}}));
+
+    ASSERT_TRUE(exporter_db_
+                    .CreateRelation(*exporter_schema_.FindRelation("src"))
+                    .ok());
+  }
+
+  void InsertSrc(int64_t a, int64_t b) {
+    exporter_db_.Find("src")->Insert(Tuple{Value::Int(a), Value::Int(b)});
+  }
+
+  DatabaseSchema exporter_schema_;
+  DatabaseSchema importer_schema_;
+  Database exporter_db_;
+};
+
+TEST_F(RuleTest, GavCopyRule) {
+  CoordinationRule rule("r1", "importer", "exporter",
+                        Q("dst(A, B) :- src(A, B)."));
+  ASSERT_TRUE(rule.Compile(exporter_schema_, importer_schema_).ok());
+  EXPECT_FALSE(rule.HasExistentials());
+  EXPECT_EQ(rule.HeadRelations(), (std::vector<std::string>{"dst"}));
+  EXPECT_EQ(rule.BodyRelations(), (std::vector<std::string>{"src"}));
+
+  InsertSrc(1, 2);
+  std::vector<Tuple> frontiers = rule.EvaluateFrontier(exporter_db_);
+  ASSERT_EQ(frontiers.size(), 1u);
+
+  NullMinter minter(9);
+  std::vector<HeadTuple> heads = rule.InstantiateHead(frontiers[0], minter);
+  ASSERT_EQ(heads.size(), 1u);
+  EXPECT_EQ(heads[0].relation, "dst");
+  EXPECT_EQ(heads[0].tuple, (Tuple{Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(minter.minted(), 0u);  // no existentials, no nulls
+}
+
+TEST_F(RuleTest, ExistentialHeadMintsSharedNulls) {
+  // Z appears twice in the head of one firing: the same null both times.
+  CoordinationRule rule("r1", "importer", "exporter",
+                        Q("dst(A, Z), extra(Z) :- src(A, B)."));
+  ASSERT_TRUE(rule.Compile(exporter_schema_, importer_schema_).ok());
+  EXPECT_TRUE(rule.HasExistentials());
+
+  InsertSrc(1, 2);
+  InsertSrc(3, 4);
+  std::vector<Tuple> frontiers = rule.EvaluateFrontier(exporter_db_);
+  ASSERT_EQ(frontiers.size(), 2u);
+
+  NullMinter minter(9);
+  std::vector<HeadTuple> first = rule.InstantiateHead(frontiers[0], minter);
+  std::vector<HeadTuple> second = rule.InstantiateHead(frontiers[1], minter);
+  ASSERT_EQ(first.size(), 2u);
+
+  // Within a firing, the null is shared across head atoms...
+  const Value& null1 = first[0].tuple.at(1);
+  EXPECT_TRUE(null1.is_null());
+  EXPECT_EQ(null1, first[1].tuple.at(0));
+  // ...across firings the nulls are fresh.
+  EXPECT_FALSE(null1 == second[0].tuple.at(1));
+  EXPECT_EQ(minter.minted(), 2u);
+}
+
+TEST_F(RuleTest, FrontierProjectsOntoDistinguishedVarsOnly) {
+  // Head only mentions A; frontier is the A-projection, deduplicated.
+  CoordinationRule rule("r1", "importer", "exporter",
+                        Q("extra(A) :- src(A, B)."));
+  ASSERT_TRUE(rule.Compile(exporter_schema_, importer_schema_).ok());
+  InsertSrc(1, 10);
+  InsertSrc(1, 20);
+  InsertSrc(2, 30);
+  EXPECT_EQ(rule.EvaluateFrontier(exporter_db_).size(), 2u);
+}
+
+TEST_F(RuleTest, ComparisonInBody) {
+  CoordinationRule rule("r1", "importer", "exporter",
+                        Q("dst(A, B) :- src(A, B), B > 10."));
+  ASSERT_TRUE(rule.Compile(exporter_schema_, importer_schema_).ok());
+  InsertSrc(1, 5);
+  InsertSrc(2, 15);
+  std::vector<Tuple> frontiers = rule.EvaluateFrontier(exporter_db_);
+  ASSERT_EQ(frontiers.size(), 1u);
+}
+
+TEST_F(RuleTest, ConstantsInHead) {
+  CoordinationRule rule("r1", "importer", "exporter",
+                        Q("dst(A, 99) :- src(A, B)."));
+  ASSERT_TRUE(rule.Compile(exporter_schema_, importer_schema_).ok());
+  InsertSrc(1, 2);
+  NullMinter minter(9);
+  std::vector<Tuple> frontiers = rule.EvaluateFrontier(exporter_db_);
+  ASSERT_EQ(frontiers.size(), 1u);
+  std::vector<HeadTuple> heads = rule.InstantiateHead(frontiers[0], minter);
+  EXPECT_EQ(heads[0].tuple.at(1), Value::Int(99));
+}
+
+TEST_F(RuleTest, DeltaEvaluation) {
+  CoordinationRule rule("r1", "importer", "exporter",
+                        Q("dst(A, B) :- src(A, B)."));
+  ASSERT_TRUE(rule.Compile(exporter_schema_, importer_schema_).ok());
+  InsertSrc(1, 2);
+  Tuple fresh{Value::Int(3), Value::Int(4)};
+  exporter_db_.Find("src")->Insert(fresh);
+  std::vector<Tuple> frontiers =
+      rule.EvaluateFrontierDelta(exporter_db_, "src", {fresh});
+  ASSERT_EQ(frontiers.size(), 1u);
+  EXPECT_EQ(frontiers[0], (Tuple{Value::Int(3), Value::Int(4)}));
+}
+
+TEST_F(RuleTest, CompileRejectsBadRules) {
+  // Head predicate not in importer schema.
+  CoordinationRule bad_head("r", "i", "e", Q("nope(A) :- src(A, B)."));
+  EXPECT_FALSE(bad_head.Compile(exporter_schema_, importer_schema_).ok());
+
+  // Body predicate not in exporter schema.
+  CoordinationRule bad_body("r", "i", "e", Q("dst(A, A) :- nope(A)."));
+  EXPECT_FALSE(bad_body.Compile(exporter_schema_, importer_schema_).ok());
+
+  // Arity mismatch.
+  CoordinationRule bad_arity("r", "i", "e", Q("dst(A) :- src(A, B)."));
+  EXPECT_FALSE(bad_arity.Compile(exporter_schema_, importer_schema_).ok());
+}
+
+TEST_F(RuleTest, ToStringMentionsDirection) {
+  CoordinationRule rule("r7", "n2", "n1", Q("dst(A, B) :- src(A, B)."));
+  std::string text = rule.ToString();
+  EXPECT_NE(text.find("r7"), std::string::npos);
+  EXPECT_NE(text.find("n2 <- n1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace codb

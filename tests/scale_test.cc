@@ -1,0 +1,106 @@
+// Larger-scale smoke tests: 64-node networks across topologies, checking
+// termination, data completeness at the initiator, statistics sanity, and
+// that the simulator keeps these runs cheap (they must not time out).
+
+#include <gtest/gtest.h>
+
+#include "workload/testbed.h"
+
+namespace codb {
+namespace {
+
+TEST(ScaleTest, SixtyFourNodeChain) {
+  WorkloadOptions options;
+  options.nodes = 64;
+  options.tuples_per_node = 5;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> update = bed.RunGlobalUpdate("n0");
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(bed.AllComplete(update.value()));
+  // n0 accumulates the whole chain.
+  EXPECT_EQ(bed.node("n0")->database().Find("d")->size(), 64u * 5u);
+  // Longest path covers the whole chain.
+  const UpdateReport* report =
+      bed.node("n0")->statistics().FindReport(update.value());
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->longest_path_nodes, 64u);
+}
+
+TEST(ScaleTest, SixtyFourNodeTreeAndStats) {
+  WorkloadOptions options;
+  options.nodes = 64;
+  options.tuples_per_node = 8;
+  options.tree_fanout = 4;
+  GeneratedNetwork generated = MakeTree(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> update = bed.RunGlobalUpdate("n0");
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(bed.AllComplete(update.value()));
+  EXPECT_EQ(bed.node("n0")->database().Find("d")->size(), 64u * 8u);
+
+  ASSERT_TRUE(bed.CollectStats().ok());
+  std::vector<AggregatedUpdateStats> aggregated =
+      bed.super_peer().Aggregate();
+  ASSERT_EQ(aggregated.size(), 1u);
+  EXPECT_EQ(aggregated[0].nodes_reporting, 64u);
+  // Depth of a fanout-4 tree with 64 nodes: 4 levels of nodes.
+  EXPECT_EQ(aggregated[0].longest_path_nodes, 4u);
+}
+
+TEST(ScaleTest, FiftyNodeRandomGraphTerminates) {
+  WorkloadOptions options;
+  options.nodes = 50;
+  options.tuples_per_node = 3;
+  options.edge_probability = 0.08;
+  options.seed = 13;
+  GeneratedNetwork generated = MakeRandom(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> update = bed.RunGlobalUpdate("n0");
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(bed.AllComplete(update.value()));
+  for (const auto& node : bed.nodes()) {
+    const UpdateReport* report =
+        node->statistics().FindReport(update.value());
+    if (report == nullptr) continue;
+    EXPECT_LE(report->longest_path_nodes, 50u);
+  }
+}
+
+TEST(ScaleTest, WideRingOnThreads) {
+  // 32 real threads around a ring.
+  WorkloadOptions options;
+  options.nodes = 32;
+  options.tuples_per_node = 2;
+  GeneratedNetwork generated = MakeRing(options);
+
+  Testbed::Options testbed_options;
+  testbed_options.threaded = true;
+  testbed_options.node.link_profile.latency_us = 50;
+  testbed_options.node.link_profile.bandwidth_bpus = 0;
+
+  Result<std::unique_ptr<Testbed>> testbed =
+      Testbed::Create(generated, testbed_options);
+  ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> update = bed.RunGlobalUpdate("n0");
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(bed.AllComplete(update.value()));
+  EXPECT_EQ(bed.node("n0")->database().Find("d")->size(), 32u * 2u);
+}
+
+}  // namespace
+}  // namespace codb

@@ -1,0 +1,100 @@
+// Unit tests for the per-node statistical module and its wire format.
+
+#include <gtest/gtest.h>
+
+#include "core/statistics.h"
+
+namespace codb {
+namespace {
+
+UpdateReport SampleReport() {
+  UpdateReport report;
+  report.update = {FlowId::Scope::kUpdate, 2, 5};
+  report.start_virtual_us = 100;
+  report.closed_virtual_us = 900;
+  report.complete_virtual_us = 1000;
+  report.wall_micros = 42.5;
+  report.tuples_added = 17;
+  report.data_messages_received = 3;
+  report.data_bytes_received = 512;
+  report.data_messages_sent = 2;
+  report.data_bytes_sent = 256;
+  report.longest_path_nodes = 4;
+  report.received_per_rule["r1"] = {3, 17, 512};
+  report.sent_per_rule["r2"] = {2, 9, 256};
+  report.acquaintances_queried = {1, 3};
+  report.result_destinations = {0};
+  return report;
+}
+
+TEST(StatisticsTest, ReportSerializationRoundTrip) {
+  UpdateReport report = SampleReport();
+  WireWriter writer;
+  report.SerializeTo(writer);
+  std::vector<uint8_t> bytes = writer.Take();
+
+  WireReader reader(bytes);
+  Result<UpdateReport> back = UpdateReport::DeserializeFrom(reader);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const UpdateReport& r = back.value();
+  EXPECT_EQ(r.update, report.update);
+  EXPECT_EQ(r.start_virtual_us, 100);
+  EXPECT_EQ(r.closed_virtual_us, 900);
+  EXPECT_EQ(r.complete_virtual_us, 1000);
+  EXPECT_DOUBLE_EQ(r.wall_micros, 42.5);
+  EXPECT_EQ(r.tuples_added, 17u);
+  EXPECT_EQ(r.longest_path_nodes, 4u);
+  ASSERT_EQ(r.received_per_rule.count("r1"), 1u);
+  EXPECT_EQ(r.received_per_rule.at("r1").tuples, 17u);
+  ASSERT_EQ(r.sent_per_rule.count("r2"), 1u);
+  EXPECT_EQ(r.sent_per_rule.at("r2").bytes, 256u);
+  EXPECT_EQ(r.acquaintances_queried, (std::set<uint32_t>{1, 3}));
+  EXPECT_EQ(r.result_destinations, (std::set<uint32_t>{0}));
+}
+
+TEST(StatisticsTest, ModuleAccumulatesPerUpdate) {
+  StatisticsModule stats;
+  FlowId u1{FlowId::Scope::kUpdate, 0, 1};
+  FlowId u2{FlowId::Scope::kUpdate, 0, 2};
+
+  stats.ReportFor(u1).tuples_added = 5;
+  stats.ReportFor(u1).data_messages_received += 1;
+  stats.ReportFor(u2).tuples_added = 9;
+
+  EXPECT_EQ(stats.reports().size(), 2u);
+  ASSERT_NE(stats.FindReport(u1), nullptr);
+  EXPECT_EQ(stats.FindReport(u1)->tuples_added, 5u);
+  EXPECT_EQ(stats.FindReport(u1)->data_messages_received, 1u);
+  EXPECT_EQ(stats.FindReport(u2)->tuples_added, 9u);
+  EXPECT_EQ(stats.FindReport({FlowId::Scope::kUpdate, 0, 3}), nullptr);
+}
+
+TEST(StatisticsTest, SerializeAllRoundTrip) {
+  StatisticsModule stats;
+  stats.ReportFor({FlowId::Scope::kUpdate, 0, 1}) = SampleReport();
+  stats.ReportFor({FlowId::Scope::kQuery, 1, 1}).tuples_added = 3;
+
+  Result<std::vector<UpdateReport>> back =
+      StatisticsModule::DeserializeAll(stats.SerializeAll());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().size(), 2u);
+}
+
+TEST(StatisticsTest, RenderMentionsKeyFigures) {
+  std::string text = SampleReport().Render();
+  EXPECT_NE(text.find("update/2.5"), std::string::npos);
+  EXPECT_NE(text.find("longest path"), std::string::npos);
+  EXPECT_NE(text.find("r1"), std::string::npos);
+  EXPECT_NE(text.find("900"), std::string::npos);
+}
+
+TEST(StatisticsTest, TruncatedReportRejected) {
+  StatisticsModule stats;
+  stats.ReportFor({FlowId::Scope::kUpdate, 0, 1}) = SampleReport();
+  std::vector<uint8_t> bytes = stats.SerializeAll();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(StatisticsModule::DeserializeAll(bytes).ok());
+}
+
+}  // namespace
+}  // namespace codb

@@ -1,0 +1,153 @@
+// Tests of the super-peer: config broadcast, statistics collection and
+// aggregation, and the node-side report surfaces (the textual "UI").
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "workload/testbed.h"
+#include "workload/topology_gen.h"
+
+namespace codb {
+namespace {
+
+TEST(SuperPeerTest, CollectsStatsFromEveryNode) {
+  WorkloadOptions options;
+  options.nodes = 4;
+  options.tuples_per_node = 5;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> update = bed.RunGlobalUpdate("n0");
+  ASSERT_TRUE(update.ok());
+
+  ASSERT_TRUE(bed.CollectStats().ok());
+  EXPECT_TRUE(bed.super_peer().CollectionComplete());
+  EXPECT_EQ(bed.super_peer().collected().size(), 4u);
+  for (const auto& [node, reports] : bed.super_peer().collected()) {
+    EXPECT_FALSE(reports.empty()) << node;
+  }
+}
+
+TEST(SuperPeerTest, AggregationAddsUpAcrossNodes) {
+  WorkloadOptions options;
+  options.nodes = 5;
+  options.tuples_per_node = 4;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> update = bed.RunGlobalUpdate("n0");
+  ASSERT_TRUE(update.ok());
+  ASSERT_TRUE(bed.CollectStats().ok());
+
+  std::vector<AggregatedUpdateStats> aggregated =
+      bed.super_peer().Aggregate();
+  ASSERT_EQ(aggregated.size(), 1u);
+  const AggregatedUpdateStats& agg = aggregated[0];
+  EXPECT_EQ(agg.update, update.value());
+  EXPECT_EQ(agg.nodes_reporting, 5u);
+  EXPECT_GT(agg.total_virtual_us, 0);
+  // On a 5-chain the network-wide data-message count equals the sum of
+  // per-node receive counts; each of n1..n4's exports contributes.
+  EXPECT_GE(agg.data_messages, 4u);
+  // n0 eventually holds all 5*4 d-tuples (4 nodes' worth imported, each
+  // also re-shipped down the chain once).
+  EXPECT_GT(agg.tuples_added, 0u);
+  // Longest path on a 5-chain: 5 nodes.
+  EXPECT_EQ(agg.longest_path_nodes, 5u);
+  // Per-rule traffic covers all 4 chain rules.
+  EXPECT_EQ(agg.per_rule.size(), 4u);
+}
+
+TEST(SuperPeerTest, FinalReportMentionsEverything) {
+  WorkloadOptions options;
+  options.nodes = 3;
+  options.tuples_per_node = 2;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+  ASSERT_TRUE(bed.RunGlobalUpdate("n0").ok());
+  ASSERT_TRUE(bed.CollectStats().ok());
+
+  std::string report = bed.super_peer().FinalReport();
+  EXPECT_NE(report.find("final statistical report"), std::string::npos);
+  EXPECT_NE(report.find("update/"), std::string::npos);
+  EXPECT_NE(report.find("longest path"), std::string::npos);
+  EXPECT_NE(report.find("rule"), std::string::npos);
+}
+
+TEST(SuperPeerTest, StatsForMultipleUpdatesStaySeparate) {
+  WorkloadOptions options;
+  options.nodes = 3;
+  options.tuples_per_node = 2;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> first = bed.RunGlobalUpdate("n0");
+  Result<FlowId> second = bed.RunGlobalUpdate("n2");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(bed.CollectStats().ok());
+
+  std::vector<AggregatedUpdateStats> aggregated =
+      bed.super_peer().Aggregate();
+  ASSERT_EQ(aggregated.size(), 2u);
+  EXPECT_FALSE(aggregated[0].update == aggregated[1].update);
+}
+
+TEST(SuperPeerTest, BroadcastRequiresConfig) {
+  Network network;
+  std::unique_ptr<SuperPeer> super_peer = SuperPeer::Create(&network);
+  EXPECT_EQ(super_peer->BroadcastConfig().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SuperPeerTest, LoadConfigTextValidates) {
+  Network network;
+  std::unique_ptr<SuperPeer> super_peer = SuperPeer::Create(&network);
+  EXPECT_FALSE(super_peer->LoadConfigText("garbage").ok());
+  EXPECT_TRUE(super_peer
+                  ->LoadConfigText("node a\n  relation d(k:int)\n")
+                  .ok());
+  ASSERT_NE(super_peer->config(), nullptr);
+  EXPECT_EQ(super_peer->config()->nodes().size(), 1u);
+}
+
+TEST(NodeReportTest, ReportAndDiscoveryViewSurfaceTheArchitecture) {
+  WorkloadOptions options;
+  options.nodes = 3;
+  options.tuples_per_node = 2;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok());
+  Testbed& bed = *testbed.value();
+  ASSERT_TRUE(bed.RunGlobalUpdate("n0").ok());
+
+  std::string report = bed.node("n1")->Report();
+  EXPECT_NE(report.find("node n1"), std::string::npos);
+  EXPECT_NE(report.find("exported schema"), std::string::npos);
+  EXPECT_NE(report.find("outgoing links"), std::string::npos);
+  EXPECT_NE(report.find("incoming links"), std::string::npos);
+  EXPECT_NE(report.find("update report"), std::string::npos);
+
+  // Discovery: n0 is not pipe-connected to n2, but knows it exists.
+  std::string view = bed.node("n0")->DiscoveryView();
+  EXPECT_NE(view.find("acquaintances"), std::string::npos);
+  EXPECT_NE(view.find("n1"), std::string::npos);
+  EXPECT_NE(view.find("discovered"), std::string::npos);
+  EXPECT_NE(view.find("n2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace codb

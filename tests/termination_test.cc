@@ -1,0 +1,145 @@
+// Unit tests for the Dijkstra–Scholten termination detector.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/termination.h"
+
+namespace codb {
+namespace {
+
+class TerminationTest : public ::testing::Test {
+ protected:
+  TerminationTest()
+      : detector_(PeerId(0), [this](PeerId to, const FlowId& flow) {
+          acks_sent.push_back({to, flow});
+        }) {}
+
+  FlowId flow_{FlowId::Scope::kUpdate, 0, 1};
+  std::vector<std::pair<PeerId, FlowId>> acks_sent;
+  std::vector<FlowId> terminated;
+  TerminationDetector detector_;
+
+  TerminationDetector::TerminatedFn OnTerminated() {
+    return [this](const FlowId& flow) { terminated.push_back(flow); };
+  }
+};
+
+TEST_F(TerminationTest, RootWithNoTrafficTerminatesImmediately) {
+  detector_.StartRoot(flow_, OnTerminated());
+  detector_.MaybeQuiesce();
+  ASSERT_EQ(terminated.size(), 1u);
+  EXPECT_EQ(terminated[0], flow_);
+  // Termination fires once, even with repeated idle checks.
+  detector_.MaybeQuiesce();
+  EXPECT_EQ(terminated.size(), 1u);
+}
+
+TEST_F(TerminationTest, RootWaitsForAcks) {
+  detector_.StartRoot(flow_, OnTerminated());
+  detector_.OnSent(flow_, PeerId(1));
+  detector_.OnSent(flow_, PeerId(2));
+  detector_.MaybeQuiesce();
+  EXPECT_TRUE(terminated.empty());
+  EXPECT_EQ(detector_.DeficitOf(flow_), 2u);
+
+  detector_.OnAck(flow_, PeerId(1));
+  detector_.MaybeQuiesce();
+  EXPECT_TRUE(terminated.empty());
+
+  detector_.OnAck(flow_, PeerId(2));
+  detector_.MaybeQuiesce();
+  ASSERT_EQ(terminated.size(), 1u);
+}
+
+TEST_F(TerminationTest, NonRootDefersFirstAckUntilQuiet) {
+  // First message engages; no immediate ack.
+  detector_.OnBasicMessage(flow_, PeerId(7));
+  EXPECT_TRUE(acks_sent.empty());
+  EXPECT_TRUE(detector_.IsEngaged(flow_));
+
+  // Second message from elsewhere is acked immediately.
+  detector_.OnBasicMessage(flow_, PeerId(8));
+  ASSERT_EQ(acks_sent.size(), 1u);
+  EXPECT_EQ(acks_sent[0].first, PeerId(8));
+
+  // We sent something ourselves: cannot disengage yet.
+  detector_.OnSent(flow_, PeerId(9));
+  detector_.MaybeQuiesce();
+  EXPECT_EQ(acks_sent.size(), 1u);
+  EXPECT_TRUE(detector_.IsEngaged(flow_));
+
+  // Our message is acked: now the deferred parent ack goes out.
+  detector_.OnAck(flow_, PeerId(9));
+  detector_.MaybeQuiesce();
+  ASSERT_EQ(acks_sent.size(), 2u);
+  EXPECT_EQ(acks_sent[1].first, PeerId(7));
+  EXPECT_FALSE(detector_.IsEngaged(flow_));
+}
+
+TEST_F(TerminationTest, ReengagementAfterDisengage) {
+  detector_.OnBasicMessage(flow_, PeerId(7));
+  detector_.MaybeQuiesce();  // disengages, acks 7
+  ASSERT_EQ(acks_sent.size(), 1u);
+
+  // A later message re-engages with a new parent.
+  detector_.OnBasicMessage(flow_, PeerId(8));
+  EXPECT_TRUE(detector_.IsEngaged(flow_));
+  detector_.MaybeQuiesce();
+  ASSERT_EQ(acks_sent.size(), 2u);
+  EXPECT_EQ(acks_sent[1].first, PeerId(8));
+}
+
+TEST_F(TerminationTest, IndependentFlowsDoNotInterfere) {
+  FlowId other{FlowId::Scope::kQuery, 3, 9};
+  detector_.StartRoot(flow_, OnTerminated());
+  detector_.OnSent(flow_, PeerId(1));
+  detector_.OnBasicMessage(other, PeerId(2));
+  detector_.OnSent(other, PeerId(4));
+
+  detector_.OnAck(other, PeerId(4));
+  detector_.MaybeQuiesce();
+  // `other` disengaged (ack to 2); `flow_` still pending.
+  ASSERT_EQ(acks_sent.size(), 1u);
+  EXPECT_EQ(acks_sent[0].first, PeerId(2));
+  EXPECT_TRUE(terminated.empty());
+  EXPECT_FALSE(detector_.IsEngaged(other));
+  EXPECT_TRUE(detector_.IsEngaged(flow_));
+}
+
+TEST_F(TerminationTest, PeerLossCancelsDeficit) {
+  detector_.StartRoot(flow_, OnTerminated());
+  detector_.OnSent(flow_, PeerId(1));
+  detector_.OnSent(flow_, PeerId(1));
+  detector_.OnSent(flow_, PeerId(2));
+  detector_.MaybeQuiesce();
+  EXPECT_TRUE(terminated.empty());
+
+  // Peer 1 dies with two outstanding messages.
+  detector_.OnPeerLost(PeerId(1));
+  EXPECT_EQ(detector_.DeficitOf(flow_), 1u);
+  detector_.OnAck(flow_, PeerId(2));
+  detector_.MaybeQuiesce();
+  ASSERT_EQ(terminated.size(), 1u);
+}
+
+TEST_F(TerminationTest, OrphanedNodeDisengagesSilently) {
+  detector_.OnBasicMessage(flow_, PeerId(7));  // engaged with parent 7
+  detector_.OnSent(flow_, PeerId(9));
+  detector_.OnPeerLost(PeerId(7));  // parent gone
+  detector_.OnAck(flow_, PeerId(9));
+  detector_.MaybeQuiesce();
+  // No ack was sent to the dead parent.
+  EXPECT_TRUE(acks_sent.empty());
+  EXPECT_FALSE(detector_.IsEngaged(flow_));
+}
+
+TEST_F(TerminationTest, StrayAckIsIgnored) {
+  // No crash, no spurious state, on an ack for an unknown flow.
+  detector_.OnAck(flow_, PeerId(3));
+  EXPECT_EQ(detector_.DeficitOf(flow_), 0u);
+}
+
+}  // namespace
+}  // namespace codb

@@ -1,0 +1,225 @@
+// White-box tests of the update manager's protocol state machine, driving
+// a single real node with hand-crafted messages from a scripted peer:
+// link-state transitions, ack emission, duplicate-request handling, and
+// the simple-path guard at the message level.
+
+#include <gtest/gtest.h>
+
+#include "core/node.h"
+#include "net/network.h"
+#include "query/parser.h"
+
+namespace codb {
+namespace {
+
+// A scripted peer that records everything it receives.
+class ScriptedPeer : public NetworkPeer {
+ public:
+  void HandleMessage(const Message& message) override {
+    received.push_back(message);
+  }
+  std::vector<Message> received;
+
+  size_t CountType(MessageType type) const {
+    size_t n = 0;
+    for (const Message& m : received) {
+      if (m.type == type) ++n;
+    }
+    return n;
+  }
+  const Message* FirstOfType(MessageType type) const {
+    for (const Message& m : received) {
+      if (m.type == type) return &m;
+    }
+    return nullptr;
+  }
+};
+
+// Network with one real node ("mid") between two scripted endpoints:
+//   left <- mid <- right   (mid imports from right via r_in, exports to
+//   left via r_out; both rules move relation d).
+class UpdateProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    left_id_ = network_.Join("left", &left_);
+    DatabaseSchema schema;
+    ASSERT_TRUE(
+        schema.AddRelation(RelationSchema("d", {{"k", ValueType::kInt}}))
+            .ok());
+    Result<std::unique_ptr<Node>> node =
+        Node::Create(&network_, "mid", schema);
+    ASSERT_TRUE(node.ok());
+    mid_ = std::move(node).value();
+    right_id_ = network_.Join("right", &right_);
+
+    Result<NetworkConfig> config = NetworkConfig::Parse(
+        "node left\n  relation d(k:int)\n"
+        "node mid\n  relation d(k:int)\n"
+        "node right\n  relation d(k:int)\n"
+        "rule r_out left <- mid : d(K) :- d(K).\n"
+        "rule r_in mid <- right : d(K) :- d(K).\n");
+    ASSERT_TRUE(config.ok()) << config.status().ToString();
+    ASSERT_TRUE(mid_->ApplyConfig(config.value(), 1).ok());
+    network_.Run();  // settle pipes + discovery
+    left_.received.clear();
+    right_.received.clear();
+  }
+
+  void SendToMid(PeerId from, MessageType type,
+                 std::vector<uint8_t> payload) {
+    ASSERT_TRUE(network_
+                    .Send(MakeMessage(from, mid_->id(), type,
+                                      std::move(payload)))
+                    .ok());
+    network_.Run();
+  }
+
+  FlowId update_{FlowId::Scope::kUpdate, 77, 1};
+  Network network_;
+  ScriptedPeer left_;
+  ScriptedPeer right_;
+  std::unique_ptr<Node> mid_;
+  PeerId left_id_;
+  PeerId right_id_;
+};
+
+TEST_F(UpdateProtocolTest, RequestTriggersJoinFloodAndInitialData) {
+  mid_->database().Find("d")->Insert(Tuple{Value::Int(5)});
+  SendToMid(left_id_, MessageType::kUpdateRequest,
+            UpdateRequestPayload{update_, false}.Serialize());
+
+  // mid forwards the request to right (not back to left)...
+  EXPECT_EQ(right_.CountType(MessageType::kUpdateRequest), 1u);
+  EXPECT_EQ(left_.CountType(MessageType::kUpdateRequest), 0u);
+  // ...ships its initial data on r_out to left...
+  const Message* data = left_.FirstOfType(MessageType::kUpdateData);
+  ASSERT_NE(data, nullptr);
+  Result<UpdateDataPayload> parsed =
+      UpdateDataPayload::Deserialize(data->payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().rule_id, "r_out");
+  EXPECT_EQ(parsed.value().path,
+            (std::vector<uint32_t>{mid_->id().value}));
+  ASSERT_EQ(parsed.value().tuples.size(), 1u);
+  EXPECT_EQ(parsed.value().tuples[0].tuple, Tuple{Value::Int(5)});
+  EXPECT_TRUE(mid_->update_manager()->IsJoined(update_));
+}
+
+TEST_F(UpdateProtocolTest, DuplicateRequestAckedButNotReprocessed) {
+  SendToMid(left_id_, MessageType::kUpdateRequest,
+            UpdateRequestPayload{update_, false}.Serialize());
+  size_t forwarded = right_.CountType(MessageType::kUpdateRequest);
+  SendToMid(left_id_, MessageType::kUpdateRequest,
+            UpdateRequestPayload{update_, false}.Serialize());
+  // No second flood; the duplicate is acked immediately (mid is already
+  // engaged, so the second basic message gets an instant ack).
+  EXPECT_EQ(right_.CountType(MessageType::kUpdateRequest), forwarded);
+  EXPECT_GE(left_.CountType(MessageType::kUpdateAck), 1u);
+}
+
+TEST_F(UpdateProtocolTest, DataIsRelayedWithExtendedPathAndAcked) {
+  SendToMid(right_id_, MessageType::kUpdateRequest,
+            UpdateRequestPayload{update_, false}.Serialize());
+  left_.received.clear();
+  right_.received.clear();
+
+  UpdateDataPayload data;
+  data.update = update_;
+  data.rule_id = "r_in";
+  data.path = {right_id_.value};
+  data.tuples = {{"d", Tuple{Value::Int(9)}}};
+  SendToMid(right_id_, MessageType::kUpdateData, data.Serialize());
+
+  // The tuple landed in mid's store...
+  EXPECT_TRUE(mid_->database().Find("d")->Contains(Tuple{Value::Int(9)}));
+  // ...was relayed on r_out with the extended path...
+  const Message* relayed = left_.FirstOfType(MessageType::kUpdateData);
+  ASSERT_NE(relayed, nullptr);
+  Result<UpdateDataPayload> parsed =
+      UpdateDataPayload::Deserialize(relayed->payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().path,
+            (std::vector<uint32_t>{right_id_.value, mid_->id().value}));
+  // ...and right got an ack for its data message.
+  EXPECT_GE(right_.CountType(MessageType::kUpdateAck), 1u);
+}
+
+TEST_F(UpdateProtocolTest, SimplePathGuardBlocksRelayToPathMember) {
+  SendToMid(right_id_, MessageType::kUpdateRequest,
+            UpdateRequestPayload{update_, false}.Serialize());
+  left_.received.clear();
+
+  // Data whose path already contains left: mid must NOT relay it there.
+  UpdateDataPayload data;
+  data.update = update_;
+  data.rule_id = "r_in";
+  data.path = {left_id_.value, right_id_.value};
+  data.tuples = {{"d", Tuple{Value::Int(11)}}};
+  SendToMid(right_id_, MessageType::kUpdateData, data.Serialize());
+
+  EXPECT_TRUE(mid_->database().Find("d")->Contains(Tuple{Value::Int(11)}));
+  EXPECT_EQ(left_.CountType(MessageType::kUpdateData), 0u);
+}
+
+TEST_F(UpdateProtocolTest, LinkClosedCascadesDownstream) {
+  SendToMid(right_id_, MessageType::kUpdateRequest,
+            UpdateRequestPayload{update_, false}.Serialize());
+  // r_out cannot close yet: its relevant upstream link r_in is open.
+  EXPECT_FALSE(
+      mid_->update_manager()->IncomingLinkClosed(update_, "r_out"));
+
+  SendToMid(right_id_, MessageType::kLinkClosed,
+            LinkClosedPayload{update_, "r_in"}.Serialize());
+  // Now r_in is closed at mid, so mid closes r_out and tells left.
+  EXPECT_TRUE(
+      mid_->update_manager()->OutgoingLinkClosed(update_, "r_in"));
+  EXPECT_TRUE(
+      mid_->update_manager()->IncomingLinkClosed(update_, "r_out"));
+  EXPECT_EQ(left_.CountType(MessageType::kLinkClosed), 1u);
+  EXPECT_TRUE(mid_->update_manager()->IsClosed(update_));
+}
+
+TEST_F(UpdateProtocolTest, CompleteFloodForcesClosureAndForwards) {
+  SendToMid(right_id_, MessageType::kUpdateRequest,
+            UpdateRequestPayload{update_, false}.Serialize());
+  EXPECT_FALSE(mid_->update_manager()->IsComplete(update_));
+
+  SendToMid(right_id_, MessageType::kUpdateComplete,
+            UpdateCompletePayload{update_}.Serialize());
+  EXPECT_TRUE(mid_->update_manager()->IsComplete(update_));
+  EXPECT_TRUE(
+      mid_->update_manager()->IncomingLinkClosed(update_, "r_out"));
+  // Forwarded to the other acquaintance only.
+  EXPECT_EQ(left_.CountType(MessageType::kUpdateComplete), 1u);
+  size_t right_completes =
+      right_.CountType(MessageType::kUpdateComplete);
+  // A second complete is ignored, not re-flooded.
+  SendToMid(right_id_, MessageType::kUpdateComplete,
+            UpdateCompletePayload{update_}.Serialize());
+  EXPECT_EQ(left_.CountType(MessageType::kUpdateComplete), 1u);
+  EXPECT_EQ(right_.CountType(MessageType::kUpdateComplete),
+            right_completes);
+}
+
+TEST_F(UpdateProtocolTest, RefreshRequestDropsImportsBeforeReexport) {
+  // Pre-load an imported tuple via a first update round.
+  SendToMid(right_id_, MessageType::kUpdateRequest,
+            UpdateRequestPayload{update_, false}.Serialize());
+  UpdateDataPayload data;
+  data.update = update_;
+  data.rule_id = "r_in";
+  data.path = {right_id_.value};
+  data.tuples = {{"d", Tuple{Value::Int(42)}}};
+  SendToMid(right_id_, MessageType::kUpdateData, data.Serialize());
+  ASSERT_TRUE(mid_->database().Find("d")->Contains(Tuple{Value::Int(42)}));
+
+  // A refresh request for a NEW update drops the import.
+  FlowId second{FlowId::Scope::kUpdate, 77, 2};
+  SendToMid(right_id_, MessageType::kUpdateRequest,
+            UpdateRequestPayload{second, true}.Serialize());
+  EXPECT_FALSE(
+      mid_->database().Find("d")->Contains(Tuple{Value::Int(42)}));
+}
+
+}  // namespace
+}  // namespace codb

@@ -1,0 +1,135 @@
+// Unit tests for the utility layer: Status/Result, strings, PRNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace codb {
+namespace {
+
+TEST(StatusTest, OkAndErrorStates) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::NotFound("relation 'r'");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NOT_FOUND: relation 'r'");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "PARSE_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  CODB_ASSIGN_OR_RETURN(int half, Half(x));
+  CODB_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, ValueAndErrorPropagation) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());   // 3 is odd at the second step
+  EXPECT_FALSE(Quarter(5).ok());
+  EXPECT_EQ(Quarter(5).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, SplitJoinTrim) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Trim("  \t x y \n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_TRUE(StartsWith("node n1", "node "));
+  EXPECT_FALSE(StartsWith("no", "node"));
+}
+
+TEST(StringUtilTest, StrFormatAndHumanBytes) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024 + 512 * 1024), "3.5 MiB");
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  Rng c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(7);
+  Rng c2(8);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.Chance(0.5)) ++hits;
+  }
+  EXPECT_GT(hits, 350);
+  EXPECT_LT(hits, 650);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  rng.Shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(RngTest, RandomStringHasRequestedShape) {
+  Rng rng(4);
+  std::string s = rng.RandomString(16);
+  EXPECT_EQ(s.size(), 16u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace codb

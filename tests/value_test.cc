@@ -1,0 +1,119 @@
+// Unit tests for values, marked nulls, and tuples.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "relation/tuple.h"
+#include "relation/value.h"
+
+namespace codb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Int(42).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Double(2.5).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("abc").type(), ValueType::kString);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  Value null = Value::Null(3, 7);
+  EXPECT_EQ(null.type(), ValueType::kNull);
+  EXPECT_TRUE(null.is_null());
+  EXPECT_EQ(null.AsNull().peer, 3u);
+  EXPECT_EQ(null.AsNull().counter, 7u);
+}
+
+TEST(ValueTest, EqualityIsTypeAndPayload) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::Int(2));
+  // Int and double never compare equal, even numerically.
+  EXPECT_FALSE(Value::Int(1) == Value::Double(1.0));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+  // Marked nulls compare by label identity.
+  EXPECT_EQ(Value::Null(1, 2), Value::Null(1, 2));
+  EXPECT_FALSE(Value::Null(1, 2) == Value::Null(1, 3));
+  EXPECT_FALSE(Value::Null(1, 2) == Value::Null(2, 2));
+}
+
+TEST(ValueTest, TotalOrderIsStrictWeak) {
+  std::vector<Value> values = {
+      Value::Int(2),          Value::Int(1),       Value::Double(0.5),
+      Value::String("b"),     Value::String("a"),  Value::Null(0, 1),
+      Value::Null(0, 0),
+  };
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a < b; });
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_FALSE(values[i + 1] < values[i]);
+  }
+}
+
+TEST(ValueTest, HashingDistinguishesTypes) {
+  // Same payload bits, different type -> (almost surely) different hash.
+  EXPECT_NE(Value::Int(0).Hash(), Value::Double(0.0).Hash());
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::Null(1, 2).Hash(), Value::Null(1, 2).Hash());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("bob").ToString(), "'bob'");
+  EXPECT_EQ(Value::Null(7, 12).ToString(), "#7:12");
+}
+
+TEST(ValueTest, NumericView) {
+  EXPECT_TRUE(Value::Int(3).IsNumeric());
+  EXPECT_TRUE(Value::Double(3.5).IsNumeric());
+  EXPECT_FALSE(Value::String("3").IsNumeric());
+  EXPECT_FALSE(Value::Null(0, 0).IsNumeric());
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsNumeric(), 3.0);
+}
+
+TEST(ValueTest, WireSizeMatchesSerializedSize) {
+  EXPECT_EQ(Value::Int(1).WireSize(), 9u);
+  EXPECT_EQ(Value::Double(1.5).WireSize(), 9u);
+  EXPECT_EQ(Value::String("abcd").WireSize(), 1u + 4u + 4u);
+  EXPECT_EQ(Value::Null(1, 2).WireSize(), 1u + 4u + 8u);
+}
+
+TEST(TupleTest, BasicsAndEquality) {
+  Tuple t{Value::Int(1), Value::String("a")};
+  EXPECT_EQ(t.arity(), 2);
+  EXPECT_EQ(t.at(0), Value::Int(1));
+  EXPECT_EQ(t, (Tuple{Value::Int(1), Value::String("a")}));
+  EXPECT_FALSE(t == (Tuple{Value::Int(1), Value::String("b")}));
+}
+
+TEST(TupleTest, HasNull) {
+  EXPECT_FALSE((Tuple{Value::Int(1)}).HasNull());
+  EXPECT_TRUE((Tuple{Value::Int(1), Value::Null(0, 0)}).HasNull());
+}
+
+TEST(TupleTest, CanonicalizeNullsIsOrderOfFirstOccurrence) {
+  Tuple a{Value::Null(5, 9), Value::Int(1), Value::Null(5, 9),
+          Value::Null(2, 2)};
+  Tuple b{Value::Null(8, 1), Value::Int(1), Value::Null(8, 1),
+          Value::Null(9, 9)};
+  EXPECT_EQ(a.CanonicalizeNulls(), b.CanonicalizeNulls());
+
+  // Different sharing pattern -> different canonical form.
+  Tuple c{Value::Null(8, 1), Value::Int(1), Value::Null(9, 9),
+          Value::Null(9, 9)};
+  EXPECT_FALSE(a.CanonicalizeNulls() == c.CanonicalizeNulls());
+}
+
+TEST(TupleTest, HashConsistentWithEquality) {
+  std::unordered_set<Tuple, TupleHash> set;
+  set.insert(Tuple{Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(set.count(Tuple{Value::Int(1), Value::Int(2)}), 1u);
+  EXPECT_EQ(set.count(Tuple{Value::Int(2), Value::Int(1)}), 0u);
+}
+
+TEST(TupleTest, ToStringFormats) {
+  Tuple t{Value::Int(1), Value::String("a"), Value::Null(3, 7)};
+  EXPECT_EQ(t.ToString(), "(1, 'a', #3:7)");
+}
+
+}  // namespace
+}  // namespace codb

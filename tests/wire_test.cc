@@ -1,0 +1,170 @@
+// Unit tests for wire serialization: round trips and robustness against
+// truncated or corrupt payloads.
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+#include "relation/wire.h"
+
+namespace codb {
+namespace {
+
+TEST(WireTest, PrimitiveRoundTrips) {
+  WireWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU16(0xBEEF);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x0123456789ABCDEFULL);
+  writer.WriteI64(-42);
+  writer.WriteDouble(3.14159);
+  writer.WriteString("hello");
+  std::vector<uint8_t> bytes = writer.Take();
+
+  WireReader reader(bytes);
+  EXPECT_EQ(reader.ReadU8().value(), 0xAB);
+  EXPECT_EQ(reader.ReadU16().value(), 0xBEEF);
+  EXPECT_EQ(reader.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.ReadI64().value(), -42);
+  EXPECT_DOUBLE_EQ(reader.ReadDouble().value(), 3.14159);
+  EXPECT_EQ(reader.ReadString().value(), "hello");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireTest, ValueRoundTripsAllKinds) {
+  const Value values[] = {
+      Value::Int(-7),
+      Value::Double(2.5),
+      Value::String("text with spaces"),
+      Value::String(""),
+      Value::Null(3, 99),
+  };
+  for (const Value& v : values) {
+    WireWriter writer;
+    writer.WriteValue(v);
+    std::vector<uint8_t> bytes = writer.Take();
+    EXPECT_EQ(bytes.size(), v.WireSize());
+
+    WireReader reader(bytes);
+    Result<Value> back = reader.ReadValue();
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(WireTest, TupleBatchRoundTrip) {
+  std::vector<Tuple> tuples = {
+      Tuple{Value::Int(1), Value::String("a")},
+      Tuple{Value::Null(2, 3), Value::Double(0.5)},
+      Tuple{},
+  };
+  WireWriter writer;
+  writer.WriteTuples(tuples);
+  std::vector<uint8_t> bytes = writer.Take();
+
+  WireReader reader(bytes);
+  Result<std::vector<Tuple>> back = reader.ReadTuples();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), tuples);
+}
+
+TEST(WireTest, TruncatedInputReportsParseError) {
+  WireWriter writer;
+  writer.WriteString("hello");
+  std::vector<uint8_t> bytes = writer.Take();
+  // Chop off the tail; every prefix must fail cleanly, never crash.
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::vector<uint8_t> prefix(bytes.begin(),
+                                bytes.begin() + static_cast<long>(keep));
+    WireReader reader(prefix);
+    Result<std::string> s = reader.ReadString();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(WireTest, CorruptValueTagRejected) {
+  std::vector<uint8_t> bytes = {0x77};  // no such type tag
+  WireReader reader(bytes);
+  Result<Value> v = reader.ReadValue();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kParseError);
+}
+
+TEST(ProtocolTest, UpdateDataPayloadRoundTrip) {
+  UpdateDataPayload payload;
+  payload.update = {FlowId::Scope::kUpdate, 4, 17};
+  payload.rule_id = "r3";
+  payload.path = {0, 2, 5};
+  payload.tuples = {{"d", Tuple{Value::Int(1), Value::Null(0, 0)}},
+                    {"e", Tuple{Value::Int(2), Value::Int(3)}}};
+
+  Result<UpdateDataPayload> back =
+      UpdateDataPayload::Deserialize(payload.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().update, payload.update);
+  EXPECT_EQ(back.value().rule_id, "r3");
+  EXPECT_EQ(back.value().path, payload.path);
+  ASSERT_EQ(back.value().tuples.size(), 2u);
+  EXPECT_EQ(back.value().tuples[0], payload.tuples[0]);
+  EXPECT_EQ(back.value().tuples[1], payload.tuples[1]);
+}
+
+TEST(ProtocolTest, AllSmallPayloadsRoundTrip) {
+  FlowId update{FlowId::Scope::kUpdate, 1, 2};
+  FlowId query{FlowId::Scope::kQuery, 3, 4};
+
+  EXPECT_EQ(UpdateRequestPayload::Deserialize(
+                UpdateRequestPayload{update}.Serialize())
+                .value()
+                .update,
+            update);
+  LinkClosedPayload closed{update, "r9"};
+  Result<LinkClosedPayload> closed_back =
+      LinkClosedPayload::Deserialize(closed.Serialize());
+  ASSERT_TRUE(closed_back.ok());
+  EXPECT_EQ(closed_back.value().rule_id, "r9");
+
+  EXPECT_EQ(AckPayload::Deserialize(AckPayload{query}.Serialize())
+                .value()
+                .flow,
+            query);
+  EXPECT_EQ(UpdateCompletePayload::Deserialize(
+                UpdateCompletePayload{update}.Serialize())
+                .value()
+                .update,
+            update);
+  QueryRequestPayload request{query, "r1", {7, 8}};
+  Result<QueryRequestPayload> request_back =
+      QueryRequestPayload::Deserialize(request.Serialize());
+  ASSERT_TRUE(request_back.ok());
+  EXPECT_EQ(request_back.value().label, (std::vector<uint32_t>{7, 8}));
+
+  ConfigBroadcastPayload config{12, "node n0\n"};
+  Result<ConfigBroadcastPayload> config_back =
+      ConfigBroadcastPayload::Deserialize(config.Serialize());
+  ASSERT_TRUE(config_back.ok());
+  EXPECT_EQ(config_back.value().version, 12u);
+  EXPECT_EQ(config_back.value().config_text, "node n0\n");
+}
+
+TEST(ProtocolTest, FlowIdOrderingAndNames) {
+  FlowId a{FlowId::Scope::kUpdate, 1, 1};
+  FlowId b{FlowId::Scope::kUpdate, 1, 2};
+  FlowId c{FlowId::Scope::kQuery, 1, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);  // update scope sorts before query scope
+  EXPECT_EQ(a.ToString(), "update/1.1");
+  EXPECT_EQ(c.ToString(), "query/1.1");
+}
+
+TEST(ProtocolTest, MalformedPayloadRejected) {
+  std::vector<uint8_t> junk = {1, 2, 3};
+  EXPECT_FALSE(UpdateDataPayload::Deserialize(junk).ok());
+  EXPECT_FALSE(QueryRequestPayload::Deserialize(junk).ok());
+  std::vector<uint8_t> bad_scope = {9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(UpdateRequestPayload::Deserialize(bad_scope).ok());
+}
+
+}  // namespace
+}  // namespace codb

@@ -1,0 +1,145 @@
+// Unit tests for the Wrapper and the DBS repository, including mediator
+// (LDB-less) nodes.
+
+#include <gtest/gtest.h>
+
+#include "wrapper/wrapper.h"
+
+namespace codb {
+namespace {
+
+DatabaseSchema TwoRelations() {
+  DatabaseSchema schema;
+  schema.AddRelation(RelationSchema(
+      "r", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+  schema.AddRelation(RelationSchema("s", {{"a", ValueType::kInt}}));
+  return schema;
+}
+
+TEST(DbsRepositoryTest, ExportedMustBeSubsetOfCatalog) {
+  DatabaseSchema catalog = TwoRelations();
+  DbsRepository dbs;
+
+  DatabaseSchema good;
+  good.AddRelation(*catalog.FindRelation("r"));
+  EXPECT_TRUE(dbs.SetExported(good, &catalog).ok());
+  EXPECT_TRUE(dbs.Exports("r"));
+  EXPECT_FALSE(dbs.Exports("s"));
+  EXPECT_EQ(dbs.ExportedRelationNames(),
+            (std::vector<std::string>{"r"}));
+
+  DatabaseSchema unknown;
+  unknown.AddRelation(RelationSchema("ghost", {{"x", ValueType::kInt}}));
+  EXPECT_EQ(dbs.SetExported(unknown, &catalog).code(),
+            StatusCode::kNotFound);
+
+  DatabaseSchema mismatched;
+  mismatched.AddRelation(
+      RelationSchema("r", {{"a", ValueType::kString},
+                           {"b", ValueType::kInt}}));
+  EXPECT_EQ(dbs.SetExported(mismatched, &catalog).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WrapperTest, DatabaseModeSharesTheLdb) {
+  Database ldb;
+  DatabaseSchema schema = TwoRelations();
+  for (const RelationSchema& rel : schema.relations()) {
+    ASSERT_TRUE(ldb.CreateRelation(rel).ok());
+  }
+  Result<std::unique_ptr<Wrapper>> wrapper =
+      Wrapper::ForDatabase(&ldb, TwoRelations());
+  ASSERT_TRUE(wrapper.ok()) << wrapper.status().ToString();
+  EXPECT_FALSE(wrapper.value()->is_mediator());
+
+  // Writes through the wrapper land in the LDB.
+  ldb.Find("r")->Insert(Tuple{Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(wrapper.value()->StoredTuples(), 1u);
+  EXPECT_EQ(&wrapper.value()->storage(), &ldb);
+}
+
+TEST(WrapperTest, MediatorOwnsTransientStore) {
+  Result<std::unique_ptr<Wrapper>> wrapper =
+      Wrapper::ForMediator(TwoRelations());
+  ASSERT_TRUE(wrapper.ok()) << wrapper.status().ToString();
+  EXPECT_TRUE(wrapper.value()->is_mediator());
+  // The transient store is laid out after the DBS and starts empty.
+  EXPECT_EQ(wrapper.value()->StoredTuples(), 0u);
+  EXPECT_NE(wrapper.value()->storage().Find("r"), nullptr);
+  EXPECT_NE(wrapper.value()->storage().Find("s"), nullptr);
+}
+
+TEST(WrapperTest, ApplyHeadTuplesReturnsOnlyFresh) {
+  Result<std::unique_ptr<Wrapper>> wrapper =
+      Wrapper::ForMediator(TwoRelations());
+  ASSERT_TRUE(wrapper.ok());
+  Wrapper& w = *wrapper.value();
+
+  std::vector<HeadTuple> batch = {
+      {"r", Tuple{Value::Int(1), Value::Int(2)}},
+      {"s", Tuple{Value::Int(7)}},
+      {"r", Tuple{Value::Int(1), Value::Int(2)}},  // dup within batch
+  };
+  Result<std::map<std::string, std::vector<Tuple>>> fresh =
+      w.ApplyHeadTuples(batch);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().at("r").size(), 1u);
+  EXPECT_EQ(fresh.value().at("s").size(), 1u);
+
+  // Re-applying yields nothing new (T' = T \ R).
+  Result<std::map<std::string, std::vector<Tuple>>> again =
+      w.ApplyHeadTuples(batch);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().empty());
+
+  // Unknown relation is an error.
+  Result<std::map<std::string, std::vector<Tuple>>> bad =
+      w.ApplyHeadTuples({{"ghost", Tuple{Value::Int(1)}}});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(WrapperTest, EvaluateQueryJoinsAndProjects) {
+  Result<std::unique_ptr<Wrapper>> wrapper =
+      Wrapper::ForMediator(TwoRelations());
+  ASSERT_TRUE(wrapper.ok());
+  Wrapper& w = *wrapper.value();
+  w.storage().Find("r")->Insert(Tuple{Value::Int(1), Value::Int(10)});
+  w.storage().Find("r")->Insert(Tuple{Value::Int(2), Value::Int(20)});
+  w.storage().Find("s")->Insert(Tuple{Value::Int(1)});
+
+  ConjunctiveQuery q;
+  q.head.push_back({"q", {Term::Var("B")}});
+  q.body.push_back({"r", {Term::Var("A"), Term::Var("B")}});
+  q.body.push_back({"s", {Term::Var("A")}});
+  Result<std::vector<Tuple>> rows = w.EvaluateQuery(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0], (Tuple{Value::Int(10)}));
+}
+
+TEST(WrapperTest, EvaluateQueryRejectsUnsafeOrMultiHead) {
+  Result<std::unique_ptr<Wrapper>> wrapper =
+      Wrapper::ForMediator(TwoRelations());
+  ASSERT_TRUE(wrapper.ok());
+
+  ConjunctiveQuery multi;
+  multi.head.push_back({"q", {Term::Var("A")}});
+  multi.head.push_back({"p", {Term::Var("A")}});
+  multi.body.push_back({"s", {Term::Var("A")}});
+  EXPECT_FALSE(wrapper.value()->EvaluateQuery(multi).ok());
+
+  ConjunctiveQuery unsafe;
+  unsafe.head.push_back({"q", {Term::Var("Z")}});
+  unsafe.body.push_back({"s", {Term::Var("A")}});
+  EXPECT_FALSE(wrapper.value()->EvaluateQuery(unsafe).ok());
+}
+
+TEST(WrapperTest, ForDatabaseRequiresDatabase) {
+  Result<std::unique_ptr<Wrapper>> wrapper =
+      Wrapper::ForDatabase(nullptr, TwoRelations());
+  EXPECT_FALSE(wrapper.ok());
+  EXPECT_EQ(wrapper.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace codb

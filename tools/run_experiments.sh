@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerates the experiment outputs recorded in EXPERIMENTS.md:
+#   test_output.txt  — the full ctest run
+#   bench_output.txt — every experiment harness, in order
+# Usage: tools/run_experiments.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+ROOT="$(dirname "$0")/.."
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
+
+: > "$ROOT/bench_output.txt"
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a "$ROOT/bench_output.txt"
+  "$b" 2>&1 | tee -a "$ROOT/bench_output.txt"
+  echo | tee -a "$ROOT/bench_output.txt"
+done
