@@ -1,0 +1,161 @@
+// Experiment E12 — durability cost and recovery speed.
+//
+// Two tables: (1) checkpoint write/load throughput as the store grows,
+// (2) restart recovery rate as a function of how much WAL tail must be
+// replayed past the last checkpoint (the knob StorageOptions::
+// checkpoint_every trades against runtime overhead).
+//
+// Expected shape: checkpoint throughput is flat (sequential I/O, CRC-
+// bound); recovery time grows linearly with the replayed tail, which is
+// why periodic checkpoints bound restart latency.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "relation/database.h"
+#include "storage/checkpoint.h"
+#include "storage/fs_util.h"
+#include "storage/recovery.h"
+#include "storage/wal_file.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace codb {
+namespace bench {
+namespace {
+
+RelationSchema DSchema() {
+  return RelationSchema("d", {{"k", ValueType::kInt},
+                              {"v", ValueType::kInt}});
+}
+
+std::string ScratchDir(const std::string& tag) {
+  std::string dir = StrFormat("/tmp/codb_bench_recovery_%d/%s",
+                              static_cast<int>(getpid()), tag.c_str());
+  if (!EnsureDirectory(dir).ok()) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    std::exit(1);
+  }
+  return dir;
+}
+
+void CleanDir(const std::string& dir) {
+  Result<std::vector<std::string>> names = ListDirectory(dir);
+  if (!names.ok()) return;
+  for (const std::string& name : names.value()) {
+    RemoveFile(dir + "/" + name);
+  }
+}
+
+void BenchCheckpoint() {
+  std::printf("E12a: checkpoint write/load throughput\n");
+  std::printf("%8s | %10s %10s %10s %10s\n", "tuples", "bytes",
+              "write ms", "MB/s", "load ms");
+
+  for (int tuples : {1'000, 10'000, 50'000, 200'000}) {
+    std::string dir = ScratchDir(StrFormat("ckpt_%d", tuples));
+    CleanDir(dir);
+
+    CheckpointData data;
+    data.wal_lsn = static_cast<uint64_t>(tuples);
+    auto& rows = data.snapshot["d"];
+    rows.reserve(tuples);
+    for (int i = 0; i < tuples; ++i) {
+      rows.push_back(Tuple{Value::Int(i), Value::Int(i * 7)});
+    }
+
+    StorageOptions options;
+    options.directory = dir;
+    CheckpointWriter writer(options);
+    Stopwatch write_watch;
+    if (!writer.Write(data).ok()) {
+      std::fprintf(stderr, "checkpoint write failed\n");
+      std::exit(1);
+    }
+    double write_ms = write_watch.ElapsedSeconds() * 1000.0;
+
+    Stopwatch load_watch;
+    Result<CheckpointWriter::LoadResult> loaded =
+        CheckpointWriter::LoadNewest(dir);
+    double load_ms = load_watch.ElapsedSeconds() * 1000.0;
+    if (!loaded.ok() ||
+        loaded.value().data.snapshot.at("d").size() != rows.size()) {
+      std::fprintf(stderr, "checkpoint load failed\n");
+      std::exit(1);
+    }
+
+    double mb = static_cast<double>(writer.bytes_written()) / 1e6;
+    std::printf("%8d | %10llu %10.2f %10.1f %10.2f\n", tuples,
+                static_cast<unsigned long long>(writer.bytes_written()),
+                write_ms, write_ms > 0 ? mb / (write_ms / 1000.0) : 0.0,
+                load_ms);
+  }
+  std::printf("\n");
+}
+
+void BenchWalReplay() {
+  std::printf("E12b: restart recovery vs WAL tail length\n");
+  std::printf("%8s | %10s %10s %12s %10s\n", "records", "append ms",
+              "recover ms", "tuples/s", "segments");
+
+  for (int records : {1'000, 10'000, 50'000, 200'000}) {
+    std::string dir = ScratchDir(StrFormat("wal_%d", records));
+    CleanDir(dir);
+
+    StorageOptions options;
+    options.directory = dir;
+    options.segment_bytes = 1 << 20;
+    options.flush_each_append = false;  // batch flush, like a busy node
+
+    uint64_t segments = 0;
+    Stopwatch append_watch;
+    {
+      Result<std::unique_ptr<FileWal>> wal = FileWal::Open(options, 1);
+      if (!wal.ok()) {
+        std::fprintf(stderr, "wal open failed\n");
+        std::exit(1);
+      }
+      for (int i = 0; i < records; ++i) {
+        if (!wal.value()
+                 ->Append("d", Tuple{Value::Int(i), Value::Int(i * 7)})
+                 .ok()) {
+          std::fprintf(stderr, "wal append failed\n");
+          std::exit(1);
+        }
+      }
+      wal.value()->Flush();
+      segments = wal.value()->segments_created();
+    }
+    double append_ms = append_watch.ElapsedSeconds() * 1000.0;
+
+    Database db;
+    if (!db.CreateRelation(DSchema()).ok()) std::exit(1);
+    Stopwatch recover_watch;
+    Result<RecoveryOutcome> outcome = RecoveryManager::Recover(dir, db);
+    double recover_ms = recover_watch.ElapsedSeconds() * 1000.0;
+    if (!outcome.ok() ||
+        outcome.value().wal_records_replayed !=
+            static_cast<uint64_t>(records)) {
+      std::fprintf(stderr, "recovery failed\n");
+      std::exit(1);
+    }
+
+    std::printf("%8d | %10.2f %10.2f %12.0f %10llu\n", records, append_ms,
+                recover_ms,
+                recover_ms > 0 ? records / (recover_ms / 1000.0) : 0.0,
+                static_cast<unsigned long long>(segments));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace codb
+
+int main() {
+  codb::bench::BenchCheckpoint();
+  codb::bench::BenchWalReplay();
+  return 0;
+}

@@ -164,6 +164,31 @@ Result<std::vector<Tuple>> Node::LocalQuery(
   return wrapper_->EvaluateQuery(query);
 }
 
+Status Node::EnableDurability(const StorageOptions& options) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (is_mediator()) {
+    return Status::FailedPrecondition(
+        "mediator '" + name_ + "' holds only transient relay data; "
+        "durability does not apply");
+  }
+  if (durable_ != nullptr) {
+    return Status::FailedPrecondition(
+        "node '" + name_ + "' already has durable storage at " +
+        durable_->directory());
+  }
+  CODB_ASSIGN_OR_RETURN(
+      durable_,
+      DurableStorage::Open(options, ldb_.get(),
+                           &statistics_.durability()));
+  wrapper_->AttachJournal(durable_.get());
+  CODB_LOG(kInfo) << name_ << ": durable storage at " << options.directory
+                  << " (recovered " << durable_->recovery().checkpoint_tuples
+                  << " checkpoint tuples, "
+                  << durable_->recovery().wal_records_replayed
+                  << " WAL records)";
+  return Status::Ok();
+}
+
 std::vector<std::string> Node::ConsistencyViolations() const {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (config_ == nullptr) return {};
@@ -256,9 +281,15 @@ std::string Node::Report() const {
     out += "  " + rel.ToString() + "\n";
   }
   out += StrFormat("stored tuples: %zu\n", wrapper_->StoredTuples());
+  if (durable_ != nullptr) {
+    out += "durable storage: " + durable_->directory() +
+           StrFormat(" (next lsn %llu)\n",
+                     static_cast<unsigned long long>(durable_->next_lsn()));
+  }
   out += "pipes:";
   for (PeerId neighbor : network_->Neighbors(id_)) {
-    out += " " + network_->NameOf(neighbor);
+    out += " ";
+    out += network_->NameOf(neighbor);
   }
   out += "\n";
   if (update_manager_ != nullptr) {
@@ -285,7 +316,8 @@ std::string Node::DiscoveryView() const {
   out += "acquaintances (pipes):";
   for (PeerId neighbor : network_->Neighbors(id_)) {
     acquainted.insert(neighbor.value);
-    out += " " + network_->NameOf(neighbor);
+    out += " ";
+    out += network_->NameOf(neighbor);
   }
   out += "\ndiscovered (no pipe):";
   for (const PeerAdvertisement& ad : discovery_->Known()) {

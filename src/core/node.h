@@ -27,6 +27,7 @@
 #include "core/update_manager.h"
 #include "net/discovery.h"
 #include "net/network_interface.h"
+#include "storage/storage.h"
 #include "wrapper/wrapper.h"
 
 namespace codb {
@@ -97,11 +98,21 @@ class Node : public NetworkPeer {
   // While non-empty the node exports nothing (paper principle (d)).
   std::vector<std::string> ConsistencyViolations() const;
 
-  // Attaches a write-ahead journal recording every imported tuple; see
-  // relation/wal.h. The journal is not owned and must outlive the node.
-  void AttachJournal(WriteAheadLog* journal) {
+  // Attaches a journal sink recording every imported tuple; see
+  // relation/wal.h. The sink is not owned and must outlive the node.
+  void AttachJournal(JournalSink* journal) {
     wrapper_->AttachJournal(journal);
   }
+
+  // Turns on durable, crash-safe persistence: the store is recovered from
+  // options.directory (checkpoint + WAL tail), imported tuples are logged
+  // to the file-backed WAL from then on, and checkpoints are cut per
+  // `options.checkpoint_every`. Mediators hold only transient relay data
+  // and refuse. Call after Create and after seeding local base data —
+  // the first enablement cuts a checkpoint covering the seed.
+  Status EnableDurability(const StorageOptions& options);
+  DurableStorage* durable_storage() { return durable_.get(); }
+  const DurableStorage* durable_storage() const { return durable_.get(); }
 
   // -- introspection -------------------------------------------------------
 
@@ -143,6 +154,7 @@ class Node : public NetworkPeer {
 
   std::unique_ptr<Database> ldb_;  // null for mediators
   std::unique_ptr<Wrapper> wrapper_;
+  std::unique_ptr<DurableStorage> durable_;  // null until EnableDurability
   std::unique_ptr<DiscoveryService> discovery_;
   StatisticsModule statistics_;
   std::unique_ptr<NullMinter> minter_;

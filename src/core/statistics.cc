@@ -149,21 +149,34 @@ std::vector<uint8_t> StatisticsModule::SerializeAll() const {
   for (const auto& [id, report] : reports_) {
     report.SerializeTo(writer);
   }
+  durability_.SerializeTo(writer);
   return writer.Take();
+}
+
+Result<StatsBundle> StatisticsModule::DeserializeBundle(
+    const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  CODB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  StatsBundle bundle;
+  bundle.reports.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CODB_ASSIGN_OR_RETURN(UpdateReport report,
+                          UpdateReport::DeserializeFrom(reader));
+    bundle.reports.push_back(std::move(report));
+  }
+  // Reports-only payloads (older snapshots in tests) simply lack the
+  // durability trailer; leave it zeroed.
+  if (!reader.AtEnd()) {
+    CODB_ASSIGN_OR_RETURN(bundle.durability,
+                          DurabilityStats::DeserializeFrom(reader));
+  }
+  return bundle;
 }
 
 Result<std::vector<UpdateReport>> StatisticsModule::DeserializeAll(
     const std::vector<uint8_t>& payload) {
-  WireReader reader(payload);
-  CODB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
-  std::vector<UpdateReport> reports;
-  reports.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    CODB_ASSIGN_OR_RETURN(UpdateReport report,
-                          UpdateReport::DeserializeFrom(reader));
-    reports.push_back(std::move(report));
-  }
-  return reports;
+  CODB_ASSIGN_OR_RETURN(StatsBundle bundle, DeserializeBundle(payload));
+  return std::move(bundle.reports);
 }
 
 }  // namespace codb

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/protocol.h"
+#include "storage/durability_stats.h"
 #include "util/status.h"
 
 namespace codb {
@@ -67,6 +68,14 @@ struct UpdateReport {
   std::string Render() const;
 };
 
+// Everything a kStatsReport payload carries: the per-update reports plus
+// the node's durability counters (zero-valued when the node runs without
+// durable storage).
+struct StatsBundle {
+  std::vector<UpdateReport> reports;
+  DurabilityStats durability;
+};
+
 class StatisticsModule {
  public:
   // Creates (if needed) and returns the report for an update.
@@ -75,15 +84,24 @@ class StatisticsModule {
   const UpdateReport* FindReport(const FlowId& update) const;
   const std::map<FlowId, UpdateReport>& reports() const { return reports_; }
 
+  // WAL/checkpoint/recovery counters; DurableStorage writes into this.
+  DurabilityStats& durability() { return durability_; }
+  const DurabilityStats& durability() const { return durability_; }
+
   void Clear() { reports_.clear(); }
 
-  // Payload body of a kStatsReport message: every accumulated report.
+  // Payload body of a kStatsReport message: every accumulated report plus
+  // the durability counters.
   std::vector<uint8_t> SerializeAll() const;
+  static Result<StatsBundle> DeserializeBundle(
+      const std::vector<uint8_t>& payload);
+  // Compatibility shim: the reports only.
   static Result<std::vector<UpdateReport>> DeserializeAll(
       const std::vector<uint8_t>& payload);
 
  private:
   std::map<FlowId, UpdateReport> reports_;
+  DurabilityStats durability_;
 };
 
 }  // namespace codb

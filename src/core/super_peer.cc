@@ -56,6 +56,7 @@ Status SuperPeer::RequestStats() {
   {
     std::lock_guard<std::mutex> lock(collected_mutex_);
     collected_.clear();
+    collected_durability_.clear();
   }
   ++stats_request_id_;
   StatsRequestPayload payload{stats_request_id_};
@@ -84,17 +85,20 @@ Status SuperPeer::RequestStats() {
 void SuperPeer::HandleMessage(const Message& message) {
   switch (message.type) {
     case MessageType::kStatsReport: {
-      Result<std::vector<UpdateReport>> reports =
-          StatisticsModule::DeserializeAll(message.payload);
-      if (!reports.ok()) {
+      Result<StatsBundle> bundle =
+          StatisticsModule::DeserializeBundle(message.payload);
+      if (!bundle.ok()) {
         CODB_LOG(kWarning) << name_ << ": bad stats report: "
-                           << reports.status().ToString();
+                           << bundle.status().ToString();
         return;
       }
       {
         std::lock_guard<std::mutex> lock(collected_mutex_);
-        collected_[network_->NameOf(message.src)] =
-            std::move(reports).value();
+        const std::string node = network_->NameOf(message.src);
+        collected_[node] = std::move(bundle.value().reports);
+        if (bundle.value().durability.Any()) {
+          collected_durability_[node] = bundle.value().durability;
+        }
       }
       size_t pending = pending_stats_.load();
       while (pending > 0 &&
@@ -187,6 +191,15 @@ std::string SuperPeer::FinalReport() const {
                        static_cast<unsigned long long>(traffic.tuples),
                        HumanBytes(traffic.bytes).c_str());
     }
+  }
+  if (!collected_durability_.empty()) {
+    DurabilityStats total;
+    for (const auto& [node, stats] : collected_durability_) {
+      total.Add(stats);
+    }
+    out += StrFormat("durability (%zu nodes):\n",
+                     collected_durability_.size());
+    out += total.Render();
   }
   return out;
 }

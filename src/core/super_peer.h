@@ -69,6 +69,11 @@ class SuperPeer : public NetworkPeer {
   const std::map<std::string, std::vector<UpdateReport>>& collected() const {
     return collected_;
   }
+  // Node name -> durability counters from the same collection (only nodes
+  // whose bundle reported any durable activity appear).
+  const std::map<std::string, DurabilityStats>& collected_durability() const {
+    return collected_durability_;
+  }
 
   // Aggregates the collected reports per update.
   std::vector<AggregatedUpdateStats> Aggregate() const;
@@ -93,6 +98,7 @@ class SuperPeer : public NetworkPeer {
   std::mutex collected_mutex_;  // guards collected_ against mid-request
                                 // replies on the threaded runtime
   std::map<std::string, std::vector<UpdateReport>> collected_;
+  std::map<std::string, DurabilityStats> collected_durability_;
 };
 
 }  // namespace codb

@@ -20,12 +20,25 @@
 
 namespace codb {
 
-class WriteAheadLog {
+// Anything that can journal imported tuples. The wrapper logs through
+// this interface, so the in-memory journal below and the durable
+// file-backed WAL (storage/storage.h) are interchangeable sinks.
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+
+  // Records one insertion. Sinks must not throw; a durable sink that hits
+  // an I/O error records it internally (see DurableStorage::last_error).
+  virtual void LogInsert(const std::string& relation,
+                         const Tuple& tuple) = 0;
+};
+
+class WriteAheadLog : public JournalSink {
  public:
   WriteAheadLog() = default;
 
   // Appends one insertion record.
-  void LogInsert(const std::string& relation, const Tuple& tuple);
+  void LogInsert(const std::string& relation, const Tuple& tuple) override;
 
   size_t entry_count() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }

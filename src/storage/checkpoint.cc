@@ -1,0 +1,187 @@
+#include "storage/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "relation/wire.h"
+#include "storage/crc32c.h"
+#include "storage/fs_util.h"
+#include "util/string_util.h"
+
+namespace codb {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'O', 'D', 'B', 'C', 'K', 'P', '1'};
+
+bool IsCheckpointName(const std::string& name) {
+  return name.size() == 11 + 20 + 5 && name.rfind("checkpoint-", 0) == 0 &&
+         name.compare(name.size() - 5, 5, ".ckpt") == 0;
+}
+
+uint64_t CheckpointSeq(const std::string& name) {
+  return std::strtoull(name.c_str() + 11, nullptr, 10);
+}
+
+std::vector<uint8_t> SerializePayload(const CheckpointData& data) {
+  WireWriter writer;
+  writer.WriteU64(data.wal_lsn);
+  writer.WriteU32(static_cast<uint32_t>(data.snapshot.size()));
+  for (const auto& [relation, tuples] : data.snapshot) {
+    writer.WriteString(relation);
+    writer.WriteTuples(tuples);
+  }
+  return writer.Take();
+}
+
+Result<CheckpointData> DeserializePayload(
+    const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  CheckpointData data;
+  CODB_ASSIGN_OR_RETURN(data.wal_lsn, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    CODB_ASSIGN_OR_RETURN(std::string relation, reader.ReadString());
+    CODB_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, reader.ReadTuples());
+    data.snapshot.emplace(std::move(relation), std::move(tuples));
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("checkpoint payload has trailing bytes");
+  }
+  return data;
+}
+
+}  // namespace
+
+std::string CheckpointWriter::FileName(uint64_t seq) {
+  return StrFormat("checkpoint-%020llu.ckpt",
+                   static_cast<unsigned long long>(seq));
+}
+
+Result<uint64_t> CheckpointWriter::Write(const CheckpointData& data) {
+  CODB_RETURN_IF_ERROR(EnsureDirectory(directory_));
+  if (next_seq_ == 0) {
+    // Resume numbering past whatever a previous incarnation left behind.
+    CODB_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                          ListDirectory(directory_));
+    uint64_t max_seq = 0;
+    for (const std::string& name : names) {
+      if (IsCheckpointName(name) && CheckpointSeq(name) > max_seq) {
+        max_seq = CheckpointSeq(name);
+      }
+    }
+    next_seq_ = max_seq + 1;
+  }
+  uint64_t seq = next_seq_;
+
+  std::vector<uint8_t> payload = SerializePayload(data);
+  std::vector<uint8_t> bytes(kMagic, kMagic + sizeof kMagic);
+  WireWriter framing;
+  framing.WriteU64(payload.size());
+  framing.WriteU32(Crc32c(payload));
+  std::vector<uint8_t> frame = framing.Take();
+  bytes.insert(bytes.end(), frame.begin(), frame.end());
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  std::string tmp_path =
+      directory_ + "/" + FileName(seq) + ".tmp";
+  std::string final_path = directory_ + "/" + FileName(seq);
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open '" + tmp_path +
+                               "' for writing");
+  }
+  size_t to_write = bytes.size();
+  if (fail_after_bytes_ >= 0 &&
+      fault_budget_used_ + static_cast<long long>(to_write) >
+          fail_after_bytes_) {
+    // Injected crash mid-checkpoint: a torn temp file that the loader
+    // never looks at; the rename below never happens.
+    to_write = fail_after_bytes_ > fault_budget_used_
+                   ? static_cast<size_t>(fail_after_bytes_ -
+                                         fault_budget_used_)
+                   : 0;
+    std::fwrite(bytes.data(), 1, to_write, file);
+    std::fclose(file);
+    fault_budget_used_ += static_cast<long long>(bytes.size());
+    return Status::Unavailable("injected checkpoint write failure");
+  }
+  size_t written = std::fwrite(bytes.data(), 1, to_write, file);
+  bool flushed = std::fclose(file) == 0;
+  fault_budget_used_ += static_cast<long long>(written);
+  if (written != bytes.size() || !flushed) {
+    return Status::Unavailable("short write to '" + tmp_path + "'");
+  }
+  CODB_RETURN_IF_ERROR(RenameFile(tmp_path, final_path));
+
+  ++next_seq_;
+  ++checkpoints_written_;
+  bytes_written_ += bytes.size();
+
+  // Retention: drop the oldest files beyond the keep-count.
+  CODB_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        ListDirectory(directory_));
+  std::vector<std::string> checkpoints;
+  for (const std::string& name : names) {
+    if (IsCheckpointName(name)) checkpoints.push_back(name);
+  }
+  for (size_t i = 0; i + static_cast<size_t>(keep_) < checkpoints.size();
+       ++i) {
+    CODB_RETURN_IF_ERROR(RemoveFile(directory_ + "/" + checkpoints[i]));
+  }
+  return seq;
+}
+
+Result<CheckpointWriter::LoadResult> CheckpointWriter::LoadNewest(
+    const std::string& directory) {
+  CODB_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        ListDirectory(directory));
+  std::vector<std::string> checkpoints;
+  for (const std::string& name : names) {
+    if (IsCheckpointName(name)) checkpoints.push_back(name);
+  }
+  bool saw_invalid = false;
+  for (size_t i = checkpoints.size(); i-- > 0;) {
+    const std::string path = directory + "/" + checkpoints[i];
+    Result<std::vector<uint8_t>> bytes = ReadFileBytes(path);
+    if (!bytes.ok()) {
+      saw_invalid = true;
+      continue;
+    }
+    const std::vector<uint8_t>& b = bytes.value();
+    constexpr size_t kPreamble = sizeof kMagic + 12;  // magic + len + crc
+    if (b.size() < kPreamble ||
+        std::memcmp(b.data(), kMagic, sizeof kMagic) != 0) {
+      saw_invalid = true;
+      continue;
+    }
+    std::vector<uint8_t> frame(b.begin() + sizeof kMagic,
+                               b.begin() + kPreamble);
+    WireReader framing(frame);
+    uint64_t length = std::move(framing.ReadU64()).value();
+    uint32_t crc = std::move(framing.ReadU32()).value();
+    if (b.size() - kPreamble != length ||
+        Crc32c(b.data() + kPreamble, length) != crc) {
+      saw_invalid = true;
+      continue;
+    }
+    std::vector<uint8_t> payload(b.begin() + kPreamble, b.end());
+    Result<CheckpointData> data = DeserializePayload(payload);
+    if (!data.ok()) {
+      saw_invalid = true;
+      continue;
+    }
+    LoadResult result;
+    result.data = std::move(data).value();
+    result.seq = CheckpointSeq(checkpoints[i]);
+    result.fell_back = saw_invalid;
+    return result;
+  }
+  return Status::NotFound(saw_invalid
+                              ? "every checkpoint in '" + directory +
+                                    "' is corrupt"
+                              : "no checkpoint in '" + directory + "'");
+}
+
+}  // namespace codb

@@ -1,0 +1,77 @@
+// Checkpoints: checksummed snapshot files that bound WAL replay.
+//
+// A checkpoint serializes a full Database::Snapshot() plus the WAL
+// high-water mark (the LSN of the last record the snapshot already
+// contains). On-disk format, one file per checkpoint:
+//
+//   checkpoint-<seq:020d>.ckpt
+//     "CODBCKP1" magic (8 bytes)
+//     u64 payload length + u32 crc32c(payload)
+//     payload: u64 wal_lsn, u32 #relations,
+//              per relation: string name + tuple list  (wire framing)
+//
+// Writes are atomic (temp file + rename), so a crash mid-checkpoint
+// leaves only an ignorable *.tmp; the previous checkpoint stays valid.
+// The newest `checkpoints_to_keep` files are retained so recovery can
+// fall back when the newest one is corrupt.
+
+#ifndef CODB_STORAGE_CHECKPOINT_H_
+#define CODB_STORAGE_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relation/tuple.h"
+#include "storage/storage_options.h"
+#include "util/status.h"
+
+namespace codb {
+
+struct CheckpointData {
+  // WAL records with lsn <= wal_lsn are already reflected in `snapshot`;
+  // replay resumes after it.
+  uint64_t wal_lsn = 0;
+  std::map<std::string, std::vector<Tuple>> snapshot;
+};
+
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(const StorageOptions& options)
+      : directory_(options.directory),
+        keep_(options.checkpoints_to_keep < 1 ? 1
+                                              : options.checkpoints_to_keep),
+        fail_after_bytes_(options.fault.checkpoint_fail_after_bytes) {}
+
+  // Writes the next checkpoint atomically and prunes retained files beyond
+  // the keep-count. Returns the sequence number used.
+  Result<uint64_t> Write(const CheckpointData& data);
+
+  uint64_t checkpoints_written() const { return checkpoints_written_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  // Loads the newest checkpoint that passes validation, falling back to
+  // older files past corrupt ones. kNotFound when no valid checkpoint
+  // exists (none written, or every file is damaged).
+  struct LoadResult {
+    CheckpointData data;
+    uint64_t seq = 0;
+    bool fell_back = false;  // the newest file was corrupt; an older one won
+  };
+  static Result<LoadResult> LoadNewest(const std::string& directory);
+
+  static std::string FileName(uint64_t seq);
+
+ private:
+  std::string directory_;
+  int keep_;
+  long long fail_after_bytes_;
+  long long fault_budget_used_ = 0;
+  uint64_t next_seq_ = 0;  // 0 = derive from the directory on first write
+  uint64_t checkpoints_written_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace codb
+
+#endif  // CODB_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli polynomial, reflected 0x82F63B78): the checksum
+// guarding every durable record — WAL frames and checkpoint payloads.
+// Chosen over plain CRC32 for its better error-detection properties on
+// short records; software table implementation (no SSE4.2 dependency).
+
+#ifndef CODB_STORAGE_CRC32C_H_
+#define CODB_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace codb {
+
+// Running CRC: pass the previous result as `seed` to checksum in chunks.
+uint32_t Crc32c(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(const std::vector<uint8_t>& bytes) {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+}  // namespace codb
+
+#endif  // CODB_STORAGE_CRC32C_H_

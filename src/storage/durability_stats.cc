@@ -1,0 +1,86 @@
+#include "storage/durability_stats.h"
+
+#include "util/string_util.h"
+
+namespace codb {
+
+bool DurabilityStats::Any() const {
+  return wal_records_appended != 0 || wal_bytes_appended != 0 ||
+         wal_segments_created != 0 || wal_append_failures != 0 ||
+         checkpoints_written != 0 || checkpoint_bytes_written != 0 ||
+         recoveries != 0 || recovered_checkpoint_tuples != 0 ||
+         recovered_wal_records != 0 || torn_tails_truncated != 0;
+}
+
+void DurabilityStats::Add(const DurabilityStats& other) {
+  wal_records_appended += other.wal_records_appended;
+  wal_bytes_appended += other.wal_bytes_appended;
+  wal_segments_created += other.wal_segments_created;
+  wal_append_failures += other.wal_append_failures;
+  checkpoints_written += other.checkpoints_written;
+  checkpoint_bytes_written += other.checkpoint_bytes_written;
+  recoveries += other.recoveries;
+  recovered_checkpoint_tuples += other.recovered_checkpoint_tuples;
+  recovered_wal_records += other.recovered_wal_records;
+  torn_tails_truncated += other.torn_tails_truncated;
+  checkpoint_wall_micros += other.checkpoint_wall_micros;
+  recovery_wall_micros += other.recovery_wall_micros;
+}
+
+void DurabilityStats::SerializeTo(WireWriter& writer) const {
+  writer.WriteU64(wal_records_appended);
+  writer.WriteU64(wal_bytes_appended);
+  writer.WriteU64(wal_segments_created);
+  writer.WriteU64(wal_append_failures);
+  writer.WriteU64(checkpoints_written);
+  writer.WriteU64(checkpoint_bytes_written);
+  writer.WriteU64(recoveries);
+  writer.WriteU64(recovered_checkpoint_tuples);
+  writer.WriteU64(recovered_wal_records);
+  writer.WriteU64(torn_tails_truncated);
+  writer.WriteDouble(checkpoint_wall_micros);
+  writer.WriteDouble(recovery_wall_micros);
+}
+
+Result<DurabilityStats> DurabilityStats::DeserializeFrom(WireReader& reader) {
+  DurabilityStats stats;
+  CODB_ASSIGN_OR_RETURN(stats.wal_records_appended, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(stats.wal_bytes_appended, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(stats.wal_segments_created, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(stats.wal_append_failures, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(stats.checkpoints_written, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(stats.checkpoint_bytes_written, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(stats.recoveries, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(stats.recovered_checkpoint_tuples, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(stats.recovered_wal_records, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(stats.torn_tails_truncated, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(stats.checkpoint_wall_micros, reader.ReadDouble());
+  CODB_ASSIGN_OR_RETURN(stats.recovery_wall_micros, reader.ReadDouble());
+  return stats;
+}
+
+std::string DurabilityStats::Render() const {
+  std::string out;
+  out += StrFormat(
+      "  wal              %llu records (%s) in %llu segments, "
+      "%llu failed appends\n",
+      static_cast<unsigned long long>(wal_records_appended),
+      HumanBytes(wal_bytes_appended).c_str(),
+      static_cast<unsigned long long>(wal_segments_created),
+      static_cast<unsigned long long>(wal_append_failures));
+  out += StrFormat("  checkpoints      %llu written (%s), %.0f us\n",
+                   static_cast<unsigned long long>(checkpoints_written),
+                   HumanBytes(checkpoint_bytes_written).c_str(),
+                   checkpoint_wall_micros);
+  out += StrFormat(
+      "  recoveries       %llu (%llu checkpoint tuples + %llu wal "
+      "records, %llu torn tails), %.0f us\n",
+      static_cast<unsigned long long>(recoveries),
+      static_cast<unsigned long long>(recovered_checkpoint_tuples),
+      static_cast<unsigned long long>(recovered_wal_records),
+      static_cast<unsigned long long>(torn_tails_truncated),
+      recovery_wall_micros);
+  return out;
+}
+
+}  // namespace codb

@@ -1,0 +1,44 @@
+// Counters and timings of the durable-storage subsystem, accumulated per
+// node and shipped to the super-peer inside the kStatsReport payload
+// (core/statistics.h embeds one of these next to the update reports).
+
+#ifndef CODB_STORAGE_DURABILITY_STATS_H_
+#define CODB_STORAGE_DURABILITY_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relation/wire.h"
+#include "util/status.h"
+
+namespace codb {
+
+struct DurabilityStats {
+  uint64_t wal_records_appended = 0;
+  uint64_t wal_bytes_appended = 0;
+  uint64_t wal_segments_created = 0;
+  uint64_t wal_append_failures = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_bytes_written = 0;
+  uint64_t recoveries = 0;
+  uint64_t recovered_checkpoint_tuples = 0;
+  uint64_t recovered_wal_records = 0;
+  uint64_t torn_tails_truncated = 0;
+  double checkpoint_wall_micros = 0;
+  double recovery_wall_micros = 0;
+
+  // True once any durable activity happened (gates report sections).
+  bool Any() const;
+
+  void Add(const DurabilityStats& other);
+
+  void SerializeTo(WireWriter& writer) const;
+  static Result<DurabilityStats> DeserializeFrom(WireReader& reader);
+
+  // Indented human-readable block for node and super-peer reports.
+  std::string Render() const;
+};
+
+}  // namespace codb
+
+#endif  // CODB_STORAGE_DURABILITY_STATS_H_

@@ -1,0 +1,88 @@
+#include "storage/fs_util.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace codb {
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty directory path");
+  }
+  // Walk the components so nested experiment directories work too.
+  for (size_t pos = 1; pos <= path.size(); ++pos) {
+    if (pos != path.size() && path[pos] != '/') continue;
+    std::string prefix = path.substr(0, pos);
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Unavailable("mkdir '" + prefix +
+                                 "': " + std::strerror(errno));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    return Status::NotFound("opendir '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + read);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    return Status::Unavailable("remove '" + path +
+                               "': " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Unavailable("rename '" + from + "' -> '" + to +
+                               "': " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::Unavailable("truncate '" + path +
+                               "': " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace codb

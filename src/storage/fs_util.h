@@ -1,0 +1,34 @@
+// Minimal filesystem helpers for the storage subsystem. <filesystem> is
+// deliberately avoided per house style; POSIX calls suffice on the
+// platforms this repo targets.
+
+#ifndef CODB_STORAGE_FS_UTIL_H_
+#define CODB_STORAGE_FS_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace codb {
+
+// Creates `path` (and missing parents) as a directory; ok if it exists.
+Status EnsureDirectory(const std::string& path);
+
+// Regular-file names directly inside `path`, sorted lexicographically
+// (storage file names are zero-padded, so lexical order == numeric order).
+Result<std::vector<std::string>> ListDirectory(const std::string& path);
+
+// Whole-file read into memory; kNotFound if the file cannot be opened.
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+Status RemoveFile(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+
+// Shrinks a file to `size` bytes (torn-tail truncation).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+}  // namespace codb
+
+#endif  // CODB_STORAGE_FS_UTIL_H_

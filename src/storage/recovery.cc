@@ -1,0 +1,52 @@
+#include "storage/recovery.h"
+
+#include "storage/checkpoint.h"
+#include "storage/fs_util.h"
+#include "storage/wal_file.h"
+#include "util/stopwatch.h"
+
+namespace codb {
+
+Result<RecoveryOutcome> RecoveryManager::Recover(
+    const std::string& directory, Database& db) {
+  Stopwatch wall;
+  RecoveryOutcome outcome;
+  CODB_RETURN_IF_ERROR(EnsureDirectory(directory));
+
+  Result<CheckpointWriter::LoadResult> checkpoint =
+      CheckpointWriter::LoadNewest(directory);
+  if (checkpoint.ok()) {
+    const CheckpointWriter::LoadResult& loaded = checkpoint.value();
+    CODB_RETURN_IF_ERROR(db.Restore(loaded.data.snapshot));
+    outcome.checkpoint_loaded = true;
+    outcome.checkpoint_fell_back = loaded.fell_back;
+    outcome.checkpoint_lsn = loaded.data.wal_lsn;
+    for (const auto& [relation, tuples] : loaded.data.snapshot) {
+      outcome.checkpoint_tuples += tuples.size();
+    }
+  } else if (checkpoint.status().code() != StatusCode::kNotFound) {
+    return checkpoint.status();
+  } else {
+    // No usable checkpoint. If damaged files exist this is the "fall back
+    // to full WAL replay" path; either way the WAL is replayed from LSN 0.
+    outcome.checkpoint_fell_back =
+        checkpoint.status().message().find("corrupt") != std::string::npos;
+  }
+
+  CODB_ASSIGN_OR_RETURN(
+      FileWal::ReplayResult replay,
+      FileWal::ReadAll(directory, outcome.checkpoint_lsn));
+  for (const WalRecord& record : replay.records) {
+    CODB_ASSIGN_OR_RETURN(Relation * relation, db.Get(record.relation));
+    relation->Insert(record.tuple);
+    ++outcome.wal_records_replayed;
+  }
+  outcome.wal_tail_truncated = replay.tail_truncated;
+  outcome.wal_truncated_bytes = replay.truncated_bytes;
+  outcome.wal_stopped_early = replay.stopped_early;
+  outcome.next_lsn = replay.next_lsn;
+  outcome.wall_micros = wall.ElapsedSeconds() * 1e6;
+  return outcome;
+}
+
+}  // namespace codb

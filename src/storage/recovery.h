@@ -1,0 +1,45 @@
+// RecoveryManager: rebuilds a node's database from its storage directory.
+//
+// Protocol: load the newest checkpoint that validates (falling back past
+// corrupt files; with none usable, fall back to a full WAL replay from
+// LSN 0), restore it into the database, then replay the WAL tail —
+// records with lsn > the checkpoint's high-water mark. Torn or corrupt
+// WAL tails are truncated to the durable prefix by the WAL reader;
+// recovery itself fails only on environmental errors (unreadable
+// directory) or on a WAL record naming a relation the schema lacks.
+
+#ifndef CODB_STORAGE_RECOVERY_H_
+#define CODB_STORAGE_RECOVERY_H_
+
+#include <string>
+
+#include "relation/database.h"
+#include "util/status.h"
+
+namespace codb {
+
+struct RecoveryOutcome {
+  bool checkpoint_loaded = false;
+  bool checkpoint_fell_back = false;  // newest checkpoint corrupt
+  uint64_t checkpoint_lsn = 0;
+  uint64_t checkpoint_tuples = 0;
+  uint64_t wal_records_replayed = 0;
+  bool wal_tail_truncated = false;
+  uint64_t wal_truncated_bytes = 0;
+  bool wal_stopped_early = false;  // mid-log corruption; prefix recovered
+  uint64_t next_lsn = 1;           // where the reopened WAL resumes
+  double wall_micros = 0;
+};
+
+class RecoveryManager {
+ public:
+  // Restores `db` (relations already created from the schema) from
+  // `directory`. A directory with no durable state yields an empty
+  // outcome and leaves `db` untouched.
+  static Result<RecoveryOutcome> Recover(const std::string& directory,
+                                         Database& db);
+};
+
+}  // namespace codb
+
+#endif  // CODB_STORAGE_RECOVERY_H_

@@ -1,0 +1,102 @@
+#include "storage/storage.h"
+
+#include "util/stopwatch.h"
+
+namespace codb {
+
+Result<std::unique_ptr<DurableStorage>> DurableStorage::Open(
+    StorageOptions options, Database* db, DurabilityStats* stats) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("DurableStorage needs a database");
+  }
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("DurableStorage needs a directory");
+  }
+  auto storage = std::unique_ptr<DurableStorage>(
+      new DurableStorage(std::move(options), db, stats));
+
+  CODB_ASSIGN_OR_RETURN(storage->recovery_,
+                        RecoveryManager::Recover(
+                            storage->options_.directory, *db));
+  if (storage->recovery_.checkpoint_loaded) {
+    storage->retained_checkpoint_lsns_.push_back(
+        storage->recovery_.checkpoint_lsn);
+  }
+  if (stats != nullptr) {
+    ++stats->recoveries;
+    stats->recovered_checkpoint_tuples +=
+        storage->recovery_.checkpoint_tuples;
+    stats->recovered_wal_records += storage->recovery_.wal_records_replayed;
+    if (storage->recovery_.wal_tail_truncated) ++stats->torn_tails_truncated;
+    stats->recovery_wall_micros += storage->recovery_.wall_micros;
+  }
+
+  CODB_ASSIGN_OR_RETURN(
+      storage->wal_,
+      FileWal::Open(storage->options_, storage->recovery_.next_lsn));
+  if (stats != nullptr) ++stats->wal_segments_created;
+
+  // A brand-new directory: make the current (seeded) database content
+  // durable right away, otherwise a crash before the first checkpoint
+  // would lose everything that predates the WAL.
+  if (!storage->recovery_.checkpoint_loaded) {
+    CODB_RETURN_IF_ERROR(storage->Checkpoint());
+  }
+  return storage;
+}
+
+void DurableStorage::LogInsert(const std::string& relation,
+                               const Tuple& tuple) {
+  uint64_t segments_before = wal_->segments_created();
+  Status appended = wal_->Append(relation, tuple);
+  if (!appended.ok()) {
+    last_error_ = appended;
+    if (stats_ != nullptr) ++stats_->wal_append_failures;
+    return;
+  }
+  if (stats_ != nullptr) {
+    ++stats_->wal_records_appended;
+    stats_->wal_bytes_appended = wal_->appended_bytes();
+    stats_->wal_segments_created +=
+        wal_->segments_created() - segments_before;
+  }
+  ++appends_since_checkpoint_;
+  if (options_.checkpoint_every > 0 &&
+      appends_since_checkpoint_ >= options_.checkpoint_every) {
+    Status checkpointed = Checkpoint();
+    if (!checkpointed.ok()) last_error_ = checkpointed;
+  }
+}
+
+Status DurableStorage::Checkpoint() {
+  Stopwatch wall;
+  CheckpointData data;
+  data.wal_lsn = wal_ != nullptr ? wal_->next_lsn() - 1
+                                 : recovery_.next_lsn - 1;
+  data.snapshot = db_->Snapshot();
+  uint64_t bytes_before = checkpoint_writer_.bytes_written();
+  CODB_ASSIGN_OR_RETURN(uint64_t seq, checkpoint_writer_.Write(data));
+  (void)seq;
+  appends_since_checkpoint_ = 0;
+
+  retained_checkpoint_lsns_.push_back(data.wal_lsn);
+  while (retained_checkpoint_lsns_.size() >
+         static_cast<size_t>(options_.checkpoints_to_keep < 1
+                                 ? 1
+                                 : options_.checkpoints_to_keep)) {
+    retained_checkpoint_lsns_.pop_front();
+  }
+  if (wal_ != nullptr) {
+    CODB_RETURN_IF_ERROR(
+        wal_->PruneThrough(retained_checkpoint_lsns_.front()));
+  }
+  if (stats_ != nullptr) {
+    ++stats_->checkpoints_written;
+    stats_->checkpoint_bytes_written +=
+        checkpoint_writer_.bytes_written() - bytes_before;
+    stats_->checkpoint_wall_micros += wall.ElapsedSeconds() * 1e6;
+  }
+  return Status::Ok();
+}
+
+}  // namespace codb

@@ -1,0 +1,76 @@
+// DurableStorage: the façade a node attaches for crash-safe persistence.
+//
+// Open() recovers the database from the directory (newest valid
+// checkpoint + WAL tail replay), then opens a fresh WAL segment for
+// appending. From then on the object is a JournalSink: every imported
+// tuple the wrapper logs is streamed to the durable WAL, checkpoints are
+// cut on demand or automatically every N appends, and WAL segments a
+// retained checkpoint no longer needs are pruned. All counters flow into
+// an optional DurabilityStats (the node passes its statistics module's).
+
+#ifndef CODB_STORAGE_STORAGE_H_
+#define CODB_STORAGE_STORAGE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "relation/database.h"
+#include "relation/wal.h"
+#include "storage/checkpoint.h"
+#include "storage/durability_stats.h"
+#include "storage/recovery.h"
+#include "storage/storage_options.h"
+#include "storage/wal_file.h"
+
+namespace codb {
+
+class DurableStorage : public JournalSink {
+ public:
+  // Recovers `db` from options.directory (created if missing) and opens
+  // the WAL. If the directory held no checkpoint, an initial one is cut
+  // immediately so the database's current (seeded) content is durable.
+  // `db` and `stats` (optional) must outlive the storage.
+  static Result<std::unique_ptr<DurableStorage>> Open(
+      StorageOptions options, Database* db,
+      DurabilityStats* stats = nullptr);
+
+  // JournalSink: appends to the durable WAL; failures are recorded in
+  // last_error() and counted, never thrown.
+  void LogInsert(const std::string& relation, const Tuple& tuple) override;
+
+  // Snapshots the database, writes a checkpoint, prunes WAL segments no
+  // retained checkpoint needs.
+  Status Checkpoint();
+
+  Status Flush() { return wal_->Flush(); }
+
+  const RecoveryOutcome& recovery() const { return recovery_; }
+  Status last_error() const { return last_error_; }
+  uint64_t next_lsn() const { return wal_->next_lsn(); }
+  const std::string& directory() const { return options_.directory; }
+
+ private:
+  DurableStorage(StorageOptions options, Database* db,
+                 DurabilityStats* stats)
+      : options_(std::move(options)),
+        db_(db),
+        stats_(stats),
+        checkpoint_writer_(options_) {}
+
+  StorageOptions options_;
+  Database* db_;
+  DurabilityStats* stats_;  // optional, not owned
+  CheckpointWriter checkpoint_writer_;
+  std::unique_ptr<FileWal> wal_;
+  RecoveryOutcome recovery_;
+  Status last_error_;
+  uint64_t appends_since_checkpoint_ = 0;
+  // High-water marks of the retained checkpoints, oldest first; the WAL
+  // is pruned only through the front (recovery may need to fall back).
+  std::deque<uint64_t> retained_checkpoint_lsns_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_STORAGE_STORAGE_H_

@@ -1,0 +1,54 @@
+// Configuration of the durable storage subsystem (WAL + checkpoints).
+//
+// Every knob has a production-sensible default; tests shrink the segment
+// size to force rotation and use the fault-injection hooks to exercise
+// torn-write recovery deterministically.
+
+#ifndef CODB_STORAGE_STORAGE_OPTIONS_H_
+#define CODB_STORAGE_STORAGE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace codb {
+
+// Deterministic write-failure injection for recovery tests: once the
+// component has written `*_fail_after_bytes` bytes in total, the next
+// write stops mid-way (a genuine torn tail on disk) and reports an error.
+// -1 disables the hook.
+struct FaultInjection {
+  long long wal_fail_after_bytes = -1;
+  long long checkpoint_fail_after_bytes = -1;
+};
+
+struct StorageOptions {
+  // Directory holding this node's WAL segments and checkpoints. Created if
+  // missing. Empty = durability disabled.
+  std::string directory;
+
+  // A WAL segment is rotated once it grows past this size.
+  size_t segment_bytes = 1 << 20;
+
+  // Automatic checkpoint every N WAL appends (0 = explicit Checkpoint()
+  // calls only).
+  uint64_t checkpoint_every = 0;
+
+  // Flush policy: true flushes the stream after every append (a record is
+  // durable the moment LogInsert returns); false flushes only on rotation,
+  // checkpoint and close — faster, but a crash can lose the buffered tail
+  // (which torn-tail recovery then truncates cleanly).
+  bool flush_each_append = true;
+
+  // How many checkpoint files to retain. Keeping at least two lets
+  // recovery fall back to the previous checkpoint when the newest one is
+  // corrupt; WAL segments are only pruned once no retained checkpoint
+  // needs them.
+  int checkpoints_to_keep = 2;
+
+  FaultInjection fault;
+};
+
+}  // namespace codb
+
+#endif  // CODB_STORAGE_STORAGE_OPTIONS_H_

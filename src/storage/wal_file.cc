@@ -1,0 +1,265 @@
+#include "storage/wal_file.h"
+
+#include <cstring>
+
+#include "relation/wire.h"
+#include "storage/crc32c.h"
+#include "storage/fs_util.h"
+#include "util/string_util.h"
+
+namespace codb {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'O', 'D', 'B', 'W', 'A', 'L', '1'};
+constexpr size_t kHeaderBytes = 16;  // magic + u64 start LSN
+constexpr size_t kFrameBytes = 8;    // u32 length + u32 crc
+
+uint32_t ReadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+void AppendLe32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+bool IsSegmentName(const std::string& name) {
+  return name.size() == 4 + 20 + 4 && name.rfind("wal-", 0) == 0 &&
+         name.compare(name.size() - 4, 4, ".seg") == 0;
+}
+
+uint64_t SegmentStartLsn(const std::string& name) {
+  return std::strtoull(name.c_str() + 4, nullptr, 10);
+}
+
+}  // namespace
+
+std::string FileWal::SegmentName(uint64_t start_lsn) {
+  return StrFormat("wal-%020llu.seg",
+                   static_cast<unsigned long long>(start_lsn));
+}
+
+Result<std::unique_ptr<FileWal>> FileWal::Open(const StorageOptions& options,
+                                               uint64_t next_lsn) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("FileWal needs a directory");
+  }
+  CODB_RETURN_IF_ERROR(EnsureDirectory(options.directory));
+  auto wal = std::unique_ptr<FileWal>(new FileWal(options, next_lsn));
+  CODB_RETURN_IF_ERROR(wal->OpenSegment(next_lsn));
+  return wal;
+}
+
+FileWal::~FileWal() { CloseSegment(); }
+
+Status FileWal::OpenSegment(uint64_t start_lsn) {
+  segment_path_ = options_.directory + "/" + SegmentName(start_lsn);
+  segment_ = std::fopen(segment_path_.c_str(), "wb");
+  if (segment_ == nullptr) {
+    return Status::Unavailable("cannot open '" + segment_path_ +
+                               "' for writing");
+  }
+  segment_start_lsn_ = start_lsn;
+  segment_size_ = 0;
+  ++segments_created_;
+
+  std::vector<uint8_t> header(kMagic, kMagic + sizeof kMagic);
+  WireWriter writer;
+  writer.WriteU64(start_lsn);
+  std::vector<uint8_t> lsn_bytes = writer.Take();
+  header.insert(header.end(), lsn_bytes.begin(), lsn_bytes.end());
+  CODB_RETURN_IF_ERROR(WriteRaw(header));
+  segment_size_ = header.size();
+  if (std::fflush(segment_) != 0) {
+    return Status::Unavailable("flush of '" + segment_path_ + "' failed");
+  }
+  return Status::Ok();
+}
+
+Status FileWal::CloseSegment() {
+  if (segment_ == nullptr) return Status::Ok();
+  bool ok = std::fclose(segment_) == 0;
+  segment_ = nullptr;
+  if (!ok) {
+    return Status::Unavailable("close of '" + segment_path_ + "' failed");
+  }
+  return Status::Ok();
+}
+
+Status FileWal::WriteRaw(const std::vector<uint8_t>& bytes) {
+  long long threshold = options_.fault.wal_fail_after_bytes;
+  if (threshold >= 0 &&
+      fault_budget_used_ + static_cast<long long>(bytes.size()) > threshold) {
+    // Injected crash: write only the bytes that "made it to disk", leaving
+    // a genuine torn tail, and keep failing from now on.
+    size_t partial = threshold > fault_budget_used_
+                         ? static_cast<size_t>(threshold - fault_budget_used_)
+                         : 0;
+    if (partial > 0) std::fwrite(bytes.data(), 1, partial, segment_);
+    std::fflush(segment_);
+    fault_budget_used_ += static_cast<long long>(bytes.size());
+    return Status::Unavailable("injected WAL write failure");
+  }
+  size_t written = bytes.empty()
+                       ? 0
+                       : std::fwrite(bytes.data(), 1, bytes.size(), segment_);
+  fault_budget_used_ += static_cast<long long>(written);
+  if (written != bytes.size()) {
+    return Status::Unavailable("short write to '" + segment_path_ + "'");
+  }
+  return Status::Ok();
+}
+
+Status FileWal::Append(const std::string& relation, const Tuple& tuple) {
+  if (segment_ == nullptr) {
+    return Status::FailedPrecondition("WAL segment is not open");
+  }
+  WireWriter payload_writer;
+  payload_writer.WriteU64(next_lsn_);
+  payload_writer.WriteString(relation);
+  payload_writer.WriteTuple(tuple);
+  std::vector<uint8_t> payload = payload_writer.Take();
+
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameBytes + payload.size());
+  AppendLe32(frame, static_cast<uint32_t>(payload.size()));
+  AppendLe32(frame, Crc32c(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  CODB_RETURN_IF_ERROR(WriteRaw(frame));
+  if (options_.flush_each_append && std::fflush(segment_) != 0) {
+    return Status::Unavailable("flush of '" + segment_path_ + "' failed");
+  }
+
+  ++next_lsn_;
+  ++appended_records_;
+  appended_bytes_ += frame.size();
+  segment_size_ += frame.size();
+  if (segment_size_ >= options_.segment_bytes) {
+    CODB_RETURN_IF_ERROR(CloseSegment());
+    CODB_RETURN_IF_ERROR(OpenSegment(next_lsn_));
+  }
+  return Status::Ok();
+}
+
+Status FileWal::Flush() {
+  if (segment_ != nullptr && std::fflush(segment_) != 0) {
+    return Status::Unavailable("flush of '" + segment_path_ + "' failed");
+  }
+  return Status::Ok();
+}
+
+Status FileWal::PruneThrough(uint64_t lsn) {
+  CODB_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        ListDirectory(options_.directory));
+  std::vector<std::string> segments;
+  for (const std::string& name : names) {
+    if (IsSegmentName(name)) segments.push_back(name);
+  }
+  // Segment i spans [start_i, start_{i+1}); it is disposable once the
+  // checkpoint covers everything before the next segment's first record.
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (SegmentStartLsn(segments[i]) == segment_start_lsn_) continue;
+    if (SegmentStartLsn(segments[i + 1]) <= lsn + 1) {
+      CODB_RETURN_IF_ERROR(
+          RemoveFile(options_.directory + "/" + segments[i]));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<FileWal::ReplayResult> FileWal::ReadAll(const std::string& directory,
+                                               uint64_t after_lsn) {
+  ReplayResult result;
+  uint64_t last_lsn = after_lsn;  // pruned records are covered up to here
+
+  CODB_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        ListDirectory(directory));
+  std::vector<std::string> segments;
+  for (const std::string& name : names) {
+    if (IsSegmentName(name)) segments.push_back(name);
+  }
+
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const bool newest = i + 1 == segments.size();
+    const std::string path = directory + "/" + segments[i];
+    CODB_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+    if (bytes.empty()) continue;  // rotation crashed before the header
+
+    size_t good_end = 0;
+    bool damaged = false;
+    if (bytes.size() < kHeaderBytes ||
+        std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+      damaged = true;  // torn or corrupt header: no usable records
+    } else {
+      size_t pos = kHeaderBytes;
+      good_end = pos;
+      while (pos < bytes.size()) {
+        if (bytes.size() - pos < kFrameBytes) {
+          damaged = true;  // torn frame header
+          break;
+        }
+        uint32_t length = ReadLe32(bytes.data() + pos);
+        uint32_t crc = ReadLe32(bytes.data() + pos + 4);
+        if (bytes.size() - pos - kFrameBytes < length) {
+          damaged = true;  // torn payload
+          break;
+        }
+        const uint8_t* payload = bytes.data() + pos + kFrameBytes;
+        if (Crc32c(payload, length) != crc) {
+          damaged = true;  // bit rot or torn overwrite
+          break;
+        }
+        std::vector<uint8_t> payload_bytes(payload, payload + length);
+        WireReader reader(payload_bytes);
+        WalRecord record;
+        Result<uint64_t> lsn = reader.ReadU64();
+        Result<std::string> relation =
+            lsn.ok() ? reader.ReadString()
+                     : Result<std::string>(lsn.status());
+        Result<Tuple> tuple = relation.ok()
+                                  ? reader.ReadTuple()
+                                  : Result<Tuple>(relation.status());
+        if (!tuple.ok() || !reader.AtEnd()) {
+          damaged = true;  // checksum matched but content is malformed
+          break;
+        }
+        record.lsn = lsn.value();
+        record.relation = std::move(relation).value();
+        record.tuple = std::move(tuple).value();
+        if (record.lsn > last_lsn) last_lsn = record.lsn;
+        if (record.lsn > after_lsn) {
+          result.records.push_back(std::move(record));
+        }
+        pos += kFrameBytes + length;
+        good_end = pos;
+      }
+    }
+
+    if (damaged) {
+      if (newest) {
+        // Torn tail: cut the file back to its valid prefix so the damage
+        // is gone for good, and recover everything before it.
+        CODB_RETURN_IF_ERROR(TruncateFile(path, good_end));
+        result.tail_truncated = true;
+        result.truncated_bytes = bytes.size() - good_end;
+      } else {
+        // Damage in the middle of the log: LSN continuity is broken, so
+        // later segments cannot be applied safely. Keep them on disk for
+        // forensics and recover the prefix.
+        result.stopped_early = true;
+      }
+      break;
+    }
+  }
+
+  result.next_lsn = last_lsn + 1;
+  return result;
+}
+
+}  // namespace codb

@@ -1,0 +1,118 @@
+// File-backed segmented write-ahead log.
+//
+// Unlike relation/wal.h (an in-memory journal serialized as one blob),
+// this WAL streams every imported tuple to disk as it is logged, so a
+// killed peer loses at most the unflushed tail of the current segment.
+//
+// On-disk layout, one directory per node:
+//
+//   wal-<start_lsn:020d>.seg
+//     header:  "CODBWAL1" magic (8 bytes) + u64 start LSN
+//     records: [u32 payload_len][u32 crc32c(payload)][payload]*
+//     payload: u64 lsn, string relation, tuple   (wire layer framing)
+//
+// Segments rotate once they grow past StorageOptions::segment_bytes; a
+// checkpoint later prunes segments it fully covers. Recovery reads the
+// segments in LSN order and *truncates* a partially written (torn) or
+// checksum-corrupt tail instead of failing — the durable prefix is always
+// recovered. Fault-injection hooks produce genuine torn tails in tests.
+
+#ifndef CODB_STORAGE_WAL_FILE_H_
+#define CODB_STORAGE_WAL_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relation/tuple.h"
+#include "storage/storage_options.h"
+#include "util/status.h"
+
+namespace codb {
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  std::string relation;
+  Tuple tuple;
+};
+
+class FileWal {
+ public:
+  // Opens the log for appending: a fresh segment starting at `next_lsn`
+  // (recovery supplies the LSN after the last durable record; 1 for a
+  // brand-new directory). Never appends into an old segment, so a torn
+  // tail left by a crash can never be followed by valid records.
+  static Result<std::unique_ptr<FileWal>> Open(const StorageOptions& options,
+                                               uint64_t next_lsn);
+
+  ~FileWal();
+  FileWal(const FileWal&) = delete;
+  FileWal& operator=(const FileWal&) = delete;
+
+  // Appends one record (durable per the flush policy) and rotates the
+  // segment if it grew past the limit.
+  Status Append(const std::string& relation, const Tuple& tuple);
+
+  Status Flush();
+
+  // Deletes segments whose every record has lsn <= `lsn` (covered by a
+  // retained checkpoint). The active segment is never pruned.
+  Status PruneThrough(uint64_t lsn);
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  uint64_t segments_created() const { return segments_created_; }
+
+  // -- recovery-side reading (static; no FileWal instance needed) ---------
+
+  struct ReplayResult {
+    std::vector<WalRecord> records;  // lsn > after_lsn, in order
+    uint64_t next_lsn = 1;           // after the last durable record seen
+    // A torn/corrupt tail in the newest segment was cut off (the file was
+    // physically truncated to its valid prefix).
+    bool tail_truncated = false;
+    uint64_t truncated_bytes = 0;
+    // Corruption in an *older* segment: replay stopped there and the
+    // records before the damage were recovered; nothing is deleted.
+    bool stopped_early = false;
+  };
+
+  // Reads every record with lsn > `after_lsn` from `directory`. Tolerates
+  // torn tails, checksum corruption and empty segments — corrupt input
+  // ends the replay (with the flags above), it never fails it; an error
+  // is returned only for unreadable files.
+  static Result<ReplayResult> ReadAll(const std::string& directory,
+                                      uint64_t after_lsn);
+
+  // Name of the segment starting at `start_lsn` ("wal-<020d>.seg").
+  static std::string SegmentName(uint64_t start_lsn);
+
+ private:
+  FileWal(StorageOptions options, uint64_t next_lsn)
+      : options_(std::move(options)), next_lsn_(next_lsn) {}
+
+  Status OpenSegment(uint64_t start_lsn);
+  Status CloseSegment();
+
+  // Writes `bytes` honoring the fault-injection hook: a triggered fault
+  // performs a short write (torn tail on disk) and reports failure.
+  Status WriteRaw(const std::vector<uint8_t>& bytes);
+
+  StorageOptions options_;
+  uint64_t next_lsn_;
+  std::FILE* segment_ = nullptr;
+  std::string segment_path_;
+  uint64_t segment_start_lsn_ = 0;
+  size_t segment_size_ = 0;
+  long long fault_budget_used_ = 0;  // bytes written, for fault injection
+
+  uint64_t appended_records_ = 0;
+  uint64_t appended_bytes_ = 0;
+  uint64_t segments_created_ = 0;
+};
+
+}  // namespace codb
+
+#endif  // CODB_STORAGE_WAL_FILE_H_

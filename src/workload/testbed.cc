@@ -5,6 +5,8 @@ namespace codb {
 Result<std::unique_ptr<Testbed>> Testbed::Create(
     const GeneratedNetwork& generated, Options options) {
   auto testbed = std::unique_ptr<Testbed>(new Testbed());
+  testbed->generated_ = generated;
+  testbed->options_ = options;
   if (options.threaded) {
     testbed->network_ = std::make_unique<ThreadedNetwork>();
   } else {
@@ -12,25 +14,7 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(
   }
 
   for (const NodeDecl& decl : generated.config.nodes()) {
-    DatabaseSchema schema;
-    for (const RelationSchema& rel : decl.relations) {
-      CODB_RETURN_IF_ERROR(schema.AddRelation(rel));
-    }
-    CODB_ASSIGN_OR_RETURN(
-        std::unique_ptr<Node> node,
-        Node::Create(testbed->network_.get(), decl.name,
-                     std::move(schema), decl.mediator, options.node));
-
-    auto seed = generated.seeds.find(decl.name);
-    if (seed != generated.seeds.end()) {
-      for (const auto& [relation, tuples] : seed->second) {
-        CODB_ASSIGN_OR_RETURN(Relation * r,
-                              node->database().Get(relation));
-        for (const Tuple& tuple : tuples) r->Insert(tuple);
-      }
-    }
-    testbed->by_name_.emplace(decl.name, node.get());
-    testbed->nodes_.push_back(std::move(node));
+    CODB_RETURN_IF_ERROR(testbed->SpawnNode(decl, /*seed=*/true).status());
   }
 
   testbed->super_peer_ = SuperPeer::Create(testbed->network_.get());
@@ -48,9 +32,81 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(
   return testbed;
 }
 
+Result<Node*> Testbed::SpawnNode(const NodeDecl& decl, bool seed) {
+  DatabaseSchema schema;
+  for (const RelationSchema& rel : decl.relations) {
+    CODB_RETURN_IF_ERROR(schema.AddRelation(rel));
+  }
+  CODB_ASSIGN_OR_RETURN(
+      std::unique_ptr<Node> node,
+      Node::Create(network_.get(), decl.name, std::move(schema),
+                   decl.mediator, options_.node));
+
+  if (seed) {
+    auto it = generated_.seeds.find(decl.name);
+    if (it != generated_.seeds.end()) {
+      for (const auto& [relation, tuples] : it->second) {
+        CODB_ASSIGN_OR_RETURN(Relation * r, node->database().Get(relation));
+        for (const Tuple& tuple : tuples) r->Insert(tuple);
+      }
+    }
+  }
+  // Durability after seeding: the first enablement checkpoints the seed;
+  // a restart recovers it from disk instead (hence no re-seed above).
+  if (!options_.storage.directory.empty() && !decl.mediator) {
+    StorageOptions per_node = options_.storage;
+    per_node.directory += "/" + decl.name;
+    CODB_RETURN_IF_ERROR(node->EnableDurability(per_node));
+  }
+
+  Node* raw = node.get();
+  by_name_[decl.name] = raw;
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
 Node* Testbed::node(const std::string& name) {
   auto it = by_name_.find(name);
   return it == by_name_.end() ? nullptr : it->second;
+}
+
+Status Testbed::KillNode(const std::string& name) {
+  Node* victim = node(name);
+  if (victim == nullptr) {
+    return Status::NotFound("no node named '" + name + "'");
+  }
+  CODB_RETURN_IF_ERROR(network_->Leave(victim->id()));
+  by_name_.erase(name);
+  for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+    if (it->get() == victim) {
+      graveyard_.push_back(std::move(*it));
+      nodes_.erase(it);
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Node*> Testbed::RestartNode(const std::string& name) {
+  if (node(name) != nullptr) {
+    return Status::FailedPrecondition("node '" + name +
+                                      "' is already running");
+  }
+  const NodeDecl* decl = generated_.config.FindNode(name);
+  if (decl == nullptr) {
+    return Status::NotFound("no declaration for node '" + name + "'");
+  }
+  CODB_ASSIGN_OR_RETURN(Node * revived, SpawnNode(*decl, /*seed=*/false));
+  // The node came back under a fresh peer id; re-broadcasting bumps the
+  // config version, so every peer rebuilds its pipes and managers against
+  // the revived node.
+  CODB_RETURN_IF_ERROR(super_peer_->BroadcastConfig());
+  network_->Run(options_.settle_event_cap);
+  if (!revived->has_config()) {
+    return Status::Internal("restarted node '" + name +
+                            "' did not receive the configuration");
+  }
+  return revived;
 }
 
 Result<FlowId> Testbed::RunGlobalUpdate(const std::string& initiator) {

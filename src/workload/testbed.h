@@ -15,6 +15,7 @@
 #include "core/super_peer.h"
 #include "net/network.h"
 #include "net/threaded_network.h"
+#include "storage/storage_options.h"
 #include "workload/topology_gen.h"
 
 namespace codb {
@@ -28,6 +29,10 @@ class Testbed {
     // false: deterministic discrete-event simulator (the default).
     // true: ThreadedNetwork — one real delivery thread per peer.
     bool threaded = false;
+    // When storage.directory is non-empty, every non-mediator node gets
+    // durable storage under <directory>/<node name> (crash-kill via
+    // KillNode, disk-backed restart via RestartNode).
+    StorageOptions storage;
   };
 
   // Builds the network, creates one Node per declaration, seeds the data,
@@ -62,12 +67,31 @@ class Testbed {
   // Collects statistics into the super-peer (runs the network).
   Status CollectStats();
 
+  // Crash-kills a node: it leaves the network without any shutdown
+  // courtesy (pipes snap, in-flight messages are dropped) — exactly what
+  // its peers see when a process dies. The node object is parked, not
+  // destroyed: on the threaded runtime a delivery thread may still be
+  // inside its handler.
+  Status KillNode(const std::string& name);
+
+  // Restarts a previously killed node from its declaration. The store is
+  // NOT re-seeded — with durable storage the content comes back from disk
+  // (checkpoint + WAL replay); without it the node restarts empty. The
+  // configuration is re-broadcast so the whole network rebuilds pipes to
+  // the new peer id, and the network runs until settled.
+  Result<Node*> RestartNode(const std::string& name);
+
  private:
   Testbed() = default;
 
+  Result<Node*> SpawnNode(const NodeDecl& decl, bool seed);
+
+  GeneratedNetwork generated_;
+  Options options_;
   std::unique_ptr<NetworkBase> network_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<std::string, Node*> by_name_;
+  std::vector<std::unique_ptr<Node>> graveyard_;  // killed nodes
   std::unique_ptr<SuperPeer> super_peer_;
 };
 

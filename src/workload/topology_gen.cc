@@ -96,7 +96,11 @@ DatabaseSchema StandardSchema() {
   return schema;
 }
 
-std::string NodeName(int index) { return "n" + std::to_string(index); }
+std::string NodeName(int index) {
+  std::string name = "n";
+  name += std::to_string(index);
+  return name;
+}
 
 GeneratedNetwork MakeChain(const WorkloadOptions& options) {
   Builder builder(options);

@@ -72,12 +72,12 @@ class Wrapper {
   // Total tuples in storage (report/statistics).
   size_t StoredTuples() const { return storage_->TotalTuples(); }
 
-  // Attaches a write-ahead journal: from now on every tuple that
+  // Attaches a journal sink: from now on every tuple that
   // ApplyHeadTuples actually inserts is logged, so a restarted node can
-  // rebuild its imports with WriteAheadLog::ReplayInto. Pass nullptr to
-  // detach. The journal is not owned.
-  void AttachJournal(WriteAheadLog* journal) { journal_ = journal; }
-  const WriteAheadLog* journal() const { return journal_; }
+  // rebuild its imports (WriteAheadLog::ReplayInto, or the durable WAL's
+  // recovery). Pass nullptr to detach. The sink is not owned.
+  void AttachJournal(JournalSink* journal) { journal_ = journal; }
+  const JournalSink* journal() const { return journal_; }
 
  private:
   Wrapper() = default;
@@ -86,7 +86,7 @@ class Wrapper {
   Database* ldb_ = nullptr;                   // null for mediators
   std::unique_ptr<Database> transient_;       // owned store for mediators
   Database* storage_ = nullptr;               // ldb_ or transient_.get()
-  WriteAheadLog* journal_ = nullptr;          // optional, not owned
+  JournalSink* journal_ = nullptr;            // optional, not owned
   // Import provenance: which stored tuples arrived over the network.
   std::map<std::string, std::unordered_set<Tuple, TupleHash>> imported_;
   DbsRepository dbs_;

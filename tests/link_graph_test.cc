@@ -110,13 +110,17 @@ TEST(LinkGraphTest, MixedCyclicAndAcyclicParts) {
 }
 
 TEST(LinkGraphTest, LongestSimplePathOnChain) {
+  auto named = [](const char* prefix, int i) {
+    std::string out = prefix;
+    out += std::to_string(i);
+    return out;
+  };
   std::vector<std::string> nodes;
   std::vector<Edge> edges;
-  for (int i = 0; i < 6; ++i) nodes.push_back("n" + std::to_string(i));
+  for (int i = 0; i < 6; ++i) nodes.push_back(named("n", i));
   // n0 <- n1 <- ... <- n5: 5 links, path length 4 edges.
   for (int i = 0; i + 1 < 6; ++i) {
-    edges.push_back({"r" + std::to_string(i), "n" + std::to_string(i),
-                     "n" + std::to_string(i + 1)});
+    edges.push_back({named("r", i), named("n", i), named("n", i + 1)});
   }
   LinkGraph graph = LinkGraph::Build(MakeConfig(nodes, edges));
   EXPECT_EQ(graph.LongestSimplePath(), 4);

@@ -6,21 +6,13 @@
 
 #include "core/oracle.h"
 #include "query/homomorphism.h"
+#include "test_util.h"
 #include "workload/testbed.h"
 
 namespace codb {
 namespace {
 
-// Removes one tuple from a relation (relations are append-only; tests
-// rebuild).
-void DeleteTuple(Relation* relation, const Tuple& victim) {
-  std::vector<Tuple> kept;
-  for (const Tuple& t : relation->rows()) {
-    if (!(t == victim)) kept.push_back(t);
-  }
-  relation->Clear();
-  for (const Tuple& t : kept) relation->Insert(t);
-}
+using test::DeleteTuple;
 
 TEST(RefreshTest, SourceDeletionPropagatesOnRefresh) {
   WorkloadOptions options;

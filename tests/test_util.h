@@ -1,0 +1,27 @@
+// Helpers shared across the test suite.
+
+#ifndef CODB_TESTS_TEST_UTIL_H_
+#define CODB_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace codb {
+namespace test {
+
+// Removes one tuple from a relation (relations are append-only; tests
+// rebuild).
+inline void DeleteTuple(Relation* relation, const Tuple& victim) {
+  std::vector<Tuple> kept;
+  for (const Tuple& t : relation->rows()) {
+    if (!(t == victim)) kept.push_back(t);
+  }
+  relation->Clear();
+  for (const Tuple& t : kept) relation->Insert(t);
+}
+
+}  // namespace test
+}  // namespace codb
+
+#endif  // CODB_TESTS_TEST_UTIL_H_

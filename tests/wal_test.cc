@@ -78,6 +78,31 @@ TEST(WalTest, FilePersistenceRoundTrip) {
   EXPECT_FALSE(wal.SaveToFile("/no/such/dir/x.journal").ok());
 }
 
+TEST(WalTest, DeserializeRejectsCorruptBlobsWithoutCrashing) {
+  WriteAheadLog wal;
+  wal.LogInsert("d", Tuple{Value::Int(1), Value::Int(10)});
+  wal.LogInsert("d", Tuple{Value::Int(2), Value::Int(20)});
+  std::vector<uint8_t> bytes = wal.Serialize();
+
+  // An empty blob has no entry count.
+  EXPECT_FALSE(WriteAheadLog::Deserialize({}).ok());
+
+  // A flipped byte in the leading entry count desynchronizes every
+  // subsequent read; the bounds checks must catch it.
+  std::vector<uint8_t> bad_count = bytes;
+  bad_count[0] ^= 0xFF;
+  EXPECT_FALSE(WriteAheadLog::Deserialize(bad_count).ok());
+
+  // A flipped byte inside a record (first entry's relation-name length)
+  // is caught the same way.
+  std::vector<uint8_t> bad_length = bytes;
+  bad_length[4] ^= 0xFF;
+  EXPECT_FALSE(WriteAheadLog::Deserialize(bad_length).ok());
+
+  // The valid blob still parses (the corruption copies didn't alias).
+  EXPECT_TRUE(WriteAheadLog::Deserialize(bytes).ok());
+}
+
 TEST(WalTest, NodeRecoversImportsAfterRestart) {
   // Run a global update with a journal attached to n0, then rebuild n0's
   // store from its base data plus the journal: identical contents.
