@@ -20,9 +20,9 @@ namespace bench {
 namespace {
 
 void Run() {
-  std::printf(
+  Print(
       "E9: result batching (6-node chain, 500 tuples/node, copy rules)\n");
-  std::printf("%12s | %8s %12s %10s %11s\n", "batch cap", "dataM",
+  Print("%12s | %8s %12s %10s %11s\n", "batch cap", "dataM",
               "bytes", "virt(us)", "bytes/msg");
 
   WorkloadOptions options;
@@ -40,7 +40,8 @@ void Run() {
     } else {
       std::snprintf(label, sizeof label, "%zu", cap);
     }
-    std::printf("%12s | %8llu %12llu %10lld %11.1f%s\n", label,
+    RecordScenario(std::string("batch_cap/") + label, metrics);
+    Print("%12s | %8llu %12llu %10lld %11.1f%s\n", label,
                 static_cast<unsigned long long>(metrics.data_messages),
                 static_cast<unsigned long long>(metrics.data_bytes),
                 static_cast<long long>(metrics.virtual_us),
@@ -56,7 +57,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

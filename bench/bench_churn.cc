@@ -12,17 +12,16 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "util/random.h"
-#include "workload/testbed.h"
-#include "workload/topology_gen.h"
 
 namespace codb {
 namespace bench {
 namespace {
 
 void Run() {
-  std::printf("E7: updates under churn (12-node chain, 20 tuples/node)\n");
-  std::printf("%5s %6s | %10s %12s %14s\n", "cuts", "seed", "terminated",
+  Print("E7: updates under churn (12-node chain, 20 tuples/node)\n");
+  Print("%5s %6s | %10s %12s %14s\n", "cuts", "seed", "terminated",
               "tuples@n0", "of max 240");
 
   for (int cuts : {0, 1, 2, 4}) {
@@ -53,7 +52,17 @@ void Run() {
       bool terminated =
           bed->node("n0")->update_manager()->IsComplete(update);
       size_t delivered = bed->node("n0")->database().Find("d")->size();
-      std::printf("%5d %6llu | %10s %12zu %13.0f%%\n", cuts,
+      if (JsonMode()) {
+        JsonValue obj = JsonValue::Object();
+        obj.Set("scenario",
+                JsonValue::Str("cuts=" + std::to_string(cuts) +
+                               "/seed=" + std::to_string(seed)));
+        obj.Set("terminated", JsonValue::Bool(terminated));
+        obj.Set("tuples_delivered", JsonValue::Uint(delivered));
+        obj.Set("max_tuples", JsonValue::Int(240));
+        RecordJson(std::move(obj));
+      }
+      Print("%5d %6llu | %10s %12zu %13.0f%%\n", cuts,
                   static_cast<unsigned long long>(seed),
                   terminated ? "yes" : "NO", delivered,
                   100.0 * static_cast<double>(delivered) / 240.0);
@@ -65,7 +74,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

@@ -21,8 +21,8 @@ namespace bench {
 namespace {
 
 void Run() {
-  std::printf("E5: fixpoint on cyclic rings\n");
-  std::printf("%-9s %5s | %9s %7s %8s %6s %10s %8s\n", "style", "ring",
+  Print("E5: fixpoint on cyclic rings\n");
+  Print("%-9s %5s | %9s %7s %8s %6s %10s %8s\n", "style", "ring",
               "virt(us)", "dataM", "tuples", "path", "terminated",
               "oracle");
 
@@ -69,7 +69,23 @@ void Run() {
         oracle_ok = false;
       }
 
-      std::printf("%-9s %5d | %9lld %7llu %8llu %6u %10s %8s\n",
+      if (JsonMode()) {
+        JsonValue obj = JsonValue::Object();
+        obj.Set("scenario", JsonValue::Str(
+                                std::string(style == RuleStyle::kCopy
+                                                ? "copy/ring="
+                                                : "project/ring=") +
+                                std::to_string(n)));
+        obj.Set("virtual_us",
+                JsonValue::Int(bed->network().now_us() - start));
+        obj.Set("data_messages", JsonValue::Uint(data_messages));
+        obj.Set("tuples_moved", JsonValue::Uint(tuples));
+        obj.Set("longest_path", JsonValue::Uint(path));
+        obj.Set("terminated", JsonValue::Bool(terminated));
+        obj.Set("oracle_match", JsonValue::Bool(oracle_ok));
+        RecordJson(std::move(obj));
+      }
+      Print("%-9s %5d | %9lld %7llu %8llu %6u %10s %8s\n",
                   style == RuleStyle::kCopy ? "copy" : "project", n,
                   static_cast<long long>(bed->network().now_us() - start),
                   static_cast<unsigned long long>(data_messages),
@@ -77,7 +93,7 @@ void Run() {
                   terminated ? "yes" : "NO",
                   oracle_ok ? "match" : "MISMATCH");
     }
-    std::printf("\n");
+    Print("\n");
   }
 }
 
@@ -85,7 +101,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

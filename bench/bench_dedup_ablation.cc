@@ -20,8 +20,8 @@ namespace bench {
 namespace {
 
 void Run() {
-  std::printf("E6: dedup ablation (4x4 grid, 20 tuples/node)\n");
-  std::printf("%-22s | %7s %10s %9s %9s\n", "configuration", "dataM",
+  Print("E6: dedup ablation (4x4 grid, 20 tuples/node)\n");
+  Print("%-22s | %7s %10s %9s %9s\n", "configuration", "dataM",
               "bytes", "virt(us)", "wall(ms)");
 
   WorkloadOptions options;
@@ -47,7 +47,8 @@ void Run() {
     testbed_options.node.update.dedup_received = c.dedup_received;
     testbed_options.node.update.dedup_sent = c.dedup_sent;
     UpdateMetrics metrics = RunUpdate(generated, "n0", testbed_options);
-    std::printf("%-22s | %7llu %10llu %9lld %9.2f%s\n", c.name,
+    RecordScenario(c.name, metrics);
+    Print("%-22s | %7llu %10llu %9lld %9.2f%s\n", c.name,
                 static_cast<unsigned long long>(metrics.data_messages),
                 static_cast<unsigned long long>(metrics.data_bytes),
                 static_cast<long long>(metrics.virtual_us),
@@ -60,7 +61,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

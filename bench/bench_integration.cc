@@ -19,10 +19,10 @@ namespace bench {
 namespace {
 
 void Run() {
-  std::printf(
+  Print(
       "E11: data-integration scaling (registry <- sources, 20 "
       "tuples/source)\n");
-  std::printf("%8s %10s | %9s %7s %9s %12s\n", "sources", "mediators",
+  Print("%8s %10s | %9s %7s %9s %12s\n", "sources", "mediators",
               "virt(us)", "dataM", "tuples", "reg. tuples");
 
   for (bool with_mediators : {false, true}) {
@@ -33,7 +33,10 @@ void Run() {
       GeneratedNetwork generated =
           MakeIntegration(options, sources, with_mediators);
       UpdateMetrics metrics = RunUpdate(generated, "registry");
-      std::printf("%8d %10s | %9lld %7llu %9llu %12zu%s\n", sources,
+      RecordScenario(std::string(with_mediators ? "mediated/" : "direct/") +
+                         std::to_string(sources),
+                     metrics);
+      Print("%8d %10s | %9lld %7llu %9llu %12zu%s\n", sources,
                   with_mediators ? "yes" : "no",
                   static_cast<long long>(metrics.virtual_us),
                   static_cast<unsigned long long>(metrics.data_messages),
@@ -41,7 +44,7 @@ void Run() {
                   metrics.initiator_tuples,
                   metrics.completed ? "" : "  INCOMPLETE");
     }
-    std::printf("\n");
+    Print("\n");
   }
 }
 
@@ -49,7 +52,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

@@ -19,8 +19,8 @@ namespace bench {
 namespace {
 
 void Run() {
-  std::printf("E8: mediator relays on 9-node chains (15 tuples/node)\n");
-  std::printf("%-18s | %9s %7s %12s %14s\n", "configuration", "virt(us)",
+  Print("E8: mediator relays on 9-node chains (15 tuples/node)\n");
+  Print("%-18s | %9s %7s %12s %14s\n", "configuration", "virt(us)",
               "dataM", "tuples@n0", "mediators");
 
   for (int mediator_every : {0, 3, 2}) {
@@ -43,14 +43,15 @@ void Run() {
     char label[32];
     std::snprintf(label, sizeof label, "every %d mediator",
                   mediator_every);
-    std::printf("%-18s | %9lld %7llu %12zu %14d%s\n",
+    RecordScenario(mediator_every == 0 ? "no_mediators" : label, metrics);
+    Print("%-18s | %9lld %7llu %12zu %14d%s\n",
                 mediator_every == 0 ? "no mediators" : label,
                 static_cast<long long>(metrics.virtual_us),
                 static_cast<unsigned long long>(metrics.data_messages),
                 metrics.initiator_tuples, mediators,
                 metrics.completed ? "" : "  INCOMPLETE");
   }
-  std::printf(
+  Print(
       "\nnote: tuples@n0 shrinks with mediator count only because "
       "mediators\nown no data; every database node's data still reaches "
       "n0 through them.\n");
@@ -60,7 +61,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

@@ -20,8 +20,8 @@ namespace bench {
 namespace {
 
 void Run() {
-  std::printf("E4: propagation paths vs link-graph bound\n");
-  std::printf("%-14s %6s %6s | %10s %12s\n", "network", "nodes", "rules",
+  Print("E4: propagation paths vs link-graph bound\n");
+  Print("%-14s %6s %6s | %10s %12s\n", "network", "nodes", "rules",
               "observed", "graph bound");
 
   // Grids.
@@ -33,9 +33,17 @@ void Run() {
     GeneratedNetwork generated = MakeGrid(options);
     LinkGraph graph = LinkGraph::Build(generated.config);
     UpdateMetrics metrics = RunUpdate(generated, "n0");
-    std::printf("%-11s%dx%d %6d %6zu | %10u %12d\n", "grid ", rows, cols,
+    int bound = graph.LongestSimplePath() + 2;
+    if (JsonMode()) {
+      JsonValue obj = ToJson(metrics);
+      obj.Set("scenario", JsonValue::Str("grid/" + std::to_string(rows) +
+                                         "x" + std::to_string(cols)));
+      obj.Set("graph_bound", JsonValue::Int(bound));
+      RecordJson(std::move(obj));
+    }
+    Print("%-11s%dx%d %6d %6zu | %10u %12d\n", "grid ", rows, cols,
                 rows * cols, generated.config.rules().size(),
-                metrics.longest_path, graph.LongestSimplePath() + 2);
+                metrics.longest_path, bound);
   }
 
   // Random graphs with growing density.
@@ -48,10 +56,17 @@ void Run() {
     GeneratedNetwork generated = MakeRandom(options);
     LinkGraph graph = LinkGraph::Build(generated.config);
     UpdateMetrics metrics = RunUpdate(generated, "n0");
-    std::printf("%-9s p=%.2f %6d %6zu | %10u %12d\n", "random", p,
+    int bound = graph.LongestSimplePath(/*max_explored=*/2'000'000) + 2;
+    if (JsonMode()) {
+      JsonValue obj = ToJson(metrics);
+      obj.Set("scenario",
+              JsonValue::Str("random/p=" + std::to_string(p)));
+      obj.Set("graph_bound", JsonValue::Int(bound));
+      RecordJson(std::move(obj));
+    }
+    Print("%-9s p=%.2f %6d %6zu | %10u %12d\n", "random", p,
                 options.nodes, generated.config.rules().size(),
-                metrics.longest_path,
-                graph.LongestSimplePath(/*max_explored=*/2'000'000) + 2);
+                metrics.longest_path, bound);
   }
 }
 
@@ -59,7 +74,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

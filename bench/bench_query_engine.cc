@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "relation/wire.h"
 #include "query/evaluator.h"
 #include "query/parser.h"
@@ -136,4 +139,21 @@ BENCHMARK(BM_RelationInsertNew)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace codb
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but maps the harness-wide --json flag onto
+// google-benchmark's native JSON reporter so run_experiments.sh can treat
+// every bench uniformly.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char format_flag[] = "--benchmark_format=json";
+  for (char*& arg : args) {
+    if (std::strcmp(arg, "--json") == 0) arg = format_flag;
+  }
+  int forwarded = static_cast<int>(args.size());
+  benchmark::Initialize(&forwarded, args.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

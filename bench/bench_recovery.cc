@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "relation/database.h"
 #include "storage/checkpoint.h"
 #include "storage/fs_util.h"
@@ -50,8 +51,8 @@ void CleanDir(const std::string& dir) {
 }
 
 void BenchCheckpoint() {
-  std::printf("E12a: checkpoint write/load throughput\n");
-  std::printf("%8s | %10s %10s %10s %10s\n", "tuples", "bytes",
+  Print("E12a: checkpoint write/load throughput\n");
+  Print("%8s | %10s %10s %10s %10s\n", "tuples", "bytes",
               "write ms", "MB/s", "load ms");
 
   for (int tuples : {1'000, 10'000, 50'000, 200'000}) {
@@ -87,17 +88,26 @@ void BenchCheckpoint() {
     }
 
     double mb = static_cast<double>(writer.bytes_written()) / 1e6;
-    std::printf("%8d | %10llu %10.2f %10.1f %10.2f\n", tuples,
+    if (JsonMode()) {
+      JsonValue obj = JsonValue::Object();
+      obj.Set("scenario",
+              JsonValue::Str("checkpoint/" + std::to_string(tuples)));
+      obj.Set("bytes", JsonValue::Uint(writer.bytes_written()));
+      obj.Set("write_ms", JsonValue::Number(write_ms));
+      obj.Set("load_ms", JsonValue::Number(load_ms));
+      RecordJson(std::move(obj));
+    }
+    Print("%8d | %10llu %10.2f %10.1f %10.2f\n", tuples,
                 static_cast<unsigned long long>(writer.bytes_written()),
                 write_ms, write_ms > 0 ? mb / (write_ms / 1000.0) : 0.0,
                 load_ms);
   }
-  std::printf("\n");
+  Print("\n");
 }
 
 void BenchWalReplay() {
-  std::printf("E12b: restart recovery vs WAL tail length\n");
-  std::printf("%8s | %10s %10s %12s %10s\n", "records", "append ms",
+  Print("E12b: restart recovery vs WAL tail length\n");
+  Print("%8s | %10s %10s %12s %10s\n", "records", "append ms",
               "recover ms", "tuples/s", "segments");
 
   for (int records : {1'000, 10'000, 50'000, 200'000}) {
@@ -142,20 +152,30 @@ void BenchWalReplay() {
       std::exit(1);
     }
 
-    std::printf("%8d | %10.2f %10.2f %12.0f %10llu\n", records, append_ms,
+    if (JsonMode()) {
+      JsonValue obj = JsonValue::Object();
+      obj.Set("scenario",
+              JsonValue::Str("wal_replay/" + std::to_string(records)));
+      obj.Set("append_ms", JsonValue::Number(append_ms));
+      obj.Set("recover_ms", JsonValue::Number(recover_ms));
+      obj.Set("segments", JsonValue::Uint(segments));
+      RecordJson(std::move(obj));
+    }
+    Print("%8d | %10.2f %10.2f %12.0f %10llu\n", records, append_ms,
                 recover_ms,
                 recover_ms > 0 ? records / (recover_ms / 1000.0) : 0.0,
                 static_cast<unsigned long long>(segments));
   }
-  std::printf("\n");
+  Print("\n");
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::BenchCheckpoint();
-  codb::bench::BenchWalReplay();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, [] {
+    codb::bench::BenchCheckpoint();
+    codb::bench::BenchWalReplay();
+  });
 }

@@ -8,9 +8,8 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "util/stopwatch.h"
-#include "workload/testbed.h"
-#include "workload/topology_gen.h"
 
 namespace codb {
 namespace bench {
@@ -44,10 +43,10 @@ Outcome RunOnce(const GeneratedNetwork& generated, bool threaded) {
 }
 
 void Run() {
-  std::printf(
+  Print(
       "E10: simulator vs threaded runtime (rings, 10 tuples/node, "
       "200us links)\n");
-  std::printf("%5s | %12s %12s | %10s %10s | %8s\n", "nodes", "sim wall",
+  Print("%5s | %12s %12s | %10s %10s | %8s\n", "nodes", "sim wall",
               "thr wall", "sim msgs", "thr msgs", "match");
 
   for (int n : {4, 8, 12}) {
@@ -60,13 +59,23 @@ void Run() {
     Outcome thr = RunOnce(generated, /*threaded=*/true);
     bool match = sim.completed && thr.completed &&
                  sim.tuples_at_n0 == thr.tuples_at_n0;
-    std::printf("%5d | %10.2fms %10.2fms | %10llu %10llu | %8s\n", n,
+    if (JsonMode()) {
+      JsonValue obj = JsonValue::Object();
+      obj.Set("scenario", JsonValue::Str("ring/" + std::to_string(n)));
+      obj.Set("sim_wall_ms", JsonValue::Number(sim.wall_ms));
+      obj.Set("thr_wall_ms", JsonValue::Number(thr.wall_ms));
+      obj.Set("sim_data_messages", JsonValue::Uint(sim.data_messages));
+      obj.Set("thr_data_messages", JsonValue::Uint(thr.data_messages));
+      obj.Set("match", JsonValue::Bool(match));
+      RecordJson(std::move(obj));
+    }
+    Print("%5d | %10.2fms %10.2fms | %10llu %10llu | %8s\n", n,
                 sim.wall_ms, thr.wall_ms,
                 static_cast<unsigned long long>(sim.data_messages),
                 static_cast<unsigned long long>(thr.data_messages),
                 match ? "yes" : "NO");
   }
-  std::printf(
+  Print(
       "\nsame messages, same final stores; the threaded runtime pays the\n"
       "real 200us link latencies the simulator only accounts virtually.\n");
 }
@@ -75,7 +84,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

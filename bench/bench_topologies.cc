@@ -30,9 +30,9 @@ void Run() {
   };
   const int sizes[] = {4, 8, 16, 32};
 
-  std::printf(
+  Print(
       "E1: global update across topologies (tuples/node=20, copy rules)\n");
-  std::printf(
+  Print(
       "%-8s %5s | %9s %9s %7s %7s %10s %8s %5s\n", "topology", "nodes",
       "virt(us)", "wall(ms)", "dataM", "ctrlM", "bytes", "tuples", "path");
 
@@ -48,7 +48,9 @@ void Run() {
       }
       options.edge_probability = 3.0 / n;  // keep random graphs sparse
       UpdateMetrics metrics = RunUpdate(topology.make(options), "n0");
-      std::printf(
+      RecordScenario(std::string(topology.name) + "/" + std::to_string(n),
+                     metrics);
+      Print(
           "%-8s %5d | %9lld %9.2f %7llu %7llu %10llu %8llu %5u%s\n",
           topology.name, n, static_cast<long long>(metrics.virtual_us),
           metrics.wall_ms,
@@ -58,7 +60,7 @@ void Run() {
           static_cast<unsigned long long>(metrics.tuples_moved),
           metrics.longest_path, metrics.completed ? "" : "  INCOMPLETE");
     }
-    std::printf("\n");
+    Print("\n");
   }
 }
 
@@ -66,7 +68,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

@@ -15,19 +15,18 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "query/parser.h"
 #include "util/stopwatch.h"
-#include "workload/testbed.h"
-#include "workload/topology_gen.h"
 
 namespace codb {
 namespace bench {
 namespace {
 
 void Run() {
-  std::printf(
+  Print(
       "E2: query-time answering vs global update + local query (chains)\n");
-  std::printf("%5s | %12s %12s | %12s %12s | %9s\n", "nodes",
+  Print("%5s | %12s %12s | %12s %12s | %9s\n", "nodes",
               "coldQ virt", "coldQ msgs", "update virt", "localQ wall",
               "x10");
 
@@ -79,7 +78,21 @@ void Run() {
     // update once and answers locally afterwards.
     int64_t ten_cold = 10 * cold_virtual;
     int64_t ten_warm = update_virtual;  // + ~0 network for local queries
-    std::printf("%5d | %10lldus %10llu | %10lldus %10.1fus | %8.1fx\n", n,
+    if (JsonMode()) {
+      JsonValue obj = JsonValue::Object();
+      obj.Set("scenario", JsonValue::Str("chain/" + std::to_string(n)));
+      obj.Set("cold_query_virtual_us", JsonValue::Int(cold_virtual));
+      obj.Set("cold_query_messages", JsonValue::Uint(cold_messages));
+      obj.Set("update_virtual_us", JsonValue::Int(update_virtual));
+      obj.Set("local_query_wall_us", JsonValue::Number(local_wall_us));
+      obj.Set("amortization_x10",
+              JsonValue::Number(ten_warm > 0
+                                    ? static_cast<double>(ten_cold) /
+                                          static_cast<double>(ten_warm)
+                                    : 0.0));
+      RecordJson(std::move(obj));
+    }
+    Print("%5d | %10lldus %10llu | %10lldus %10.1fus | %8.1fx\n", n,
                 static_cast<long long>(cold_virtual),
                 static_cast<unsigned long long>(cold_messages),
                 static_cast<long long>(update_virtual), local_wall_us,
@@ -87,7 +100,7 @@ void Run() {
                                    static_cast<double>(ten_warm)
                              : 0.0);
   }
-  std::printf(
+  Print(
       "\nx10 = (10 cold queries) / (one update + 10 local queries), in\n"
       "virtual network time: one distributed fetch costs about as much as\n"
       "the whole batch update, so every repeated query amortizes it.\n");
@@ -97,7 +110,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

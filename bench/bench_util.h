@@ -5,10 +5,14 @@
 #ifndef CODB_BENCH_BENCH_UTIL_H_
 #define CODB_BENCH_BENCH_UTIL_H_
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "workload/testbed.h"
 #include "workload/topology_gen.h"
@@ -27,7 +31,85 @@ struct UpdateMetrics {
   uint64_t tuples_moved = 0;      // sum of tuples_added across nodes
   uint32_t longest_path = 0;      // max propagation path (nodes)
   size_t initiator_tuples = 0;    // initiator store size afterwards
+  // Every node's metric registry merged with the transport counters, so a
+  // scenario's machine-readable record carries the full instrument set.
+  MetricsSnapshot registry;
 };
+
+// --- machine-readable output -------------------------------------------
+// Every harness accepts --json: the human tables are suppressed and one
+// JSON object per scenario is accumulated instead, emitted as a single
+// JSON array on stdout when the bench finishes (tools/run_experiments.sh
+// redirects that into bench/BENCH_<name>.json).
+
+inline bool& JsonModeFlag() {
+  static bool mode = false;
+  return mode;
+}
+
+inline bool JsonMode() { return JsonModeFlag(); }
+
+// printf that goes quiet in --json mode; benches route their tables
+// through this so stdout stays pure JSON on the machine path.
+inline void Print(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline void Print(const char* fmt, ...) {
+  if (JsonMode()) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+}
+
+inline JsonValue& JsonScenarios() {
+  static JsonValue scenarios = JsonValue::Array();
+  return scenarios;
+}
+
+inline JsonValue ToJson(const UpdateMetrics& m) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("completed", JsonValue::Bool(m.completed));
+  obj.Set("virtual_us", JsonValue::Int(m.virtual_us));
+  obj.Set("wall_ms", JsonValue::Number(m.wall_ms));
+  obj.Set("events", JsonValue::Uint(m.events));
+  obj.Set("data_messages", JsonValue::Uint(m.data_messages));
+  obj.Set("data_bytes", JsonValue::Uint(m.data_bytes));
+  obj.Set("control_messages", JsonValue::Uint(m.control_messages));
+  obj.Set("tuples_moved", JsonValue::Uint(m.tuples_moved));
+  obj.Set("longest_path", JsonValue::Uint(m.longest_path));
+  obj.Set("initiator_tuples", JsonValue::Uint(m.initiator_tuples));
+  obj.Set("metrics", m.registry.ToJson());
+  return obj;
+}
+
+// Records one scenario (encode parameters into the name: "chain/8").
+inline void RecordScenario(const std::string& scenario,
+                           const UpdateMetrics& metrics) {
+  if (!JsonMode()) return;
+  JsonValue obj = ToJson(metrics);
+  obj.Set("scenario", JsonValue::Str(scenario));
+  JsonScenarios().Push(std::move(obj));
+}
+
+// Records a hand-built object, for benches whose scenarios are not a
+// plain RunUpdate (recovery, runtime comparisons, ...).
+inline void RecordJson(JsonValue obj) {
+  if (!JsonMode()) return;
+  JsonScenarios().Push(std::move(obj));
+}
+
+// Shared main body: parses --json, runs the bench, emits the scenarios.
+inline int BenchMain(int argc, char** argv, void (*run)()) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) JsonModeFlag() = true;
+  }
+  run();
+  if (JsonMode()) {
+    std::printf("%s\n", JsonScenarios().Dump().c_str());
+  }
+  return 0;
+}
 
 // Builds a testbed, runs one global update from `initiator`, and collects
 // the metrics. Exits with a message on setup failure (benches treat setup
@@ -70,12 +152,14 @@ inline UpdateMetrics RunUpdate(const GeneratedNetwork& generated,
   for (const auto& node : bed.nodes()) {
     const UpdateReport* report =
         node->statistics().FindReport(update.value());
+    metrics.registry.Merge(node->statistics().metrics().Snapshot());
     if (report == nullptr) continue;
     metrics.tuples_moved += report->tuples_added;
     if (report->longest_path_nodes > metrics.longest_path) {
       metrics.longest_path = report->longest_path_nodes;
     }
   }
+  metrics.registry.Merge(stats.Snapshot());
   metrics.initiator_tuples =
       bed.node(initiator)->database().TotalTuples();
   return metrics;

@@ -12,15 +12,14 @@
 
 #include <cstdio>
 
-#include "workload/testbed.h"
-#include "workload/topology_gen.h"
+#include "bench_util.h"
 
 namespace codb {
 namespace bench {
 namespace {
 
 void Run() {
-  std::printf("E3: per-rule traffic vs data volume (6-node chain)\n");
+  Print("E3: per-rule traffic vs data volume (6-node chain)\n");
 
   for (int tuples : {10, 100, 1000, 10000}) {
     WorkloadOptions options;
@@ -47,11 +46,26 @@ void Run() {
       }
     }
 
-    std::printf("\ntuples/node = %d\n", tuples);
-    std::printf("  %-6s %8s %10s %12s %14s\n", "rule", "msgs", "tuples",
+    if (JsonMode()) {
+      JsonValue obj = JsonValue::Object();
+      obj.Set("scenario",
+              JsonValue::Str("tuples_per_node=" + std::to_string(tuples)));
+      JsonValue rules = JsonValue::Object();
+      for (const auto& [rule, traffic] : per_rule) {
+        JsonValue entry = JsonValue::Object();
+        entry.Set("messages", JsonValue::Uint(traffic.messages));
+        entry.Set("tuples", JsonValue::Uint(traffic.tuples));
+        entry.Set("bytes", JsonValue::Uint(traffic.bytes));
+        rules.Set(rule, std::move(entry));
+      }
+      obj.Set("per_rule", std::move(rules));
+      RecordJson(std::move(obj));
+    }
+    Print("\ntuples/node = %d\n", tuples);
+    Print("  %-6s %8s %10s %12s %14s\n", "rule", "msgs", "tuples",
                 "bytes", "bytes/msg");
     for (const auto& [rule, traffic] : per_rule) {
-      std::printf("  %-6s %8llu %10llu %12llu %14.1f\n", rule.c_str(),
+      Print("  %-6s %8llu %10llu %12llu %14.1f\n", rule.c_str(),
                   static_cast<unsigned long long>(traffic.messages),
                   static_cast<unsigned long long>(traffic.tuples),
                   static_cast<unsigned long long>(traffic.bytes),
@@ -67,7 +81,6 @@ void Run() {
 }  // namespace bench
 }  // namespace codb
 
-int main() {
-  codb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/consistency.h"
+#include "obs/trace.h"
 #include "query/evaluator.h"
 #include "util/logging.h"
 
@@ -22,6 +23,12 @@ QueryManager::QueryManager(NetworkBase* network, PeerId self,
       link_graph_(link_graph),
       stats_(stats),
       minter_(minter),
+      m_started_(stats->metrics().GetCounter("query.started")),
+      m_requests_in_(stats->metrics().GetCounter("query.requests_in")),
+      m_results_in_(stats->metrics().GetCounter("query.results_in")),
+      m_results_out_(stats->metrics().GetCounter("query.results_out")),
+      m_done_in_(stats->metrics().GetCounter("query.done_in")),
+      m_rule_evals_(stats->metrics().GetCounter("query.rule_evals")),
       termination_(self, [this](PeerId to, const FlowId& flow) {
         AckPayload ack{flow};
         network_->Send(MakeMessage(self_, to, MessageType::kUpdateAck,
@@ -83,6 +90,10 @@ Result<FlowId> QueryManager::StartQuery(const ConjunctiveQuery& query,
   }
 
   FlowId id{FlowId::Scope::kQuery, self_.value, (*query_seq_)++};
+  m_started_->Add();
+  // Root span of the diffusing query computation.
+  ScopedSpan span(
+      Tracer::Global().BeginSpan(self_.value, "query.start", id.ToString()));
   QueryState& state = StateOf(id);
   state.owned = true;
   state.user_query = query;
@@ -176,6 +187,10 @@ void QueryManager::OnRequest(const Message& message) {
     return;
   }
   QueryRequestPayload request = std::move(parsed).value();
+  m_requests_in_->Add();
+  ScopedSpan span(Tracer::Global().BeginSpanHere(
+      "query.request", request.query.ToString()));
+  Tracer::Global().AddArg(span.id(), "rule", request.rule_id);
   termination_.OnBasicMessage(request.query, message.src);
 
   auto rule_it = compiled_incoming_.find(request.rule_id);
@@ -211,6 +226,11 @@ void QueryManager::Serve(
   const CoordinationRule& rule = compiled_incoming_.at(rule_id);
   QueryState::Serving& serving = state.serving.at(rule_id);
   Database& overlay = OverlayOf(state);
+
+  m_rule_evals_->Add();
+  ScopedSpan span(
+      Tracer::Global().BeginSpanHere("query.serve", query.ToString()));
+  Tracer::Global().AddArg(span.id(), "rule", rule_id);
 
   std::vector<Tuple> frontiers;
   if (delta == nullptr) {
@@ -250,6 +270,7 @@ void QueryManager::Serve(
   size_t bytes = payload.size() + 12;
   SendBasic(query, serving.requester, MessageType::kQueryResult,
             std::move(payload));
+  m_results_out_->Add();
 
   UpdateReport& report = stats_->ReportFor(query);
   ++report.data_messages_sent;
@@ -270,6 +291,10 @@ void QueryManager::OnResult(const Message& message) {
     return;
   }
   QueryResultPayload result = std::move(parsed).value();
+  m_results_in_->Add();
+  ScopedSpan span(Tracer::Global().BeginSpanHere(
+      "query.result", result.query.ToString()));
+  Tracer::Global().AddArg(span.id(), "rule", result.rule_id);
   termination_.OnBasicMessage(result.query, message.src);
 
   QueryState& state = StateOf(result.query);
@@ -338,6 +363,7 @@ void QueryManager::OnDone(const Message& message) {
       QueryDonePayload::Deserialize(message.payload);
   if (!parsed.ok()) return;
   const FlowId query = parsed.value().query;
+  m_done_in_->Add();
   if (!done_flood_seen_.insert(query).second) return;
   auto it = queries_.find(query);
   if (it != queries_.end() && !it->second.owned) {

@@ -144,6 +144,14 @@ class QueryManager {
   StatisticsModule* stats_;
   NullMinter* minter_;
 
+  // Cached instruments from stats_->metrics() (see update_manager.h).
+  Counter* m_started_;
+  Counter* m_requests_in_;
+  Counter* m_results_in_;
+  Counter* m_results_out_;
+  Counter* m_done_in_;
+  Counter* m_rule_evals_;
+
   TerminationDetector termination_;
   std::map<std::string, CoordinationRule> compiled_incoming_;
   std::map<FlowId, QueryState> queries_;

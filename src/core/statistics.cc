@@ -150,6 +150,7 @@ std::vector<uint8_t> StatisticsModule::SerializeAll() const {
     report.SerializeTo(writer);
   }
   durability_.SerializeTo(writer);
+  metrics_.Snapshot().SerializeTo(writer);
   return writer.Take();
 }
 
@@ -164,11 +165,16 @@ Result<StatsBundle> StatisticsModule::DeserializeBundle(
                           UpdateReport::DeserializeFrom(reader));
     bundle.reports.push_back(std::move(report));
   }
-  // Reports-only payloads (older snapshots in tests) simply lack the
-  // durability trailer; leave it zeroed.
+  // Older payloads simply stop early: reports-only bundles lack the
+  // durability trailer, durability-only bundles lack the metrics trailer.
+  // Each trailing section is optional so old snapshots stay readable.
   if (!reader.AtEnd()) {
     CODB_ASSIGN_OR_RETURN(bundle.durability,
                           DurabilityStats::DeserializeFrom(reader));
+  }
+  if (!reader.AtEnd()) {
+    CODB_ASSIGN_OR_RETURN(bundle.metrics,
+                          MetricsSnapshot::DeserializeFrom(reader));
   }
   return bundle;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/protocol.h"
+#include "obs/metrics.h"
 #include "storage/durability_stats.h"
 #include "util/status.h"
 
@@ -68,12 +69,14 @@ struct UpdateReport {
   std::string Render() const;
 };
 
-// Everything a kStatsReport payload carries: the per-update reports plus
-// the node's durability counters (zero-valued when the node runs without
-// durable storage).
+// Everything a kStatsReport payload carries: the per-update reports, the
+// node's durability counters (zero-valued when the node runs without
+// durable storage), and the node's metric registry snapshot (empty on
+// nodes that never touched an instrument).
 struct StatsBundle {
   std::vector<UpdateReport> reports;
   DurabilityStats durability;
+  MetricsSnapshot metrics;
 };
 
 class StatisticsModule {
@@ -87,6 +90,12 @@ class StatisticsModule {
   // WAL/checkpoint/recovery counters; DurableStorage writes into this.
   DurabilityStats& durability() { return durability_; }
   const DurabilityStats& durability() const { return durability_; }
+
+  // The node's metric registry: every subsystem on the node registers its
+  // counters/gauges/histograms here, and the whole registry ships to the
+  // super-peer as a snapshot trailer of the kStatsReport payload.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   void Clear() { reports_.clear(); }
 
@@ -102,6 +111,7 @@ class StatisticsModule {
  private:
   std::map<FlowId, UpdateReport> reports_;
   DurabilityStats durability_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace codb

@@ -57,6 +57,7 @@ Status SuperPeer::RequestStats() {
     std::lock_guard<std::mutex> lock(collected_mutex_);
     collected_.clear();
     collected_durability_.clear();
+    collected_metrics_.clear();
   }
   ++stats_request_id_;
   StatsRequestPayload payload{stats_request_id_};
@@ -98,6 +99,9 @@ void SuperPeer::HandleMessage(const Message& message) {
         collected_[node] = std::move(bundle.value().reports);
         if (bundle.value().durability.Any()) {
           collected_durability_[node] = bundle.value().durability;
+        }
+        if (!bundle.value().metrics.empty()) {
+          collected_metrics_[node] = std::move(bundle.value().metrics);
         }
       }
       size_t pending = pending_stats_.load();
@@ -201,7 +205,19 @@ std::string SuperPeer::FinalReport() const {
                      collected_durability_.size());
     out += total.Render();
   }
+  if (!collected_metrics_.empty()) {
+    out += StrFormat("metrics (%zu nodes):\n", collected_metrics_.size());
+    out += MergedMetrics().Render();
+  }
   return out;
+}
+
+MetricsSnapshot SuperPeer::MergedMetrics() const {
+  MetricsSnapshot merged;
+  for (const auto& [node, snapshot] : collected_metrics_) {
+    merged.Merge(snapshot);
+  }
+  return merged;
 }
 
 }  // namespace codb

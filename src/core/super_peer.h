@@ -75,6 +75,15 @@ class SuperPeer : public NetworkPeer {
     return collected_durability_;
   }
 
+  // Node name -> metric registry snapshot from the same collection (only
+  // nodes whose registry had any instruments appear).
+  const std::map<std::string, MetricsSnapshot>& collected_metrics() const {
+    return collected_metrics_;
+  }
+
+  // Point-wise merge of every collected node's metrics snapshot.
+  MetricsSnapshot MergedMetrics() const;
+
   // Aggregates the collected reports per update.
   std::vector<AggregatedUpdateStats> Aggregate() const;
 
@@ -99,6 +108,7 @@ class SuperPeer : public NetworkPeer {
                                 // replies on the threaded runtime
   std::map<std::string, std::vector<UpdateReport>> collected_;
   std::map<std::string, DurabilityStats> collected_durability_;
+  std::map<std::string, MetricsSnapshot> collected_metrics_;
 };
 
 }  // namespace codb

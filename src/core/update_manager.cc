@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -25,7 +26,21 @@ UpdateManager::UpdateManager(NetworkBase* network, PeerId self,
       stats_(stats),
       minter_(minter),
       options_(options),
+      m_started_(stats->metrics().GetCounter("update.started")),
+      m_requests_in_(stats->metrics().GetCounter("update.requests_in")),
+      m_data_in_(stats->metrics().GetCounter("update.data_in")),
+      m_data_out_(stats->metrics().GetCounter("update.data_out")),
+      m_link_closed_in_(
+          stats->metrics().GetCounter("update.link_closed_in")),
+      m_acks_in_(stats->metrics().GetCounter("update.acks_in")),
+      m_completes_in_(stats->metrics().GetCounter("update.completes_in")),
+      m_rule_evals_(stats->metrics().GetCounter("update.rule_evals")),
+      m_tuples_shipped_(
+          stats->metrics().GetCounter("update.tuples_shipped")),
+      m_handler_us_(stats->metrics().GetHistogram("update.handler_us")),
+      m_data_tuples_(stats->metrics().GetHistogram("update.data_tuples")),
       termination_(self, [this](PeerId to, const FlowId& flow) {
+        Tracer::Global().Instant(self_.value, "term.ack", flow.ToString());
         AckPayload ack{flow};
         // Ack loss is handled by the peer-lost path; ignore send failures.
         network_->Send(MakeMessage(self_, to, MessageType::kUpdateAck,
@@ -78,6 +93,11 @@ UpdateManager::UpdateState& UpdateManager::StateOf(const FlowId& update) {
 
 FlowId UpdateManager::StartUpdate(bool refresh) {
   FlowId update{FlowId::Scope::kUpdate, self_.value, (*update_seq_)++};
+  m_started_->Add();
+  // Root span of the whole diffusing computation: every other span of this
+  // flow descends from it via message-hop edges.
+  ScopedSpan span(Tracer::Global().BeginSpan(self_.value, "update.start",
+                                             update.ToString()));
   termination_.StartRoot(update, [this](const FlowId& flow) {
     Complete(flow, /*via=*/PeerId());
   });
@@ -129,7 +149,12 @@ void UpdateManager::FireInitial(const FlowId& update, UpdateState& state,
   if (state.exports_suppressed) return;
   if (subsumed_incoming_.find(rule_id) != subsumed_incoming_.end()) return;
   const CoordinationRule& rule = compiled_incoming_.at(rule_id);
+  m_rule_evals_->Add();
+  ScopedSpan span(
+      Tracer::Global().BeginSpanHere("update.rule_eval", update.ToString()));
+  Tracer::Global().AddArg(span.id(), "rule", rule_id);
   std::vector<Tuple> frontiers = rule.EvaluateFrontier(wrapper_->storage());
+  span.End();
   ShipFrontiers(update, state, rule_id, std::move(frontiers),
                 /*path=*/{self_.value});
 }
@@ -140,6 +165,10 @@ void UpdateManager::ShipFrontiers(const FlowId& update, UpdateState& state,
                                   const std::vector<uint32_t>& path) {
   IncomingLinkState& link = state.incoming.at(rule_id);
   const CoordinationRule& rule = compiled_incoming_.at(rule_id);
+
+  ScopedSpan span(
+      Tracer::Global().BeginSpanHere("update.ship", update.ToString()));
+  Tracer::Global().AddArg(span.id(), "rule", rule_id);
 
   std::vector<Tuple> fresh;
   for (Tuple& frontier : frontiers) {
@@ -190,6 +219,8 @@ void UpdateManager::ShipFrontiers(const FlowId& update, UpdateState& state,
       return;
     }
     termination_.OnSent(update, importer.value());
+    m_data_out_->Add();
+    m_tuples_shipped_->Add(data.tuples.size());
 
     ++report.data_messages_sent;
     report.data_bytes_sent += bytes;
@@ -219,6 +250,9 @@ void UpdateManager::HandleMessage(const Message& message) {
     case MessageType::kUpdateAck: {
       Result<AckPayload> ack = AckPayload::Deserialize(message.payload);
       if (ack.ok()) {
+        m_acks_in_->Add();
+        ScopedSpan span(Tracer::Global().BeginSpanHere(
+            "update.ack", ack.value().flow.ToString()));
         termination_.OnAck(ack.value().flow, message.src);
       }
       break;
@@ -229,6 +263,7 @@ void UpdateManager::HandleMessage(const Message& message) {
       break;
   }
   termination_.MaybeQuiesce();
+  m_handler_us_->Record(wall.ElapsedMicros());
   // Wall time is attributed to the most recently touched update inside the
   // handlers; approximating with "all active updates" would double-count,
   // so handlers record into the report directly where needed. Here we only
@@ -252,6 +287,9 @@ void UpdateManager::OnRequest(const Message& message) {
     return;
   }
   const FlowId update = parsed.value().update;
+  m_requests_in_->Add();
+  ScopedSpan span(
+      Tracer::Global().BeginSpanHere("update.request", update.ToString()));
   termination_.OnBasicMessage(update, message.src);
   Join(update, message.src, parsed.value().refresh);
 }
@@ -266,6 +304,14 @@ void UpdateManager::OnData(const Message& message) {
   }
   UpdateDataPayload data = std::move(parsed).value();
   const FlowId update = data.update;
+  m_data_in_->Add();
+  m_data_tuples_->Record(data.tuples.size());
+  // Exactly one flow-tagged "update.data" span per delivered data message;
+  // the golden trace test matches their count against the statistics
+  // module's data_messages_received.
+  ScopedSpan span(
+      Tracer::Global().BeginSpanHere("update.data", update.ToString()));
+  Tracer::Global().AddArg(span.id(), "rule", data.rule_id);
   termination_.OnBasicMessage(update, message.src);
   // Data can only come from a joined acquaintance, which always floods the
   // request first on the same FIFO pipe — but a pipe created mid-update
@@ -344,6 +390,10 @@ void UpdateManager::OnData(const Message& message) {
       continue;
     }
 
+    m_rule_evals_->Add();
+    ScopedSpan eval_span(Tracer::Global().BeginSpanHere(
+        "update.rule_eval", update.ToString()));
+    Tracer::Global().AddArg(eval_span.id(), "rule", dependent);
     std::vector<Tuple> frontiers;
     for (const auto& [relation, rows] : delta) {
       bool referenced =
@@ -356,6 +406,7 @@ void UpdateManager::OnData(const Message& message) {
           rule.EvaluateFrontierDelta(wrapper_->storage(), relation, rows);
       frontiers.insert(frontiers.end(), partial.begin(), partial.end());
     }
+    eval_span.End();
     ShipFrontiers(update, state, dependent, std::move(frontiers),
                   extended_path);
   }
@@ -371,6 +422,10 @@ void UpdateManager::OnLinkClosed(const Message& message) {
     return;
   }
   const FlowId update = parsed.value().update;
+  m_link_closed_in_->Add();
+  ScopedSpan span(Tracer::Global().BeginSpanHere("update.link_closed",
+                                                 update.ToString()));
+  Tracer::Global().AddArg(span.id(), "rule", parsed.value().rule_id);
   termination_.OnBasicMessage(update, message.src);
   Join(update, message.src, /*refresh=*/false);
   UpdateState& state = StateOf(update);
@@ -473,6 +528,9 @@ void UpdateManager::OnComplete(const Message& message) {
                        << parsed.status().ToString();
     return;
   }
+  m_completes_in_->Add();
+  ScopedSpan span(Tracer::Global().BeginSpanHere(
+      "update.complete", parsed.value().update.ToString()));
   Complete(parsed.value().update, message.src);
 }
 

@@ -185,6 +185,20 @@ class UpdateManager {
   NullMinter* minter_;
   Options options_;
 
+  // Cached instruments from stats_->metrics(); registered once here so the
+  // handler hot paths are plain relaxed-atomic increments.
+  Counter* m_started_;
+  Counter* m_requests_in_;
+  Counter* m_data_in_;
+  Counter* m_data_out_;
+  Counter* m_link_closed_in_;
+  Counter* m_acks_in_;
+  Counter* m_completes_in_;
+  Counter* m_rule_evals_;
+  Counter* m_tuples_shipped_;
+  Histogram* m_handler_us_;
+  Histogram* m_data_tuples_;
+
   TerminationDetector termination_;
   std::map<std::string, CoordinationRule> compiled_incoming_;
   std::set<std::string> subsumed_incoming_;  // skip_subsumed option

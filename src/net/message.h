@@ -43,6 +43,11 @@ struct Message {
   MessageType type = MessageType::kAdvertisement;
   std::vector<uint8_t> payload;
 
+  // Tracing correlation id linking the sender's span to the delivery span
+  // (obs/trace.h). In-memory only: never serialized, never charged to the
+  // bandwidth model, 0 when tracing is off.
+  uint64_t trace_id = 0;
+
   // Bytes charged to the bandwidth model: fixed envelope header (source,
   // destination, type, length — 12 bytes) plus the payload.
   size_t WireSize() const { return 12 + payload.size(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace codb {
@@ -18,6 +19,7 @@ std::pair<uint32_t, uint32_t> PipeKey(PeerId from, PeerId to) {
 PeerId Network::Join(const std::string& name, NetworkPeer* peer) {
   PeerId id(static_cast<uint32_t>(peers_.size()));
   peers_.push_back({name, peer, /*alive=*/true});
+  Tracer::Global().SetNodeName(id.value, name);
   CODB_LOG(kDebug) << "network: " << name << " joined as "
                    << id.ToString();
   return id;
@@ -152,6 +154,9 @@ Status Network::Send(Message message) {
                                " -> " + message.dst.ToString());
   }
   stats_.RecordSend(message);
+  if (Tracer::Global().enabled()) {
+    message.trace_id = Tracer::Global().NoteSend();
+  }
   Event event;
   event.time_us = pipe->ScheduleArrival(now_us_, message.WireSize());
   event.seq = next_seq_++;
@@ -182,6 +187,10 @@ bool Network::Step() {
   assert(event.time_us >= now_us_ && "virtual time must be monotone");
   now_us_ = event.time_us;
 
+  Tracer& tracer = Tracer::Global();
+  bool tracing = tracer.enabled();
+  if (tracing) Tracer::SetVirtualTime(now_us_);
+
   if (event.message != nullptr) {
     const Message& msg = *event.message;
     // In-flight traffic is lost if the destination died or the pipe was
@@ -191,7 +200,18 @@ bool Network::Step() {
       return true;
     }
     NetworkPeer* handler = peers_[msg.dst.value].handler;
-    if (handler != nullptr) handler->HandleMessage(msg);
+    if (handler != nullptr) {
+      if (tracing) {
+        uint64_t span = tracer.BeginSpan(msg.dst.value, "net.deliver");
+        tracer.AddArg(span, "type", MessageTypeName(msg.type));
+        tracer.AddArg(span, "bytes", std::to_string(msg.WireSize()));
+        tracer.LinkDelivery(msg.trace_id, span);
+        handler->HandleMessage(msg);
+        tracer.EndSpan(span);
+      } else {
+        handler->HandleMessage(msg);
+      }
+    }
   } else if (event.action) {
     event.action();
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace codb {
@@ -46,6 +47,7 @@ PeerId ThreadedNetwork::Join(const std::string& name, NetworkPeer* peer) {
   worker->alive = true;
   worker->thread = std::thread([this, index] { WorkerLoop(index); });
   workers_.push_back(std::move(worker));
+  Tracer::Global().SetNodeName(index, name);
   return PeerId(index);
 }
 
@@ -209,6 +211,9 @@ Status ThreadedNetwork::Send(Message message) {
     return Status::Ok();  // in-flight loss semantics
   }
   stats_.RecordSend(message);
+  if (Tracer::Global().enabled()) {
+    message.trace_id = Tracer::Global().NoteSend();
+  }
 
   // Latency + bandwidth queueing, like the simulator but in wall time.
   PipeState& pipe = it->second;
@@ -279,7 +284,23 @@ void ThreadedNetwork::WorkerLoop(uint32_t index) {
       // preserved because only this thread drains this inbox.
       lock.unlock();
       if (item.message != nullptr) {
-        handler->HandleMessage(*item.message);
+        Tracer& tracer = Tracer::Global();
+        if (tracer.enabled()) {
+          // The threaded runtime's "virtual" clock is wall microseconds
+          // since the network epoch, so both axes stay meaningful.
+          Tracer::SetVirtualTime(now_us());
+          uint64_t span = tracer.BeginSpan(index, "net.deliver");
+          tracer.AddArg(span, "type",
+                        MessageTypeName(item.message->type));
+          tracer.AddArg(span, "bytes",
+                        std::to_string(item.message->WireSize()));
+          tracer.LinkDelivery(item.message->trace_id, span);
+          handler->HandleMessage(*item.message);
+          Tracer::SetVirtualTime(now_us());
+          tracer.EndSpan(span);
+        } else {
+          handler->HandleMessage(*item.message);
+        }
       } else if (item.pipe_closed) {
         handler->HandlePipeClosed(item.closed_other);
       }

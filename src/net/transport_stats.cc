@@ -34,17 +34,27 @@ void TransportStats::Reset() {
   per_type_.clear();
 }
 
+MetricsSnapshot TransportStats::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.SetCounter("net.messages", total_messages_);
+  snapshot.SetCounter("net.bytes", total_bytes_);
+  snapshot.SetCounter("net.dropped", dropped_messages_);
+  for (const auto& [type, counters] : per_type_) {
+    snapshot.SetCounter(std::string("net.msgs.") + MessageTypeName(type),
+                        counters.messages);
+    snapshot.SetCounter(std::string("net.bytes.") + MessageTypeName(type),
+                        counters.bytes);
+  }
+  return snapshot;
+}
+
 std::string TransportStats::Report() const {
   std::string out = StrFormat(
       "transport: %llu messages, %s total, %llu dropped\n",
       static_cast<unsigned long long>(total_messages_),
       HumanBytes(total_bytes_).c_str(),
       static_cast<unsigned long long>(dropped_messages_));
-  for (const auto& [type, counters] : per_type_) {
-    out += StrFormat("  %-18s %8llu msgs  %10s\n", MessageTypeName(type),
-                     static_cast<unsigned long long>(counters.messages),
-                     HumanBytes(counters.bytes).c_str());
-  }
+  out += Snapshot().Render();
   return out;
 }
 

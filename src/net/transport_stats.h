@@ -11,6 +11,7 @@
 #include <string>
 
 #include "net/message.h"
+#include "obs/metrics.h"
 
 namespace codb {
 
@@ -28,7 +29,12 @@ class TransportStats {
 
   void Reset();
 
-  // Multi-line per-type breakdown.
+  // Uniform snapshot: net.messages / net.bytes / net.dropped plus
+  // net.msgs.<TYPE> and net.bytes.<TYPE> per message type seen.
+  MetricsSnapshot Snapshot() const;
+
+  // Multi-line per-type breakdown, rendered from Snapshot() so the human
+  // and machine-readable views cannot drift.
   std::string Report() const;
 
  private:

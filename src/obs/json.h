@@ -1,0 +1,86 @@
+// Minimal JSON document model, writer and parser.
+//
+// The observability layer speaks JSON in three places: the Chrome
+// trace_event export (obs/trace.h), the structured JSONL event stream, and
+// the machine-readable `--json` mode of the benchmark harnesses. All three
+// build documents through JsonValue and serialize with Dump(); the trace
+// CLI and the golden tests parse exports back with Parse() to prove the
+// files are well-formed. Nothing here aims at being a general-purpose JSON
+// library — it covers exactly RFC 8259 documents with UTF-8 passed through
+// verbatim.
+
+#ifndef CODB_OBS_JSON_H_
+#define CODB_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace codb {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue Int(int64_t v);
+  static JsonValue Uint(uint64_t v);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::vector<JsonValue>& items() { return items_; }
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+
+  // Array append / object insert; no-ops on other types.
+  void Push(JsonValue v);
+  void Set(const std::string& key, JsonValue v);
+
+  // Object lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  // Convenience accessors with defaults for absent/mistyped members.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetNumber(const std::string& key, double fallback = 0) const;
+
+  // Compact serialization (no insignificant whitespace).
+  std::string Dump() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+// Parses one JSON document; trailing non-whitespace is a parse error.
+Result<JsonValue> ParseJson(const std::string& text);
+
+// Escapes `s` as the contents of a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace codb
+
+#endif  // CODB_OBS_JSON_H_

@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace codb {
+
+void MetricValue::Merge(const MetricValue& other) {
+  // Counters and histogram counts add across nodes; gauges are
+  // point-in-time readings, so the merged view keeps the worst (max).
+  if (kind == MetricKind::kGauge) {
+    value = std::max(value, other.value);
+  } else {
+    value += other.value;
+  }
+  sum += other.sum;
+  if (other.buckets.empty()) return;
+  std::map<uint32_t, uint64_t> merged(buckets.begin(), buckets.end());
+  for (const auto& [index, count] : other.buckets) {
+    merged[index] += count;
+  }
+  buckets.assign(merged.begin(), merged.end());
+}
+
+void MetricsSnapshot::SetCounter(const std::string& name, uint64_t value) {
+  MetricValue& entry = entries[name];
+  entry.kind = MetricKind::kCounter;
+  entry.value = static_cast<int64_t>(value);
+}
+
+void MetricsSnapshot::SetGauge(const std::string& name, int64_t value) {
+  MetricValue& entry = entries[name];
+  entry.kind = MetricKind::kGauge;
+  entry.value = value;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.entries) {
+    auto [it, inserted] = entries.emplace(name, value);
+    if (!inserted) it->second.Merge(value);
+  }
+}
+
+void MetricsSnapshot::SerializeTo(WireWriter& writer) const {
+  writer.WriteU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [name, entry] : entries) {
+    writer.WriteString(name);
+    writer.WriteU8(static_cast<uint8_t>(entry.kind));
+    writer.WriteI64(entry.value);
+    writer.WriteU64(entry.sum);
+    writer.WriteU32(static_cast<uint32_t>(entry.buckets.size()));
+    for (const auto& [index, count] : entry.buckets) {
+      writer.WriteU32(index);
+      writer.WriteU64(count);
+    }
+  }
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::DeserializeFrom(WireReader& reader) {
+  MetricsSnapshot snapshot;
+  CODB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    CODB_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    MetricValue entry;
+    CODB_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+    if (kind > static_cast<uint8_t>(MetricKind::kHistogram)) {
+      return Status::ParseError("metrics: unknown metric kind");
+    }
+    entry.kind = static_cast<MetricKind>(kind);
+    CODB_ASSIGN_OR_RETURN(entry.value, reader.ReadI64());
+    CODB_ASSIGN_OR_RETURN(entry.sum, reader.ReadU64());
+    CODB_ASSIGN_OR_RETURN(uint32_t buckets, reader.ReadU32());
+    if (buckets > kHistogramBuckets) {
+      return Status::ParseError("metrics: too many histogram buckets");
+    }
+    entry.buckets.reserve(buckets);
+    for (uint32_t b = 0; b < buckets; ++b) {
+      CODB_ASSIGN_OR_RETURN(uint32_t index, reader.ReadU32());
+      CODB_ASSIGN_OR_RETURN(uint64_t bucket_count, reader.ReadU64());
+      entry.buckets.emplace_back(index, bucket_count);
+    }
+    snapshot.entries.emplace(std::move(name), std::move(entry));
+  }
+  return snapshot;
+}
+
+uint64_t MetricsSnapshot::Quantile(const MetricValue& hist, double q) {
+  uint64_t total = 0;
+  for (const auto& [index, count] : hist.buckets) total += count;
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (const auto& [index, count] : hist.buckets) {
+    seen += count;
+    if (seen > rank) return HistogramBucketLow(index);
+  }
+  return HistogramBucketLow(hist.buckets.back().first);
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue object = JsonValue::Object();
+  for (const auto& [name, entry] : entries) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        object.Set(name, JsonValue::Int(entry.value));
+        break;
+      case MetricKind::kHistogram: {
+        JsonValue hist = JsonValue::Object();
+        hist.Set("count", JsonValue::Int(entry.value));
+        hist.Set("sum", JsonValue::Uint(entry.sum));
+        if (entry.value > 0) {
+          hist.Set("mean",
+                   JsonValue::Number(static_cast<double>(entry.sum) /
+                                     static_cast<double>(entry.value)));
+          hist.Set("p50", JsonValue::Uint(Quantile(entry, 0.5)));
+          hist.Set("p99", JsonValue::Uint(Quantile(entry, 0.99)));
+        }
+        JsonValue buckets = JsonValue::Object();
+        for (const auto& [index, count] : entry.buckets) {
+          buckets.Set(std::to_string(HistogramBucketLow(index)),
+                      JsonValue::Uint(count));
+        }
+        hist.Set("buckets", std::move(buckets));
+        object.Set(name, std::move(hist));
+        break;
+      }
+    }
+  }
+  return object;
+}
+
+std::string MetricsSnapshot::Render(const std::string& indent) const {
+  std::string out;
+  for (const auto& [name, entry] : entries) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += StrFormat("%s%-28s %12lld\n", indent.c_str(), name.c_str(),
+                         static_cast<long long>(entry.value));
+        break;
+      case MetricKind::kHistogram:
+        if (entry.value == 0) {
+          out += StrFormat("%s%-28s        (empty)\n", indent.c_str(),
+                           name.c_str());
+        } else {
+          out += StrFormat(
+              "%s%-28s count %llu  mean %.1f  p50 %llu  p99 %llu\n",
+              indent.c_str(), name.c_str(),
+              static_cast<unsigned long long>(entry.value),
+              static_cast<double>(entry.sum) /
+                  static_cast<double>(entry.value),
+              static_cast<unsigned long long>(Quantile(entry, 0.5)),
+              static_cast<unsigned long long>(Quantile(entry, 0.99)));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::Register(
+    const std::string& name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RegisterLocked(name, kind);
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::RegisterLocked(
+    const std::string& name, MetricKind kind) {
+  auto it = instruments_.find(name);
+  if (it != instruments_.end() && it->second.kind != kind) {
+    // Name collision across kinds; keep both under distinct names rather
+    // than handing back the wrong instrument type.
+    static const char* suffix[] = {".counter", ".gauge", ".histogram"};
+    return RegisterLocked(name + suffix[static_cast<int>(kind)], kind);
+  }
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        instrument.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        instrument.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        instrument.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = instruments_.emplace(name, std::move(instrument)).first;
+  }
+  return it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return Register(name, MetricKind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return Register(name, MetricKind::kGauge).gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return Register(name, MetricKind::kHistogram).histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, instrument] : instruments_) {
+    MetricValue entry;
+    entry.kind = instrument.kind;
+    switch (instrument.kind) {
+      case MetricKind::kCounter:
+        entry.value = static_cast<int64_t>(instrument.counter->value());
+        break;
+      case MetricKind::kGauge:
+        entry.value = instrument.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        uint64_t total = 0;
+        for (size_t b = 0; b < kHistogramBuckets; ++b) {
+          uint64_t count = instrument.histogram->BucketCount(b);
+          if (count == 0) continue;
+          total += count;
+          entry.buckets.emplace_back(static_cast<uint32_t>(b), count);
+        }
+        entry.value = static_cast<int64_t>(total);
+        entry.sum = instrument.histogram->sum();
+        break;
+      }
+    }
+    snapshot.entries.emplace(name, std::move(entry));
+  }
+  return snapshot;
+}
+
+}  // namespace codb

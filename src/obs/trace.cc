@@ -1,0 +1,373 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+
+namespace codb {
+
+namespace {
+
+uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct OpenFrame {
+  uint64_t id = 0;
+  uint32_t node = 0;
+};
+
+// Per-thread tracing context. The span stack gives nesting and the node
+// context for BeginSpanHere; the virtual clock is whatever the network
+// last published before handing control to this thread.
+struct ThreadContext {
+  std::vector<OpenFrame> stack;
+  int64_t virtual_time_us = 0;
+  uint32_t ordinal = 0;  // stable small id for the Chrome "tid"
+};
+
+ThreadContext& Context() {
+  static std::atomic<uint32_t> next_ordinal{1};
+  thread_local ThreadContext ctx = [] {
+    ThreadContext fresh;
+    fresh.ordinal = next_ordinal.fetch_add(1, std::memory_order_relaxed);
+    return fresh;
+  }();
+  return ctx;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_.clear();
+  finished_.clear();
+  edges_.clear();
+  pending_sends_.clear();
+  node_names_.clear();
+  // Thread-local stacks may still reference dropped ids; EndSpan tolerates
+  // unknown ids, so stale frames drain harmlessly.
+}
+
+void Tracer::SetNodeName(uint32_t node, const std::string& name) {
+  // Recorded even when disabled: peers usually join before tracing is
+  // switched on, and the map is tiny.
+  std::lock_guard<std::mutex> lock(mutex_);
+  node_names_[node] = name;
+}
+
+void Tracer::SetVirtualTime(int64_t now_us) {
+  Context().virtual_time_us = now_us;
+}
+
+uint64_t Tracer::BeginSpanInternal(uint32_t node, uint64_t parent,
+                                   const std::string& name,
+                                   const std::string& flow) {
+  ThreadContext& ctx = Context();
+  TraceSpan span;
+  span.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.parent = parent;
+  span.node = node;
+  span.thread = ctx.ordinal;
+  span.name = name;
+  span.flow = flow;
+  span.start_vt_us = ctx.virtual_time_us;
+  span.start_wall_ns = WallNowNs();
+  uint64_t id = span.id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_.emplace(id, std::move(span));
+  }
+  ctx.stack.push_back({id, node});
+  return id;
+}
+
+uint64_t Tracer::BeginSpan(uint32_t node, const std::string& name,
+                           const std::string& flow) {
+  if (!enabled()) return 0;
+  ThreadContext& ctx = Context();
+  uint64_t parent = ctx.stack.empty() ? 0 : ctx.stack.back().id;
+  return BeginSpanInternal(node, parent, name, flow);
+}
+
+uint64_t Tracer::BeginSpanHere(const std::string& name,
+                               const std::string& flow) {
+  if (!enabled()) return 0;
+  ThreadContext& ctx = Context();
+  if (ctx.stack.empty()) return 0;  // no node context -> skip recording
+  const OpenFrame& top = ctx.stack.back();
+  return BeginSpanInternal(top.node, top.id, name, flow);
+}
+
+void Tracer::EndSpan(uint64_t id) {
+  if (id == 0) return;
+  ThreadContext& ctx = Context();
+  // Pop this frame (and tolerate out-of-order closes by searching down).
+  for (size_t i = ctx.stack.size(); i > 0; --i) {
+    if (ctx.stack[i - 1].id == id) {
+      ctx.stack.erase(ctx.stack.begin() + static_cast<ptrdiff_t>(i - 1));
+      break;
+    }
+  }
+  int64_t vt = ctx.virtual_time_us;
+  uint64_t wall = WallNowNs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;  // cleared mid-span or double close
+  TraceSpan span = std::move(it->second);
+  open_.erase(it);
+  span.end_vt_us = vt < span.start_vt_us ? span.start_vt_us : vt;
+  span.end_wall_ns = wall < span.start_wall_ns ? span.start_wall_ns : wall;
+  finished_.push_back(std::move(span));
+}
+
+void Tracer::AddArg(uint64_t id, const std::string& key,
+                    const std::string& value) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = open_.find(id);
+  if (it != open_.end()) it->second.args.emplace_back(key, value);
+}
+
+void Tracer::Instant(uint32_t node, const std::string& name,
+                     const std::string& flow) {
+  if (!enabled()) return;
+  ThreadContext& ctx = Context();
+  TraceSpan span;
+  span.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.parent = ctx.stack.empty() ? 0 : ctx.stack.back().id;
+  span.node = node;
+  span.thread = ctx.ordinal;
+  span.name = name;
+  span.flow = flow;
+  span.start_vt_us = ctx.virtual_time_us;
+  span.end_vt_us = span.start_vt_us;
+  span.start_wall_ns = WallNowNs();
+  span.end_wall_ns = span.start_wall_ns;
+  span.instant = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  finished_.push_back(std::move(span));
+}
+
+uint64_t Tracer::NoteSend() {
+  if (!enabled()) return 0;
+  ThreadContext& ctx = Context();
+  uint64_t from = ctx.stack.empty() ? 0 : ctx.stack.back().id;
+  uint64_t correlation = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_sends_[correlation] = from;
+  return correlation;
+}
+
+void Tracer::LinkDelivery(uint64_t correlation, uint64_t span_id) {
+  if (correlation == 0 || span_id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto pending = pending_sends_.find(correlation);
+  if (pending == pending_sends_.end()) return;
+  uint64_t from = pending->second;
+  pending_sends_.erase(pending);
+  auto it = open_.find(span_id);
+  if (it != open_.end()) {
+    it->second.link_in = correlation;
+    // The delivery span is a top-level event on its node; the message hop
+    // is its real causal parent.
+    if (it->second.parent == 0) it->second.parent = from;
+  }
+  edges_.push_back({correlation, from, span_id});
+}
+
+size_t Tracer::open_span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_.size();
+}
+
+std::vector<TraceSpan> Tracer::FinishedSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_;
+}
+
+std::vector<TraceEdge> Tracer::Edges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return edges_;
+}
+
+std::map<uint32_t, std::string> Tracer::NodeNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return node_names_;
+}
+
+namespace {
+
+JsonValue SpanArgsJson(const TraceSpan& span) {
+  JsonValue args = JsonValue::Object();
+  args.Set("span", JsonValue::Uint(span.id));
+  args.Set("parent", JsonValue::Uint(span.parent));
+  if (!span.flow.empty()) args.Set("flow", JsonValue::Str(span.flow));
+  if (span.link_in != 0) args.Set("link_in", JsonValue::Uint(span.link_in));
+  args.Set("wall_ns",
+           JsonValue::Uint(span.end_wall_ns - span.start_wall_ns));
+  for (const auto& [key, value] : span.args) {
+    args.Set(key, JsonValue::Str(value));
+  }
+  return args;
+}
+
+}  // namespace
+
+JsonValue Tracer::ExportChromeTrace() const {
+  std::vector<TraceSpan> spans;
+  std::vector<TraceEdge> edges;
+  std::map<uint32_t, std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans = finished_;
+    edges = edges_;
+    names = node_names_;
+  }
+
+  JsonValue events = JsonValue::Array();
+  for (const auto& [node, name] : names) {
+    JsonValue meta = JsonValue::Object();
+    meta.Set("ph", JsonValue::Str("M"));
+    meta.Set("name", JsonValue::Str("process_name"));
+    meta.Set("pid", JsonValue::Uint(node));
+    meta.Set("tid", JsonValue::Uint(0));
+    JsonValue args = JsonValue::Object();
+    args.Set("name", JsonValue::Str(name));
+    meta.Set("args", std::move(args));
+    events.Push(std::move(meta));
+  }
+
+  std::map<uint64_t, const TraceSpan*> by_id;
+  for (const TraceSpan& span : spans) by_id[span.id] = &span;
+
+  for (const TraceSpan& span : spans) {
+    JsonValue event = JsonValue::Object();
+    event.Set("name", JsonValue::Str(span.name));
+    event.Set("cat", JsonValue::Str(span.flow.empty() ? "codb" : span.flow));
+    event.Set("pid", JsonValue::Uint(span.node));
+    event.Set("tid", JsonValue::Uint(span.thread));
+    event.Set("ts", JsonValue::Int(span.start_vt_us));
+    if (span.instant) {
+      event.Set("ph", JsonValue::Str("i"));
+      event.Set("s", JsonValue::Str("t"));
+    } else {
+      event.Set("ph", JsonValue::Str("X"));
+      event.Set("dur", JsonValue::Int(span.end_vt_us - span.start_vt_us));
+    }
+    event.Set("args", SpanArgsJson(span));
+    events.Push(std::move(event));
+  }
+
+  // Message hops become flow arrows ("s" at the sender, "f" at the
+  // receiver) so chrome://tracing draws the cross-node edges.
+  for (const TraceEdge& edge : edges) {
+    auto from = by_id.find(edge.from_span);
+    auto to = by_id.find(edge.to_span);
+    if (from == by_id.end() || to == by_id.end()) continue;
+    JsonValue start = JsonValue::Object();
+    start.Set("ph", JsonValue::Str("s"));
+    start.Set("id", JsonValue::Uint(edge.correlation));
+    start.Set("name", JsonValue::Str("hop"));
+    start.Set("cat", JsonValue::Str("hop"));
+    start.Set("pid", JsonValue::Uint(from->second->node));
+    start.Set("tid", JsonValue::Uint(from->second->thread));
+    start.Set("ts", JsonValue::Int(from->second->start_vt_us));
+    events.Push(std::move(start));
+    JsonValue finish = JsonValue::Object();
+    finish.Set("ph", JsonValue::Str("f"));
+    finish.Set("bp", JsonValue::Str("e"));
+    finish.Set("id", JsonValue::Uint(edge.correlation));
+    finish.Set("name", JsonValue::Str("hop"));
+    finish.Set("cat", JsonValue::Str("hop"));
+    finish.Set("pid", JsonValue::Uint(to->second->node));
+    finish.Set("tid", JsonValue::Uint(to->second->thread));
+    finish.Set("ts", JsonValue::Int(to->second->start_vt_us));
+    events.Push(std::move(finish));
+  }
+
+  JsonValue document = JsonValue::Object();
+  document.Set("traceEvents", std::move(events));
+  document.Set("displayTimeUnit", JsonValue::Str("ms"));
+  return document;
+}
+
+std::string Tracer::ExportJsonl() const {
+  std::vector<TraceSpan> spans;
+  std::vector<TraceEdge> edges;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans = finished_;
+    edges = edges_;
+  }
+  std::string out;
+  for (const TraceSpan& span : spans) {
+    JsonValue line = JsonValue::Object();
+    line.Set("type", JsonValue::Str(span.instant ? "instant" : "span"));
+    line.Set("id", JsonValue::Uint(span.id));
+    line.Set("parent", JsonValue::Uint(span.parent));
+    line.Set("node", JsonValue::Uint(span.node));
+    line.Set("name", JsonValue::Str(span.name));
+    if (!span.flow.empty()) line.Set("flow", JsonValue::Str(span.flow));
+    line.Set("ts_us", JsonValue::Int(span.start_vt_us));
+    line.Set("dur_us", JsonValue::Int(span.end_vt_us - span.start_vt_us));
+    line.Set("wall_ns",
+             JsonValue::Uint(span.end_wall_ns - span.start_wall_ns));
+    if (span.link_in != 0) {
+      line.Set("link_in", JsonValue::Uint(span.link_in));
+    }
+    if (!span.args.empty()) {
+      JsonValue args = JsonValue::Object();
+      for (const auto& [key, value] : span.args) {
+        args.Set(key, JsonValue::Str(value));
+      }
+      line.Set("args", std::move(args));
+    }
+    out += line.Dump();
+    out += '\n';
+  }
+  for (const TraceEdge& edge : edges) {
+    JsonValue line = JsonValue::Object();
+    line.Set("type", JsonValue::Str("edge"));
+    line.Set("correlation", JsonValue::Uint(edge.correlation));
+    line.Set("from", JsonValue::Uint(edge.from_span));
+    line.Set("to", JsonValue::Uint(edge.to_span));
+    out += line.Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("trace: cannot open '" + path +
+                               "' for writing");
+  }
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  out.close();
+  if (!out) return Status::Unavailable("trace: short write to '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  return WriteFile(path, ExportChromeTrace().Dump());
+}
+
+Status Tracer::WriteJsonl(const std::string& path) const {
+  return WriteFile(path, ExportJsonl());
+}
+
+}  // namespace codb

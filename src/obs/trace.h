@@ -1,0 +1,189 @@
+// Distributed flow tracer: Dapper-style spans over the coDB protocol.
+//
+// A span is one named interval of work on one node — delivering a message,
+// evaluating a coordination rule, appending to the WAL — optionally tagged
+// with the flow (the FlowId string of the diffusing update/query) it
+// belongs to. Spans nest per thread: BeginSpan pushes onto a thread-local
+// stack, so an evaluator span opened inside an update handler becomes its
+// child without the evaluator knowing about nodes or networks
+// (BeginSpanHere inherits node and parent from the enclosing span).
+//
+// Cross-node edges come from message hops: the sender calls NoteSend()
+// which mints a correlation id (stored in Message::trace_id, in-memory
+// only — never serialized) and remembers the span that emitted it; the
+// network calls LinkDelivery() when it opens the delivery span on the
+// receiving node, which parents the delivery span under the sending span
+// and records a flow-arrow edge for the Chrome export.
+//
+// Timestamps are recorded in BOTH clocks: the network's virtual clock
+// (primary axis — deterministic, meaningful in the simulator) and the
+// process steady clock (wall_ns args, meaningful under ThreadedNetwork).
+// The instrumented layers publish the virtual clock via SetVirtualTime
+// before invoking handlers.
+//
+// Cost model: tracing is OFF by default. Every instrumentation site first
+// does one relaxed atomic load (`enabled()`); when disabled, BeginSpan
+// returns 0 and EndSpan(0)/Instant/NoteSend are no-ops, so the hot paths
+// pay a load+branch. When enabled, spans append under a mutex — acceptable
+// for debugging runs, not for benchmarking (benches keep it off).
+//
+// Exports: Chrome trace_event JSON (one "process" per node, loadable in
+// chrome://tracing / Perfetto), a JSONL structured-event stream, and the
+// in-memory FinishedSpans() the codb_trace CLI and tests consume.
+
+#ifndef CODB_OBS_TRACE_H_
+#define CODB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace codb {
+
+struct TraceSpan {
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = root (no parent on any node)
+  uint32_t node = 0;    // network peer id; "pid" in the Chrome export
+  uint32_t thread = 0;  // small per-thread ordinal; "tid" in the export
+  std::string name;
+  std::string flow;  // FlowId::ToString() of the owning flow; may be empty
+  int64_t start_vt_us = 0;  // virtual time
+  int64_t end_vt_us = 0;
+  uint64_t start_wall_ns = 0;
+  uint64_t end_wall_ns = 0;
+  uint64_t link_in = 0;  // correlation id of the hop that opened this span
+  bool instant = false;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// One message hop: sender span -> receiver span, keyed by correlation id.
+struct TraceEdge {
+  uint64_t correlation = 0;
+  uint64_t from_span = 0;  // 0 when the send had no enclosing span
+  uint64_t to_span = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops all recorded spans, edges and node names; keeps enabled state.
+  void Clear();
+
+  // Names the Chrome "process" for a node (shown instead of "pid N").
+  void SetNodeName(uint32_t node, const std::string& name);
+
+  // Publishes the current virtual time for spans opened/closed on this
+  // thread. The network calls this before dispatching each event.
+  static void SetVirtualTime(int64_t now_us);
+
+  // Opens a span on `node`; parent is the innermost open span on this
+  // thread (any node). Returns 0 (a no-op handle) when disabled.
+  uint64_t BeginSpan(uint32_t node, const std::string& name,
+                     const std::string& flow = "");
+
+  // Opens a span inheriting node + parent from the enclosing span on this
+  // thread. Returns 0 when disabled or when there is no enclosing span —
+  // this is what lets the evaluator and storage layers trace without any
+  // node context of their own.
+  uint64_t BeginSpanHere(const std::string& name,
+                         const std::string& flow = "");
+
+  void EndSpan(uint64_t id);
+
+  // Attaches a key/value arg to an open span. No-op for id 0.
+  void AddArg(uint64_t id, const std::string& key, const std::string& value);
+
+  // Records a zero-duration event on `node` (child of the enclosing span).
+  void Instant(uint32_t node, const std::string& name,
+               const std::string& flow = "");
+
+  // Mints a correlation id for a message about to be sent and remembers
+  // the innermost open span on this thread as the hop's source. Returns 0
+  // when disabled; 0 is ignored by LinkDelivery.
+  uint64_t NoteSend();
+
+  // Links the hop `correlation` to the (open) delivery span: the span is
+  // parented under the sending span and a flow arrow is recorded.
+  void LinkDelivery(uint64_t correlation, uint64_t span_id);
+
+  size_t open_span_count() const;
+  std::vector<TraceSpan> FinishedSpans() const;
+  std::vector<TraceEdge> Edges() const;
+  std::map<uint32_t, std::string> NodeNames() const;
+
+  // Chrome trace_event document: {"traceEvents": [...]}.
+  JsonValue ExportChromeTrace() const;
+  // One JSON object per line: spans, then edges.
+  std::string ExportJsonl() const;
+
+  Status WriteChromeTrace(const std::string& path) const;
+  Status WriteJsonl(const std::string& path) const;
+
+ private:
+  uint64_t BeginSpanInternal(uint32_t node, uint64_t parent,
+                             const std::string& name,
+                             const std::string& flow);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, TraceSpan> open_;
+  std::vector<TraceSpan> finished_;
+  std::vector<TraceEdge> edges_;
+  std::map<uint64_t, uint64_t> pending_sends_;  // correlation -> from span
+  std::map<uint32_t, std::string> node_names_;
+};
+
+// RAII handle closing a span on scope exit. Safe to hold a 0 handle.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  explicit ScopedSpan(uint64_t id) : id_(id) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept : id_(other.id_) {
+    other.id_ = 0;
+  }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      End();
+      id_ = other.id_;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+  ~ScopedSpan() { End(); }
+
+  uint64_t id() const { return id_; }
+
+  void End() {
+    if (id_ != 0) {
+      Tracer::Global().EndSpan(id_);
+      id_ = 0;
+    }
+  }
+
+ private:
+  uint64_t id_ = 0;
+};
+
+}  // namespace codb
+
+#endif  // CODB_OBS_TRACE_H_

@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace codb {
 
 Result<CompiledQuery> CompiledQuery::Compile(
@@ -87,6 +89,9 @@ bool CompiledQuery::UsesRelation(const std::string& relation) const {
 }
 
 std::vector<Tuple> CompiledQuery::Evaluate(const Database& db) const {
+  // Auto-context span: records only when tracing is on AND an enclosing
+  // span (an update/query handler) provides the node context.
+  ScopedSpan span(Tracer::Global().BeginSpanHere("eval.full"));
   std::vector<Tuple> out;
   Run(db, /*forced_first=*/-1, /*forced_rows=*/nullptr, out);
   std::unordered_set<Tuple, TupleHash> seen;
@@ -107,6 +112,7 @@ std::vector<Tuple> CompiledQuery::EvaluateDelta(
   // dedup below and the caller's sent-sets absorb.
   std::vector<Tuple> out;
   if (delta.empty()) return out;
+  ScopedSpan span(Tracer::Global().BeginSpanHere("eval.delta"));
   for (size_t i = 0; i < atoms_.size(); ++i) {
     if (atoms_[i].predicate != delta_relation) continue;
     Run(db, static_cast<int>(i), &delta, out);

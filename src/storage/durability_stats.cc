@@ -59,28 +59,29 @@ Result<DurabilityStats> DurabilityStats::DeserializeFrom(WireReader& reader) {
   return stats;
 }
 
+MetricsSnapshot DurabilityStats::ToSnapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.SetCounter("storage.wal.records", wal_records_appended);
+  snapshot.SetCounter("storage.wal.bytes", wal_bytes_appended);
+  snapshot.SetCounter("storage.wal.segments", wal_segments_created);
+  snapshot.SetCounter("storage.wal.append_failures", wal_append_failures);
+  snapshot.SetCounter("storage.checkpoints", checkpoints_written);
+  snapshot.SetCounter("storage.checkpoint.bytes", checkpoint_bytes_written);
+  snapshot.SetGauge("storage.checkpoint.wall_us",
+                    static_cast<int64_t>(checkpoint_wall_micros));
+  snapshot.SetCounter("storage.recoveries", recoveries);
+  snapshot.SetCounter("storage.recovered.checkpoint_tuples",
+                      recovered_checkpoint_tuples);
+  snapshot.SetCounter("storage.recovered.wal_records",
+                      recovered_wal_records);
+  snapshot.SetCounter("storage.torn_tails", torn_tails_truncated);
+  snapshot.SetGauge("storage.recovery.wall_us",
+                    static_cast<int64_t>(recovery_wall_micros));
+  return snapshot;
+}
+
 std::string DurabilityStats::Render() const {
-  std::string out;
-  out += StrFormat(
-      "  wal              %llu records (%s) in %llu segments, "
-      "%llu failed appends\n",
-      static_cast<unsigned long long>(wal_records_appended),
-      HumanBytes(wal_bytes_appended).c_str(),
-      static_cast<unsigned long long>(wal_segments_created),
-      static_cast<unsigned long long>(wal_append_failures));
-  out += StrFormat("  checkpoints      %llu written (%s), %.0f us\n",
-                   static_cast<unsigned long long>(checkpoints_written),
-                   HumanBytes(checkpoint_bytes_written).c_str(),
-                   checkpoint_wall_micros);
-  out += StrFormat(
-      "  recoveries       %llu (%llu checkpoint tuples + %llu wal "
-      "records, %llu torn tails), %.0f us\n",
-      static_cast<unsigned long long>(recoveries),
-      static_cast<unsigned long long>(recovered_checkpoint_tuples),
-      static_cast<unsigned long long>(recovered_wal_records),
-      static_cast<unsigned long long>(torn_tails_truncated),
-      recovery_wall_micros);
-  return out;
+  return ToSnapshot().Render();
 }
 
 }  // namespace codb

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
 #include "relation/wire.h"
 #include "util/status.h"
 
@@ -35,7 +36,12 @@ struct DurabilityStats {
   void SerializeTo(WireWriter& writer) const;
   static Result<DurabilityStats> DeserializeFrom(WireReader& reader);
 
-  // Indented human-readable block for node and super-peer reports.
+  // Uniform snapshot form under storage.* names; wall timings become
+  // storage.*.wall_us gauges (rounded to whole microseconds).
+  MetricsSnapshot ToSnapshot() const;
+
+  // Indented human-readable block for node and super-peer reports,
+  // rendered from ToSnapshot() so human and machine views cannot drift.
   std::string Render() const;
 };
 

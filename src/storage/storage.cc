@@ -1,5 +1,6 @@
 #include "storage/storage.h"
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace codb {
@@ -47,6 +48,7 @@ Result<std::unique_ptr<DurableStorage>> DurableStorage::Open(
 
 void DurableStorage::LogInsert(const std::string& relation,
                                const Tuple& tuple) {
+  ScopedSpan span(Tracer::Global().BeginSpanHere("storage.wal_append"));
   uint64_t segments_before = wal_->segments_created();
   Status appended = wal_->Append(relation, tuple);
   if (!appended.ok()) {
@@ -69,6 +71,7 @@ void DurableStorage::LogInsert(const std::string& relation,
 }
 
 Status DurableStorage::Checkpoint() {
+  ScopedSpan span(Tracer::Global().BeginSpanHere("storage.checkpoint"));
   Stopwatch wall;
   CheckpointData data;
   data.wal_lsn = wal_ != nullptr ? wal_->next_lsn() - 1

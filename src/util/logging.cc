@@ -1,13 +1,43 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 
 namespace codb {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+// Reads CODB_LOG_LEVEL once at startup: debug/info/warning/error/none
+// (case-sensitive, also accepts the numeric values 0-4).
+LogLevel InitialLevel() {
+  const char* env = std::getenv("CODB_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kWarning;
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warning") == 0 || std::strcmp(env, "2") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(env, "none") == 0 || std::strcmp(env, "4") == 0) {
+    return LogLevel::kNone;
+  }
+  return LogLevel::kWarning;
+}
+
+// The level is read on every CODB_LOG from whatever thread; relaxed is
+// enough (a racing SetLogLevel only ever delays/advances filtering).
+std::atomic<LogLevel> g_level{InitialLevel()};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -31,21 +61,44 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+// ISO-8601 UTC timestamp with millisecond resolution.
+std::string IsoTimestamp() {
+  auto now = std::chrono::system_clock::now();
+  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now.time_since_epoch())
+                    .count() %
+                1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
+                utc.tm_hour, utc.tm_min, utc.tm_sec,
+                static_cast<int>(millis));
+  return buf;
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  stream_ << "[" << IsoTimestamp() << " " << LevelTag(level) << " "
+          << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_level) {
+  if (level_ >= GetLogLevel()) {
     std::cerr << stream_.str() << "\n";
   }
 }

@@ -1,0 +1,345 @@
+// Tests for the observability layer (src/obs/): the metrics registry,
+// histogram bucketing, snapshot merge/serialize round-trips, the flow
+// tracer's span bookkeeping, and a golden end-to-end trace of a 3-node
+// global update whose span counts must agree with the statistics module.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/testbed.h"
+#include "workload/topology_gen.h"
+
+namespace codb {
+namespace {
+
+// Count stored in a snapshot histogram's (sparse) bucket list.
+uint64_t BucketCount(const MetricValue& entry, size_t bucket) {
+  for (const auto& [index, count] : entry.buckets) {
+    if (index == bucket) return count;
+  }
+  return 0;
+}
+
+// Resets the global tracer around every tracer test; the tracer is a
+// process-wide singleton, so tests must not leak spans into each other.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(MetricsTest, CounterAndGaugeRoundTrip) {
+  MetricsRegistry registry;
+  Counter* hits = registry.GetCounter("cache.hits");
+  hits->Add();
+  hits->Add(4);
+  registry.GetGauge("queue.depth")->Set(7);
+  ASSERT_EQ(registry.GetCounter("cache.hits"), hits);  // same instrument
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.entries.at("cache.hits").value, 5);
+  EXPECT_EQ(snapshot.entries.at("queue.depth").value, 7);
+}
+
+TEST(MetricsTest, HistogramBucketing) {
+  // Bucket 0 holds the value 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(HistogramBucketOf(0), 0u);
+  EXPECT_EQ(HistogramBucketOf(1), 1u);
+  EXPECT_EQ(HistogramBucketOf(2), 2u);
+  EXPECT_EQ(HistogramBucketOf(3), 2u);
+  EXPECT_EQ(HistogramBucketOf(4), 3u);
+  EXPECT_EQ(HistogramBucketOf(1023), 10u);
+  EXPECT_EQ(HistogramBucketOf(1024), 11u);
+  EXPECT_EQ(HistogramBucketOf(UINT64_MAX), kHistogramBuckets - 1);
+
+  MetricsRegistry registry;
+  Histogram* latency = registry.GetHistogram("handler.us");
+  for (uint64_t value : {0u, 1u, 2u, 3u, 100u, 100u}) {
+    latency->Record(value);
+  }
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricValue& entry = snapshot.entries.at("handler.us");
+  EXPECT_EQ(entry.kind, MetricKind::kHistogram);
+  EXPECT_EQ(entry.value, 6);    // count
+  EXPECT_EQ(entry.sum, 206);
+  EXPECT_EQ(BucketCount(entry, 0), 1u);
+  EXPECT_EQ(BucketCount(entry, 1), 1u);
+  EXPECT_EQ(BucketCount(entry, 2), 2u);
+  EXPECT_EQ(BucketCount(entry, HistogramBucketOf(100)), 2u);
+}
+
+TEST(MetricsTest, KindCollisionGetsSuffixedName) {
+  MetricsRegistry registry;
+  registry.GetCounter("x")->Add(1);
+  Gauge* gauge = registry.GetGauge("x");  // same name, different kind
+  gauge->Set(9);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.entries.at("x").value, 1);
+  EXPECT_EQ(snapshot.entries.at("x.gauge").value, 9);
+}
+
+TEST(MetricsTest, SnapshotMerge) {
+  MetricsRegistry a;
+  a.GetCounter("msgs")->Add(3);
+  a.GetGauge("depth")->Set(5);
+  a.GetHistogram("lat")->Record(2);
+
+  MetricsRegistry b;
+  b.GetCounter("msgs")->Add(4);
+  b.GetGauge("depth")->Set(9);
+  b.GetHistogram("lat")->Record(100);
+  b.GetCounter("only_b")->Add(1);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.entries.at("msgs").value, 7);       // counters add
+  EXPECT_EQ(merged.entries.at("depth").value, 9);      // gauges take max
+  EXPECT_EQ(merged.entries.at("lat").value, 2);        // counts add
+  EXPECT_EQ(merged.entries.at("lat").sum, 102);
+  EXPECT_EQ(merged.entries.at("only_b").value, 1);
+}
+
+TEST(MetricsTest, SnapshotSerializeRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(12);
+  registry.GetGauge("b.depth")->Set(-3);
+  registry.GetHistogram("c.lat")->Record(7);
+  registry.GetHistogram("c.lat")->Record(900);
+  MetricsSnapshot snapshot = registry.Snapshot();
+
+  WireWriter writer;
+  snapshot.SerializeTo(writer);
+  std::vector<uint8_t> bytes = writer.Take();
+  WireReader reader(bytes);
+  Result<MetricsSnapshot> restored = MetricsSnapshot::DeserializeFrom(reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+
+  ASSERT_EQ(restored.value().entries.size(), snapshot.entries.size());
+  for (const auto& [name, value] : snapshot.entries) {
+    const MetricValue& other = restored.value().entries.at(name);
+    EXPECT_EQ(other.kind, value.kind) << name;
+    EXPECT_EQ(other.value, value.value) << name;
+    EXPECT_EQ(other.sum, value.sum) << name;
+    EXPECT_EQ(other.buckets, value.buckets) << name;
+  }
+}
+
+TEST(MetricsTest, RenderAndJsonAgree) {
+  MetricsRegistry registry;
+  registry.GetCounter("net.messages")->Add(42);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_NE(snapshot.Render().find("net.messages"), std::string::npos);
+  EXPECT_NE(snapshot.Render().find("42"), std::string::npos);
+  EXPECT_EQ(snapshot.ToJson().GetNumber("net.messages"), 42);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer span bookkeeping
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  uint64_t span = tracer.BeginSpan(1, "work");
+  EXPECT_EQ(span, 0u);
+  tracer.EndSpan(span);
+  EXPECT_EQ(tracer.NoteSend(), 0u);
+  EXPECT_TRUE(tracer.FinishedSpans().empty());
+}
+
+TEST_F(TracerTest, SpansOpenAndCloseBalanced) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+
+  uint64_t outer = tracer.BeginSpan(1, "outer", "flow/1");
+  ASSERT_NE(outer, 0u);
+  EXPECT_EQ(tracer.open_span_count(), 1u);
+  uint64_t inner = tracer.BeginSpanHere("inner");
+  ASSERT_NE(inner, 0u);
+  EXPECT_EQ(tracer.open_span_count(), 2u);
+  tracer.EndSpan(inner);
+  tracer.EndSpan(outer);
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+
+  std::vector<TraceSpan> spans = tracer.FinishedSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceSpan& inner_span =
+      spans[0].name == "inner" ? spans[0] : spans[1];
+  const TraceSpan& outer_span =
+      spans[0].name == "outer" ? spans[0] : spans[1];
+  EXPECT_EQ(inner_span.parent, outer_span.id);
+  EXPECT_EQ(inner_span.node, outer_span.node);  // inherited
+  EXPECT_EQ(outer_span.flow, "flow/1");
+  EXPECT_EQ(outer_span.parent, 0u);
+}
+
+TEST_F(TracerTest, BeginSpanHereWithoutContextIsNoop) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  EXPECT_EQ(tracer.BeginSpanHere("orphan"), 0u);
+  EXPECT_TRUE(tracer.FinishedSpans().empty());
+}
+
+TEST_F(TracerTest, ScopedSpanClosesOnDestruction) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  {
+    ScopedSpan span(tracer.BeginSpan(2, "scoped"));
+    EXPECT_EQ(tracer.open_span_count(), 1u);
+  }
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+  EXPECT_EQ(tracer.FinishedSpans().size(), 1u);
+}
+
+TEST_F(TracerTest, LinkDeliveryParentsAcrossNodes) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+
+  uint64_t sender = tracer.BeginSpan(1, "send_side");
+  uint64_t correlation = tracer.NoteSend();
+  ASSERT_NE(correlation, 0u);
+  tracer.EndSpan(sender);
+
+  uint64_t delivery = tracer.BeginSpan(2, "net.deliver");
+  tracer.LinkDelivery(correlation, delivery);
+  tracer.EndSpan(delivery);
+
+  std::vector<TraceSpan> spans = tracer.FinishedSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceSpan& delivered =
+      spans[0].name == "net.deliver" ? spans[0] : spans[1];
+  EXPECT_EQ(delivered.parent, sender);
+  EXPECT_EQ(delivered.link_in, correlation);
+  ASSERT_EQ(tracer.Edges().size(), 1u);
+  EXPECT_EQ(tracer.Edges()[0].from_span, sender);
+  EXPECT_EQ(tracer.Edges()[0].to_span, delivery);
+}
+
+// ---------------------------------------------------------------------------
+// Golden trace: 3-node chain update
+
+class GoldenTraceTest : public TracerTest {};
+
+TEST_F(GoldenTraceTest, ThreeNodeUpdateProducesCorrelatedSpanTree) {
+  WorkloadOptions options;
+  options.nodes = 3;
+  options.tuples_per_node = 4;
+  GeneratedNetwork generated = MakeChain(options);
+  Result<std::unique_ptr<Testbed>> testbed = Testbed::Create(generated);
+  ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+  Testbed& bed = *testbed.value();
+
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  Result<FlowId> update = bed.node("n0")->StartGlobalUpdate();
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  bed.network().Run();
+  tracer.Disable();
+  ASSERT_TRUE(bed.AllComplete(update.value()));
+  EXPECT_EQ(tracer.open_span_count(), 0u);  // every span was closed
+
+  const std::string flow = update.value().ToString();
+  std::vector<TraceSpan> spans = tracer.FinishedSpans();
+  ASSERT_FALSE(spans.empty());
+
+  // Exactly one root: the initiating node's update.start span.
+  std::map<uint64_t, const TraceSpan*> by_id;
+  for (const TraceSpan& span : spans) by_id[span.id] = &span;
+  size_t roots = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.parent != 0) {
+      ASSERT_TRUE(by_id.count(span.parent) > 0)
+          << "dangling parent on " << span.name;
+      continue;
+    }
+    ++roots;
+    EXPECT_EQ(span.name, "update.start");
+    EXPECT_EQ(span.flow, flow);
+    EXPECT_EQ(bed.network().NameOf(PeerId{span.node}), "n0");
+  }
+  EXPECT_EQ(roots, 1u);
+
+  // One update.data span per data message the statistics modules counted.
+  uint64_t data_messages = 0;
+  for (const auto& node : bed.nodes()) {
+    const UpdateReport* report =
+        node->statistics().FindReport(update.value());
+    if (report != nullptr) data_messages += report->data_messages_received;
+  }
+  size_t data_spans = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.name == "update.data" && span.flow == flow) ++data_spans;
+  }
+  EXPECT_GT(data_messages, 0u);
+  EXPECT_EQ(data_spans, data_messages);
+
+  // The Chrome export is valid JSON and every X event nests under the
+  // tree (args.span/args.parent mirror the span ids).
+  std::string dumped = tracer.ExportChromeTrace().Dump();
+  Result<JsonValue> parsed = ParseJson(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::set<uint64_t> exported_ids;
+  size_t x_events = 0;
+  for (const JsonValue& event : events->items()) {
+    if (event.GetString("ph") != "X") continue;
+    ++x_events;
+    const JsonValue* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    exported_ids.insert(static_cast<uint64_t>(args->GetNumber("span")));
+  }
+  for (const JsonValue& event : events->items()) {
+    if (event.GetString("ph") != "X") continue;
+    uint64_t parent = static_cast<uint64_t>(
+        event.Find("args")->GetNumber("parent"));
+    if (parent != 0) {
+      EXPECT_TRUE(exported_ids.count(parent) > 0)
+          << event.GetString("name") << " parent missing from export";
+    }
+  }
+  size_t interval_spans = 0;
+  for (const TraceSpan& span : spans) {
+    if (!span.instant) ++interval_spans;
+  }
+  EXPECT_EQ(x_events, interval_spans);
+
+  // Flow arrows: one s+f pair per recorded message hop.
+  size_t arrows = 0;
+  for (const JsonValue& event : events->items()) {
+    std::string ph = event.GetString("ph");
+    if (ph == "s" || ph == "f") ++arrows;
+  }
+  EXPECT_EQ(arrows, tracer.Edges().size() * 2);
+
+  // The JSONL export parses line by line.
+  std::string jsonl = tracer.ExportJsonl();
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) break;
+    Result<JsonValue> line = ParseJson(jsonl.substr(start, end - start));
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, spans.size() + tracer.Edges().size());
+}
+
+}  // namespace
+}  // namespace codb

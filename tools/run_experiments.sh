@@ -1,7 +1,8 @@
 #!/bin/sh
 # Regenerates the experiment outputs recorded in EXPERIMENTS.md:
-#   test_output.txt  — the full ctest run
-#   bench_output.txt — every experiment harness, in order
+#   test_output.txt   — the full ctest run
+#   bench_output.txt  — every experiment harness, in order (human tables)
+#   bench/BENCH_<name>.json — the same scenarios, machine-readable (--json)
 # Usage: tools/run_experiments.sh [build-dir]
 set -e
 BUILD="${1:-build}"
@@ -15,7 +16,10 @@ ctest --test-dir "$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
 : > "$ROOT/bench_output.txt"
 for b in "$BUILD"/bench/bench_*; do
   [ -x "$b" ] || continue
-  echo "===== $(basename "$b") =====" | tee -a "$ROOT/bench_output.txt"
+  name="$(basename "$b")"
+  echo "===== $name =====" | tee -a "$ROOT/bench_output.txt"
   "$b" 2>&1 | tee -a "$ROOT/bench_output.txt"
   echo | tee -a "$ROOT/bench_output.txt"
+  # Same scenarios again, as one JSON document per harness.
+  "$b" --json > "$ROOT/bench/BENCH_${name#bench_}.json"
 done
