@@ -119,6 +119,125 @@ void BM_WireTupleRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_WireTupleRoundTrip)->Arg(100)->Arg(1000);
 
+// Join with string keys: r(a, b:str) ⋈ s(b:str, c). Against BM_HashJoin
+// (identical shape, int keys) this isolates the cost of string
+// equality/hashing on the join hot path — the gap interning closes.
+void BM_StringHashJoin(benchmark::State& state) {
+  Database db;
+  db.CreateRelation(RelationSchema(
+      "r", {{"a", ValueType::kInt}, {"b", ValueType::kString}}));
+  db.CreateRelation(RelationSchema(
+      "s", {{"b", ValueType::kString}, {"c", ValueType::kInt}}));
+  Rng rng(3);
+  Relation* r = db.Find("r");
+  Relation* s = db.Find("s");
+  constexpr int64_t kFanout = 100;
+  std::vector<std::string> keys;
+  for (int64_t k = 0; k < kFanout; ++k) {
+    // Long common prefix: byte-wise comparisons must walk the whole key.
+    keys.push_back("warehouse/region-7/shelf-" + std::to_string(k));
+  }
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    r->Insert(Tuple{Value::Int(i),
+                    Value::String(
+                        keys[rng.Uniform(static_cast<uint64_t>(kFanout))])});
+    s->Insert(Tuple{Value::String(keys[static_cast<uint64_t>(i) % kFanout]),
+                    Value::Int(i)});
+  }
+  CompiledQuery q = std::move(CompiledQuery::Compile(
+                                  ParseQuery("q(A, C) :- r(A, B), s(B, C).")
+                                      .value(),
+                                  db.Schema(), {"A", "C"}))
+                        .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Evaluate(db));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StringHashJoin)->Arg(1000)->Arg(10000);
+
+// The fixpoint pattern of the global-update algorithm: every incoming
+// delta batch inserts into a relation and immediately probes it again for
+// the next semi-naive pass. With invalidate-on-insert each probe rebuilds
+// the whole index (quadratic in delta count); with append-on-insert the
+// loop is near-linear — compare total time across the 10x/100x Args.
+void BM_InsertProbeFixpoint(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Relation r(RelationSchema(
+        "r", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+    state.ResumeTiming();
+    size_t matched = 0;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      r.Insert(Tuple{Value::Int(i % 16), Value::Int(i)});
+      matched += r.Probe(0, Value::Int(i % 16)).size();
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InsertProbeFixpoint)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Multi-bound probe: after t(A,B,C) binds A and B, u(A,B) has *two* bound
+// columns. A single-column index scans the whole bucket and filters
+// tuple-by-tuple; a composite index jumps straight to the matches.
+void BM_MultiBoundProbe(benchmark::State& state) {
+  Database db;
+  db.CreateRelation(RelationSchema("t", {{"a", ValueType::kInt},
+                                         {"b", ValueType::kInt},
+                                         {"c", ValueType::kInt}}));
+  db.CreateRelation(RelationSchema(
+      "u", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+  Relation* t = db.Find("t");
+  Relation* u = db.Find("u");
+  // Few distinct `a` values -> huge single-column buckets; (a, b) pairs
+  // are selective.
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    t->Insert(Tuple{Value::Int(i % 4), Value::Int(i), Value::Int(i)});
+    u->Insert(Tuple{Value::Int(i % 4), Value::Int(i)});
+  }
+  CompiledQuery q = std::move(CompiledQuery::Compile(
+                                  ParseQuery("q(C) :- t(A, B, C), u(A, B).")
+                                      .value(),
+                                  db.Schema(), {"C"}))
+                        .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Evaluate(db));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MultiBoundProbe)->Arg(1000)->Arg(10000);
+
+// Primitive-level composite probe vs single-column probe + filter, on the
+// same data shape as BM_MultiBoundProbe (selective pair, fat single-column
+// bucket). Isolates the index from the join machinery around it.
+void BM_CompositeProbePrimitive(benchmark::State& state) {
+  Relation u(RelationSchema(
+      "u", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    u.Insert(Tuple{Value::Int(i % 4), Value::Int(i)});
+  }
+  const std::vector<int> columns = {0, 1};
+  size_t matched = 0;
+  for (auto _ : state) {
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      if (state.range(1) != 0) {
+        matched +=
+            u.ProbeComposite(columns, {Value::Int(i % 4), Value::Int(i)})
+                .size();
+      } else {
+        for (uint32_t row : u.Probe(0, Value::Int(i % 4))) {
+          if (u.rows()[row].at(1) == Value::Int(i)) ++matched;
+        }
+      }
+    }
+  }
+  benchmark::DoNotOptimize(matched);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompositeProbePrimitive)
+    ->ArgsProduct({{1000, 10000}, {0, 1}});
+
 void BM_RelationInsertNew(benchmark::State& state) {
   std::vector<Tuple> batch;
   for (int64_t i = 0; i < state.range(0); ++i) {

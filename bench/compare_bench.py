@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Capture and diff machine-readable bench results.
+
+Two bench JSON dialects exist in this repo:
+
+  * harness benches (bench_update_vs_query, ...): a JSON array of scenario
+    objects, each carrying a "scenario" key and wall-time fields
+    (wall_ms / update_wall_ms / local_query_wall_us);
+  * google-benchmark benches (bench_query_engine): an object whose
+    "benchmarks" array has "name" and "real_time" entries.
+
+`capture` runs a set of bench binaries with --json and stores everything in
+one combined JSON file; `diff` compares two such files (or two single-bench
+JSON files) and prints per-scenario wall-time deltas, optionally failing on
+regressions beyond a threshold — the CI perf-smoke job runs exactly that
+against the committed BENCH_baseline.json.
+
+Usage:
+  compare_bench.py capture BUILD_DIR -o OUT.json [--benches a,b,...]
+  compare_bench.py diff BASELINE.json CURRENT.json [--threshold PCT]
+                    [--warn-only]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Benches the perf-smoke job watches by default.
+DEFAULT_BENCHES = ["query_engine", "update_vs_query"]
+
+# Wall-time fields of harness scenario objects, in preference order. The
+# first present and positive one is the scenario's headline number.
+WALL_FIELDS = ["update_wall_ms", "wall_ms", "local_query_wall_us"]
+
+
+def extract_scenarios(name, doc):
+    """Flattens one bench document into {scenario_label: (value, unit)}."""
+    out = {}
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        for bench in doc["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue
+            label = "%s/%s" % (name, bench["name"])
+            out[label] = (float(bench["real_time"]),
+                          bench.get("time_unit", "ns"))
+        return out
+    if isinstance(doc, list):
+        for scenario in doc:
+            if not isinstance(scenario, dict) or "scenario" not in scenario:
+                continue
+            label = "%s/%s" % (name, scenario["scenario"])
+            for field in WALL_FIELDS:
+                value = scenario.get(field)
+                if isinstance(value, (int, float)) and value > 0:
+                    unit = "us" if field.endswith("_us") else "ms"
+                    out["%s:%s" % (label, field)] = (float(value), unit)
+        return out
+    return out
+
+
+def load_set(path):
+    """Loads a combined capture file or a single-bench JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict) and "codb_bench_set" in doc:
+        flat = {}
+        for name, sub in doc["benches"].items():
+            flat.update(extract_scenarios(name, sub))
+        return flat
+    name = os.path.basename(path)
+    for prefix in ("BENCH_",):
+        if name.startswith(prefix):
+            name = name[len(prefix):]
+    name = name.rsplit(".", 1)[0]
+    return extract_scenarios(name, doc)
+
+
+def capture(args):
+    benches = args.benches.split(",") if args.benches else DEFAULT_BENCHES
+    combined = {"codb_bench_set": 1, "benches": {}}
+    for bench in benches:
+        binary = os.path.join(args.build_dir, "bench", "bench_" + bench)
+        if not os.path.exists(binary):
+            print("capture: missing %s" % binary, file=sys.stderr)
+            return 1
+        result = subprocess.run([binary, "--json"], capture_output=True,
+                                text=True, check=True)
+        combined["benches"][bench] = json.loads(result.stdout)
+    with open(args.output, "w") as f:
+        json.dump(combined, f, indent=1)
+        f.write("\n")
+    print("captured %d benches -> %s" % (len(benches), args.output))
+    return 0
+
+
+def diff(args):
+    baseline = load_set(args.baseline)
+    current = load_set(args.current)
+    rows = []
+    regressions = []
+    for label in sorted(set(baseline) | set(current)):
+        if label not in baseline:
+            rows.append((label, None, current[label][0], current[label][1],
+                         "new"))
+            continue
+        if label not in current:
+            rows.append((label, baseline[label][0], None, baseline[label][1],
+                         "gone"))
+            continue
+        base, unit = baseline[label]
+        cur = current[label][0]
+        pct = (cur - base) / base * 100.0 if base > 0 else 0.0
+        note = "%+.1f%%" % pct
+        if args.threshold is not None and pct > args.threshold:
+            note += "  REGRESSION"
+            regressions.append(label)
+        rows.append((label, base, cur, unit, note))
+
+    width = max((len(r[0]) for r in rows), default=8)
+    print("%-*s | %12s | %12s | %s" % (width, "scenario", "baseline",
+                                       "current", "delta"))
+    for label, base, cur, unit, note in rows:
+        fmt = lambda v: "%10.2f%s" % (v, unit) if v is not None else "-"
+        print("%-*s | %12s | %12s | %s" % (width, label, fmt(base),
+                                           fmt(cur), note))
+    if regressions:
+        print("\n%d scenario(s) regressed beyond %.0f%%:" %
+              (len(regressions), args.threshold))
+        for label in regressions:
+            print("  " + label)
+        return 0 if args.warn_only else 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_capture = sub.add_parser("capture")
+    p_capture.add_argument("build_dir")
+    p_capture.add_argument("-o", "--output", required=True)
+    p_capture.add_argument("--benches",
+                           help="comma-separated bench names (without "
+                                "the bench_ prefix)")
+    p_capture.set_defaults(func=capture)
+
+    p_diff = sub.add_parser("diff")
+    p_diff.add_argument("baseline")
+    p_diff.add_argument("current")
+    p_diff.add_argument("--threshold", type=float,
+                        help="fail if any scenario slows down by more "
+                             "than this percentage")
+    p_diff.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0")
+    p_diff.set_defaults(func=diff)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

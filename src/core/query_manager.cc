@@ -260,10 +260,9 @@ void QueryManager::Serve(
   QueryResultPayload result;
   result.query = query;
   result.rule_id = rule_id;
+  result.tuples.reserve(fresh.size());
   for (const Tuple& frontier : fresh) {
-    for (HeadTuple& ht : rule.InstantiateHead(frontier, *minter_)) {
-      result.tuples.push_back(std::move(ht));
-    }
+    rule.InstantiateHeadInto(frontier, *minter_, result.tuples);
   }
   size_t tuple_count = result.tuples.size();
   std::vector<uint8_t> payload = result.Serialize();
@@ -422,17 +421,20 @@ Result<std::vector<Tuple>> QueryManager::Answers(const FlowId& query) const {
     return Status::NotFound("not the origin of " + query.ToString());
   }
   const QueryState& state = it->second;
-  const ConjunctiveQuery& q = state.user_query;
-  std::vector<std::string> output;
-  for (const Term& term : q.head[0].terms) {
-    if (term.is_var()) output.push_back(term.var());
-  }
   const Database& db =
       state.overlay != nullptr ? *state.overlay : wrapper_->storage();
-  CODB_ASSIGN_OR_RETURN(
-      CompiledQuery compiled,
-      CompiledQuery::Compile(q, db.Schema(), output));
-  return compiled.Evaluate(db);
+  if (!state.compiled_user_query.has_value()) {
+    const ConjunctiveQuery& q = state.user_query;
+    std::vector<std::string> output;
+    for (const Term& term : q.head[0].terms) {
+      if (term.is_var()) output.push_back(term.var());
+    }
+    CODB_ASSIGN_OR_RETURN(
+        CompiledQuery compiled,
+        CompiledQuery::Compile(q, db.Schema(), output));
+    state.compiled_user_query.emplace(std::move(compiled));
+  }
+  return state.compiled_user_query->Evaluate(db);
 }
 
 Result<std::vector<Tuple>> QueryManager::CertainAnswers(

@@ -20,12 +20,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "core/config.h"
+#include "query/evaluator.h"
 #include "core/link_graph.h"
 #include "core/protocol.h"
 #include "core/statistics.h"
@@ -85,6 +87,11 @@ class QueryManager {
     bool done = false;
     ConjunctiveQuery user_query;
     ProgressFn on_progress;
+
+    // user_query compiled once on first Answers() call; reused afterwards
+    // so streaming progress callbacks and repeated reads share one plan
+    // cache. Mutable: filling it is invisible to callers of const Answers.
+    mutable std::optional<CompiledQuery> compiled_user_query;
 
     // Overlay: local store copy + fetched data; created lazily.
     std::unique_ptr<Database> overlay;

@@ -171,6 +171,18 @@ void UpdateManager::ShipFrontiers(const FlowId& update, UpdateState& state,
   Tracer::Global().AddArg(span.id(), "rule", rule_id);
 
   std::vector<Tuple> fresh;
+  fresh.reserve(frontiers.size());
+  if (options_.dedup_sent) {
+    // Geometric growth only — an exact-size reserve per shipment would
+    // force a full rehash of the dedup set on every call.
+    size_t needed = link.sent_frontiers.size() + frontiers.size();
+    size_t ceiling = static_cast<size_t>(
+        static_cast<float>(link.sent_frontiers.bucket_count()) *
+        link.sent_frontiers.max_load_factor());
+    if (needed > ceiling) {
+      link.sent_frontiers.reserve(std::max(needed, ceiling * 2));
+    }
+  }
   for (Tuple& frontier : frontiers) {
     if (options_.dedup_sent) {
       if (link.sent_frontiers.insert(frontier).second) {
@@ -186,27 +198,32 @@ void UpdateManager::ShipFrontiers(const FlowId& update, UpdateState& state,
   if (!importer.ok()) return;  // importer gone; nothing to ship
 
   std::vector<HeadTuple> tuples;
+  tuples.reserve(fresh.size());
   for (const Tuple& frontier : fresh) {
-    for (HeadTuple& ht : rule.InstantiateHead(frontier, *minter_)) {
-      tuples.push_back(std::move(ht));
-    }
+    rule.InstantiateHeadInto(frontier, *minter_, tuples);
   }
 
   // Split into batches of max_batch_tuples (0 = everything in one
   // message). Consecutive batches travel the same FIFO pipe, so the
   // importer sees them in order.
+  size_t total = tuples.size();
   size_t batch_size =
-      options_.max_batch_tuples > 0 ? options_.max_batch_tuples
-                                    : tuples.size();
+      options_.max_batch_tuples > 0 ? options_.max_batch_tuples : total;
   UpdateReport& report = stats_->ReportFor(update);
-  for (size_t begin = 0; begin < tuples.size(); begin += batch_size) {
-    size_t end = std::min(begin + batch_size, tuples.size());
+  for (size_t begin = 0; begin < total; begin += batch_size) {
+    size_t end = std::min(begin + batch_size, total);
     UpdateDataPayload data;
     data.update = update;
     data.rule_id = rule_id;
     data.path = path;
-    data.tuples.assign(tuples.begin() + static_cast<long>(begin),
-                       tuples.begin() + static_cast<long>(end));
+    if (begin == 0 && end == total) {
+      // Single batch (the default, max_batch_tuples == 0): hand the whole
+      // vector over instead of copying it.
+      data.tuples = std::move(tuples);
+    } else {
+      data.tuples.assign(tuples.begin() + static_cast<long>(begin),
+                         tuples.begin() + static_cast<long>(end));
+    }
 
     std::vector<uint8_t> payload = data.Serialize();
     size_t bytes = payload.size() + 12;

@@ -1,9 +1,9 @@
 #include "query/evaluator.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <map>
-#include <unordered_set>
 
 #include "obs/trace.h"
 
@@ -93,13 +93,9 @@ std::vector<Tuple> CompiledQuery::Evaluate(const Database& db) const {
   // span (an update/query handler) provides the node context.
   ScopedSpan span(Tracer::Global().BeginSpanHere("eval.full"));
   std::vector<Tuple> out;
+  ResetSeen();
   Run(db, /*forced_first=*/-1, /*forced_rows=*/nullptr, out);
-  std::unordered_set<Tuple, TupleHash> seen;
-  std::vector<Tuple> deduped;
-  for (Tuple& t : out) {
-    if (seen.insert(t).second) deduped.push_back(std::move(t));
-  }
-  return deduped;
+  return out;
 }
 
 std::vector<Tuple> CompiledQuery::EvaluateDelta(
@@ -108,26 +104,44 @@ std::vector<Tuple> CompiledQuery::EvaluateDelta(
   // A new derivation must use a delta tuple for at least one occurrence of
   // the updated relation. Running one pass per occurrence with the other
   // occurrences reading the full (already-updated) relation covers every
-  // such derivation; the union may repeat frontiers, which the per-pass
-  // dedup below and the caller's sent-sets absorb.
+  // such derivation; scratch_.seen is shared across the passes, so a
+  // frontier derived by several occurrences still comes out once.
   std::vector<Tuple> out;
   if (delta.empty()) return out;
   ScopedSpan span(Tracer::Global().BeginSpanHere("eval.delta"));
+  ResetSeen();
+  // Most delta derivations yield on the order of one frontier per delta
+  // tuple; pre-sizing skips the incremental rehashes of growing from empty.
+  if (delta.size() > scratch_.seen.bucket_count()) {
+    scratch_.seen.reserve(delta.size());
+  }
   for (size_t i = 0; i < atoms_.size(); ++i) {
     if (atoms_[i].predicate != delta_relation) continue;
     Run(db, static_cast<int>(i), &delta, out);
   }
-  // Cross-pass dedup.
-  std::unordered_set<Tuple, TupleHash> seen;
-  std::vector<Tuple> deduped;
-  for (Tuple& t : out) {
-    if (seen.insert(t).second) deduped.push_back(std::move(t));
-  }
-  return deduped;
+  return out;
 }
 
-std::vector<int> CompiledQuery::ComputeOrder(const Database& db,
-                                             int forced_first) const {
+void CompiledQuery::ResetSeen() const {
+  // clear() memsets the whole bucket array, so after one big evaluation a
+  // long run of tiny delta evaluations would each pay for the large table.
+  // Drop an oversized table instead of sweeping it.
+  if (scratch_.seen.bucket_count() > 1024 &&
+      scratch_.seen.size() * 8 < scratch_.seen.bucket_count()) {
+    scratch_.seen = std::unordered_set<Tuple, TupleHash>();
+  } else {
+    scratch_.seen.clear();
+  }
+}
+
+void CompiledQuery::ResolveAtoms(const Database& db) const {
+  scratch_.atom_rels.resize(atoms_.size());
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    scratch_.atom_rels[i] = db.Find(atoms_[i].predicate);
+  }
+}
+
+std::vector<int> CompiledQuery::ComputeOrder(int forced_first) const {
   // Greedy subgoal order: the forced atom first (delta mode), then by
   // (bound-variable count desc, relation size asc).
   std::vector<int> remaining;
@@ -157,7 +171,8 @@ std::vector<int> CompiledQuery::ComputeOrder(const Database& db,
           ++bound_count;
         }
       }
-      const Relation* rel = db.Find(atom.predicate);
+      const Relation* rel =
+          scratch_.atom_rels[static_cast<size_t>(remaining[p])];
       size_t size = rel != nullptr ? rel->size() : 0;
       if (bound_count > best_bound ||
           (bound_count == best_bound && size < best_size)) {
@@ -174,25 +189,61 @@ std::vector<int> CompiledQuery::ComputeOrder(const Database& db,
   return order;
 }
 
+const std::vector<int>& CompiledQuery::CachedOrder(int forced_first) const {
+  // Cache key: forced atom plus the log2 size bucket of every body
+  // relation. The greedy planner only consumes relative sizes, so the order
+  // is stable while each relation stays within a power-of-two band; a
+  // relation crossing a band boundary produces a new key and a fresh plan.
+  // Bodies with more than 8 atoms do not fit the 64-bit key; they are rare
+  // (GLAV rule bodies are short) and simply recompute every call.
+  if (atoms_.size() > 8) {
+    scratch_.fallback_order = ComputeOrder(forced_first);
+    return scratch_.fallback_order;
+  }
+  uint64_t key = static_cast<uint64_t>(forced_first + 1) & 0xFF;
+  int shift = 8;
+  for (const Relation* rel : scratch_.atom_rels) {
+    uint64_t bucket =
+        rel != nullptr
+            ? static_cast<uint64_t>(std::bit_width(rel->size()))
+            : 0;
+    key |= bucket << shift;
+    shift += 7;
+  }
+  auto it = plan_cache_.find(key);
+  if (it == plan_cache_.end()) {
+    it = plan_cache_.emplace(key, ComputeOrder(forced_first)).first;
+  }
+  return it->second;
+}
+
 std::string CompiledQuery::ExplainPlan(const Database& db) const {
-  std::vector<int> order = ComputeOrder(db, /*forced_first=*/-1);
+  ResolveAtoms(db);
+  std::vector<int> order = ComputeOrder(/*forced_first=*/-1);
   std::vector<bool> var_seen(var_names_.size(), false);
   std::string out = "plan:\n";
   for (size_t step = 0; step < order.size(); ++step) {
     const CompiledAtom& atom = atoms_[static_cast<size_t>(order[step])];
-    // Access path: index probe on the first bound/constant slot, else scan.
-    int probe_column = -1;
+    // Access path mirrors Join: index probe on every bound/constant
+    // column (composite when there are several), else scan.
+    std::vector<int> probe_columns;
     for (size_t i = 0; i < atom.slots.size(); ++i) {
       const Slot& slot = atom.slots[i];
       if (!slot.is_var || var_seen[static_cast<size_t>(slot.var)]) {
-        probe_column = static_cast<int>(i);
-        break;
+        probe_columns.push_back(static_cast<int>(i));
       }
     }
     const Relation* rel = db.Find(atom.predicate);
     out += "  " + std::to_string(step + 1) + ". " + atom.predicate;
-    if (probe_column >= 0) {
-      out += " [probe col " + std::to_string(probe_column) + "]";
+    if (probe_columns.size() == 1) {
+      out += " [probe col " + std::to_string(probe_columns[0]) + "]";
+    } else if (probe_columns.size() > 1) {
+      out += " [probe cols";
+      for (size_t i = 0; i < probe_columns.size(); ++i) {
+        out += i == 0 ? " " : ",";
+        out += std::to_string(probe_columns[i]);
+      }
+      out += "]";
     } else {
       out += " [scan]";
     }
@@ -208,15 +259,19 @@ std::string CompiledQuery::ExplainPlan(const Database& db) const {
 void CompiledQuery::Run(const Database& db, int forced_first,
                         const std::vector<Tuple>* forced_rows,
                         std::vector<Tuple>& out) const {
-  std::vector<int> order = ComputeOrder(db, forced_first);
-  std::vector<Value> binding(var_names_.size());
-  std::vector<bool> bound(var_names_.size(), false);
-  Join(db, order, 0, forced_first, forced_rows, binding, bound, out);
+  ResolveAtoms(db);
+  const std::vector<int>& order = CachedOrder(forced_first);
+  scratch_.binding.assign(var_names_.size(), Value());
+  scratch_.bound.assign(var_names_.size(), 0);
+  if (scratch_.probe_columns.size() < atoms_.size()) {
+    scratch_.probe_columns.resize(atoms_.size());
+    scratch_.probe_keys.resize(atoms_.size());
+    scratch_.newly_bound.resize(atoms_.size());
+  }
+  Join(order, 0, forced_first, forced_rows, out);
 }
 
 bool CompiledQuery::TryBindTuple(const CompiledAtom& atom, const Tuple& tuple,
-                                 std::vector<Value>& binding,
-                                 std::vector<bool>& bound,
                                  std::vector<int>& newly_bound) const {
   for (size_t i = 0; i < atom.slots.size(); ++i) {
     const Slot& slot = atom.slots[i];
@@ -226,19 +281,18 @@ bool CompiledQuery::TryBindTuple(const CompiledAtom& atom, const Tuple& tuple,
       continue;
     }
     size_t var = static_cast<size_t>(slot.var);
-    if (bound[var]) {
-      if (!(binding[var] == v)) return false;
+    if (scratch_.bound[var] != 0) {
+      if (!(scratch_.binding[var] == v)) return false;
     } else {
-      binding[var] = v;
-      bound[var] = true;
+      scratch_.binding[var] = v;
+      scratch_.bound[var] = 1;
       newly_bound.push_back(slot.var);
     }
   }
   return true;
 }
 
-bool CompiledQuery::ComparisonsHold(const std::vector<Value>& binding,
-                                    const std::vector<bool>& bound) const {
+bool CompiledQuery::ComparisonsHold() const {
   for (const CompiledComparison& c : comparisons_) {
     auto resolve = [&](const Slot& slot, Value& out_value) {
       if (!slot.is_var) {
@@ -246,8 +300,8 @@ bool CompiledQuery::ComparisonsHold(const std::vector<Value>& binding,
         return true;
       }
       size_t var = static_cast<size_t>(slot.var);
-      if (!bound[var]) return false;  // not yet decidable
-      out_value = binding[var];
+      if (scratch_.bound[var] == 0) return false;  // not yet decidable
+      out_value = scratch_.binding[var];
       return true;
     };
     Value lhs;
@@ -258,63 +312,75 @@ bool CompiledQuery::ComparisonsHold(const std::vector<Value>& binding,
   return true;
 }
 
-void CompiledQuery::Join(const Database& db, const std::vector<int>& order,
-                         size_t depth, int forced_first,
+void CompiledQuery::Join(const std::vector<int>& order, size_t depth,
+                         int forced_first,
                          const std::vector<Tuple>* forced_rows,
-                         std::vector<Value>& binding,
-                         std::vector<bool>& bound,
                          std::vector<Tuple>& out) const {
   if (depth == order.size()) {
-    std::vector<Value> frontier;
+    std::vector<Value>& frontier = scratch_.frontier;
+    frontier.clear();
     frontier.reserve(output_ids_.size());
     for (int id : output_ids_) {
-      assert(bound[static_cast<size_t>(id)]);
-      frontier.push_back(binding[static_cast<size_t>(id)]);
+      assert(scratch_.bound[static_cast<size_t>(id)] != 0);
+      frontier.push_back(scratch_.binding[static_cast<size_t>(id)]);
     }
-    out.emplace_back(std::move(frontier));
+    // Inline dedup: the projection goes out exactly once, checked at the
+    // leaf instead of a second materialize-and-filter pass.
+    auto [it, inserted] = scratch_.seen.emplace(frontier);
+    if (inserted) out.push_back(*it);
     return;
   }
 
   int atom_index = order[depth];
   const CompiledAtom& atom = atoms_[static_cast<size_t>(atom_index)];
 
-  // Candidate rows: the forced delta batch, an index probe on the first
-  // already-bound column, or a full scan.
-  const Relation* rel = db.Find(atom.predicate);
   auto consider = [&](const Tuple& tuple) {
-    std::vector<int> newly_bound;
-    if (TryBindTuple(atom, tuple, binding, bound, newly_bound) &&
-        ComparisonsHold(binding, bound)) {
-      Join(db, order, depth + 1, forced_first, forced_rows, binding, bound,
-           out);
+    std::vector<int>& newly_bound =
+        scratch_.newly_bound[static_cast<size_t>(depth)];
+    newly_bound.clear();
+    if (TryBindTuple(atom, tuple, newly_bound) && ComparisonsHold()) {
+      Join(order, depth + 1, forced_first, forced_rows, out);
     }
-    for (int var : newly_bound) bound[static_cast<size_t>(var)] = false;
+    for (int var : newly_bound) {
+      scratch_.bound[static_cast<size_t>(var)] = 0;
+    }
   };
 
+  // Candidate rows: the forced delta batch, an index probe on every
+  // already-bound column (composite index when several are bound), or a
+  // full scan.
   if (atom_index == forced_first) {
     for (const Tuple& t : *forced_rows) consider(t);
     return;
   }
+  const Relation* rel = scratch_.atom_rels[static_cast<size_t>(atom_index)];
   if (rel == nullptr) return;  // relation absent -> no matches
 
-  int probe_column = -1;
-  Value probe_key;
+  std::vector<int>& probe_columns =
+      scratch_.probe_columns[static_cast<size_t>(depth)];
+  std::vector<Value>& probe_keys =
+      scratch_.probe_keys[static_cast<size_t>(depth)];
+  probe_columns.clear();
+  probe_keys.clear();
   for (size_t i = 0; i < atom.slots.size(); ++i) {
     const Slot& slot = atom.slots[i];
     if (!slot.is_var) {
-      probe_column = static_cast<int>(i);
-      probe_key = slot.constant;
-      break;
-    }
-    if (bound[static_cast<size_t>(slot.var)]) {
-      probe_column = static_cast<int>(i);
-      probe_key = binding[static_cast<size_t>(slot.var)];
-      break;
+      probe_columns.push_back(static_cast<int>(i));
+      probe_keys.push_back(slot.constant);
+    } else if (scratch_.bound[static_cast<size_t>(slot.var)] != 0) {
+      probe_columns.push_back(static_cast<int>(i));
+      probe_keys.push_back(scratch_.binding[static_cast<size_t>(slot.var)]);
     }
   }
 
-  if (probe_column >= 0) {
-    for (const Tuple* t : rel->Probe(probe_column, probe_key)) consider(*t);
+  if (probe_columns.size() == 1) {
+    for (uint32_t row : rel->Probe(probe_columns[0], probe_keys[0])) {
+      consider(rel->rows()[row]);
+    }
+  } else if (probe_columns.size() > 1) {
+    for (uint32_t row : rel->ProbeComposite(probe_columns, probe_keys)) {
+      consider(rel->rows()[row]);
+    }
   } else {
     for (const Tuple& t : rel->rows()) consider(t);
   }

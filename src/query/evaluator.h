@@ -16,12 +16,29 @@
 // Results are *frontier tuples*: projections of the body bindings onto an
 // explicit list of output variables (for plain queries, the head's
 // distinguished variables; for GLAV rules, the head variables shared with
-// the body). Dedup is applied to the projection.
+// the body). Dedup happens inline at the join leaves against a hash set, so
+// duplicate projections are dropped as they are produced — including across
+// the per-occurrence passes of EvaluateDelta — and never materialized.
+//
+// Hot-path machinery (all per-instance, reused across calls):
+//   * plan cache    — the greedy subgoal order depends only on the forced
+//     atom and the log2 size buckets of the body relations, so computed
+//     orders are memoized on that key and reused while sizes stay in the
+//     same buckets;
+//   * probe slots   — each join level probes on *all* bound/constant
+//     columns at once: one bound column uses the single-column index,
+//     several use a composite index (see Relation::ProbeComposite);
+//   * scratch state — bindings, per-depth probe buffers and the dedup set
+//     live in a mutable scratch reused across Run calls. A CompiledQuery is
+//     therefore NOT safe for concurrent evaluation; this matches the
+//     network contract that a peer handles one event at a time.
 
 #ifndef CODB_QUERY_EVALUATOR_H_
 #define CODB_QUERY_EVALUATOR_H_
 
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "query/ast.h"
@@ -76,32 +93,63 @@ class CompiledQuery {
     Slot rhs;
   };
 
-  // Greedy subgoal ordering shared by Run and ExplainPlan.
-  std::vector<int> ComputeOrder(const Database& db, int forced_first) const;
+  // Reusable evaluation state; see the header comment on concurrency.
+  struct Scratch {
+    std::vector<Value> binding;
+    std::vector<char> bound;  // char, not bool: avoids bitset proxies
+    std::unordered_set<Tuple, TupleHash> seen;
+    std::vector<Value> frontier;
+    // Per-join-depth buffers so recursion levels do not share them.
+    std::vector<std::vector<int>> probe_columns;
+    std::vector<std::vector<Value>> probe_keys;
+    std::vector<std::vector<int>> newly_bound;
+    std::vector<int> fallback_order;
+    // Body atom -> relation, resolved once per Run; Join levels run once
+    // per candidate binding of their parent and must not repeat the
+    // name lookup.
+    std::vector<const Relation*> atom_rels;
+  };
+
+  // Greedy subgoal ordering shared by Run and ExplainPlan. Reads relation
+  // sizes through scratch_.atom_rels (see ResolveAtoms).
+  std::vector<int> ComputeOrder(int forced_first) const;
+
+  // Resolves every body atom's relation into scratch_.atom_rels.
+  void ResolveAtoms(const Database& db) const;
+
+  // Empties scratch_.seen for a new evaluation, replacing the table when a
+  // past large run left it with far more buckets than elements.
+  void ResetSeen() const;
+
+  // Memoized ComputeOrder: reuses a cached order while every body relation
+  // stays within the same log2 size bucket. Falls back to a fresh
+  // computation for bodies too large to key compactly.
+  const std::vector<int>& CachedOrder(int forced_first) const;
 
   // Join driver. `forced_first`: index into atoms_ evaluated first against
   // `forced_rows` instead of the database (delta mode); -1 for none.
+  // Frontier tuples are appended to `out` after passing scratch_.seen.
   void Run(const Database& db, int forced_first,
            const std::vector<Tuple>* forced_rows,
            std::vector<Tuple>& out) const;
 
-  void Join(const Database& db, const std::vector<int>& order, size_t depth,
-            int forced_first, const std::vector<Tuple>* forced_rows,
-            std::vector<Value>& binding, std::vector<bool>& bound,
+  void Join(const std::vector<int>& order, size_t depth, int forced_first,
+            const std::vector<Tuple>* forced_rows,
             std::vector<Tuple>& out) const;
 
   bool TryBindTuple(const CompiledAtom& atom, const Tuple& tuple,
-                    std::vector<Value>& binding, std::vector<bool>& bound,
                     std::vector<int>& newly_bound) const;
 
-  bool ComparisonsHold(const std::vector<Value>& binding,
-                       const std::vector<bool>& bound) const;
+  bool ComparisonsHold() const;
 
   std::vector<CompiledAtom> atoms_;
   std::vector<CompiledComparison> comparisons_;
   std::vector<std::string> var_names_;      // dense id -> name
   std::vector<std::string> output_vars_;    // frontier layout
   std::vector<int> output_ids_;             // frontier var ids
+
+  mutable Scratch scratch_;
+  mutable std::unordered_map<uint64_t, std::vector<int>> plan_cache_;
 };
 
 }  // namespace codb

@@ -16,7 +16,7 @@ struct Fact {
 
 int CountNulls(const Tuple& t) {
   int n = 0;
-  for (const Value& v : t.values()) {
+  for (const Value& v : t) {
     if (v.is_null()) ++n;
   }
   return n;

@@ -98,6 +98,15 @@ std::vector<Tuple> CoordinationRule::EvaluateFrontierDelta(
 
 std::vector<HeadTuple> CoordinationRule::InstantiateHead(
     const Tuple& frontier, NullMinter& minter) const {
+  std::vector<HeadTuple> out;
+  out.reserve(compiled_ ? compiled_->head_atoms.size() : 0);
+  InstantiateHeadInto(frontier, minter, out);
+  return out;
+}
+
+void CoordinationRule::InstantiateHeadInto(
+    const Tuple& frontier, NullMinter& minter,
+    std::vector<HeadTuple>& out) const {
   assert(compiled_ && "Compile() must succeed before evaluation");
   // One fresh null per existential variable, shared by all head atoms of
   // this firing.
@@ -107,27 +116,33 @@ std::vector<HeadTuple> CoordinationRule::InstantiateHead(
     nulls.push_back(minter.Mint());
   }
 
-  std::vector<HeadTuple> out;
-  out.reserve(compiled_->head_atoms.size());
-  for (const CompiledHeadAtom& atom : compiled_->head_atoms) {
-    std::vector<Value> values;
-    values.reserve(atom.slots.size());
-    for (const HeadSlot& slot : atom.slots) {
-      switch (slot.kind) {
-        case HeadSlot::Kind::kFrontier:
-          values.push_back(frontier.at(slot.index));
-          break;
-        case HeadSlot::Kind::kExistential:
-          values.push_back(nulls[static_cast<size_t>(slot.index)]);
-          break;
-        case HeadSlot::Kind::kConstant:
-          values.push_back(slot.constant);
-          break;
-      }
+  auto resolve = [&](const HeadSlot& slot) -> Value {
+    switch (slot.kind) {
+      case HeadSlot::Kind::kFrontier:
+        return frontier.at(slot.index);
+      case HeadSlot::Kind::kExistential:
+        return nulls[static_cast<size_t>(slot.index)];
+      case HeadSlot::Kind::kConstant:
+        break;
     }
-    out.push_back({atom.relation, Tuple(std::move(values))});
+    return slot.constant;
+  };
+  for (const CompiledHeadAtom& atom : compiled_->head_atoms) {
+    size_t width = atom.slots.size();
+    if (width <= Tuple::kInlineCapacity) {
+      // Common case: assemble on the stack, no heap traffic per firing.
+      Value stack[Tuple::kInlineCapacity];
+      for (size_t i = 0; i < width; ++i) stack[i] = resolve(atom.slots[i]);
+      out.push_back({atom.relation, Tuple(stack, width)});
+    } else {
+      std::vector<Value> values;
+      values.reserve(width);
+      for (const HeadSlot& slot : atom.slots) {
+        values.push_back(resolve(slot));
+      }
+      out.push_back({atom.relation, Tuple(values)});
+    }
   }
-  return out;
 }
 
 std::string CoordinationRule::ToString() const {

@@ -98,6 +98,11 @@ class CoordinationRule {
   std::vector<HeadTuple> InstantiateHead(const Tuple& frontier,
                                          NullMinter& minter) const;
 
+  // Same, appended to `out`: the per-firing hot path, so a batch of
+  // firings shares one output vector instead of allocating one each.
+  void InstantiateHeadInto(const Tuple& frontier, NullMinter& minter,
+                           std::vector<HeadTuple>& out) const;
+
   // "rule r1: n2 <- n1 : head :- body." (importer <- exporter).
   std::string ToString() const;
 

@@ -1,0 +1,41 @@
+#include "relation/intern.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace codb {
+
+StringInterner& StringInterner::Global() {
+  static StringInterner* interner = new StringInterner();
+  return *interner;
+}
+
+uint32_t StringInterner::Intern(std::string_view s) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(s);  // re-check: another thread may have raced us here
+  if (it != ids_.end()) return it->second;
+  uint32_t symbol = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(std::string_view(strings_.back()), symbol);
+  return symbol;
+}
+
+const std::string& StringInterner::Lookup(uint32_t symbol) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  assert(symbol < strings_.size() && "unknown interned symbol");
+  // Safe to return after unlocking: entries are append-only and a deque
+  // never relocates existing elements.
+  return strings_[symbol];
+}
+
+size_t StringInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return strings_.size();
+}
+
+}  // namespace codb

@@ -1,0 +1,54 @@
+// Process-wide string interning for Value payloads.
+//
+// Every distinct string a Value ever holds is stored exactly once in a
+// global dictionary and identified by a dense 32-bit symbol id. Values then
+// compare and hash strings as integer ids, which turns the join evaluator's
+// hot equality path into a single integer compare and shrinks Value to a
+// trivially-copyable tag + 8-byte payload.
+//
+// The dictionary is append-only: symbols are never freed, and the backing
+// std::deque never relocates a stored string, so `Lookup` can hand out
+// `const std::string&` that stays valid for the process lifetime. The
+// interner is shared by every simulated peer in one process, so unlike the
+// per-node lazy caches it must be thread-safe under ThreadedNetwork: a
+// shared_mutex makes lookups concurrent and interning exclusive.
+
+#ifndef CODB_RELATION_INTERN_H_
+#define CODB_RELATION_INTERN_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace codb {
+
+class StringInterner {
+ public:
+  // The process-wide dictionary used by Value. Leaked on purpose so that
+  // Values in static storage can still resolve their symbols at shutdown.
+  static StringInterner& Global();
+
+  // Returns the symbol for `s`, adding it to the dictionary if new.
+  uint32_t Intern(std::string_view s);
+
+  // The string behind a symbol previously returned by Intern. The reference
+  // is stable: entries are never moved or removed.
+  const std::string& Lookup(uint32_t symbol) const;
+
+  size_t size() const;
+
+ private:
+  StringInterner() = default;
+
+  mutable std::shared_mutex mu_;
+  // Views in ids_ point into strings_; deque growth never invalidates them.
+  std::unordered_map<std::string_view, uint32_t> ids_;
+  std::deque<std::string> strings_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_RELATION_INTERN_H_

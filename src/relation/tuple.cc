@@ -5,7 +5,7 @@
 namespace codb {
 
 bool Tuple::HasNull() const {
-  for (const Value& v : values_) {
+  for (const Value& v : *this) {
     if (v.is_null()) return true;
   }
   return false;
@@ -14,8 +14,8 @@ bool Tuple::HasNull() const {
 Tuple Tuple::CanonicalizeNulls() const {
   std::map<NullLabel, uint64_t> renaming;
   std::vector<Value> out;
-  out.reserve(values_.size());
-  for (const Value& v : values_) {
+  out.reserve(size_);
+  for (const Value& v : *this) {
     if (v.is_null()) {
       auto [it, inserted] =
           renaming.emplace(v.AsNull(), renaming.size());
@@ -24,22 +24,15 @@ Tuple Tuple::CanonicalizeNulls() const {
       out.push_back(v);
     }
   }
-  return Tuple(std::move(out));
-}
-
-size_t Tuple::Hash() const {
-  size_t h = 0x9e3779b97f4a7c15ULL;
-  for (const Value& v : values_) {
-    h = h * 31 + v.Hash();
-  }
-  return h;
+  return Tuple(out);
 }
 
 std::string Tuple::ToString() const {
   std::string out = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  const Value* values = data();
+  for (uint32_t i = 0; i < size_; ++i) {
     if (i > 0) out += ", ";
-    out += values_[i].ToString();
+    out += values[i].ToString();
   }
   out += ")";
   return out;
@@ -47,7 +40,7 @@ std::string Tuple::ToString() const {
 
 size_t Tuple::WireSize() const {
   size_t total = 2;  // arity prefix
-  for (const Value& v : values_) total += v.WireSize();
+  for (const Value& v : *this) total += v.WireSize();
   return total;
 }
 

@@ -1,8 +1,15 @@
 // Fixed-arity tuples of values.
+//
+// Small-buffer representation: arities up to kInlineCapacity (the common
+// case — coordination-rule heads and bodies are narrow) live inline, so
+// copying a tuple between the wire buffer, row storage, dedup sets, and
+// provenance never allocates. Wider tuples fall back to a heap array.
 
 #ifndef CODB_RELATION_TUPLE_H_
 #define CODB_RELATION_TUPLE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -13,13 +20,52 @@ namespace codb {
 
 class Tuple {
  public:
-  Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
-  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  static constexpr uint32_t kInlineCapacity = 4;
 
-  int arity() const { return static_cast<int>(values_.size()); }
-  const Value& at(int i) const { return values_[static_cast<size_t>(i)]; }
-  const std::vector<Value>& values() const { return values_; }
+  Tuple() = default;
+  Tuple(const Value* values, size_t count) { Assign(values, count); }
+  explicit Tuple(const std::vector<Value>& values)
+      : Tuple(values.data(), values.size()) {}
+  Tuple(std::initializer_list<Value> values)
+      : Tuple(values.begin(), values.size()) {}
+
+  Tuple(const Tuple& other) { Assign(other.data(), other.size_); }
+  Tuple(Tuple&& other) noexcept
+      : heap_(other.heap_), size_(other.size_) {
+    if (heap_ == nullptr) {
+      std::copy(other.inline_, other.inline_ + size_, inline_);
+    }
+    other.heap_ = nullptr;
+    other.size_ = 0;
+  }
+  Tuple& operator=(const Tuple& other) {
+    if (this != &other) {
+      delete[] heap_;
+      heap_ = nullptr;
+      Assign(other.data(), other.size_);
+    }
+    return *this;
+  }
+  Tuple& operator=(Tuple&& other) noexcept {
+    if (this != &other) {
+      delete[] heap_;
+      heap_ = other.heap_;
+      size_ = other.size_;
+      if (heap_ == nullptr) {
+        std::copy(other.inline_, other.inline_ + size_, inline_);
+      }
+      other.heap_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~Tuple() { delete[] heap_; }
+
+  int arity() const { return static_cast<int>(size_); }
+  const Value& at(int i) const { return data()[i]; }
+
+  const Value* begin() const { return data(); }
+  const Value* end() const { return data() + size_; }
 
   // True if any component is a marked null.
   bool HasNull() const;
@@ -29,7 +75,15 @@ class Tuple {
   // elsewhere are isomorphic iff their canonical forms are equal.
   Tuple CanonicalizeNulls() const;
 
-  size_t Hash() const;
+  // Inline: keys every dedup set and index bucket on the update hot path.
+  size_t Hash() const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    const Value* values = data();
+    for (uint32_t i = 0; i < size_; ++i) {
+      h = h * 31 + values[i].Hash();
+    }
+    return h;
+  }
 
   // "(1, 'a', #3:7)".
   std::string ToString() const;
@@ -38,14 +92,31 @@ class Tuple {
   size_t WireSize() const;
 
   friend bool operator==(const Tuple& a, const Tuple& b) {
-    return a.values_ == b.values_;
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
   }
   friend bool operator<(const Tuple& a, const Tuple& b) {
-    return a.values_ < b.values_;
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
   }
 
  private:
-  std::vector<Value> values_;
+  const Value* data() const {
+    return heap_ == nullptr ? inline_ : heap_;
+  }
+  void Assign(const Value* values, size_t count) {
+    size_ = static_cast<uint32_t>(count);
+    if (count <= kInlineCapacity) {
+      std::copy(values, values + count, inline_);
+    } else {
+      heap_ = new Value[count];
+      std::copy(values, values + count, heap_);
+    }
+  }
+
+  Value* heap_ = nullptr;  // null when the tuple fits inline
+  uint32_t size_ = 0;
+  Value inline_[kInlineCapacity];
 };
 
 struct TupleHash {

@@ -1,23 +1,10 @@
 #include "relation/value.h"
 
+#include <cassert>
+
 #include "util/string_util.h"
 
 namespace codb {
-
-namespace {
-
-// 64-bit mix for combining hashes (from MurmurHash3 finalizer).
-size_t MixHash(size_t h) {
-  uint64_t x = h;
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return static_cast<size_t>(x);
-}
-
-}  // namespace
 
 const char* ValueTypeName(ValueType type) {
   switch (type) {
@@ -33,31 +20,28 @@ const char* ValueTypeName(ValueType type) {
   return "unknown";
 }
 
-size_t Value::Hash() const {
-  size_t type_salt = static_cast<size_t>(type()) * 0x9e3779b97f4a7c15ULL;
-  switch (type()) {
-    case ValueType::kInt:
-      return MixHash(type_salt ^ static_cast<size_t>(AsInt()));
-    case ValueType::kDouble: {
-      double d = AsDouble();
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(d));
-      __builtin_memcpy(&bits, &d, sizeof(bits));
-      return MixHash(type_salt ^ static_cast<size_t>(bits));
-    }
-    case ValueType::kString:
-      return MixHash(type_salt ^ std::hash<std::string>()(AsString()));
-    case ValueType::kNull: {
-      const NullLabel& label = AsNull();
-      return MixHash(type_salt ^ (static_cast<size_t>(label.peer) << 48) ^
-                     static_cast<size_t>(label.counter));
-    }
+bool operator<(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) {
+    return static_cast<int>(a.type_) < static_cast<int>(b.type_);
   }
-  return 0;
+  switch (a.type_) {
+    case ValueType::kInt:
+      return a.payload_.i < b.payload_.i;
+    case ValueType::kDouble:
+      return a.payload_.d < b.payload_.d;
+    case ValueType::kString:
+      // Equal symbols are the common case in sorted frontier batches; skip
+      // the dictionary round-trip for them.
+      if (a.payload_.symbol == b.payload_.symbol) return false;
+      return a.AsString() < b.AsString();
+    case ValueType::kNull:
+      return a.payload_.null < b.payload_.null;
+  }
+  return false;
 }
 
 std::string Value::ToString() const {
-  switch (type()) {
+  switch (type_) {
     case ValueType::kInt:
       return StrFormat("%lld", static_cast<long long>(AsInt()));
     case ValueType::kDouble:
@@ -74,7 +58,7 @@ std::string Value::ToString() const {
 }
 
 size_t Value::WireSize() const {
-  switch (type()) {
+  switch (type_) {
     case ValueType::kInt:
       return 1 + 8;
     case ValueType::kDouble:

@@ -7,14 +7,24 @@
 // propagated further, and two marked nulls are equal iff their labels are
 // equal (identity of the witness, per the paper's "fresh new marked null
 // values" in section 3).
+//
+// Representation: a type tag plus an 8-byte trivially-copyable payload.
+// Strings are held as interned symbol ids (see relation/intern.h), so
+// copying a Value never allocates and string equality/hashing are integer
+// operations. The interned representation is in-memory only: wire and WAL
+// encoders resolve symbols back to their characters at the boundary, so
+// on-disk and on-wire bytes are unchanged.
 
 #ifndef CODB_RELATION_VALUE_H_
 #define CODB_RELATION_VALUE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <variant>
+#include <string_view>
+
+#include "relation/intern.h"
 
 namespace codb {
 
@@ -42,62 +52,146 @@ struct NullLabel {
 class Value {
  public:
   // Default: int 0 (keeps Value regular; callers always overwrite).
-  Value() : rep_(int64_t{0}) {}
+  Value() : type_(ValueType::kInt) { payload_.i = 0; }
 
-  static Value Int(int64_t v) { return Value(Rep(v)); }
-  static Value Double(double v) { return Value(Rep(v)); }
-  static Value String(std::string v) { return Value(Rep(std::move(v))); }
-  static Value Null(NullLabel label) { return Value(Rep(label)); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.payload_.i = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.payload_.d = v;
+    return out;
+  }
+  static Value String(std::string_view v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.payload_.symbol = StringInterner::Global().Intern(v);
+    return out;
+  }
+  static Value Null(NullLabel label) {
+    Value out;
+    out.type_ = ValueType::kNull;
+    out.payload_.null = label;
+    return out;
+  }
   static Value Null(uint32_t peer, uint64_t counter) {
-    return Value(Rep(NullLabel{peer, counter}));
+    return Null(NullLabel{peer, counter});
   }
 
-  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
-  bool is_null() const { return type() == ValueType::kNull; }
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
 
-  // Accessors require the matching type (checked by assert in debug builds).
-  int64_t AsInt() const { return std::get<int64_t>(rep_); }
-  double AsDouble() const { return std::get<double>(rep_); }
-  const std::string& AsString() const { return std::get<std::string>(rep_); }
-  const NullLabel& AsNull() const { return std::get<NullLabel>(rep_); }
+  // Accessors require the matching type (checked by assert in debug
+  // builds). Defined inline: they sit on the join/index hot paths and are
+  // called millions of times per update.
+  int64_t AsInt() const {
+    assert(type_ == ValueType::kInt);
+    return payload_.i;
+  }
+  double AsDouble() const {
+    assert(type_ == ValueType::kDouble);
+    return payload_.d;
+  }
+  const std::string& AsString() const {
+    assert(type_ == ValueType::kString);
+    return StringInterner::Global().Lookup(payload_.symbol);
+  }
+  const NullLabel& AsNull() const {
+    assert(type_ == ValueType::kNull);
+    return payload_.null;
+  }
+
+  // The interned symbol of a string value (its process-local identity).
+  uint32_t symbol() const {
+    assert(type_ == ValueType::kString);
+    return payload_.symbol;
+  }
 
   // Numeric view: ints and doubles compare by numeric value in comparison
   // predicates. Requires a numeric type.
   double AsNumeric() const {
-    return type() == ValueType::kInt ? static_cast<double>(AsInt())
-                                     : AsDouble();
+    return type_ == ValueType::kInt ? static_cast<double>(AsInt())
+                                    : AsDouble();
   }
   bool IsNumeric() const {
-    return type() == ValueType::kInt || type() == ValueType::kDouble;
+    return type_ == ValueType::kInt || type_ == ValueType::kDouble;
   }
 
-  // Exact equality: same type and same payload (nulls by label). Int and
-  // double never compare equal even if numerically equal — rule bodies are
-  // typed, so cross-type joins do not arise.
+  // Exact equality: same type and same payload (strings by symbol, nulls by
+  // label). Int and double never compare equal even if numerically equal —
+  // rule bodies are typed, so cross-type joins do not arise.
   friend bool operator==(const Value& a, const Value& b) {
-    return a.rep_ == b.rep_;
+    if (a.type_ != b.type_) return false;
+    switch (a.type_) {
+      case ValueType::kInt:
+        return a.payload_.i == b.payload_.i;
+      case ValueType::kDouble:
+        return a.payload_.d == b.payload_.d;
+      case ValueType::kString:
+        return a.payload_.symbol == b.payload_.symbol;
+      case ValueType::kNull:
+        return a.payload_.null == b.payload_.null;
+    }
+    return false;
   }
 
-  // Total order (type index first, then payload) so values can key ordered
-  // containers deterministically.
-  friend bool operator<(const Value& a, const Value& b) {
-    return a.rep_ < b.rep_;
-  }
+  // Total order (type index first, then payload; strings lexicographically)
+  // so values can key ordered containers deterministically.
+  friend bool operator<(const Value& a, const Value& b);
 
-  size_t Hash() const;
+  size_t Hash() const {
+    size_t type_salt = static_cast<size_t>(type_) * 0x9e3779b97f4a7c15ULL;
+    switch (type_) {
+      case ValueType::kInt:
+        return MixBits(type_salt ^ static_cast<size_t>(payload_.i));
+      case ValueType::kDouble: {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(payload_.d));
+        __builtin_memcpy(&bits, &payload_.d, sizeof(bits));
+        return MixBits(type_salt ^ static_cast<size_t>(bits));
+      }
+      case ValueType::kString:
+        // Symbols identify strings process-wide, so hashing the id is
+        // consistent with operator== and avoids touching the characters.
+        return MixBits(type_salt ^ static_cast<size_t>(payload_.symbol));
+      case ValueType::kNull:
+        return MixBits(type_salt ^
+                       (static_cast<size_t>(payload_.null.peer) << 48) ^
+                       static_cast<size_t>(payload_.null.counter));
+    }
+    return 0;
+  }
 
   // "42", "3.5", "'bob'", "#7:12" (marked null minted by peer 7).
   std::string ToString() const;
 
-  // Serialized size in bytes on the wire (see net/wire.h); used for the
-  // data-volume statistics even before serialization happens.
+  // Serialized size in bytes on the wire (see relation/wire.h); used for
+  // the data-volume statistics even before serialization happens.
   size_t WireSize() const;
 
  private:
-  using Rep = std::variant<int64_t, double, std::string, NullLabel>;
-  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  // 64-bit finalizer mix (from MurmurHash3) for hash quality.
+  static size_t MixBits(size_t h) {
+    uint64_t x = h;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
 
-  Rep rep_;
+  ValueType type_;
+  union Payload {
+    Payload() : i(0) {}
+    int64_t i;
+    double d;
+    uint32_t symbol;
+    NullLabel null;
+  } payload_;
 };
 
 struct ValueHash {

@@ -12,15 +12,17 @@ void WireWriter::WriteU16(uint16_t v) {
 }
 
 void WireWriter::WriteU32(uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
+  // Staged through a local array so the vector grows (and bounds-checks)
+  // once per value instead of once per byte.
+  uint8_t bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<uint8_t>(v >> (8 * i));
+  buffer_.insert(buffer_.end(), bytes, bytes + 4);
 }
 
 void WireWriter::WriteU64(uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<uint8_t>(v >> (8 * i));
+  buffer_.insert(buffer_.end(), bytes, bytes + 8);
 }
 
 void WireWriter::WriteI64(int64_t v) {
@@ -59,7 +61,7 @@ void WireWriter::WriteValue(const Value& v) {
 
 void WireWriter::WriteTuple(const Tuple& t) {
   WriteU16(static_cast<uint16_t>(t.arity()));
-  for (const Value& v : t.values()) WriteValue(v);
+  for (const Value& v : t) WriteValue(v);
 }
 
 void WireWriter::WriteTuples(const std::vector<Tuple>& tuples) {
@@ -77,48 +79,30 @@ void WireWriter::WriteU32List(const std::vector<uint32_t>& values) {
   for (uint32_t v : values) WriteU32(v);
 }
 
-Status WireReader::Need(size_t n) {
-  if (size_ - pos_ < n) {
-    return Status::ParseError("wire: truncated input (need " +
-                              std::to_string(n) + " bytes, have " +
-                              std::to_string(size_ - pos_) + ")");
-  }
-  return Status::Ok();
+Status WireReader::Truncated(size_t n) const {
+  return Status::ParseError("wire: truncated input (need " +
+                            std::to_string(n) + " bytes, have " +
+                            std::to_string(size_ - pos_) + ")");
 }
 
 Result<uint8_t> WireReader::ReadU8() {
   CODB_RETURN_IF_ERROR(Need(1));
-  return data_[pos_++];
+  return TakeU8();
 }
 
 Result<uint16_t> WireReader::ReadU16() {
   CODB_RETURN_IF_ERROR(Need(2));
-  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
-               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
-  pos_ += 2;
-  return v;
+  return TakeU16();
 }
 
 Result<uint32_t> WireReader::ReadU32() {
   CODB_RETURN_IF_ERROR(Need(4));
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
-         << (8 * i);
-  }
-  pos_ += 4;
-  return v;
+  return TakeU32();
 }
 
 Result<uint64_t> WireReader::ReadU64() {
   CODB_RETURN_IF_ERROR(Need(8));
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
-         << (8 * i);
-  }
-  pos_ += 8;
-  return v;
+  return TakeU64();
 }
 
 Result<int64_t> WireReader::ReadI64() {
@@ -134,7 +118,8 @@ Result<double> WireReader::ReadDouble() {
 }
 
 Result<std::string> WireReader::ReadString() {
-  CODB_ASSIGN_OR_RETURN(uint32_t length, ReadU32());
+  CODB_RETURN_IF_ERROR(Need(4));
+  uint32_t length = TakeU32();
   CODB_RETURN_IF_ERROR(Need(length));
   std::string s(reinterpret_cast<const char*>(data_ + pos_), length);
   pos_ += length;
@@ -142,23 +127,36 @@ Result<std::string> WireReader::ReadString() {
 }
 
 Result<Value> WireReader::ReadValue() {
-  CODB_ASSIGN_OR_RETURN(uint8_t tag, ReadU8());
+  // One bounds check per payload instead of one per nested fixed-width
+  // read; this is the deserialization hot loop for update data messages.
+  CODB_RETURN_IF_ERROR(Need(1));
+  uint8_t tag = TakeU8();
   switch (static_cast<ValueType>(tag)) {
     case ValueType::kInt: {
-      CODB_ASSIGN_OR_RETURN(int64_t v, ReadI64());
-      return Value::Int(v);
+      CODB_RETURN_IF_ERROR(Need(8));
+      return Value::Int(static_cast<int64_t>(TakeU64()));
     }
     case ValueType::kDouble: {
-      CODB_ASSIGN_OR_RETURN(double v, ReadDouble());
-      return Value::Double(v);
+      CODB_RETURN_IF_ERROR(Need(8));
+      uint64_t bits = TakeU64();
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Double(d);
     }
     case ValueType::kString: {
-      CODB_ASSIGN_OR_RETURN(std::string v, ReadString());
-      return Value::String(std::move(v));
+      // Interned straight from the wire buffer — no std::string detour.
+      CODB_RETURN_IF_ERROR(Need(4));
+      uint32_t length = TakeU32();
+      CODB_RETURN_IF_ERROR(Need(length));
+      std::string_view view(reinterpret_cast<const char*>(data_ + pos_),
+                            length);
+      pos_ += length;
+      return Value::String(view);
     }
     case ValueType::kNull: {
-      CODB_ASSIGN_OR_RETURN(uint32_t peer, ReadU32());
-      CODB_ASSIGN_OR_RETURN(uint64_t counter, ReadU64());
+      CODB_RETURN_IF_ERROR(Need(12));
+      uint32_t peer = TakeU32();
+      uint64_t counter = TakeU64();
       return Value::Null(peer, counter);
     }
   }
@@ -166,14 +164,24 @@ Result<Value> WireReader::ReadValue() {
 }
 
 Result<Tuple> WireReader::ReadTuple() {
-  CODB_ASSIGN_OR_RETURN(uint16_t arity, ReadU16());
+  CODB_RETURN_IF_ERROR(Need(2));
+  uint16_t arity = TakeU16();
+  if (arity <= Tuple::kInlineCapacity) {
+    // Common case: decode straight into a stack buffer so the tuple is
+    // built without touching the heap.
+    Value values[Tuple::kInlineCapacity];
+    for (uint16_t i = 0; i < arity; ++i) {
+      CODB_ASSIGN_OR_RETURN(values[i], ReadValue());
+    }
+    return Tuple(values, arity);
+  }
   std::vector<Value> values;
   values.reserve(arity);
   for (uint16_t i = 0; i < arity; ++i) {
     CODB_ASSIGN_OR_RETURN(Value v, ReadValue());
     values.push_back(std::move(v));
   }
-  return Tuple(std::move(values));
+  return Tuple(values);
 }
 
 Result<std::vector<Tuple>> WireReader::ReadTuples() {

@@ -62,7 +62,43 @@ class WireReader {
   size_t remaining() const { return size_ - pos_; }
 
  private:
-  Status Need(size_t n);
+  // Bounds check, inline so the per-field happy path is a compare; the
+  // error message is built out of line.
+  Status Need(size_t n) {
+    if (size_ - pos_ >= n) return Status::Ok();
+    return Truncated(n);
+  }
+  Status Truncated(size_t n) const;
+
+  // Unchecked little-endian loads for hot paths that have already passed a
+  // Need() covering the bytes. The shift form is endian-independent; the
+  // compiler fuses it into a single load on little-endian targets.
+  uint8_t TakeU8() { return data_[pos_++]; }
+  uint16_t TakeU16() {
+    uint16_t v = static_cast<uint16_t>(
+        static_cast<uint16_t>(data_[pos_]) |
+        static_cast<uint16_t>(data_[pos_ + 1]) << 8);
+    pos_ += 2;
+    return v;
+  }
+  uint32_t TakeU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  uint64_t TakeU64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
 
   const uint8_t* data_;
   size_t size_;

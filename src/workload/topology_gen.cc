@@ -22,6 +22,8 @@ std::string RuleQueryText(RuleStyle style, int filter_threshold) {
              std::to_string(filter_threshold) + ".";
     case RuleStyle::kMultiHead:
       return "d(K, Z), e(K, Z) :- d(K, V).";
+    case RuleStyle::kJoinCopy:
+      return "d(K, W), e(K, W) :- d(K, V), e(K, W).";
   }
   return "d(K, V) :- d(K, V).";
 }

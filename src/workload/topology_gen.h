@@ -31,6 +31,11 @@ enum class RuleStyle {
   kFilter,     // d(K,V) :- d(K,V), V < threshold.  comparison predicate
   kMultiHead,  // d(K,Z), e(K,Z) :- d(K,V).        multi-atom GLAV head
                // (one shared witness per firing)
+  kJoinCopy,   // d(K,W), e(K,W) :- d(K,V), e(K,W). join body whose head
+               // writes *both* body relations at the importer, so every
+               // delta batch re-probes a relation that was just inserted
+               // into — the insert→probe fixpoint pattern that stresses
+               // index maintenance.
 };
 
 struct WorkloadOptions {

@@ -35,22 +35,44 @@ Result<std::unique_ptr<Wrapper>> Wrapper::ForMediator(
 
 Result<std::map<std::string, std::vector<Tuple>>> Wrapper::ApplyHeadTuples(
     const std::vector<HeadTuple>& tuples) {
-  // Group by relation so InsertNew batches per relation.
-  std::map<std::string, std::vector<Tuple>> grouped;
+  // A batch touches only a handful of relations but its tuples arrive
+  // interleaved (rule heads fire round-robin), so resolve each relation
+  // name once into a slot and pick the slot per tuple with a short linear
+  // scan — cheaper than a map lookup and a grouping copy per tuple.
+  struct Slot {
+    const std::string* name;
+    Relation* rel;
+    std::vector<char>* provenance;
+    std::vector<Tuple> added;
+  };
+  std::vector<Slot> slots;
   for (const HeadTuple& ht : tuples) {
-    grouped[ht.relation].push_back(ht.tuple);
+    Slot* slot = nullptr;
+    for (Slot& s : slots) {
+      if (*s.name == ht.relation) {
+        slot = &s;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      CODB_ASSIGN_OR_RETURN(Relation * rel, storage_->Get(ht.relation));
+      // Upper bound (the whole batch could target this relation); keeps
+      // the dedup set and built indexes from rehashing mid-burst.
+      rel->Reserve(rel->size() + tuples.size());
+      slots.push_back(Slot{&ht.relation, rel, &imported_[ht.relation], {}});
+      slot = &slots.back();
+    }
+    if (slot->rel->Insert(ht.tuple)) {
+      // The fresh tuple is the last row; flag its position as imported.
+      slot->provenance->resize(slot->rel->size(), 0);
+      slot->provenance->back() = 1;
+      if (journal_ != nullptr) journal_->LogInsert(ht.relation, ht.tuple);
+      slot->added.push_back(ht.tuple);
+    }
   }
   std::map<std::string, std::vector<Tuple>> fresh;
-  for (auto& [relation, batch] : grouped) {
-    CODB_ASSIGN_OR_RETURN(Relation * rel, storage_->Get(relation));
-    std::vector<Tuple> added = rel->InsertNew(batch);
-    if (added.empty()) continue;
-    std::unordered_set<Tuple, TupleHash>& provenance = imported_[relation];
-    for (const Tuple& tuple : added) {
-      provenance.insert(tuple);
-      if (journal_ != nullptr) journal_->LogInsert(relation, tuple);
-    }
-    fresh.emplace(relation, std::move(added));
+  for (Slot& slot : slots) {
+    if (!slot.added.empty()) fresh.emplace(*slot.name, std::move(slot.added));
   }
   return fresh;
 }
@@ -61,9 +83,10 @@ void Wrapper::DropImported() {
     if (relation == nullptr || provenance.empty()) continue;
     std::vector<Tuple> kept;
     kept.reserve(relation->size());
-    for (const Tuple& tuple : relation->rows()) {
-      if (provenance.find(tuple) == provenance.end()) {
-        kept.push_back(tuple);
+    const std::vector<Tuple>& rows = relation->rows();
+    for (size_t row = 0; row < rows.size(); ++row) {
+      if (row >= provenance.size() || provenance[row] == 0) {
+        kept.push_back(rows[row]);
       }
     }
     relation->Clear();
@@ -75,7 +98,7 @@ void Wrapper::DropImported() {
 size_t Wrapper::ImportedCount() const {
   size_t total = 0;
   for (const auto& [relation, provenance] : imported_) {
-    total += provenance.size();
+    for (char flag : provenance) total += flag != 0;
   }
   return total;
 }

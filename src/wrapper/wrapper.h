@@ -87,8 +87,10 @@ class Wrapper {
   std::unique_ptr<Database> transient_;       // owned store for mediators
   Database* storage_ = nullptr;               // ldb_ or transient_.get()
   JournalSink* journal_ = nullptr;            // optional, not owned
-  // Import provenance: which stored tuples arrived over the network.
-  std::map<std::string, std::unordered_set<Tuple, TupleHash>> imported_;
+  // Import provenance: per relation, a flag per row position marking the
+  // tuples that arrived over the network (rows only grow between
+  // DropImported calls, so positions are stable).
+  std::map<std::string, std::vector<char>> imported_;
   DbsRepository dbs_;
 };
 

@@ -54,6 +54,8 @@ const char* StyleName(RuleStyle s) {
       return "Filter";
     case RuleStyle::kMultiHead:
       return "MultiHead";
+    case RuleStyle::kJoinCopy:
+      return "JoinCopy";
   }
   return "?";
 }
@@ -158,7 +160,7 @@ INSTANTIATE_TEST_SUITE_P(
                           Topology::kRandom),
         ::testing::Values(RuleStyle::kCopy, RuleStyle::kProject,
                           RuleStyle::kJoin, RuleStyle::kFilter,
-                          RuleStyle::kMultiHead),
+                          RuleStyle::kMultiHead, RuleStyle::kJoinCopy),
         ::testing::Values(1u, 7u, 42u)),
     [](const ::testing::TestParamInfo<SweepParam>& info) {
       return std::string(TopologyName(std::get<0>(info.param))) +

@@ -58,12 +58,14 @@ TEST(RelationTest, ProbeFindsMatchingRows) {
   }
   const auto& bucket = r.Probe(0, Value::Int(1));
   EXPECT_EQ(bucket.size(), 3u);  // i = 1, 4, 7
-  for (const Tuple* t : bucket) {
-    EXPECT_EQ(t->at(0), Value::Int(1));
+  for (uint32_t row : bucket) {
+    EXPECT_EQ(r.rows()[row].at(0), Value::Int(1));
   }
 }
 
-TEST(RelationTest, ProbeIndexInvalidatedByInsert) {
+TEST(RelationTest, ProbeIndexMaintainedAcrossInserts) {
+  // Inserts after the index is built must show up in later probes without
+  // a rebuild (the index is appended to, never invalidated).
   Relation r(TwoIntSchema("r"));
   r.Insert(Tuple{Value::Int(1), Value::Int(10)});
   EXPECT_EQ(r.Probe(0, Value::Int(1)).size(), 1u);
@@ -72,13 +74,69 @@ TEST(RelationTest, ProbeIndexInvalidatedByInsert) {
   EXPECT_EQ(r.Probe(1, Value::Int(20)).size(), 1u);
 }
 
+TEST(RelationTest, ProbeBucketsSurviveRowStorageGrowth) {
+  // Regression test for the dangling-pointer hazard of tuple-pointer
+  // buckets: hold a bucket reference, then insert enough rows to force the
+  // backing vector to reallocate several times, and dereference the bucket
+  // through stable row positions. Exercised under ASan in CI.
+  Relation r(TwoIntSchema("r"));
+  r.Insert(Tuple{Value::Int(0), Value::Int(-1)});
+  const auto& bucket = r.Probe(0, Value::Int(0));
+  ASSERT_EQ(bucket.size(), 1u);
+  for (int i = 1; i <= 1000; ++i) {
+    r.Insert(Tuple{Value::Int(i % 7), Value::Int(i)});
+  }
+  // The same reference is still valid and now sees every later insert with
+  // key 0 (i = 7, 14, ..., 994).
+  EXPECT_EQ(bucket.size(), 1u + 142u);
+  for (uint32_t row : bucket) {
+    EXPECT_EQ(r.rows()[row].at(0), Value::Int(0));
+  }
+}
+
+TEST(RelationTest, ProbeCompositeMatchesAllColumns) {
+  Relation r(TwoIntSchema("r"));
+  for (int i = 0; i < 12; ++i) {
+    r.Insert(Tuple{Value::Int(i % 2), Value::Int(i)});
+  }
+  const auto& bucket =
+      r.ProbeComposite({0, 1}, {Value::Int(1), Value::Int(5)});
+  ASSERT_EQ(bucket.size(), 1u);  // exactly the row (1, 5)
+  for (uint32_t row : bucket) {
+    EXPECT_EQ(r.rows()[row].at(0), Value::Int(1));
+    EXPECT_EQ(r.rows()[row].at(1), Value::Int(5));
+  }
+  EXPECT_TRUE(
+      r.ProbeComposite({0, 1}, {Value::Int(0), Value::Int(5)}).empty());
+}
+
+TEST(RelationTest, ProbeCompositeMaintainedAcrossInserts) {
+  Relation r(TwoIntSchema("r"));
+  r.Insert(Tuple{Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(
+      r.ProbeComposite({0, 1}, {Value::Int(1), Value::Int(2)}).size(), 1u);
+  // New rows flow into the already-built composite index too.
+  r.Insert(Tuple{Value::Int(1), Value::Int(3)});
+  r.Insert(Tuple{Value::Int(2), Value::Int(2)});
+  EXPECT_EQ(
+      r.ProbeComposite({0, 1}, {Value::Int(1), Value::Int(2)}).size(), 1u);
+  EXPECT_EQ(
+      r.ProbeComposite({0, 1}, {Value::Int(1), Value::Int(3)}).size(), 1u);
+  // Single-column probes agree with the composite view.
+  EXPECT_EQ(r.Probe(0, Value::Int(1)).size(), 2u);
+  EXPECT_EQ(r.Probe(1, Value::Int(2)).size(), 2u);
+}
+
 TEST(RelationTest, ClearResetsEverything) {
   Relation r(TwoIntSchema("r"));
   r.Insert(Tuple{Value::Int(1), Value::Int(1)});
   r.Probe(0, Value::Int(1));
+  r.ProbeComposite({0, 1}, {Value::Int(1), Value::Int(1)});
   r.Clear();
   EXPECT_EQ(r.size(), 0u);
   EXPECT_TRUE(r.Probe(0, Value::Int(1)).empty());
+  EXPECT_TRUE(
+      r.ProbeComposite({0, 1}, {Value::Int(1), Value::Int(1)}).empty());
   EXPECT_TRUE(r.Insert(Tuple{Value::Int(1), Value::Int(1)}));
 }
 

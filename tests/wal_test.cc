@@ -58,6 +58,22 @@ TEST(WalTest, SerializationRoundTrip) {
   EXPECT_FALSE(WriteAheadLog::Deserialize(padded).ok());
 }
 
+TEST(WalTest, GoldenBytesAreStable) {
+  // Pins the exact on-disk journal bytes. The in-memory representation of
+  // values (e.g. string interning) must never leak into the format: this
+  // byte sequence is the contract with journals written by older builds.
+  WriteAheadLog wal;
+  wal.LogInsert("d", Tuple{Value::Int(7), Value::String("ab")});
+  const std::vector<uint8_t> expected = {
+      0x01, 0x00, 0x00, 0x00,              // entry count = 1
+      0x01, 0x00, 0x00, 0x00, 'd',         // relation name "d"
+      0x02, 0x00,                          // tuple arity = 2
+      0x00, 0x07, 0, 0, 0, 0, 0, 0, 0,     // int 7
+      0x02, 0x02, 0x00, 0x00, 0x00, 'a', 'b',  // string "ab"
+  };
+  EXPECT_EQ(wal.Serialize(), expected);
+}
+
 TEST(WalTest, FilePersistenceRoundTrip) {
   WriteAheadLog wal;
   wal.LogInsert("d", Tuple{Value::Int(1), Value::Int(10)});

@@ -68,6 +68,24 @@ TEST(WireTest, TupleBatchRoundTrip) {
   EXPECT_EQ(back.value(), tuples);
 }
 
+TEST(WireTest, GoldenBytesAreStable) {
+  // Pins the exact wire encoding of every value kind. In-memory
+  // representation changes (e.g. string interning) must translate at this
+  // boundary: the bytes below are the cross-version and cross-peer
+  // contract.
+  WireWriter writer;
+  writer.WriteTuple(Tuple{Value::Int(7), Value::Double(1.5),
+                          Value::String("ab"), Value::Null(3, 9)});
+  const std::vector<uint8_t> expected = {
+      0x04, 0x00,                                   // arity = 4
+      0x00, 0x07, 0, 0, 0, 0, 0, 0, 0,              // int 7, little-endian
+      0x01, 0, 0, 0, 0, 0, 0, 0xF8, 0x3F,           // double 1.5
+      0x02, 0x02, 0x00, 0x00, 0x00, 'a', 'b',       // string "ab"
+      0x03, 0x03, 0, 0, 0, 0x09, 0, 0, 0, 0, 0, 0, 0,  // null #3:9
+  };
+  EXPECT_EQ(writer.Take(), expected);
+}
+
 TEST(WireTest, TruncatedInputReportsParseError) {
   WireWriter writer;
   writer.WriteString("hello");
