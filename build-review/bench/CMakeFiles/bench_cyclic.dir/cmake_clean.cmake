@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cyclic.dir/bench_cyclic.cc.o"
+  "CMakeFiles/bench_cyclic.dir/bench_cyclic.cc.o.d"
+  "bench_cyclic"
+  "bench_cyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

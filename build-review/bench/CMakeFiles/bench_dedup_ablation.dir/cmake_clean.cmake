@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dedup_ablation.dir/bench_dedup_ablation.cc.o"
+  "CMakeFiles/bench_dedup_ablation.dir/bench_dedup_ablation.cc.o.d"
+  "bench_dedup_ablation"
+  "bench_dedup_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dedup_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

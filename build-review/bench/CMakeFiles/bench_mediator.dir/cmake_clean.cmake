@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mediator.dir/bench_mediator.cc.o"
+  "CMakeFiles/bench_mediator.dir/bench_mediator.cc.o.d"
+  "bench_mediator"
+  "bench_mediator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mediator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paths.dir/bench_paths.cc.o"
+  "CMakeFiles/bench_paths.dir/bench_paths.cc.o.d"
+  "bench_paths"
+  "bench_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_vs_query.dir/bench_update_vs_query.cc.o"
+  "CMakeFiles/bench_update_vs_query.dir/bench_update_vs_query.cc.o.d"
+  "bench_update_vs_query"
+  "bench_update_vs_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_vs_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

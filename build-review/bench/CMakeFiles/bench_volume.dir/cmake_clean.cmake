@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_volume.dir/bench_volume.cc.o"
+  "CMakeFiles/bench_volume.dir/bench_volume.cc.o.d"
+  "bench_volume"
+  "bench_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

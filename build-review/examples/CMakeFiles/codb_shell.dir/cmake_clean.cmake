@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_shell.dir/codb_shell.cpp.o"
+  "CMakeFiles/codb_shell.dir/codb_shell.cpp.o.d"
+  "codb_shell"
+  "codb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

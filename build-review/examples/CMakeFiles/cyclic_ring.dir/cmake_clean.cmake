@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclic_ring.dir/cyclic_ring.cpp.o"
+  "CMakeFiles/cyclic_ring.dir/cyclic_ring.cpp.o.d"
+  "cyclic_ring"
+  "cyclic_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclic_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_and_refresh.dir/durability_and_refresh.cpp.o"
+  "CMakeFiles/durability_and_refresh.dir/durability_and_refresh.cpp.o.d"
+  "durability_and_refresh"
+  "durability_and_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_and_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

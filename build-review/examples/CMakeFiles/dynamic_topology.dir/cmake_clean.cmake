@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_topology.dir/dynamic_topology.cpp.o"
+  "CMakeFiles/dynamic_topology.dir/dynamic_topology.cpp.o.d"
+  "dynamic_topology"
+  "dynamic_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/workload/CMakeFiles/codb_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/codb_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/wrapper/CMakeFiles/codb_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/codb_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/query/CMakeFiles/codb_query.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/relation/CMakeFiles/codb_relation.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/codb_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/codb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/codb_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

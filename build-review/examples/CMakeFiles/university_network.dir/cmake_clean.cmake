@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_network.dir/university_network.cpp.o"
+  "CMakeFiles/university_network.dir/university_network.cpp.o.d"
+  "university_network"
+  "university_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

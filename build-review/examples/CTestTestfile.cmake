@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-review/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_university_network "/root/repo/build-review/examples/university_network")
+set_tests_properties(example_university_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cyclic_ring "/root/repo/build-review/examples/cyclic_ring")
+set_tests_properties(example_cyclic_ring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dynamic_topology "/root/repo/build-review/examples/dynamic_topology")
+set_tests_properties(example_dynamic_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_durability_and_refresh "/root/repo/build-review/examples/durability_and_refresh")
+set_tests_properties(example_durability_and_refresh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_capture "/root/repo/build-review/examples/trace_capture")
+set_tests_properties(example_trace_capture PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_codb_shell "sh" "-c" "printf 'config
+node a
+  relation d(k:int)
+node b
+  relation d(k:int)
+rule r a <- b : d(K) :- d(K).
+end
+seed b d 1
+update a
+show a d
+explain a q(K) :- d(K).
+stats
+quit
+' | /root/repo/build-review/examples/codb_shell")
+set_tests_properties(example_codb_shell PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/codb_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/config.cc.o.d"
+  "/root/repo/src/core/consistency.cc" "src/core/CMakeFiles/codb_core.dir/consistency.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/consistency.cc.o.d"
+  "/root/repo/src/core/link_graph.cc" "src/core/CMakeFiles/codb_core.dir/link_graph.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/link_graph.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/core/CMakeFiles/codb_core.dir/node.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/node.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/codb_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/codb_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/protocol.cc.o.d"
+  "/root/repo/src/core/query_manager.cc" "src/core/CMakeFiles/codb_core.dir/query_manager.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/query_manager.cc.o.d"
+  "/root/repo/src/core/statistics.cc" "src/core/CMakeFiles/codb_core.dir/statistics.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/statistics.cc.o.d"
+  "/root/repo/src/core/super_peer.cc" "src/core/CMakeFiles/codb_core.dir/super_peer.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/super_peer.cc.o.d"
+  "/root/repo/src/core/termination.cc" "src/core/CMakeFiles/codb_core.dir/termination.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/termination.cc.o.d"
+  "/root/repo/src/core/update_manager.cc" "src/core/CMakeFiles/codb_core.dir/update_manager.cc.o" "gcc" "src/core/CMakeFiles/codb_core.dir/update_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/net/CMakeFiles/codb_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/query/CMakeFiles/codb_query.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/relation/CMakeFiles/codb_relation.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/codb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/codb_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/wrapper/CMakeFiles/codb_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/codb_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_core.dir/config.cc.o"
+  "CMakeFiles/codb_core.dir/config.cc.o.d"
+  "CMakeFiles/codb_core.dir/consistency.cc.o"
+  "CMakeFiles/codb_core.dir/consistency.cc.o.d"
+  "CMakeFiles/codb_core.dir/link_graph.cc.o"
+  "CMakeFiles/codb_core.dir/link_graph.cc.o.d"
+  "CMakeFiles/codb_core.dir/node.cc.o"
+  "CMakeFiles/codb_core.dir/node.cc.o.d"
+  "CMakeFiles/codb_core.dir/oracle.cc.o"
+  "CMakeFiles/codb_core.dir/oracle.cc.o.d"
+  "CMakeFiles/codb_core.dir/protocol.cc.o"
+  "CMakeFiles/codb_core.dir/protocol.cc.o.d"
+  "CMakeFiles/codb_core.dir/query_manager.cc.o"
+  "CMakeFiles/codb_core.dir/query_manager.cc.o.d"
+  "CMakeFiles/codb_core.dir/statistics.cc.o"
+  "CMakeFiles/codb_core.dir/statistics.cc.o.d"
+  "CMakeFiles/codb_core.dir/super_peer.cc.o"
+  "CMakeFiles/codb_core.dir/super_peer.cc.o.d"
+  "CMakeFiles/codb_core.dir/termination.cc.o"
+  "CMakeFiles/codb_core.dir/termination.cc.o.d"
+  "CMakeFiles/codb_core.dir/update_manager.cc.o"
+  "CMakeFiles/codb_core.dir/update_manager.cc.o.d"
+  "libcodb_core.a"
+  "libcodb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/discovery.cc" "src/net/CMakeFiles/codb_net.dir/discovery.cc.o" "gcc" "src/net/CMakeFiles/codb_net.dir/discovery.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/codb_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/codb_net.dir/network.cc.o.d"
+  "/root/repo/src/net/pipe.cc" "src/net/CMakeFiles/codb_net.dir/pipe.cc.o" "gcc" "src/net/CMakeFiles/codb_net.dir/pipe.cc.o.d"
+  "/root/repo/src/net/threaded_network.cc" "src/net/CMakeFiles/codb_net.dir/threaded_network.cc.o" "gcc" "src/net/CMakeFiles/codb_net.dir/threaded_network.cc.o.d"
+  "/root/repo/src/net/transport_stats.cc" "src/net/CMakeFiles/codb_net.dir/transport_stats.cc.o" "gcc" "src/net/CMakeFiles/codb_net.dir/transport_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/relation/CMakeFiles/codb_relation.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/codb_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/codb_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_net.dir/discovery.cc.o"
+  "CMakeFiles/codb_net.dir/discovery.cc.o.d"
+  "CMakeFiles/codb_net.dir/network.cc.o"
+  "CMakeFiles/codb_net.dir/network.cc.o.d"
+  "CMakeFiles/codb_net.dir/pipe.cc.o"
+  "CMakeFiles/codb_net.dir/pipe.cc.o.d"
+  "CMakeFiles/codb_net.dir/threaded_network.cc.o"
+  "CMakeFiles/codb_net.dir/threaded_network.cc.o.d"
+  "CMakeFiles/codb_net.dir/transport_stats.cc.o"
+  "CMakeFiles/codb_net.dir/transport_stats.cc.o.d"
+  "libcodb_net.a"
+  "libcodb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_obs.dir/json.cc.o"
+  "CMakeFiles/codb_obs.dir/json.cc.o.d"
+  "CMakeFiles/codb_obs.dir/metrics.cc.o"
+  "CMakeFiles/codb_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/codb_obs.dir/trace.cc.o"
+  "CMakeFiles/codb_obs.dir/trace.cc.o.d"
+  "libcodb_obs.a"
+  "libcodb_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ast.cc" "src/query/CMakeFiles/codb_query.dir/ast.cc.o" "gcc" "src/query/CMakeFiles/codb_query.dir/ast.cc.o.d"
+  "/root/repo/src/query/containment.cc" "src/query/CMakeFiles/codb_query.dir/containment.cc.o" "gcc" "src/query/CMakeFiles/codb_query.dir/containment.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/query/CMakeFiles/codb_query.dir/evaluator.cc.o" "gcc" "src/query/CMakeFiles/codb_query.dir/evaluator.cc.o.d"
+  "/root/repo/src/query/homomorphism.cc" "src/query/CMakeFiles/codb_query.dir/homomorphism.cc.o" "gcc" "src/query/CMakeFiles/codb_query.dir/homomorphism.cc.o.d"
+  "/root/repo/src/query/minimize.cc" "src/query/CMakeFiles/codb_query.dir/minimize.cc.o" "gcc" "src/query/CMakeFiles/codb_query.dir/minimize.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/codb_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/codb_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/rule.cc" "src/query/CMakeFiles/codb_query.dir/rule.cc.o" "gcc" "src/query/CMakeFiles/codb_query.dir/rule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/relation/CMakeFiles/codb_relation.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/codb_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/codb_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_query.dir/ast.cc.o"
+  "CMakeFiles/codb_query.dir/ast.cc.o.d"
+  "CMakeFiles/codb_query.dir/containment.cc.o"
+  "CMakeFiles/codb_query.dir/containment.cc.o.d"
+  "CMakeFiles/codb_query.dir/evaluator.cc.o"
+  "CMakeFiles/codb_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/codb_query.dir/homomorphism.cc.o"
+  "CMakeFiles/codb_query.dir/homomorphism.cc.o.d"
+  "CMakeFiles/codb_query.dir/minimize.cc.o"
+  "CMakeFiles/codb_query.dir/minimize.cc.o.d"
+  "CMakeFiles/codb_query.dir/parser.cc.o"
+  "CMakeFiles/codb_query.dir/parser.cc.o.d"
+  "CMakeFiles/codb_query.dir/rule.cc.o"
+  "CMakeFiles/codb_query.dir/rule.cc.o.d"
+  "libcodb_query.a"
+  "libcodb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/database.cc" "src/relation/CMakeFiles/codb_relation.dir/database.cc.o" "gcc" "src/relation/CMakeFiles/codb_relation.dir/database.cc.o.d"
+  "/root/repo/src/relation/intern.cc" "src/relation/CMakeFiles/codb_relation.dir/intern.cc.o" "gcc" "src/relation/CMakeFiles/codb_relation.dir/intern.cc.o.d"
+  "/root/repo/src/relation/printer.cc" "src/relation/CMakeFiles/codb_relation.dir/printer.cc.o" "gcc" "src/relation/CMakeFiles/codb_relation.dir/printer.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/relation/CMakeFiles/codb_relation.dir/relation.cc.o" "gcc" "src/relation/CMakeFiles/codb_relation.dir/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/relation/CMakeFiles/codb_relation.dir/schema.cc.o" "gcc" "src/relation/CMakeFiles/codb_relation.dir/schema.cc.o.d"
+  "/root/repo/src/relation/tuple.cc" "src/relation/CMakeFiles/codb_relation.dir/tuple.cc.o" "gcc" "src/relation/CMakeFiles/codb_relation.dir/tuple.cc.o.d"
+  "/root/repo/src/relation/value.cc" "src/relation/CMakeFiles/codb_relation.dir/value.cc.o" "gcc" "src/relation/CMakeFiles/codb_relation.dir/value.cc.o.d"
+  "/root/repo/src/relation/wal.cc" "src/relation/CMakeFiles/codb_relation.dir/wal.cc.o" "gcc" "src/relation/CMakeFiles/codb_relation.dir/wal.cc.o.d"
+  "/root/repo/src/relation/wire.cc" "src/relation/CMakeFiles/codb_relation.dir/wire.cc.o" "gcc" "src/relation/CMakeFiles/codb_relation.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/codb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

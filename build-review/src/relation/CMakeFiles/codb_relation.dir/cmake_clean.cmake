@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_relation.dir/database.cc.o"
+  "CMakeFiles/codb_relation.dir/database.cc.o.d"
+  "CMakeFiles/codb_relation.dir/intern.cc.o"
+  "CMakeFiles/codb_relation.dir/intern.cc.o.d"
+  "CMakeFiles/codb_relation.dir/printer.cc.o"
+  "CMakeFiles/codb_relation.dir/printer.cc.o.d"
+  "CMakeFiles/codb_relation.dir/relation.cc.o"
+  "CMakeFiles/codb_relation.dir/relation.cc.o.d"
+  "CMakeFiles/codb_relation.dir/schema.cc.o"
+  "CMakeFiles/codb_relation.dir/schema.cc.o.d"
+  "CMakeFiles/codb_relation.dir/tuple.cc.o"
+  "CMakeFiles/codb_relation.dir/tuple.cc.o.d"
+  "CMakeFiles/codb_relation.dir/value.cc.o"
+  "CMakeFiles/codb_relation.dir/value.cc.o.d"
+  "CMakeFiles/codb_relation.dir/wal.cc.o"
+  "CMakeFiles/codb_relation.dir/wal.cc.o.d"
+  "CMakeFiles/codb_relation.dir/wire.cc.o"
+  "CMakeFiles/codb_relation.dir/wire.cc.o.d"
+  "libcodb_relation.a"
+  "libcodb_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

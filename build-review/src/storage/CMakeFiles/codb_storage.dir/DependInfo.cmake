@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/checkpoint.cc" "src/storage/CMakeFiles/codb_storage.dir/checkpoint.cc.o" "gcc" "src/storage/CMakeFiles/codb_storage.dir/checkpoint.cc.o.d"
+  "/root/repo/src/storage/crc32c.cc" "src/storage/CMakeFiles/codb_storage.dir/crc32c.cc.o" "gcc" "src/storage/CMakeFiles/codb_storage.dir/crc32c.cc.o.d"
+  "/root/repo/src/storage/durability_stats.cc" "src/storage/CMakeFiles/codb_storage.dir/durability_stats.cc.o" "gcc" "src/storage/CMakeFiles/codb_storage.dir/durability_stats.cc.o.d"
+  "/root/repo/src/storage/fs_util.cc" "src/storage/CMakeFiles/codb_storage.dir/fs_util.cc.o" "gcc" "src/storage/CMakeFiles/codb_storage.dir/fs_util.cc.o.d"
+  "/root/repo/src/storage/recovery.cc" "src/storage/CMakeFiles/codb_storage.dir/recovery.cc.o" "gcc" "src/storage/CMakeFiles/codb_storage.dir/recovery.cc.o.d"
+  "/root/repo/src/storage/storage.cc" "src/storage/CMakeFiles/codb_storage.dir/storage.cc.o" "gcc" "src/storage/CMakeFiles/codb_storage.dir/storage.cc.o.d"
+  "/root/repo/src/storage/wal_file.cc" "src/storage/CMakeFiles/codb_storage.dir/wal_file.cc.o" "gcc" "src/storage/CMakeFiles/codb_storage.dir/wal_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/relation/CMakeFiles/codb_relation.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/codb_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/codb_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

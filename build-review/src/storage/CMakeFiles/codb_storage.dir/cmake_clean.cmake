@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_storage.dir/checkpoint.cc.o"
+  "CMakeFiles/codb_storage.dir/checkpoint.cc.o.d"
+  "CMakeFiles/codb_storage.dir/crc32c.cc.o"
+  "CMakeFiles/codb_storage.dir/crc32c.cc.o.d"
+  "CMakeFiles/codb_storage.dir/durability_stats.cc.o"
+  "CMakeFiles/codb_storage.dir/durability_stats.cc.o.d"
+  "CMakeFiles/codb_storage.dir/fs_util.cc.o"
+  "CMakeFiles/codb_storage.dir/fs_util.cc.o.d"
+  "CMakeFiles/codb_storage.dir/recovery.cc.o"
+  "CMakeFiles/codb_storage.dir/recovery.cc.o.d"
+  "CMakeFiles/codb_storage.dir/storage.cc.o"
+  "CMakeFiles/codb_storage.dir/storage.cc.o.d"
+  "CMakeFiles/codb_storage.dir/wal_file.cc.o"
+  "CMakeFiles/codb_storage.dir/wal_file.cc.o.d"
+  "libcodb_storage.a"
+  "libcodb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

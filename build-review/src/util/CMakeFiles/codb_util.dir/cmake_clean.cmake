@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_util.dir/logging.cc.o"
+  "CMakeFiles/codb_util.dir/logging.cc.o.d"
+  "CMakeFiles/codb_util.dir/random.cc.o"
+  "CMakeFiles/codb_util.dir/random.cc.o.d"
+  "CMakeFiles/codb_util.dir/status.cc.o"
+  "CMakeFiles/codb_util.dir/status.cc.o.d"
+  "CMakeFiles/codb_util.dir/string_util.cc.o"
+  "CMakeFiles/codb_util.dir/string_util.cc.o.d"
+  "libcodb_util.a"
+  "libcodb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_workload.dir/testbed.cc.o"
+  "CMakeFiles/codb_workload.dir/testbed.cc.o.d"
+  "CMakeFiles/codb_workload.dir/topology_gen.cc.o"
+  "CMakeFiles/codb_workload.dir/topology_gen.cc.o.d"
+  "libcodb_workload.a"
+  "libcodb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

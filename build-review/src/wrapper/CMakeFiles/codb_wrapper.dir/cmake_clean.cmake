@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_wrapper.dir/dbs_repository.cc.o"
+  "CMakeFiles/codb_wrapper.dir/dbs_repository.cc.o.d"
+  "CMakeFiles/codb_wrapper.dir/wrapper.cc.o"
+  "CMakeFiles/codb_wrapper.dir/wrapper.cc.o.d"
+  "libcodb_wrapper.a"
+  "libcodb_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

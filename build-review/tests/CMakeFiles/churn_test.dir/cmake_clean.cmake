@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_test.dir/churn_test.cc.o"
+  "CMakeFiles/churn_test.dir/churn_test.cc.o.d"
+  "churn_test"
+  "churn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

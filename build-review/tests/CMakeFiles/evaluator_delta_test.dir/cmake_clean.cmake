@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_delta_test.dir/evaluator_delta_test.cc.o"
+  "CMakeFiles/evaluator_delta_test.dir/evaluator_delta_test.cc.o.d"
+  "evaluator_delta_test"
+  "evaluator_delta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

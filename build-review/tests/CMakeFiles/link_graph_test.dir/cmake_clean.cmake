@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_graph_test.dir/link_graph_test.cc.o"
+  "CMakeFiles/link_graph_test.dir/link_graph_test.cc.o.d"
+  "link_graph_test"
+  "link_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_units_test.dir/net_units_test.cc.o"
+  "CMakeFiles/net_units_test.dir/net_units_test.cc.o.d"
+  "net_units_test"
+  "net_units_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

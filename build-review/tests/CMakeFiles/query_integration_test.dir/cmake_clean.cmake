@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_integration_test.dir/query_integration_test.cc.o"
+  "CMakeFiles/query_integration_test.dir/query_integration_test.cc.o.d"
+  "query_integration_test"
+  "query_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

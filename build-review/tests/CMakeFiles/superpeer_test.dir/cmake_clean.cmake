@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superpeer_test.dir/superpeer_test.cc.o"
+  "CMakeFiles/superpeer_test.dir/superpeer_test.cc.o.d"
+  "superpeer_test"
+  "superpeer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superpeer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/termination_test.dir/termination_test.cc.o"
+  "CMakeFiles/termination_test.dir/termination_test.cc.o.d"
+  "termination_test"
+  "termination_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/termination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_network_test.dir/threaded_network_test.cc.o"
+  "CMakeFiles/threaded_network_test.dir/threaded_network_test.cc.o.d"
+  "threaded_network_test"
+  "threaded_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

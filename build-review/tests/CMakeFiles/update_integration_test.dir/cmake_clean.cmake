@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_integration_test.dir/update_integration_test.cc.o"
+  "CMakeFiles/update_integration_test.dir/update_integration_test.cc.o.d"
+  "update_integration_test"
+  "update_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

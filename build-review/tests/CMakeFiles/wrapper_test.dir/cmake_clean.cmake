@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_test.dir/wrapper_test.cc.o"
+  "CMakeFiles/wrapper_test.dir/wrapper_test.cc.o.d"
+  "wrapper_test"
+  "wrapper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

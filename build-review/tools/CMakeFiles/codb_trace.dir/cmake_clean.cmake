@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codb_trace.dir/codb_trace.cc.o"
+  "CMakeFiles/codb_trace.dir/codb_trace.cc.o.d"
+  "codb_trace"
+  "codb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
