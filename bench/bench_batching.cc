@@ -22,7 +22,7 @@ namespace {
 void Run() {
   Print(
       "E9: result batching (6-node chain, 500 tuples/node, copy rules)\n");
-  Print("%12s | %8s %12s %10s %11s\n", "batch cap", "dataM",
+  Print("%22s | %8s %12s %10s %11s\n", "batch cap", "dataM",
               "bytes", "virt(us)", "bytes/msg");
 
   WorkloadOptions options;
@@ -30,26 +30,39 @@ void Run() {
   options.tuples_per_node = 500;
   GeneratedNetwork generated = MakeChain(options);
 
-  for (size_t cap : {0u, 1000u, 250u, 50u, 10u}) {
-    Testbed::Options testbed_options;
-    testbed_options.node.update.max_batch_tuples = cap;
-    UpdateMetrics metrics = RunUpdate(generated, "n0", testbed_options);
-    char label[24];
-    if (cap == 0) {
-      std::snprintf(label, sizeof label, "unlimited");
-    } else {
-      std::snprintf(label, sizeof label, "%zu", cap);
+  // `lossy` repeats the sweep over a 1%-drop network with at-least-once
+  // delivery enabled: bigger batches now risk bigger retransmissions, so
+  // the sweet spot shifts toward smaller caps.
+  for (bool lossy : {false, true}) {
+    for (size_t cap : {0u, 1000u, 250u, 50u, 10u}) {
+      Testbed::Options testbed_options;
+      testbed_options.node.update.max_batch_tuples = cap;
+      if (lossy) {
+        testbed_options.fault = FaultProfile::Drop(0.01, /*seed=*/42);
+        testbed_options.node.reliability.enabled = true;
+        testbed_options.node.reliability.retransmit_base_us = 20'000;
+        testbed_options.node.reliability.max_retries = 10;
+      }
+      UpdateMetrics metrics = RunUpdate(generated, "n0", testbed_options);
+      char label[40];
+      if (cap == 0) {
+        std::snprintf(label, sizeof label, "unlimited%s",
+                      lossy ? "/lossy1pct" : "");
+      } else {
+        std::snprintf(label, sizeof label, "%zu%s", cap,
+                      lossy ? "/lossy1pct" : "");
+      }
+      RecordScenario(std::string("batch_cap/") + label, metrics);
+      Print("%22s | %8llu %12llu %10lld %11.1f%s\n", label,
+                  static_cast<unsigned long long>(metrics.data_messages),
+                  static_cast<unsigned long long>(metrics.data_bytes),
+                  static_cast<long long>(metrics.virtual_us),
+                  metrics.data_messages > 0
+                      ? static_cast<double>(metrics.data_bytes) /
+                            static_cast<double>(metrics.data_messages)
+                      : 0.0,
+                  metrics.completed ? "" : "  INCOMPLETE");
     }
-    RecordScenario(std::string("batch_cap/") + label, metrics);
-    Print("%12s | %8llu %12llu %10lld %11.1f%s\n", label,
-                static_cast<unsigned long long>(metrics.data_messages),
-                static_cast<unsigned long long>(metrics.data_bytes),
-                static_cast<long long>(metrics.virtual_us),
-                metrics.data_messages > 0
-                    ? static_cast<double>(metrics.data_bytes) /
-                          static_cast<double>(metrics.data_messages)
-                    : 0.0,
-                metrics.completed ? "" : "  INCOMPLETE");
   }
 }
 

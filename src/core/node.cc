@@ -93,14 +93,17 @@ Status Node::ApplyConfig(const NetworkConfig& config, uint64_t version) {
   // Rebuild the DBM against the new configuration. In-flight updates and
   // queries of the previous configuration are abandoned (the initiators'
   // termination detectors see the dropped peers as lost).
+  UpdateManager::Options update_options = options_.update;
+  update_options.reliability = options_.reliability;
   update_manager_ = std::make_unique<UpdateManager>(
       network_, id_, name_, wrapper_.get(), config_.get(),
       link_graph_.get(), &statistics_, minter_.get(), &update_seq_,
-      options_.update);
+      update_options);
   CODB_RETURN_IF_ERROR(update_manager_->Init());
   query_manager_ = std::make_unique<QueryManager>(
       network_, id_, name_, wrapper_.get(), config_.get(),
-      link_graph_.get(), &statistics_, minter_.get(), &query_seq_);
+      link_graph_.get(), &statistics_, minter_.get(), &query_seq_,
+      options_.reliability);
   CODB_RETURN_IF_ERROR(query_manager_->Init());
 
   AnnounceSelf();
@@ -245,6 +248,21 @@ void Node::HandleMessage(const Message& message) {
       Result<AckPayload> ack = AckPayload::Deserialize(message.payload);
       if (!ack.ok()) return;
       if (ack.value().flow.scope == FlowId::Scope::kUpdate) {
+        if (update_manager_ != nullptr) {
+          update_manager_->HandleMessage(message);
+        }
+      } else if (query_manager_ != nullptr) {
+        query_manager_->HandleMessage(message);
+      }
+      return;
+    }
+
+    case MessageType::kDeliveryAck: {
+      // Delivery receipts route by flow scope, like D-S acks.
+      Result<DeliveryAckPayload> receipt =
+          DeliveryAckPayload::Deserialize(message.payload);
+      if (!receipt.ok()) return;
+      if (receipt.value().flow.scope == FlowId::Scope::kUpdate) {
         if (update_manager_ != nullptr) {
           update_manager_->HandleMessage(message);
         }

@@ -37,6 +37,10 @@ class Node : public NetworkPeer {
   struct Options {
     UpdateManager::Options update;
     LinkProfile link_profile;  // profile of the pipes this node opens
+    // At-least-once delivery for both managers (core/reliability.h).
+    // `update.reliability` is overwritten with this value so one knob
+    // configures the whole node.
+    ReliabilityOptions reliability;
   };
 
   // Creates the node, joins the network, and announces itself. `schema`

@@ -55,6 +55,11 @@ Result<std::vector<HeadTuple>> ReadHeadTuples(WireReader& reader) {
   return tuples;
 }
 
+Result<FlowId> PeekFlowId(const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  return ReadFlowId(reader);
+}
+
 Message MakeMessage(PeerId src, PeerId dst, MessageType type,
                     std::vector<uint8_t> payload) {
   Message message;
@@ -137,6 +142,24 @@ Result<AckPayload> AckPayload::Deserialize(
   WireReader reader(payload);
   AckPayload out;
   CODB_ASSIGN_OR_RETURN(out.flow, ReadFlowId(reader));
+  return out;
+}
+
+// -- DeliveryAckPayload -------------------------------------------------------
+
+std::vector<uint8_t> DeliveryAckPayload::Serialize() const {
+  WireWriter writer;
+  WriteFlowId(writer, flow);
+  writer.WriteU32(acked_seq);
+  return writer.Take();
+}
+
+Result<DeliveryAckPayload> DeliveryAckPayload::Deserialize(
+    const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  DeliveryAckPayload out;
+  CODB_ASSIGN_OR_RETURN(out.flow, ReadFlowId(reader));
+  CODB_ASSIGN_OR_RETURN(out.acked_seq, reader.ReadU32());
   return out;
 }
 

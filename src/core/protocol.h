@@ -81,6 +81,18 @@ struct AckPayload {
   static Result<AckPayload> Deserialize(const std::vector<uint8_t>& payload);
 };
 
+// Transport-level receipt for a sequenced message (core/reliability.h):
+// sent immediately on arrival — duplicate or not — to cancel the sender's
+// retransmission timer. Unlike AckPayload it carries no termination
+// semantics and is itself never sequenced or retransmitted.
+struct DeliveryAckPayload {
+  FlowId flow;
+  uint32_t acked_seq = 0;
+  std::vector<uint8_t> Serialize() const;
+  static Result<DeliveryAckPayload> Deserialize(
+      const std::vector<uint8_t>& payload);
+};
+
 // Flooded by the initiator once its diffusing computation has terminated.
 struct UpdateCompletePayload {
   FlowId update;
@@ -151,6 +163,11 @@ Result<std::vector<HeadTuple>> ReadHeadTuples(WireReader& reader);
 // Builds a Message envelope.
 Message MakeMessage(PeerId src, PeerId dst, MessageType type,
                     std::vector<uint8_t> payload);
+
+// Reads the FlowId prefix every flow-scoped payload starts with, without
+// deserializing the rest. Used by the reliability layer to receipt-ack a
+// sequenced message before (and regardless of) full parsing.
+Result<FlowId> PeekFlowId(const std::vector<uint8_t>& payload);
 
 }  // namespace codb
 

@@ -14,7 +14,8 @@ QueryManager::QueryManager(NetworkBase* network, PeerId self,
                            const NetworkConfig* config,
                            const LinkGraph* link_graph,
                            StatisticsModule* stats, NullMinter* minter,
-                           uint64_t* query_seq)
+                           uint64_t* query_seq,
+                           ReliabilityOptions reliability)
     : network_(network),
       self_(self),
       node_name_(std::move(node_name)),
@@ -29,11 +30,25 @@ QueryManager::QueryManager(NetworkBase* network, PeerId self,
       m_results_out_(stats->metrics().GetCounter("query.results_out")),
       m_done_in_(stats->metrics().GetCounter("query.done_in")),
       m_rule_evals_(stats->metrics().GetCounter("query.rule_evals")),
+      m_dups_suppressed_(
+          stats->metrics().GetCounter("query.dups_suppressed")),
+      m_root_terminations_(
+          stats->metrics().GetCounter("query.root_terminations")),
+      m_aborted_(stats->metrics().GetCounter("query.aborted")),
       termination_(self, [this](PeerId to, const FlowId& flow) {
         AckPayload ack{flow};
-        network_->Send(MakeMessage(self_, to, MessageType::kUpdateAck,
-                                   ack.Serialize()));
+        // Sequenced + retransmitted, like the update-side D-S ack.
+        reliable_.Send(MakeMessage(self_, to, MessageType::kUpdateAck,
+                                   ack.Serialize()),
+                       flow, /*basic=*/false);
       }),
+      reliable_(network, reliability,
+                [this](const FlowId& flow, PeerId dst, bool basic) {
+                  if (basic) termination_.CancelOne(flow, dst);
+                  termination_.MaybeQuiesce();
+                },
+                stats->metrics().GetCounter("query.retransmits"),
+                stats->metrics().GetCounter("query.send_give_ups")),
       query_seq_(query_seq) {}
 
 Status QueryManager::Init() {
@@ -104,8 +119,18 @@ Result<FlowId> QueryManager::StartQuery(const ConjunctiveQuery& query,
   report.start_virtual_us = network_->now_us();
 
   termination_.StartRoot(id, [this](const FlowId& flow) {
+    m_root_terminations_->Add();
     FinishOwned(flow);
   });
+  if (reliable_.options().enabled &&
+      reliable_.options().flow_deadline_us > 0) {
+    std::weak_ptr<void> alive = reliable_.liveness();
+    network_->ScheduleAfter(reliable_.options().flow_deadline_us,
+                            [this, alive, id] {
+                              if (alive.expired()) return;
+                              AbortIfIncomplete(id);
+                            });
+  }
 
   std::vector<std::string> needed;
   for (const Atom& atom : query.body) {
@@ -154,7 +179,47 @@ void QueryManager::Fetch(const FlowId& query, QueryState& state,
   }
 }
 
+bool QueryManager::AcceptDelivery(const Message& message) {
+  if (message.seq == 0) return true;
+  Result<FlowId> flow = PeekFlowId(message.payload);
+  if (!flow.ok()) return true;
+  DeliveryAckPayload receipt{flow.value(), message.seq};
+  network_->Send(MakeMessage(self_, message.src, MessageType::kDeliveryAck,
+                             receipt.Serialize()));
+  switch (dup_filter_.Check(flow.value(), message.src, message.seq)) {
+    case DupFilter::Verdict::kDeliver:
+      return true;
+    case DupFilter::Verdict::kDuplicate:
+      m_dups_suppressed_->Add();
+      return false;
+    case DupFilter::Verdict::kHold:
+      dup_filter_.Hold(flow.value(), message.src, message);
+      return false;
+  }
+  return false;
+}
+
+void QueryManager::DrainReady(const Message& delivered) {
+  if (delivered.seq == 0) return;
+  Result<FlowId> flow = PeekFlowId(delivered.payload);
+  if (!flow.ok()) return;
+  while (std::optional<Message> ready =
+             dup_filter_.NextReady(flow.value(), delivered.src)) {
+    HandleMessage(*ready);
+  }
+}
+
 void QueryManager::HandleMessage(const Message& message) {
+  if (message.type == MessageType::kDeliveryAck) {
+    Result<DeliveryAckPayload> receipt =
+        DeliveryAckPayload::Deserialize(message.payload);
+    if (receipt.ok()) {
+      reliable_.OnDeliveryAck(receipt.value().flow, message.src,
+                              receipt.value().acked_seq);
+    }
+    return;
+  }
+  if (!AcceptDelivery(message)) return;
   switch (message.type) {
     case MessageType::kQueryRequest:
       OnRequest(message);
@@ -176,6 +241,8 @@ void QueryManager::HandleMessage(const Message& message) {
       break;
   }
   termination_.MaybeQuiesce();
+  // This delivery may have filled the gap in front of parked arrivals.
+  DrainReady(message);
 }
 
 void QueryManager::OnRequest(const Message& message) {
@@ -266,7 +333,7 @@ void QueryManager::Serve(
   }
   size_t tuple_count = result.tuples.size();
   std::vector<uint8_t> payload = result.Serialize();
-  size_t bytes = payload.size() + 12;
+  size_t bytes = payload.size() + Message::kHeaderBytes;
   SendBasic(query, serving.requester, MessageType::kQueryResult,
             std::move(payload));
   m_results_out_->Add();
@@ -348,13 +415,27 @@ void QueryManager::FinishOwned(const FlowId& query) {
 
   if (state.on_progress) state.on_progress({0, true});
 
-  // Tell participants to drop their per-query state.
+  // Tell participants to drop their per-query state. Sequenced +
+  // retransmitted: a lost done-flood would leak per-query overlays.
   done_flood_seen_.insert(query);
   QueryDonePayload done{query};
   for (PeerId neighbor : Acquaintances()) {
-    network_->Send(MakeMessage(self_, neighbor, MessageType::kQueryDone,
-                               done.Serialize()));
+    reliable_.Send(MakeMessage(self_, neighbor, MessageType::kQueryDone,
+                               done.Serialize()),
+                   query, /*basic=*/false);
   }
+}
+
+void QueryManager::AbortIfIncomplete(const FlowId& query) {
+  QueryState& state = StateOf(query);
+  if (!state.owned || state.done) return;
+  CODB_LOG(kWarning) << node_name_ << ": deadline expired for "
+                     << query.ToString()
+                     << "; finishing with partial results";
+  m_aborted_->Add();
+  stats_->ReportFor(query).aborted = true;
+  termination_.Abort(query);
+  FinishOwned(query);
 }
 
 void QueryManager::OnDone(const Message& message) {
@@ -370,20 +451,23 @@ void QueryManager::OnDone(const Message& message) {
   }
   for (PeerId neighbor : Acquaintances()) {
     if (neighbor == message.src) continue;
-    network_->Send(MakeMessage(self_, neighbor, MessageType::kQueryDone,
-                               message.payload));
+    reliable_.Send(MakeMessage(self_, neighbor, MessageType::kQueryDone,
+                               message.payload),
+                   query, /*basic=*/false);
   }
 }
 
 void QueryManager::HandlePipeClosed(PeerId other) {
+  reliable_.OnPeerLost(other);
   termination_.OnPeerLost(other);
   termination_.MaybeQuiesce();
 }
 
 void QueryManager::SendBasic(const FlowId& query, PeerId dst,
                              MessageType type, std::vector<uint8_t> payload) {
-  Status sent =
-      network_->Send(MakeMessage(self_, dst, type, std::move(payload)));
+  Status sent = reliable_.Send(
+      MakeMessage(self_, dst, type, std::move(payload)), query,
+      /*basic=*/true);
   if (sent.ok()) {
     termination_.OnSent(query, dst);
   } else {

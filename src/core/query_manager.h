@@ -30,6 +30,7 @@
 #include "query/evaluator.h"
 #include "core/link_graph.h"
 #include "core/protocol.h"
+#include "core/reliability.h"
 #include "core/statistics.h"
 #include "core/termination.h"
 #include "net/network_interface.h"
@@ -52,7 +53,8 @@ class QueryManager {
   QueryManager(NetworkBase* network, PeerId self, std::string node_name,
                Wrapper* wrapper, const NetworkConfig* config,
                const LinkGraph* link_graph, StatisticsModule* stats,
-               NullMinter* minter, uint64_t* query_seq);
+               NullMinter* minter, uint64_t* query_seq,
+               ReliabilityOptions reliability = ReliabilityOptions());
 
   // Compiles this node's incoming links (rules it may be asked to serve).
   Status Init();
@@ -134,6 +136,17 @@ class QueryManager {
 
   void FinishOwned(const FlowId& query);
 
+  // Flow-deadline expiry at the origin: reports the query aborted and
+  // finishes it with whatever results arrived.
+  void AbortIfIncomplete(const FlowId& query);
+
+  // Receipt-acks a sequenced message, filters duplicates and parks
+  // out-of-order arrivals (see UpdateManager::AcceptDelivery).
+  bool AcceptDelivery(const Message& message);
+
+  // Processes parked arrivals that `delivered` made next-in-order.
+  void DrainReady(const Message& delivered);
+
   Result<PeerId> ResolvePeer(const std::string& node_name) const;
 
   // Alive, pipe-connected rule acquaintances (flood targets).
@@ -158,8 +171,13 @@ class QueryManager {
   Counter* m_results_out_;
   Counter* m_done_in_;
   Counter* m_rule_evals_;
+  Counter* m_dups_suppressed_;
+  Counter* m_root_terminations_;
+  Counter* m_aborted_;
 
   TerminationDetector termination_;
+  ReliableSender reliable_;
+  DupFilter dup_filter_;
   std::map<std::string, CoordinationRule> compiled_incoming_;
   std::map<FlowId, QueryState> queries_;
   std::set<FlowId> done_flood_seen_;

@@ -63,6 +63,7 @@ void UpdateReport::SerializeTo(WireWriter& writer) const {
   writer.WriteU64(data_messages_sent);
   writer.WriteU64(data_bytes_sent);
   writer.WriteU32(longest_path_nodes);
+  writer.WriteU8(aborted ? 1 : 0);
   WriteRuleTraffic(writer, received_per_rule);
   WriteRuleTraffic(writer, sent_per_rule);
   WritePeerSet(writer, acquaintances_queried);
@@ -85,6 +86,8 @@ Result<UpdateReport> UpdateReport::DeserializeFrom(WireReader& reader) {
   CODB_ASSIGN_OR_RETURN(report.data_messages_sent, reader.ReadU64());
   CODB_ASSIGN_OR_RETURN(report.data_bytes_sent, reader.ReadU64());
   CODB_ASSIGN_OR_RETURN(report.longest_path_nodes, reader.ReadU32());
+  CODB_ASSIGN_OR_RETURN(uint8_t aborted, reader.ReadU8());
+  report.aborted = aborted != 0;
   CODB_ASSIGN_OR_RETURN(report.received_per_rule, ReadRuleTraffic(reader));
   CODB_ASSIGN_OR_RETURN(report.sent_per_rule, ReadRuleTraffic(reader));
   CODB_ASSIGN_OR_RETURN(report.acquaintances_queried, ReadPeerSet(reader));
@@ -93,7 +96,8 @@ Result<UpdateReport> UpdateReport::DeserializeFrom(WireReader& reader) {
 }
 
 std::string UpdateReport::Render() const {
-  std::string out = "update report for " + update.ToString() + "\n";
+  std::string out = "update report for " + update.ToString() +
+                    (aborted ? " [ABORTED: partial coverage]" : "") + "\n";
   out += StrFormat("  started at       %lld us (virtual)\n",
                    static_cast<long long>(start_virtual_us));
   out += StrFormat("  links closed at  %lld us\n",

@@ -52,6 +52,10 @@ struct UpdateReport {
   // (the path label of a received data message, plus this node).
   uint32_t longest_path_nodes = 0;
 
+  // Flow-deadline expiry: the root gave up waiting and completed the flow
+  // with partial coverage (core/reliability.h).
+  bool aborted = false;
+
   // Per outgoing link: query-result messages received through it.
   std::map<std::string, RuleTrafficStats> received_per_rule;
   // Per incoming link: data shipped through it.

@@ -57,6 +57,17 @@ class TerminationDetector {
   // every flow, and orphan any engagement whose parent it was.
   void OnPeerLost(PeerId peer);
 
+  // Cancels one unit of deficit towards `dst` (the reliability layer gave
+  // up retransmitting a basic message — its ack will never come). No-op
+  // if nothing is outstanding towards `dst`.
+  void CancelOne(const FlowId& flow, PeerId dst);
+
+  // Deadline abort: zeroes the flow's deficit and, at the root, marks the
+  // flow terminated WITHOUT firing on_terminated (the caller reports the
+  // abort itself; termination callbacks stay exactly-once). A non-root
+  // sends its deferred parent ack and disengages.
+  void Abort(const FlowId& flow);
+
   // Idle check; call after processing each event. Disengages quiescent
   // non-roots (sending the deferred parent ack) and fires termination at
   // quiescent roots.

@@ -37,15 +37,34 @@ UpdateManager::UpdateManager(NetworkBase* network, PeerId self,
       m_rule_evals_(stats->metrics().GetCounter("update.rule_evals")),
       m_tuples_shipped_(
           stats->metrics().GetCounter("update.tuples_shipped")),
+      m_dups_suppressed_(
+          stats->metrics().GetCounter("update.dups_suppressed")),
+      m_root_terminations_(
+          stats->metrics().GetCounter("update.root_terminations")),
+      m_aborted_(stats->metrics().GetCounter("update.aborted")),
       m_handler_us_(stats->metrics().GetHistogram("update.handler_us")),
       m_data_tuples_(stats->metrics().GetHistogram("update.data_tuples")),
       termination_(self, [this](PeerId to, const FlowId& flow) {
         Tracer::Global().Instant(self_.value, "term.ack", flow.ToString());
         AckPayload ack{flow};
-        // Ack loss is handled by the peer-lost path; ignore send failures.
-        network_->Send(MakeMessage(self_, to, MessageType::kUpdateAck,
-                                   ack.Serialize()));
+        // The D-S ack is sequenced and retransmitted: losing it would
+        // permanently wedge the receiver's deficit. It is not a basic
+        // message (no deficit of its own). Send failures are handled by
+        // the peer-lost path.
+        reliable_.Send(MakeMessage(self_, to, MessageType::kUpdateAck,
+                                   ack.Serialize()),
+                       flow, /*basic=*/false);
       }),
+      reliable_(network, options.reliability,
+                [this](const FlowId& flow, PeerId dst, bool basic) {
+                  // Retry budget exhausted: the D-S ack for that basic
+                  // message will never come, so cancel its deficit unit
+                  // or the flow would hang at the root forever.
+                  if (basic) termination_.CancelOne(flow, dst);
+                  termination_.MaybeQuiesce();
+                },
+                stats->metrics().GetCounter("update.retransmits"),
+                stats->metrics().GetCounter("update.send_give_ups")),
       update_seq_(update_seq) {}
 
 Status UpdateManager::Init() {
@@ -99,11 +118,37 @@ FlowId UpdateManager::StartUpdate(bool refresh) {
   ScopedSpan span(Tracer::Global().BeginSpan(self_.value, "update.start",
                                              update.ToString()));
   termination_.StartRoot(update, [this](const FlowId& flow) {
+    m_root_terminations_->Add();
     Complete(flow, /*via=*/PeerId());
   });
+  if (options_.reliability.enabled &&
+      options_.reliability.flow_deadline_us > 0) {
+    // Guarded by the sender's liveness token: if a reconfiguration
+    // rebuilds the manager before the deadline, the timer must not touch
+    // the dead instance.
+    std::weak_ptr<void> alive = reliable_.liveness();
+    network_->ScheduleAfter(
+        options_.reliability.flow_deadline_us, [this, alive, update] {
+          if (alive.expired()) return;
+          AbortIfIncomplete(update);
+        });
+  }
   Join(update, /*via=*/PeerId(), refresh);
   termination_.MaybeQuiesce();
   return update;
+}
+
+void UpdateManager::AbortIfIncomplete(const FlowId& update) {
+  UpdateState& state = StateOf(update);
+  if (state.complete) return;
+  CODB_LOG(kWarning) << node_name_ << ": deadline expired for "
+                     << update.ToString() << "; aborting with partial data";
+  m_aborted_->Add();
+  stats_->ReportFor(update).aborted = true;
+  termination_.Abort(update);
+  // Completion still floods so cyclic links close and per-flow state is
+  // dropped network-wide; the report carries the aborted flag.
+  Complete(update, /*via=*/PeerId());
 }
 
 void UpdateManager::Join(const FlowId& update, PeerId via, bool refresh) {
@@ -226,10 +271,11 @@ void UpdateManager::ShipFrontiers(const FlowId& update, UpdateState& state,
     }
 
     std::vector<uint8_t> payload = data.Serialize();
-    size_t bytes = payload.size() + 12;
-    Status sent = network_->Send(MakeMessage(self_, importer.value(),
+    size_t bytes = payload.size() + Message::kHeaderBytes;
+    Status sent = reliable_.Send(MakeMessage(self_, importer.value(),
                                              MessageType::kUpdateData,
-                                             std::move(payload)));
+                                             std::move(payload)),
+                                 update, /*basic=*/true);
     if (!sent.ok()) {
       CODB_LOG(kDebug) << node_name_ << ": data ship on " << rule_id
                        << " failed: " << sent.ToString();
@@ -249,8 +295,59 @@ void UpdateManager::ShipFrontiers(const FlowId& update, UpdateState& state,
   report.result_destinations.insert(importer.value().value);
 }
 
+bool UpdateManager::AcceptDelivery(const Message& message) {
+  if (message.seq == 0) return true;  // unsequenced sender
+  Result<FlowId> flow = PeekFlowId(message.payload);
+  if (!flow.ok()) return true;  // let the normal parse path report it
+  // Receipt first, whatever the verdict: the sender may be retransmitting
+  // precisely because the previous receipt was lost, and a parked message
+  // is safely buffered here.
+  DeliveryAckPayload receipt{flow.value(), message.seq};
+  network_->Send(MakeMessage(self_, message.src, MessageType::kDeliveryAck,
+                             receipt.Serialize()));
+  switch (dup_filter_.Check(flow.value(), message.src, message.seq)) {
+    case DupFilter::Verdict::kDeliver:
+      return true;
+    case DupFilter::Verdict::kDuplicate:
+      // Already processed. Crucially this also protects the termination
+      // detector: a duplicated engaging message must not trigger a second
+      // D-S ack while the first engagement is still pending.
+      m_dups_suppressed_->Add();
+      return false;
+    case DupFilter::Verdict::kHold:
+      // A gap precedes it: the retransmission of a dropped message is on
+      // its way. Processing out of order would let e.g. a LinkClosed
+      // overtake the data sent before it, so park until the gap fills.
+      dup_filter_.Hold(flow.value(), message.src, message);
+      return false;
+  }
+  return false;
+}
+
+void UpdateManager::DrainReady(const Message& delivered) {
+  if (delivered.seq == 0) return;
+  Result<FlowId> flow = PeekFlowId(delivered.payload);
+  if (!flow.ok()) return;
+  while (std::optional<Message> ready =
+             dup_filter_.NextReady(flow.value(), delivered.src)) {
+    // Re-enters HandleMessage, where Check() now classifies it as the
+    // in-order delivery it has become.
+    HandleMessage(*ready);
+  }
+}
+
 void UpdateManager::HandleMessage(const Message& message) {
   Stopwatch wall;
+  if (message.type == MessageType::kDeliveryAck) {
+    Result<DeliveryAckPayload> receipt =
+        DeliveryAckPayload::Deserialize(message.payload);
+    if (receipt.ok()) {
+      reliable_.OnDeliveryAck(receipt.value().flow, message.src,
+                              receipt.value().acked_seq);
+    }
+    return;
+  }
+  if (!AcceptDelivery(message)) return;
   switch (message.type) {
     case MessageType::kUpdateRequest:
       OnRequest(message);
@@ -293,6 +390,8 @@ void UpdateManager::HandleMessage(const Message& message) {
           static_cast<double>(wall.ElapsedMicros());
     }
   }
+  // This delivery may have filled the gap in front of parked arrivals.
+  DrainReady(message);
 }
 
 void UpdateManager::OnRequest(const Message& message) {
@@ -527,12 +626,15 @@ void UpdateManager::Complete(const FlowId& update, PeerId via) {
   }
   report.complete_virtual_us = network_->now_us();
 
-  // Flood completion (not a basic message; the computation is over).
+  // Flood completion (not a basic message; the computation is over). The
+  // flood is still sequenced + retransmitted: a lost completion would
+  // leave cyclic links open forever on the receiving side.
   UpdateCompletePayload payload{update};
   for (PeerId neighbor : Acquaintances()) {
     if (neighbor == via) continue;
-    network_->Send(MakeMessage(self_, neighbor, MessageType::kUpdateComplete,
-                               payload.Serialize()));
+    reliable_.Send(MakeMessage(self_, neighbor, MessageType::kUpdateComplete,
+                               payload.Serialize()),
+                   update, /*basic=*/false);
   }
   CODB_LOG(kInfo) << node_name_ << ": " << update.ToString() << " complete";
 }
@@ -552,6 +654,7 @@ void UpdateManager::OnComplete(const Message& message) {
 }
 
 void UpdateManager::HandlePipeClosed(PeerId other) {
+  reliable_.OnPeerLost(other);
   termination_.OnPeerLost(other);
   for (auto& [update, state] : updates_) {
     if (!state.complete) CheckClosing(update, state);
@@ -562,8 +665,9 @@ void UpdateManager::HandlePipeClosed(PeerId other) {
 void UpdateManager::SendBasic(const FlowId& update, PeerId dst,
                               MessageType type,
                               std::vector<uint8_t> payload) {
-  Status sent =
-      network_->Send(MakeMessage(self_, dst, type, std::move(payload)));
+  Status sent = reliable_.Send(
+      MakeMessage(self_, dst, type, std::move(payload)), update,
+      /*basic=*/true);
   if (sent.ok()) {
     termination_.OnSent(update, dst);
   } else {

@@ -39,6 +39,7 @@
 #include "core/config.h"
 #include "core/link_graph.h"
 #include "core/protocol.h"
+#include "core/reliability.h"
 #include "core/statistics.h"
 #include "core/termination.h"
 #include "net/network_interface.h"
@@ -66,6 +67,9 @@ class UpdateManager {
     // normally; they just never carry data the subsuming rule ships
     // anyway.
     bool skip_subsumed = false;
+    // At-least-once delivery (core/reliability.h). Off by default: the
+    // fault-free runtimes keep their historical message counts.
+    ReliabilityOptions reliability;
   };
 
   // All pointers must outlive the manager. `node_name` is this node's name
@@ -163,6 +167,18 @@ class UpdateManager {
   // Marks the update complete locally and floods kUpdateComplete onward.
   void Complete(const FlowId& update, PeerId via);
 
+  // Flow-deadline expiry at the root: reports the update aborted and
+  // completes it with whatever data arrived. No-op if already complete.
+  void AbortIfIncomplete(const FlowId& update);
+
+  // Receipt-acks a sequenced message, filters duplicates and parks
+  // out-of-order arrivals. Returns false when the message must not be
+  // processed now (already seen, or a gap precedes it).
+  bool AcceptDelivery(const Message& message);
+
+  // Processes parked arrivals that `delivered` made next-in-order.
+  void DrainReady(const Message& delivered);
+
   // Sends a basic protocol message and books the deficit.
   void SendBasic(const FlowId& update, PeerId dst, MessageType type,
                  std::vector<uint8_t> payload);
@@ -196,10 +212,15 @@ class UpdateManager {
   Counter* m_completes_in_;
   Counter* m_rule_evals_;
   Counter* m_tuples_shipped_;
+  Counter* m_dups_suppressed_;
+  Counter* m_root_terminations_;
+  Counter* m_aborted_;
   Histogram* m_handler_us_;
   Histogram* m_data_tuples_;
 
   TerminationDetector termination_;
+  ReliableSender reliable_;
+  DupFilter dup_filter_;
   std::map<std::string, CoordinationRule> compiled_incoming_;
   std::set<std::string> subsumed_incoming_;  // skip_subsumed option
   std::map<FlowId, UpdateState> updates_;

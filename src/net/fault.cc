@@ -1,0 +1,46 @@
+#include "net/fault.h"
+
+namespace codb {
+
+namespace {
+
+// Distinct pipes under the same profile seed must see independent fault
+// sequences, so the endpoints are folded into the PRNG seed with the
+// usual multiply-xor mixer.
+uint64_t MixSeed(uint64_t seed, PeerId from, PeerId to) {
+  uint64_t x = seed ^ 0x6a09e667f3bcc909ULL;
+  x ^= (static_cast<uint64_t>(from.value) << 32) | to.value;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultProfile& profile, PeerId from,
+                             PeerId to)
+    : profile_(profile), rng_(MixSeed(profile.seed, from, to)) {}
+
+FaultInjector::Decision FaultInjector::Next() {
+  // Always four draws per message: the decision for message k must not
+  // depend on the outcomes of messages before it.
+  double drop = rng_.UniformDouble();
+  double duplicate = rng_.UniformDouble();
+  double reorder = rng_.UniformDouble();
+  uint64_t jitter = rng_.Next();
+
+  Decision decision;
+  if (!profile_.Active()) return decision;
+  if (drop < profile_.drop_rate) {
+    decision.drop = true;
+    return decision;
+  }
+  decision.duplicate = duplicate < profile_.duplicate_rate;
+  if (reorder < profile_.reorder_rate && profile_.jitter_us > 0) {
+    decision.extra_delay_us = static_cast<int64_t>(
+        jitter % static_cast<uint64_t>(profile_.jitter_us)) + 1;
+  }
+  return decision;
+}
+
+}  // namespace codb

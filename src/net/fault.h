@@ -1,0 +1,91 @@
+// Deterministic per-pipe fault injection.
+//
+// Real P2P substrates drop, duplicate, delay and reorder traffic; the
+// paper's JXTA layer hides none of that from a robust protocol. Both
+// network runtimes consult a FaultInjector on every send: the injector
+// draws a fixed number of variates from a pipe-local PRNG seeded from
+// (profile seed, endpoints), so the fault sequence on a pipe depends only
+// on the profile and the per-pipe send order — the simulator and the
+// threaded runtime inject identical faults for identical traffic, and a
+// given seed reproduces a torture run exactly.
+
+#ifndef CODB_NET_FAULT_H_
+#define CODB_NET_FAULT_H_
+
+#include <cstdint>
+
+#include "net/peer_id.h"
+#include "util/random.h"
+
+namespace codb {
+
+// Per-pipe fault model. Probabilities are per message; `jitter_us` is the
+// maximum extra in-flight delay added when a reorder fires (messages
+// behind it on the pipe can overtake it). All-zero = faultless (the
+// default), so existing pipes behave exactly as before.
+struct FaultProfile {
+  double drop_rate = 0.0;       // message silently lost
+  double duplicate_rate = 0.0;  // message delivered twice
+  double reorder_rate = 0.0;    // message delayed by up to jitter_us
+  int64_t jitter_us = 0;        // max extra delay for a reordered message
+  uint64_t seed = 0;            // torture-run reproducibility
+
+  bool Active() const {
+    return drop_rate > 0 || duplicate_rate > 0 || reorder_rate > 0;
+  }
+
+  static FaultProfile Drop(double rate, uint64_t seed) {
+    FaultProfile p;
+    p.drop_rate = rate;
+    p.seed = seed;
+    return p;
+  }
+  static FaultProfile Duplicate(double rate, uint64_t seed) {
+    FaultProfile p;
+    p.duplicate_rate = rate;
+    p.seed = seed;
+    return p;
+  }
+  static FaultProfile Reorder(double rate, int64_t jitter_us, uint64_t seed) {
+    FaultProfile p;
+    p.reorder_rate = rate;
+    p.jitter_us = jitter_us;
+    p.seed = seed;
+    return p;
+  }
+  // A partition is 100% loss without a pipe-closed notification: peers
+  // cannot tell a partitioned link from a slow one.
+  static FaultProfile Partition() {
+    FaultProfile p;
+    p.drop_rate = 1.0;
+    return p;
+  }
+};
+
+// One injector per pipe direction; Next() advances the deterministic
+// sequence by exactly one step per sent message.
+class FaultInjector {
+ public:
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    int64_t extra_delay_us = 0;  // applied after FIFO serialization
+  };
+
+  FaultInjector() : FaultInjector(FaultProfile(), PeerId(), PeerId()) {}
+  FaultInjector(const FaultProfile& profile, PeerId from, PeerId to);
+
+  // Draws a fixed number of variates regardless of the outcome, so the
+  // decision for message k depends only on (profile, endpoints, k).
+  Decision Next();
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  FaultProfile profile_;
+  Rng rng_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_NET_FAULT_H_

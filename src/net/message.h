@@ -33,6 +33,11 @@ enum class MessageType : uint16_t {
   kQueryDone = 18,
   kStatsRequest = 19,
   kStatsReport = 20,
+
+  // Reliability layer (core/reliability.h): immediate transport-level
+  // receipt for a sequenced message. Distinct from kUpdateAck, which is
+  // the deferred Dijkstra–Scholten engagement ack.
+  kDeliveryAck = 21,
 };
 
 const char* MessageTypeName(MessageType type);
@@ -43,14 +48,22 @@ struct Message {
   MessageType type = MessageType::kAdvertisement;
   std::vector<uint8_t> payload;
 
+  // Per-flow sequence number stamped by the reliability layer
+  // (core/reliability.h); 0 means unsequenced. Part of the envelope, so
+  // it is charged to the bandwidth model via kHeaderBytes.
+  uint32_t seq = 0;
+
   // Tracing correlation id linking the sender's span to the delivery span
   // (obs/trace.h). In-memory only: never serialized, never charged to the
   // bandwidth model, 0 when tracing is off.
   uint64_t trace_id = 0;
 
-  // Bytes charged to the bandwidth model: fixed envelope header (source,
-  // destination, type, length — 12 bytes) plus the payload.
-  size_t WireSize() const { return 12 + payload.size(); }
+  // Fixed envelope header: source, destination, type, length (12 bytes)
+  // plus the sequence number (4 bytes).
+  static constexpr size_t kHeaderBytes = 16;
+
+  // Bytes charged to the bandwidth model.
+  size_t WireSize() const { return kHeaderBytes + payload.size(); }
 };
 
 inline const char* MessageTypeName(MessageType type) {
@@ -79,6 +92,8 @@ inline const char* MessageTypeName(MessageType type) {
       return "STATS_REQUEST";
     case MessageType::kStatsReport:
       return "STATS_REPORT";
+    case MessageType::kDeliveryAck:
+      return "DELIVERY_ACK";
   }
   return "UNKNOWN";
 }

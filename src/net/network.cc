@@ -86,9 +86,32 @@ Status Network::OpenPipe(PeerId a, PeerId b, LinkProfile profile) {
     return Status::InvalidArgument("cannot open a pipe to self");
   }
   // Re-opening replaces a closed pipe.
+  if (!profile.fault.Active() && default_fault_.Active()) {
+    profile.fault = default_fault_;
+  }
   pipes_.insert_or_assign(PipeKey(a, b), Pipe(a, b, profile));
   pipes_.insert_or_assign(PipeKey(b, a), Pipe(b, a, profile));
   return Status::Ok();
+}
+
+Status Network::SetFaultProfile(PeerId a, PeerId b,
+                                const FaultProfile& fault) {
+  Pipe* forward = FindPipe(a, b);
+  Pipe* backward = FindPipe(b, a);
+  if (forward == nullptr || backward == nullptr) {
+    return Status::NotFound("no pipe between " + a.ToString() + " and " +
+                            b.ToString());
+  }
+  forward->SetFault(fault);
+  backward->SetFault(fault);
+  return Status::Ok();
+}
+
+void Network::SetDefaultFaultProfile(const FaultProfile& fault) {
+  default_fault_ = fault;
+  for (auto& [key, pipe] : pipes_) {
+    if (pipe.open()) pipe.SetFault(fault);
+  }
 }
 
 Status Network::ClosePipe(PeerId a, PeerId b) {
@@ -154,12 +177,34 @@ Status Network::Send(Message message) {
                                " -> " + message.dst.ToString());
   }
   stats_.RecordSend(message);
+  FaultInjector::Decision fault = pipe->NextFault();
+  if (fault.drop) {
+    // The sender cannot tell a dropped message from a delivered one:
+    // Send still succeeds and the bytes were charged above.
+    stats_.RecordInjectedDrop();
+    return Status::Ok();
+  }
   if (Tracer::Global().enabled()) {
     message.trace_id = Tracer::Global().NoteSend();
   }
+  int64_t arrival = pipe->ScheduleArrival(now_us_, message.WireSize());
+  if (fault.extra_delay_us > 0) {
+    stats_.RecordInjectedDelay();
+    arrival += fault.extra_delay_us;
+  }
   Event event;
-  event.time_us = pipe->ScheduleArrival(now_us_, message.WireSize());
+  event.time_us = arrival;
   event.seq = next_seq_++;
+  if (fault.duplicate) {
+    stats_.RecordInjectedDup();
+    Event dup;
+    // The copy rides right behind the original on the wire.
+    dup.time_us = pipe->ScheduleArrival(now_us_, message.WireSize());
+    dup.seq = next_seq_++;
+    dup.message = std::make_unique<Message>(message);
+    events_.push_back(std::move(dup));
+    std::push_heap(events_.begin(), events_.end(), EventLater());
+  }
   event.message = std::make_unique<Message>(std::move(message));
   events_.push_back(std::move(event));
   std::push_heap(events_.begin(), events_.end(), EventLater());

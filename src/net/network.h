@@ -64,6 +64,10 @@ class Network : public NetworkBase {
   // Closes both directions. In-flight messages on the pipe are dropped.
   Status ClosePipe(PeerId a, PeerId b) override;
 
+  Status SetFaultProfile(PeerId a, PeerId b,
+                         const FaultProfile& fault) override;
+  void SetDefaultFaultProfile(const FaultProfile& fault) override;
+
   bool HasPipe(PeerId from, PeerId to) const override;
   std::vector<PeerId> Neighbors(PeerId id) const override;
   size_t open_pipe_count() const override;
@@ -120,6 +124,7 @@ class Network : public NetworkBase {
 
   std::vector<PeerEntry> peers_;
   std::map<std::pair<uint32_t, uint32_t>, Pipe> pipes_;
+  FaultProfile default_fault_;
   // priority_queue does not allow moving out of top(); use a mutable heap.
   std::vector<Event> events_;
   uint64_t next_seq_ = 0;

@@ -60,6 +60,17 @@ class NetworkBase {
     return OpenPipe(a, b, LinkProfile());
   }
   virtual Status ClosePipe(PeerId a, PeerId b) = 0;
+
+  // Replaces the fault profile on both directions of the a<->b pipe and
+  // restarts its deterministic sequence. Used by torture tests and churn
+  // scripts (including partitions: FaultProfile::Partition() is 100% loss
+  // with no pipe-closed notification).
+  virtual Status SetFaultProfile(PeerId a, PeerId b,
+                                 const FaultProfile& fault) = 0;
+  // Applies `fault` to every currently open pipe direction and to pipes
+  // opened later without an explicit profile override.
+  virtual void SetDefaultFaultProfile(const FaultProfile& fault) = 0;
+
   virtual bool HasPipe(PeerId from, PeerId to) const = 0;
   virtual std::vector<PeerId> Neighbors(PeerId id) const = 0;
   virtual size_t open_pipe_count() const = 0;

@@ -17,6 +17,11 @@ int64_t Pipe::ScheduleArrival(int64_t now, size_t bytes) {
   return busy_until_ + profile_.latency_us;
 }
 
+void Pipe::SetFault(const FaultProfile& fault) {
+  profile_.fault = fault;
+  injector_ = FaultInjector(fault, from_, to_);
+}
+
 std::string Pipe::ToString() const {
   return StrFormat("pipe %s -> %s (lat=%lldus bw=%.1fB/us%s)",
                    from_.ToString().c_str(), to_.ToString().c_str(),

@@ -13,25 +13,31 @@
 #include <cstdint>
 #include <string>
 
+#include "net/fault.h"
 #include "net/peer_id.h"
 
 namespace codb {
 
 // Link cost parameters. Times are in virtual microseconds; bandwidth in
-// bytes per virtual microsecond (i.e. MB/s).
+// bytes per virtual microsecond (i.e. MB/s). The fault profile defaults
+// to faultless; see net/fault.h.
 struct LinkProfile {
   int64_t latency_us = 1000;     // one-way propagation delay
   double bandwidth_bpus = 10.0;  // serialization rate
+  FaultProfile fault;
 
-  static LinkProfile Lan() { return {/*latency*/ 200, /*bw*/ 100.0}; }
-  static LinkProfile Wan() { return {/*latency*/ 20000, /*bw*/ 1.0}; }
+  static LinkProfile Lan() { return {/*latency*/ 200, /*bw*/ 100.0, {}}; }
+  static LinkProfile Wan() { return {/*latency*/ 20000, /*bw*/ 1.0, {}}; }
 };
 
 // One direction of a pipe between two peers.
 class Pipe {
  public:
   Pipe(PeerId from, PeerId to, LinkProfile profile)
-      : from_(from), to_(to), profile_(profile) {}
+      : from_(from),
+        to_(to),
+        profile_(profile),
+        injector_(profile.fault, from, to) {}
 
   PeerId from() const { return from_; }
   PeerId to() const { return to_; }
@@ -45,6 +51,14 @@ class Pipe {
   // free, takes bytes/bandwidth, then the latency elapses in flight.
   int64_t ScheduleArrival(int64_t now, size_t bytes);
 
+  // Replaces the fault profile and restarts its deterministic sequence
+  // (used by churn scripts to start/heal partitions mid-run).
+  void SetFault(const FaultProfile& fault);
+  const FaultProfile& fault() const { return profile_.fault; }
+
+  // Advances the injector by one message.
+  FaultInjector::Decision NextFault() { return injector_.Next(); }
+
   std::string ToString() const;
 
  private:
@@ -53,6 +67,7 @@ class Pipe {
   LinkProfile profile_;
   bool open_ = true;
   int64_t busy_until_ = 0;
+  FaultInjector injector_;
 };
 
 }  // namespace codb

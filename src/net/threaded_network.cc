@@ -118,9 +118,41 @@ Status ThreadedNetwork::OpenPipe(PeerId a, PeerId b, LinkProfile profile) {
     return Status::Unavailable("both endpoints must be alive to open a pipe");
   }
   if (a == b) return Status::InvalidArgument("cannot open a pipe to self");
-  pipes_[PipeKey(a, b)] = {profile, true, 0};
-  pipes_[PipeKey(b, a)] = {profile, true, 0};
+  if (!profile.fault.Active() && default_fault_.Active()) {
+    profile.fault = default_fault_;
+  }
+  pipes_[PipeKey(a, b)] = {profile, true, 0,
+                           FaultInjector(profile.fault, a, b)};
+  pipes_[PipeKey(b, a)] = {profile, true, 0,
+                           FaultInjector(profile.fault, b, a)};
   return Status::Ok();
+}
+
+Status ThreadedNetwork::SetFaultProfile(PeerId a, PeerId b,
+                                        const FaultProfile& fault) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto forward = pipes_.find(PipeKey(a, b));
+  auto backward = pipes_.find(PipeKey(b, a));
+  if (forward == pipes_.end() || backward == pipes_.end()) {
+    return Status::NotFound("no pipe between " + a.ToString() + " and " +
+                            b.ToString());
+  }
+  forward->second.profile.fault = fault;
+  forward->second.injector = FaultInjector(fault, a, b);
+  backward->second.profile.fault = fault;
+  backward->second.injector = FaultInjector(fault, b, a);
+  return Status::Ok();
+}
+
+void ThreadedNetwork::SetDefaultFaultProfile(const FaultProfile& fault) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  default_fault_ = fault;
+  for (auto& [key, pipe] : pipes_) {
+    if (!pipe.open) continue;
+    pipe.profile.fault = fault;
+    pipe.injector =
+        FaultInjector(fault, PeerId(key.first), PeerId(key.second));
+  }
 }
 
 Status ThreadedNetwork::ClosePipe(PeerId a, PeerId b) {
@@ -177,7 +209,14 @@ size_t ThreadedNetwork::open_pipe_count() const {
 
 void ThreadedNetwork::EnqueueLocked(uint32_t peer, InboxItem item) {
   Worker& worker = *workers_[peer];
-  worker.inbox.push_back(std::move(item));
+  // Keep the inbox sorted by due time (stable for ties) so a jittered
+  // message lets later traffic overtake it instead of head-of-line
+  // blocking the whole inbox behind its delay.
+  auto pos = std::upper_bound(
+      worker.inbox.begin(), worker.inbox.end(), item.due,
+      [](const std::chrono::steady_clock::time_point& due,
+         const InboxItem& other) { return due < other.due; });
+  worker.inbox.insert(pos, std::move(item));
   ++busy_;
   work_cv_.notify_all();
 }
@@ -211,23 +250,45 @@ Status ThreadedNetwork::Send(Message message) {
     return Status::Ok();  // in-flight loss semantics
   }
   stats_.RecordSend(message);
+  PipeState& pipe = it->second;
+  FaultInjector::Decision fault = pipe.injector.Next();
+  if (fault.drop) {
+    // The sender cannot tell a dropped message from a delivered one.
+    stats_.RecordInjectedDrop();
+    return Status::Ok();
+  }
   if (Tracer::Global().enabled()) {
     message.trace_id = Tracer::Global().NoteSend();
   }
 
   // Latency + bandwidth queueing, like the simulator but in wall time.
-  PipeState& pipe = it->second;
   int64_t now = now_us();
-  int64_t start = std::max(now, pipe.busy_until_us);
-  int64_t transmit =
-      pipe.profile.bandwidth_bpus > 0
-          ? static_cast<int64_t>(static_cast<double>(message.WireSize()) /
-                                 pipe.profile.bandwidth_bpus)
-          : 0;
-  pipe.busy_until_us = start + transmit;
-  int64_t arrival = pipe.busy_until_us + pipe.profile.latency_us;
+  auto schedule_arrival = [&pipe, now](size_t bytes) {
+    int64_t start = std::max(now, pipe.busy_until_us);
+    int64_t transmit =
+        pipe.profile.bandwidth_bpus > 0
+            ? static_cast<int64_t>(static_cast<double>(bytes) /
+                                   pipe.profile.bandwidth_bpus)
+            : 0;
+    pipe.busy_until_us = start + transmit;
+    return pipe.busy_until_us + pipe.profile.latency_us;
+  };
+  int64_t arrival = schedule_arrival(message.WireSize());
+  if (fault.extra_delay_us > 0) {
+    stats_.RecordInjectedDelay();
+    arrival += fault.extra_delay_us;
+  }
 
   uint32_t destination = message.dst.value;
+  if (fault.duplicate) {
+    stats_.RecordInjectedDup();
+    // The copy rides right behind the original on the wire.
+    int64_t dup_arrival = schedule_arrival(message.WireSize());
+    InboxItem dup;
+    dup.message = std::make_unique<Message>(message);
+    dup.due = epoch_ + std::chrono::microseconds(dup_arrival);
+    EnqueueLocked(destination, std::move(dup));
+  }
   InboxItem item;
   item.message = std::make_unique<Message>(std::move(message));
   item.due = epoch_ + std::chrono::microseconds(arrival);

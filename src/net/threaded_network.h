@@ -58,6 +58,9 @@ class ThreadedNetwork : public NetworkBase {
 
   Status OpenPipe(PeerId a, PeerId b, LinkProfile profile) override;
   Status ClosePipe(PeerId a, PeerId b) override;
+  Status SetFaultProfile(PeerId a, PeerId b,
+                         const FaultProfile& fault) override;
+  void SetDefaultFaultProfile(const FaultProfile& fault) override;
   bool HasPipe(PeerId from, PeerId to) const override;
   std::vector<PeerId> Neighbors(PeerId id) const override;
   size_t open_pipe_count() const override;
@@ -99,6 +102,9 @@ class ThreadedNetwork : public NetworkBase {
     bool open = false;
     // Bandwidth queueing: when the link is next free, in now_us() time.
     int64_t busy_until_us = 0;
+    // Same decision sequence as the simulator's Pipe for identical
+    // per-pipe traffic (guarded by mutex_, like the rest of the state).
+    FaultInjector injector;
   };
 
   struct Timer {
@@ -118,6 +124,7 @@ class ThreadedNetwork : public NetworkBase {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::map<std::pair<uint32_t, uint32_t>, PipeState> pipes_;
+  FaultProfile default_fault_;  // guarded by mutex_
   std::vector<Timer> timers_;
   std::thread timer_thread_;
 

@@ -31,6 +31,9 @@ void TransportStats::Reset() {
   total_messages_ = 0;
   total_bytes_ = 0;
   dropped_messages_ = 0;
+  injected_drops_ = 0;
+  injected_dups_ = 0;
+  injected_delays_ = 0;
   per_type_.clear();
 }
 
@@ -39,6 +42,9 @@ MetricsSnapshot TransportStats::Snapshot() const {
   snapshot.SetCounter("net.messages", total_messages_);
   snapshot.SetCounter("net.bytes", total_bytes_);
   snapshot.SetCounter("net.dropped", dropped_messages_);
+  snapshot.SetCounter("net.fault.drops", injected_drops_);
+  snapshot.SetCounter("net.fault.dups", injected_dups_);
+  snapshot.SetCounter("net.fault.delays", injected_delays_);
   for (const auto& [type, counters] : per_type_) {
     snapshot.SetCounter(std::string("net.msgs.") + MessageTypeName(type),
                         counters.messages);

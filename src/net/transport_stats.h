@@ -20,9 +20,18 @@ class TransportStats {
   void RecordSend(const Message& message);
   void RecordDrop(const Message& message);
 
+  // Injected faults (net/fault.h). Distinct from RecordDrop, which counts
+  // messages lost to dead peers / closed pipes.
+  void RecordInjectedDrop() { ++injected_drops_; }
+  void RecordInjectedDup() { ++injected_dups_; }
+  void RecordInjectedDelay() { ++injected_delays_; }
+
   uint64_t total_messages() const { return total_messages_; }
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t dropped_messages() const { return dropped_messages_; }
+  uint64_t injected_drops() const { return injected_drops_; }
+  uint64_t injected_dups() const { return injected_dups_; }
+  uint64_t injected_delays() const { return injected_delays_; }
 
   uint64_t MessagesOfType(MessageType type) const;
   uint64_t BytesOfType(MessageType type) const;
@@ -46,6 +55,9 @@ class TransportStats {
   uint64_t total_messages_ = 0;
   uint64_t total_bytes_ = 0;
   uint64_t dropped_messages_ = 0;
+  uint64_t injected_drops_ = 0;
+  uint64_t injected_dups_ = 0;
+  uint64_t injected_delays_ = 0;
   std::map<MessageType, TypeCounters> per_type_;
 };
 

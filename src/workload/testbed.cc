@@ -29,6 +29,11 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(
                               "' did not receive the configuration");
     }
   }
+  // Faults go live only once the deployment has settled: discovery and
+  // the config broadcast above ran on a reliable network.
+  if (options.fault.Active()) {
+    testbed->network_->SetDefaultFaultProfile(options.fault);
+  }
   return testbed;
 }
 
@@ -136,6 +141,17 @@ NetworkInstance Testbed::Snapshot() const {
     out.emplace(node->name(), node->database().Snapshot());
   }
   return out;
+}
+
+Status Testbed::SetFault(const std::string& a, const std::string& b,
+                         const FaultProfile& fault) {
+  Node* node_a = node(a);
+  Node* node_b = node(b);
+  if (node_a == nullptr || node_b == nullptr) {
+    return Status::NotFound("no node named '" +
+                            (node_a == nullptr ? a : b) + "'");
+  }
+  return network_->SetFaultProfile(node_a->id(), node_b->id(), fault);
 }
 
 Status Testbed::CollectStats() {

@@ -13,6 +13,7 @@
 
 #include "core/node.h"
 #include "core/super_peer.h"
+#include "net/fault.h"
 #include "net/network.h"
 #include "net/threaded_network.h"
 #include "storage/storage_options.h"
@@ -33,6 +34,10 @@ class Testbed {
     // durable storage under <directory>/<node name> (crash-kill via
     // KillNode, disk-backed restart via RestartNode).
     StorageOptions storage;
+    // Fault profile installed as the network default AFTER the initial
+    // settle run, so discovery and the config broadcast stay fault-free
+    // while all experiment traffic rides the unreliable network.
+    FaultProfile fault;
   };
 
   // Builds the network, creates one Node per declaration, seeds the data,
@@ -66,6 +71,12 @@ class Testbed {
 
   // Collects statistics into the super-peer (runs the network).
   Status CollectStats();
+
+  // Installs `fault` on the pipe between two named nodes (both
+  // directions). `FaultProfile::Partition()` scripts a silent partition:
+  // the link eats everything but neither side learns the pipe died.
+  Status SetFault(const std::string& a, const std::string& b,
+                  const FaultProfile& fault);
 
   // Crash-kills a node: it leaves the network without any shutdown
   // courtesy (pipes snap, in-flight messages are dropped) — exactly what

@@ -48,13 +48,13 @@ TEST(PipeTest, LifecycleAndToString) {
 
 TEST(MessageTest, WireSizeIsHeaderPlusPayload) {
   Message m;
-  EXPECT_EQ(m.WireSize(), 12u);
+  EXPECT_EQ(m.WireSize(), Message::kHeaderBytes);
   m.payload.assign(100, 0);
-  EXPECT_EQ(m.WireSize(), 112u);
+  EXPECT_EQ(m.WireSize(), Message::kHeaderBytes + 100u);
 }
 
 TEST(MessageTest, EveryTypeHasAName) {
-  for (uint16_t raw : {1, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}) {
+  for (uint16_t raw : {1, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21}) {
     EXPECT_STRNE(MessageTypeName(static_cast<MessageType>(raw)),
                  "UNKNOWN");
   }
@@ -74,10 +74,12 @@ TEST(TransportStatsTest, ReportBreaksDownByType) {
   stats.RecordDrop(ack);
 
   EXPECT_EQ(stats.total_messages(), 3u);
-  EXPECT_EQ(stats.total_bytes(), 2u * 100u + 12u);
+  EXPECT_EQ(stats.total_bytes(),
+            2u * (88u + Message::kHeaderBytes) + Message::kHeaderBytes);
   EXPECT_EQ(stats.dropped_messages(), 1u);
   EXPECT_EQ(stats.MessagesOfType(MessageType::kUpdateData), 2u);
-  EXPECT_EQ(stats.BytesOfType(MessageType::kUpdateData), 200u);
+  EXPECT_EQ(stats.BytesOfType(MessageType::kUpdateData),
+            2u * (88u + Message::kHeaderBytes));
   EXPECT_EQ(stats.MessagesOfType(MessageType::kQueryResult), 0u);
 
   std::string report = stats.Report();

@@ -69,8 +69,8 @@ TEST_F(NetworkTest, LatencyAndBandwidthDelayDelivery) {
   profile.bandwidth_bpus = 2.0;  // 2 bytes per us
   ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_, profile).ok());
 
-  // WireSize = 12 header + 88 payload = 100 bytes -> 50us transmit.
-  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 88)).ok());
+  // WireSize = 16 header + 84 payload = 100 bytes -> 50us transmit.
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 84)).ok());
   network_.Run();
   ASSERT_EQ(b_.receive_times.size(), 1u);
   EXPECT_EQ(b_.receive_times[0], 1050);
@@ -84,8 +84,8 @@ TEST_F(NetworkTest, PipeIsFifoAndSerializesBandwidth) {
 
   // Two 100-byte messages sent back to back at t=0: the second waits for
   // the first to clear the link (FIFO serialization).
-  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 88)).ok());
-  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 88)).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 84)).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 84)).ok());
   network_.Run();
   ASSERT_EQ(b_.receive_times.size(), 2u);
   EXPECT_EQ(b_.receive_times[0], 110);   // 100 transmit + 10 latency
@@ -97,8 +97,8 @@ TEST_F(NetworkTest, OppositeDirectionsDoNotShareBandwidth) {
   profile.latency_us = 10;
   profile.bandwidth_bpus = 1.0;
   ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_, profile).ok());
-  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 88)).ok());
-  ASSERT_TRUE(network_.Send(Msg(id_b_, id_a_, 88)).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 84)).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_b_, id_a_, 84)).ok());
   network_.Run();
   ASSERT_EQ(b_.receive_times.size(), 1u);
   ASSERT_EQ(a_.receive_times.size(), 1u);
@@ -215,7 +215,7 @@ TEST_F(NetworkTest, RunHonorsEventCap) {
 
 TEST_F(NetworkTest, StatsCountMessagesAndBytes) {
   ASSERT_TRUE(network_.OpenPipe(id_a_, id_b_).ok());
-  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 88)).ok());
+  ASSERT_TRUE(network_.Send(Msg(id_a_, id_b_, 84)).ok());
   network_.Run();
   EXPECT_EQ(network_.stats().total_messages(), 1u);
   EXPECT_EQ(network_.stats().total_bytes(), 100u);

@@ -141,5 +141,117 @@ TEST_F(TerminationTest, StrayAckIsIgnored) {
   EXPECT_EQ(detector_.DeficitOf(flow_), 0u);
 }
 
+TEST_F(TerminationTest, DuplicateAckDoesNotUnderflowDeficit) {
+  detector_.StartRoot(flow_, OnTerminated());
+  detector_.OnSent(flow_, PeerId(1));
+  detector_.OnSent(flow_, PeerId(2));
+
+  detector_.OnAck(flow_, PeerId(1));
+  // A duplicated ack from the same peer must be dropped, not counted
+  // against peer 2's outstanding message.
+  detector_.OnAck(flow_, PeerId(1));
+  detector_.MaybeQuiesce();
+  EXPECT_TRUE(terminated.empty());
+  EXPECT_EQ(detector_.DeficitOf(flow_), 1u);
+
+  detector_.OnAck(flow_, PeerId(2));
+  detector_.MaybeQuiesce();
+  ASSERT_EQ(terminated.size(), 1u);
+}
+
+TEST_F(TerminationTest, AckAfterPeerLostIsDropped) {
+  detector_.StartRoot(flow_, OnTerminated());
+  detector_.OnSent(flow_, PeerId(1));
+  detector_.OnSent(flow_, PeerId(2));
+
+  // Peer 1's deficit is cancelled; its in-flight ack then arrives anyway
+  // (loss was a partition, not a death). It must not be matched against
+  // peer 2's bucket.
+  detector_.OnPeerLost(PeerId(1));
+  detector_.OnAck(flow_, PeerId(1));
+  detector_.MaybeQuiesce();
+  EXPECT_TRUE(terminated.empty());
+  EXPECT_EQ(detector_.DeficitOf(flow_), 1u);
+
+  detector_.OnAck(flow_, PeerId(2));
+  detector_.MaybeQuiesce();
+  ASSERT_EQ(terminated.size(), 1u);
+}
+
+TEST_F(TerminationTest, AckFromPeerNeverSentToIsDropped) {
+  detector_.StartRoot(flow_, OnTerminated());
+  detector_.OnSent(flow_, PeerId(1));
+
+  // The flow is known but peer 2 owes us nothing: a forged/rerouted ack
+  // must not release peer 1's deficit.
+  detector_.OnAck(flow_, PeerId(2));
+  detector_.MaybeQuiesce();
+  EXPECT_TRUE(terminated.empty());
+  EXPECT_EQ(detector_.DeficitOf(flow_), 1u);
+
+  detector_.OnAck(flow_, PeerId(1));
+  detector_.MaybeQuiesce();
+  ASSERT_EQ(terminated.size(), 1u);
+}
+
+TEST_F(TerminationTest, LostParentWithZeroDeficitThenReengage) {
+  // Engaged with nothing outstanding: losing the parent must disengage
+  // immediately (no MaybeQuiesce in the peer-lost path fires for us).
+  detector_.OnBasicMessage(flow_, PeerId(7));
+  detector_.OnPeerLost(PeerId(7));
+  EXPECT_FALSE(detector_.IsEngaged(flow_));
+  EXPECT_TRUE(acks_sent.empty());
+
+  // A later wave re-engages cleanly with the new parent.
+  detector_.OnBasicMessage(flow_, PeerId(8));
+  EXPECT_TRUE(detector_.IsEngaged(flow_));
+  detector_.MaybeQuiesce();
+  ASSERT_EQ(acks_sent.size(), 1u);
+  EXPECT_EQ(acks_sent[0].first, PeerId(8));
+}
+
+TEST_F(TerminationTest, CancelOneReleasesExactlyOneUnit) {
+  detector_.StartRoot(flow_, OnTerminated());
+  detector_.OnSent(flow_, PeerId(1));
+  detector_.OnSent(flow_, PeerId(1));
+
+  detector_.CancelOne(flow_, PeerId(1));
+  detector_.MaybeQuiesce();
+  EXPECT_TRUE(terminated.empty());
+  EXPECT_EQ(detector_.DeficitOf(flow_), 1u);
+
+  detector_.CancelOne(flow_, PeerId(1));
+  detector_.MaybeQuiesce();
+  ASSERT_EQ(terminated.size(), 1u);
+  // Further cancels are no-ops.
+  detector_.CancelOne(flow_, PeerId(1));
+  EXPECT_EQ(detector_.DeficitOf(flow_), 0u);
+}
+
+TEST_F(TerminationTest, AbortAtRootSkipsTerminationCallback) {
+  detector_.StartRoot(flow_, OnTerminated());
+  detector_.OnSent(flow_, PeerId(1));
+
+  detector_.Abort(flow_);
+  EXPECT_EQ(detector_.DeficitOf(flow_), 0u);
+  // The caller reports the abort itself; on_terminated stays unfired even
+  // across later idle checks and stray acks.
+  detector_.MaybeQuiesce();
+  detector_.OnAck(flow_, PeerId(1));
+  detector_.MaybeQuiesce();
+  EXPECT_TRUE(terminated.empty());
+}
+
+TEST_F(TerminationTest, AbortAtNonRootSendsDeferredParentAck) {
+  detector_.OnBasicMessage(flow_, PeerId(7));
+  detector_.OnSent(flow_, PeerId(9));
+
+  detector_.Abort(flow_);
+  ASSERT_EQ(acks_sent.size(), 1u);
+  EXPECT_EQ(acks_sent[0].first, PeerId(7));
+  EXPECT_FALSE(detector_.IsEngaged(flow_));
+  EXPECT_EQ(detector_.DeficitOf(flow_), 0u);
+}
+
 }  // namespace
 }  // namespace codb
