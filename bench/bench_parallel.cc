@@ -1,0 +1,69 @@
+// Experiment E13 — intra-node parallel evaluation scaling.
+//
+// One fixed workload (joincopy rules on a 16-node chain, 800 tuples per
+// node: the heaviest per-node join work of the suite) run at node thread
+// counts 1, 2, 4 and 8. Every run must complete and produce the same
+// store sizes — the differential suite proves byte-identical results;
+// this bench measures what the parallelism buys in wall time.
+//
+// Expected shape: update_wall_ms falls as threads grow *when the host has
+// cores to back them*; on a single-core host the thread counts collapse
+// onto the sequential time (the pool parks workers on a condition
+// variable, so oversubscription costs little — but buys nothing).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace codb {
+namespace bench {
+namespace {
+
+void Run() {
+  Print("E13: intra-node parallel scaling (joincopy chain, 16x800)\n");
+  Print("  %-24s %14s %10s %12s\n", "scenario", "update_ms", "speedup",
+        "tuples");
+
+  WorkloadOptions options;
+  options.nodes = 16;
+  options.tuples_per_node = 800;
+  options.style = RuleStyle::kJoinCopy;
+  GeneratedNetwork generated = MakeChain(options);
+
+  double baseline_ms = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    Testbed::Options testbed_options;
+    testbed_options.node_threads = threads;
+    UpdateMetrics metrics = RunUpdate(generated, "n0", testbed_options);
+    if (threads == 1) baseline_ms = metrics.wall_ms;
+    double speedup =
+        metrics.wall_ms > 0 ? baseline_ms / metrics.wall_ms : 0.0;
+
+    std::string scenario =
+        "joincopy/16x800/threads=" + std::to_string(threads);
+    if (JsonMode()) {
+      JsonValue obj = ToJson(metrics);
+      obj.Set("scenario", JsonValue::Str(scenario));
+      obj.Set("threads", JsonValue::Int(threads));
+      obj.Set("update_wall_ms", JsonValue::Number(metrics.wall_ms));
+      obj.Set("speedup_vs_sequential", JsonValue::Number(speedup));
+      RecordJson(std::move(obj));
+    }
+    Print("  %-24s %14.1f %9.2fx %12llu\n", scenario.c_str(),
+          metrics.wall_ms, speedup,
+          static_cast<unsigned long long>(metrics.tuples_moved));
+    if (!metrics.completed) {
+      std::fprintf(stderr, "update did not complete at threads=%d\n",
+                   threads);
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace codb
+
+int main(int argc, char** argv) {
+  return codb::bench::BenchMain(argc, argv, codb::bench::Run);
+}

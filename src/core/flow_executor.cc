@@ -1,0 +1,59 @@
+#include "core/flow_executor.h"
+
+namespace codb {
+
+FlowExecutor::FlowExecutor(ThreadPool* pool, NetworkBase* network)
+    : pool_(pool), network_(network) {}
+
+FlowExecutor::~FlowExecutor() { Drain(); }
+
+void FlowExecutor::Post(const FlowId& flow, std::function<void()> task) {
+  network_->BeginExternalWork();
+  bool start = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Strand& strand = strands_[flow];
+    strand.queue.push_back(std::move(task));
+    if (!strand.running) {
+      strand.running = true;
+      start = true;
+    }
+  }
+  // With a worker-less pool Submit executes inline, which fully drains the
+  // strand before Post returns — the sequential path, unchanged.
+  if (start) pool_->Submit([this, flow] { RunStrand(flow); });
+}
+
+void FlowExecutor::RunStrand(FlowId flow) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = strands_.find(flow);
+      Strand& strand = it->second;
+      if (strand.queue.empty()) {
+        // Erase on drain: an empty strand map is the no-leak invariant
+        // the teardown checks assert.
+        strands_.erase(it);
+        idle_cv_.notify_all();
+        return;
+      }
+      task = std::move(strand.queue.front());
+      strand.queue.pop_front();
+    }
+    task();
+    network_->EndExternalWork();
+  }
+}
+
+size_t FlowExecutor::ActiveFlows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strands_.size();
+}
+
+void FlowExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return strands_.empty(); });
+}
+
+}  // namespace codb

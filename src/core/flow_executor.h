@@ -1,0 +1,72 @@
+// Per-flow FIFO strands over a shared thread pool (DESIGN.md §10).
+//
+// Concurrent flow admission needs two properties at once: messages of one
+// flow must be handled in arrival order (the reliability layer's DupFilter
+// releases parked messages in sequence, and the managers' state machines
+// assume it), while messages of *different* flows should overlap. A
+// FlowExecutor gives each FlowId a strand — a FIFO queue drained by at
+// most one pool task at a time — so order holds per flow and concurrency
+// happens across flows.
+//
+// Quiescence: every posted task is bracketed with the network's
+// BeginExternalWork/EndExternalWork, so NetworkBase::Run() blocks until
+// all strands drain; the testbed's settle loops keep working unchanged.
+//
+// Leak check: a strand is erased the moment its queue drains, so
+// ActiveFlows() == 0 after quiescence proves no flow left work behind —
+// the concurrent-flows stress test asserts exactly this at teardown.
+
+#ifndef CODB_CORE_FLOW_EXECUTOR_H_
+#define CODB_CORE_FLOW_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "core/protocol.h"
+#include "net/network_interface.h"
+#include "util/thread_pool.h"
+
+namespace codb {
+
+class FlowExecutor {
+ public:
+  FlowExecutor(ThreadPool* pool, NetworkBase* network);
+  ~FlowExecutor();
+
+  FlowExecutor(const FlowExecutor&) = delete;
+  FlowExecutor& operator=(const FlowExecutor&) = delete;
+
+  // Appends `task` to the flow's strand; starts a drain if idle.
+  void Post(const FlowId& flow, std::function<void()> task);
+
+  // Strands with queued or running work right now.
+  size_t ActiveFlows() const;
+
+  // Blocks until every strand has drained. Called by the owner's
+  // destructor so strand tasks never outlive the managers they touch.
+  void Drain();
+
+ private:
+  struct Strand {
+    std::deque<std::function<void()>> queue;
+    bool running = false;
+  };
+
+  // Pool task: drains one strand until its queue empties.
+  void RunStrand(FlowId flow);
+
+  ThreadPool* pool_;
+  NetworkBase* network_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::map<FlowId, Strand> strands_;
+};
+
+}  // namespace codb
+
+#endif  // CODB_CORE_FLOW_EXECUTOR_H_

@@ -11,6 +11,13 @@ namespace codb {
 Node::Node(NetworkBase* network, std::string name)
     : network_(network), name_(std::move(name)) {}
 
+Node::~Node() {
+  // Drain in-flight flow strands before any member dies: strand tasks
+  // hold shared_ptrs to the managers but also touch the wrapper, the
+  // statistics module, and the network binding.
+  if (flow_exec_ != nullptr) flow_exec_->Drain();
+}
+
 Result<std::unique_ptr<Node>> Node::Create(NetworkBase* network,
                                            const std::string& name,
                                            DatabaseSchema schema,
@@ -35,8 +42,37 @@ Result<std::unique_ptr<Node>> Node::Create(NetworkBase* network,
   node->minter_ = std::make_unique<NullMinter>(node->id_.value);
   node->discovery_ =
       std::make_unique<DiscoveryService>(network, node->id_);
+  // One pool serves both the evaluator fan-out and the flow strands.
+  // num_threads == 1 spawns no workers: every Submit runs inline and the
+  // node behaves exactly like the historical single-threaded build.
+  node->pool_ = std::make_unique<ThreadPool>(options.exec.num_threads);
+  node->flow_exec_ =
+      std::make_unique<FlowExecutor>(node->pool_.get(), network);
   node->AnnounceSelf();
   return node;
+}
+
+bool Node::ConcurrentFlows() const {
+  return options_.exec.concurrent_flows &&
+         network_->SupportsBackgroundWork();
+}
+
+void Node::SampleExecMetrics() {
+  ThreadPool::StatsSnapshot pool = pool_->Stats();
+  MetricsRegistry& metrics = statistics_.metrics();
+  metrics.GetGauge("exec.threads")->Set(pool_->num_threads());
+  metrics.GetGauge("exec.queue_depth")
+      ->Set(static_cast<int64_t>(pool.queue_depth));
+  metrics.GetGauge("exec.tasks_executed")
+      ->Set(static_cast<int64_t>(pool.executed));
+  metrics.GetGauge("exec.tasks_stolen")
+      ->Set(static_cast<int64_t>(pool.stolen));
+  metrics.GetGauge("exec.worker_busy_us")
+      ->Set(static_cast<int64_t>(pool.busy_us));
+  metrics.GetGauge("exec.lock_wait_us")
+      ->Set(static_cast<int64_t>(wrapper_->store_lock().wait_us()));
+  metrics.GetGauge("exec.active_flows")
+      ->Set(static_cast<int64_t>(flow_exec_->ActiveFlows()));
 }
 
 void Node::AnnounceSelf() {
@@ -93,17 +129,22 @@ Status Node::ApplyConfig(const NetworkConfig& config, uint64_t version) {
   // Rebuild the DBM against the new configuration. In-flight updates and
   // queries of the previous configuration are abandoned (the initiators'
   // termination detectors see the dropped peers as lost).
+  EvalOptions eval;
+  eval.num_threads = options_.exec.num_threads;
+  eval.pool = pool_.get();
+  eval.min_parallel_rows = options_.exec.min_parallel_rows;
   UpdateManager::Options update_options = options_.update;
   update_options.reliability = options_.reliability;
-  update_manager_ = std::make_unique<UpdateManager>(
+  update_options.eval = eval;
+  update_manager_ = std::make_shared<UpdateManager>(
       network_, id_, name_, wrapper_.get(), config_.get(),
       link_graph_.get(), &statistics_, minter_.get(), &update_seq_,
       update_options);
   CODB_RETURN_IF_ERROR(update_manager_->Init());
-  query_manager_ = std::make_unique<QueryManager>(
+  query_manager_ = std::make_shared<QueryManager>(
       network_, id_, name_, wrapper_.get(), config_.get(),
       link_graph_.get(), &statistics_, minter_.get(), &query_seq_,
-      options_.reliability);
+      options_.reliability, eval);
   CODB_RETURN_IF_ERROR(query_manager_->Init());
 
   AnnounceSelf();
@@ -235,25 +276,21 @@ void Node::HandleMessage(const Message& message) {
     case MessageType::kUpdateData:
     case MessageType::kLinkClosed:
     case MessageType::kUpdateComplete:
-      if (update_manager_ != nullptr) update_manager_->HandleMessage(message);
+      DispatchFlowMessage(message, /*to_update=*/true);
       return;
 
     case MessageType::kQueryRequest:
     case MessageType::kQueryResult:
     case MessageType::kQueryDone:
-      if (query_manager_ != nullptr) query_manager_->HandleMessage(message);
+      DispatchFlowMessage(message, /*to_update=*/false);
       return;
 
     case MessageType::kUpdateAck: {
       Result<AckPayload> ack = AckPayload::Deserialize(message.payload);
       if (!ack.ok()) return;
-      if (ack.value().flow.scope == FlowId::Scope::kUpdate) {
-        if (update_manager_ != nullptr) {
-          update_manager_->HandleMessage(message);
-        }
-      } else if (query_manager_ != nullptr) {
-        query_manager_->HandleMessage(message);
-      }
+      DispatchFlowMessage(
+          message,
+          /*to_update=*/ack.value().flow.scope == FlowId::Scope::kUpdate);
       return;
     }
 
@@ -262,17 +299,15 @@ void Node::HandleMessage(const Message& message) {
       Result<DeliveryAckPayload> receipt =
           DeliveryAckPayload::Deserialize(message.payload);
       if (!receipt.ok()) return;
-      if (receipt.value().flow.scope == FlowId::Scope::kUpdate) {
-        if (update_manager_ != nullptr) {
-          update_manager_->HandleMessage(message);
-        }
-      } else if (query_manager_ != nullptr) {
-        query_manager_->HandleMessage(message);
-      }
+      DispatchFlowMessage(
+          message,
+          /*to_update=*/receipt.value().flow.scope ==
+              FlowId::Scope::kUpdate);
       return;
     }
 
     case MessageType::kStatsRequest:
+      SampleExecMetrics();
       network_->Send(MakeMessage(id_, message.src, MessageType::kStatsReport,
                                  statistics_.SerializeAll()));
       return;
@@ -281,6 +316,39 @@ void Node::HandleMessage(const Message& message) {
       CODB_LOG(kWarning) << name_ << ": unexpected stats report from "
                          << message.src.ToString();
       return;
+  }
+}
+
+void Node::DispatchFlowMessage(const Message& message, bool to_update) {
+  if (ConcurrentFlows()) {
+    // Strand dispatch: per-flow FIFO order, cross-flow concurrency. The
+    // strand task captures the manager shared_ptr at dispatch time, so a
+    // reconfiguration swapping managers cannot pull it out from under a
+    // running flow.
+    Result<FlowId> flow = PeekFlowId(message.payload);
+    if (flow.ok()) {
+      if (to_update) {
+        if (std::shared_ptr<UpdateManager> manager = update_manager_) {
+          flow_exec_->Post(flow.value(), [manager, message] {
+            manager->HandleMessage(message);
+          });
+        }
+      } else {
+        if (std::shared_ptr<QueryManager> manager = query_manager_) {
+          flow_exec_->Post(flow.value(), [manager, message] {
+            manager->HandleMessage(message);
+          });
+        }
+      }
+      return;
+    }
+    // Unparseable flow id: fall through to the inline path, where the
+    // manager's own parse error reporting applies.
+  }
+  if (to_update) {
+    if (update_manager_ != nullptr) update_manager_->HandleMessage(message);
+  } else {
+    if (query_manager_ != nullptr) query_manager_->HandleMessage(message);
   }
 }
 

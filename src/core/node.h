@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/flow_executor.h"
 #include "core/link_graph.h"
 #include "core/query_manager.h"
 #include "core/statistics.h"
@@ -28,12 +29,33 @@
 #include "net/discovery.h"
 #include "net/network_interface.h"
 #include "storage/storage.h"
+#include "util/thread_pool.h"
 #include "wrapper/wrapper.h"
 
 namespace codb {
 
+// Intra-node execution (DESIGN.md §10). Defaults keep the historical
+// single-threaded node: sequential evaluator, flow handlers inline.
+// (Namespace scope, not nested: nested-class member initializers are
+// late-parsed and cannot back a default argument of the enclosing class.)
+struct NodeExecOptions {
+  // Worker fan-out of the partitioned-join evaluator; 1 = the
+  // byte-identical sequential path.
+  int num_threads = 1;
+  // Admit several flows at once: flow-scoped messages run on per-flow
+  // strands of the node's pool instead of inline, so query flows and
+  // the update flow overlap. Only honored on runtimes that support
+  // background work (the threaded network); the deterministic
+  // simulator always handles inline.
+  bool concurrent_flows = false;
+  // Smallest probe-side candidate count worth forking for.
+  size_t min_parallel_rows = 32;
+};
+
 class Node : public NetworkPeer {
  public:
+  using ExecOptions = NodeExecOptions;
+
   struct Options {
     UpdateManager::Options update;
     LinkProfile link_profile;  // profile of the pipes this node opens
@@ -41,6 +63,7 @@ class Node : public NetworkPeer {
     // `update.reliability` is overwritten with this value so one knob
     // configures the whole node.
     ReliabilityOptions reliability;
+    ExecOptions exec;
   };
 
   // Creates the node, joins the network, and announces itself. `schema`
@@ -52,7 +75,7 @@ class Node : public NetworkPeer {
                                               bool mediator = false,
                                               Options options = Options());
 
-  ~Node() override = default;
+  ~Node() override;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
@@ -128,6 +151,11 @@ class Node : public NetworkPeer {
   StatisticsModule& statistics() { return statistics_; }
   const StatisticsModule& statistics() const { return statistics_; }
   DiscoveryService& discovery() { return *discovery_; }
+  // Flow strands currently in flight (0 once the node is quiescent; the
+  // concurrency tests assert this at teardown).
+  size_t ActiveFlows() const {
+    return flow_exec_ != nullptr ? flow_exec_->ActiveFlows() : 0;
+  }
 
   // The textual "UI": schema, pipes, links, per-update reports (Figure 1's
   // UI module / Figure 2's query window).
@@ -144,6 +172,18 @@ class Node : public NetworkPeer {
   Node(NetworkBase* network, std::string name);
 
   void AnnounceSelf();
+
+  // True when flow-scoped messages go to per-flow strands instead of
+  // running inline under mutex_.
+  bool ConcurrentFlows() const;
+
+  // Routes a flow-scoped message to its manager, either inline or on the
+  // flow's strand. `to_update` picks the manager.
+  void DispatchFlowMessage(const Message& message, bool to_update);
+
+  // Publishes the exec.* gauges (pool + store-lock health) into the
+  // metrics registry; called when a stats report is cut.
+  void SampleExecMetrics();
 
   // Serializes the public API against the node's own message handlers:
   // on the threaded runtime an initiator keeps receiving replies while
@@ -167,11 +207,18 @@ class Node : public NetworkPeer {
   uint64_t config_version_ = 0;
   std::unique_ptr<NetworkConfig> config_;
   std::unique_ptr<LinkGraph> link_graph_;
-  std::unique_ptr<UpdateManager> update_manager_;
-  std::unique_ptr<QueryManager> query_manager_;
+  // shared_ptr: strand tasks capture the manager at dispatch, so a
+  // reconfiguration can swap managers while old flows finish safely.
+  std::shared_ptr<UpdateManager> update_manager_;
+  std::shared_ptr<QueryManager> query_manager_;
   uint64_t update_seq_ = 0;  // survive manager rebuilds: ids stay unique
   uint64_t query_seq_ = 0;
   std::set<uint32_t> rule_pipes_;  // peers we opened pipes to, per config
+  // Declared after the managers and pool_ before flow_exec_: destruction
+  // runs flow_exec_ first (draining in-flight strand tasks, which still
+  // use the managers and the pool), then the pool, then the managers.
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<FlowExecutor> flow_exec_;
 };
 
 }  // namespace codb

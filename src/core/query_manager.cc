@@ -15,7 +15,7 @@ QueryManager::QueryManager(NetworkBase* network, PeerId self,
                            const LinkGraph* link_graph,
                            StatisticsModule* stats, NullMinter* minter,
                            uint64_t* query_seq,
-                           ReliabilityOptions reliability)
+                           ReliabilityOptions reliability, EvalOptions eval)
     : network_(network),
       self_(self),
       node_name_(std::move(node_name)),
@@ -24,6 +24,7 @@ QueryManager::QueryManager(NetworkBase* network, PeerId self,
       link_graph_(link_graph),
       stats_(stats),
       minter_(minter),
+      eval_(eval),
       m_started_(stats->metrics().GetCounter("query.started")),
       m_requests_in_(stats->metrics().GetCounter("query.requests_in")),
       m_results_in_(stats->metrics().GetCounter("query.results_in")),
@@ -44,6 +45,8 @@ QueryManager::QueryManager(NetworkBase* network, PeerId self,
       }),
       reliable_(network, reliability,
                 [this](const FlowId& flow, PeerId dst, bool basic) {
+                  // Runs from a retransmit timer, outside HandleMessage.
+                  std::lock_guard<std::recursive_mutex> lock(mu_);
                   if (basic) termination_.CancelOne(flow, dst);
                   termination_.MaybeQuiesce();
                 },
@@ -77,6 +80,10 @@ QueryManager::QueryState& QueryManager::StateOf(const FlowId& query) {
 Database& QueryManager::OverlayOf(QueryState& state) {
   if (state.overlay == nullptr) {
     state.overlay = std::make_unique<Database>();
+    // Copy-on-start snapshot of the shared store: bracketed as a reader
+    // (wrapper locking contract) so a concurrent update flow's writes
+    // never interleave with the copy.
+    ShardedRWLock::ReadAllGuard read_guard(wrapper_->store_lock());
     const Database& storage = wrapper_->storage();
     for (const std::string& name : storage.RelationNames()) {
       const Relation* relation = storage.Find(name);
@@ -90,6 +97,7 @@ Database& QueryManager::OverlayOf(QueryState& state) {
 
 Result<FlowId> QueryManager::StartQuery(const ConjunctiveQuery& query,
                                         ProgressFn on_progress) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CODB_RETURN_IF_ERROR(query.Validate());
   if (query.head.size() != 1 || !query.ExistentialVars().empty()) {
     return Status::InvalidArgument(
@@ -210,6 +218,7 @@ void QueryManager::DrainReady(const Message& delivered) {
 }
 
 void QueryManager::HandleMessage(const Message& message) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (message.type == MessageType::kDeliveryAck) {
     Result<DeliveryAckPayload> receipt =
         DeliveryAckPayload::Deserialize(message.payload);
@@ -299,9 +308,12 @@ void QueryManager::Serve(
       Tracer::Global().BeginSpanHere("query.serve", query.ToString()));
   Tracer::Global().AddArg(span.id(), "rule", rule_id);
 
+  // The overlay is private to this query and only touched under the
+  // monitor, so no store guard is needed; the evaluator may still fan the
+  // join out over the worker pool.
   std::vector<Tuple> frontiers;
   if (delta == nullptr) {
-    frontiers = rule.EvaluateFrontier(overlay);
+    frontiers = rule.EvaluateFrontier(overlay, eval_);
   } else {
     for (const auto& [relation, rows] : *delta) {
       bool referenced =
@@ -311,7 +323,7 @@ void QueryManager::Serve(
                        }) != rule.query().body.end();
       if (!referenced) continue;
       std::vector<Tuple> partial =
-          rule.EvaluateFrontierDelta(overlay, relation, rows);
+          rule.EvaluateFrontierDelta(overlay, relation, rows, eval_);
       frontiers.insert(frontiers.end(), partial.begin(), partial.end());
     }
   }
@@ -427,6 +439,8 @@ void QueryManager::FinishOwned(const FlowId& query) {
 }
 
 void QueryManager::AbortIfIncomplete(const FlowId& query) {
+  // Entered from the flow-deadline timer, outside HandleMessage.
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   QueryState& state = StateOf(query);
   if (!state.owned || state.done) return;
   CODB_LOG(kWarning) << node_name_ << ": deadline expired for "
@@ -458,6 +472,7 @@ void QueryManager::OnDone(const Message& message) {
 }
 
 void QueryManager::HandlePipeClosed(PeerId other) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   reliable_.OnPeerLost(other);
   termination_.OnPeerLost(other);
   termination_.MaybeQuiesce();
@@ -491,20 +506,36 @@ std::vector<PeerId> QueryManager::Acquaintances() const {
 bool QueryManager::LocallyInconsistent() const {
   const NodeDecl* decl = config_->FindNode(node_name_);
   if (decl == nullptr || decl->keys.empty()) return false;
+  ShardedRWLock::ReadAllGuard read_guard(wrapper_->store_lock());
   return !FindKeyViolations(wrapper_->storage(), decl->keys).empty();
 }
 
 bool QueryManager::IsDone(const FlowId& query) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = queries_.find(query);
   return it != queries_.end() && it->second.done;
 }
 
+size_t QueryManager::ForeignQueryStates() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  size_t count = 0;
+  for (const auto& [id, state] : queries_) {
+    if (!state.owned) ++count;
+  }
+  return count;
+}
+
 Result<std::vector<Tuple>> QueryManager::Answers(const FlowId& query) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = queries_.find(query);
   if (it == queries_.end() || !it->second.owned) {
     return Status::NotFound("not the origin of " + query.ToString());
   }
   const QueryState& state = it->second;
+  // Owned queries always have an overlay; the storage fallback (read
+  // under the store lock) covers states deserialized by older paths.
+  std::optional<ShardedRWLock::ReadAllGuard> read_guard;
+  if (state.overlay == nullptr) read_guard.emplace(wrapper_->store_lock());
   const Database& db =
       state.overlay != nullptr ? *state.overlay : wrapper_->storage();
   if (!state.compiled_user_query.has_value()) {
@@ -518,7 +549,7 @@ Result<std::vector<Tuple>> QueryManager::Answers(const FlowId& query) const {
         CompiledQuery::Compile(q, db.Schema(), output));
     state.compiled_user_query.emplace(std::move(compiled));
   }
-  return state.compiled_user_query->Evaluate(db);
+  return state.compiled_user_query->Evaluate(db, eval_);
 }
 
 Result<std::vector<Tuple>> QueryManager::CertainAnswers(

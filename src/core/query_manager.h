@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -50,11 +51,14 @@ class QueryManager {
 
   // `query_seq` is the node-owned counter of issued queries; it lives
   // outside the manager so ids stay unique across reconfigurations.
+  // `eval` configures this manager's rule/answer evaluations (thread pool
+  // + fan-out for the partitioned-join path; defaults stay sequential).
   QueryManager(NetworkBase* network, PeerId self, std::string node_name,
                Wrapper* wrapper, const NetworkConfig* config,
                const LinkGraph* link_graph, StatisticsModule* stats,
                NullMinter* minter, uint64_t* query_seq,
-               ReliabilityOptions reliability = ReliabilityOptions());
+               ReliabilityOptions reliability = ReliabilityOptions(),
+               EvalOptions eval = EvalOptions());
 
   // Compiles this node's incoming links (rules it may be asked to serve).
   Status Init();
@@ -81,6 +85,11 @@ class QueryManager {
   // marked-null semantics (for conjunctive queries, evaluating the naive
   // tables and dropping rows with nulls is sound and complete).
   Result<std::vector<Tuple>> CertainAnswers(const FlowId& query) const;
+
+  // Per-query states held for queries *other* nodes own. The no-leak
+  // teardown check: once every owned query finished and its done-flood
+  // propagated, this is zero network-wide.
+  size_t ForeignQueryStates() const;
 
  private:
   struct QueryState {
@@ -155,6 +164,12 @@ class QueryManager {
   // True when this node's store violates its own key constraints.
   bool LocallyInconsistent() const;
 
+  // Monitor serializing this manager's handlers, timers, and answer reads
+  // (DESIGN.md §10); see UpdateManager::mu_ for the rationale. Cross-flow
+  // concurrency comes from the update manager running on its own strand
+  // and from the evaluator's worker pool, not from reentering here.
+  mutable std::recursive_mutex mu_;
+
   NetworkBase* network_;
   PeerId self_;
   std::string node_name_;
@@ -163,6 +178,7 @@ class QueryManager {
   const LinkGraph* link_graph_;
   StatisticsModule* stats_;
   NullMinter* minter_;
+  EvalOptions eval_;
 
   // Cached instruments from stats_->metrics() (see update_manager.h).
   Counter* m_started_;

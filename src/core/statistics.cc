@@ -137,17 +137,20 @@ std::string UpdateReport::Render() const {
 }
 
 UpdateReport& StatisticsModule::ReportFor(const FlowId& update) {
+  std::lock_guard<std::mutex> lock(mu_);
   UpdateReport& report = reports_[update];
   report.update = update;
   return report;
 }
 
 const UpdateReport* StatisticsModule::FindReport(const FlowId& update) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = reports_.find(update);
   return it == reports_.end() ? nullptr : &it->second;
 }
 
 std::vector<uint8_t> StatisticsModule::SerializeAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
   WireWriter writer;
   writer.WriteU32(static_cast<uint32_t>(reports_.size()));
   for (const auto& [id, report] : reports_) {

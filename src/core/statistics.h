@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -83,12 +84,19 @@ struct StatsBundle {
   MetricsSnapshot metrics;
 };
 
+// Thread-safety: the report *map* is guarded by an internal mutex (the
+// update and query managers insert reports from different flow strands).
+// The UpdateReport& that ReportFor hands out stays valid forever
+// (std::map nodes are stable) and is mutated without the lock — safe
+// because a report's fields are only written by its own flow, whose
+// handlers the owning manager serializes (DESIGN.md §10).
 class StatisticsModule {
  public:
   // Creates (if needed) and returns the report for an update.
   UpdateReport& ReportFor(const FlowId& update);
 
   const UpdateReport* FindReport(const FlowId& update) const;
+  // Unguarded view for quiescent inspection (reports/tests after Run()).
   const std::map<FlowId, UpdateReport>& reports() const { return reports_; }
 
   // WAL/checkpoint/recovery counters; DurableStorage writes into this.
@@ -101,7 +109,10 @@ class StatisticsModule {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
-  void Clear() { reports_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    reports_.clear();
+  }
 
   // Payload body of a kStatsReport message: every accumulated report plus
   // the durability counters.
@@ -113,6 +124,7 @@ class StatisticsModule {
       const std::vector<uint8_t>& payload);
 
  private:
+  mutable std::mutex mu_;  // guards the structure of reports_
   std::map<FlowId, UpdateReport> reports_;
   DurabilityStats durability_;
   MetricsRegistry metrics_;

@@ -59,7 +59,11 @@ UpdateManager::UpdateManager(NetworkBase* network, PeerId self,
                 [this](const FlowId& flow, PeerId dst, bool basic) {
                   // Retry budget exhausted: the D-S ack for that basic
                   // message will never come, so cancel its deficit unit
-                  // or the flow would hang at the root forever.
+                  // or the flow would hang at the root forever. Runs from
+                  // a retransmit timer, i.e. outside HandleMessage — take
+                  // the monitor (the sender releases its own mutex before
+                  // invoking give-up callbacks, so ordering holds).
+                  std::lock_guard<std::recursive_mutex> lock(mu_);
                   if (basic) termination_.CancelOne(flow, dst);
                   termination_.MaybeQuiesce();
                 },
@@ -111,6 +115,7 @@ UpdateManager::UpdateState& UpdateManager::StateOf(const FlowId& update) {
 }
 
 FlowId UpdateManager::StartUpdate(bool refresh) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FlowId update{FlowId::Scope::kUpdate, self_.value, (*update_seq_)++};
   m_started_->Add();
   // Root span of the whole diffusing computation: every other span of this
@@ -139,6 +144,8 @@ FlowId UpdateManager::StartUpdate(bool refresh) {
 }
 
 void UpdateManager::AbortIfIncomplete(const FlowId& update) {
+  // Entered from the flow-deadline timer, outside HandleMessage.
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   UpdateState& state = StateOf(update);
   if (state.complete) return;
   CODB_LOG(kWarning) << node_name_ << ": deadline expired for "
@@ -198,7 +205,14 @@ void UpdateManager::FireInitial(const FlowId& update, UpdateState& state,
   ScopedSpan span(
       Tracer::Global().BeginSpanHere("update.rule_eval", update.ToString()));
   Tracer::Global().AddArg(span.id(), "rule", rule_id);
-  std::vector<Tuple> frontiers = rule.EvaluateFrontier(wrapper_->storage());
+  std::vector<Tuple> frontiers;
+  {
+    // Rule evaluation composes direct storage() reads, so the caller
+    // brackets them (wrapper locking contract): shared on every shard,
+    // excluding concurrent writers but not other readers.
+    ShardedRWLock::ReadAllGuard read_guard(wrapper_->store_lock());
+    frontiers = rule.EvaluateFrontier(wrapper_->storage(), options_.eval);
+  }
   span.End();
   ShipFrontiers(update, state, rule_id, std::move(frontiers),
                 /*path=*/{self_.value});
@@ -337,6 +351,7 @@ void UpdateManager::DrainReady(const Message& delivered) {
 }
 
 void UpdateManager::HandleMessage(const Message& message) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Stopwatch wall;
   if (message.type == MessageType::kDeliveryAck) {
     Result<DeliveryAckPayload> receipt =
@@ -518,8 +533,9 @@ void UpdateManager::OnData(const Message& message) {
                          return atom.predicate == relation;
                        }) != rule.query().body.end();
       if (!referenced) continue;
-      std::vector<Tuple> partial =
-          rule.EvaluateFrontierDelta(wrapper_->storage(), relation, rows);
+      ShardedRWLock::ReadAllGuard read_guard(wrapper_->store_lock());
+      std::vector<Tuple> partial = rule.EvaluateFrontierDelta(
+          wrapper_->storage(), relation, rows, options_.eval);
       frontiers.insert(frontiers.end(), partial.begin(), partial.end());
     }
     eval_span.End();
@@ -654,6 +670,7 @@ void UpdateManager::OnComplete(const Message& message) {
 }
 
 void UpdateManager::HandlePipeClosed(PeerId other) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   reliable_.OnPeerLost(other);
   termination_.OnPeerLost(other);
   for (auto& [update, state] : updates_) {
@@ -692,15 +709,18 @@ std::vector<PeerId> UpdateManager::Acquaintances() const {
 bool UpdateManager::LocallyInconsistent() const {
   const NodeDecl* decl = config_->FindNode(node_name_);
   if (decl == nullptr || decl->keys.empty()) return false;
+  ShardedRWLock::ReadAllGuard read_guard(wrapper_->store_lock());
   return !FindKeyViolations(wrapper_->storage(), decl->keys).empty();
 }
 
 bool UpdateManager::IsJoined(const FlowId& update) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = updates_.find(update);
   return it != updates_.end() && it->second.joined;
 }
 
 bool UpdateManager::IsClosed(const FlowId& update) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = updates_.find(update);
   if (it == updates_.end()) return false;
   for (const auto& [rule_id, link] : it->second.outgoing) {
@@ -710,12 +730,14 @@ bool UpdateManager::IsClosed(const FlowId& update) const {
 }
 
 bool UpdateManager::IsComplete(const FlowId& update) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = updates_.find(update);
   return it != updates_.end() && it->second.complete;
 }
 
 bool UpdateManager::OutgoingLinkClosed(const FlowId& update,
                                        const std::string& rule_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = updates_.find(update);
   if (it == updates_.end()) return false;
   auto link = it->second.outgoing.find(rule_id);
@@ -724,6 +746,7 @@ bool UpdateManager::OutgoingLinkClosed(const FlowId& update,
 
 bool UpdateManager::IncomingLinkClosed(const FlowId& update,
                                        const std::string& rule_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = updates_.find(update);
   if (it == updates_.end()) return false;
   auto link = it->second.incoming.find(rule_id);

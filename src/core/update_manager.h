@@ -31,6 +31,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_set>
@@ -70,6 +71,10 @@ class UpdateManager {
     // At-least-once delivery (core/reliability.h). Off by default: the
     // fault-free runtimes keep their historical message counts.
     ReliabilityOptions reliability;
+    // Execution options for this manager's rule evaluations: thread pool +
+    // fan-out for the partitioned-join path (query/evaluator.h). The
+    // defaults keep the historical sequential evaluator.
+    EvalOptions eval;
   };
 
   // All pointers must outlive the manager. `node_name` is this node's name
@@ -190,6 +195,13 @@ class UpdateManager {
 
   // True when this node's store violates its own key constraints.
   bool LocallyInconsistent() const;
+
+  // Monitor serializing this manager's handlers and timers (DESIGN.md
+  // §10): with concurrent flow admission, the update flow's strand, the
+  // reliability timers, and introspection calls from other threads all
+  // enter here. Recursive because the single-threaded simulator delivers
+  // nested callbacks (pipe-closed, give-ups) from within a handler.
+  mutable std::recursive_mutex mu_;
 
   NetworkBase* network_;
   PeerId self_;

@@ -320,10 +320,12 @@ void ThreadedNetwork::WorkerLoop(uint32_t index) {
       work_cv_.wait(lock);
       continue;
     }
-    // FIFO delivery, but not before the item's due time.
-    auto now = std::chrono::steady_clock::now();
-    if (worker.inbox.front().due > now) {
-      work_cv_.wait_until(lock, worker.inbox.front().due);
+    // FIFO delivery, but not before the item's due time. Copy the due
+    // time out: wait_until releases the lock, and the inbox may grow
+    // (or the timers vector reallocate) while we sleep.
+    auto due = worker.inbox.front().due;
+    if (due > std::chrono::steady_clock::now()) {
+      work_cv_.wait_until(lock, due);
       continue;
     }
     InboxItem item = std::move(worker.inbox.front());
@@ -388,9 +390,12 @@ void ThreadedNetwork::TimerLoop() {
       work_cv_.wait(lock);
       continue;
     }
-    auto now = std::chrono::steady_clock::now();
-    if (earliest->due > now) {
-      work_cv_.wait_until(lock, earliest->due);
+    // Copy the due time before sleeping: wait_until releases the lock,
+    // and a concurrent ScheduleAt may reallocate timers_, leaving
+    // `earliest` (and any reference into it) dangling.
+    auto due = earliest->due;
+    if (due > std::chrono::steady_clock::now()) {
+      work_cv_.wait_until(lock, due);
       continue;
     }
     std::function<void()> action = std::move(earliest->action);
@@ -402,6 +407,18 @@ void ThreadedNetwork::TimerLoop() {
     --busy_;
     if (busy_ == 0) quiescent_cv_.notify_all();
   }
+}
+
+void ThreadedNetwork::BeginExternalWork() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++busy_;
+}
+
+void ThreadedNetwork::EndExternalWork() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++events_processed_;
+  --busy_;
+  if (busy_ == 0) quiescent_cv_.notify_all();
 }
 
 uint64_t ThreadedNetwork::Run(uint64_t max_events) {

@@ -77,6 +77,12 @@ class ThreadedNetwork : public NetworkBase {
   // notifications + timer actions) processed since the previous Run().
   uint64_t Run(uint64_t max_events) override;
 
+  // Work a peer runs on its own executor (a node's flow strands) joins
+  // the busy_ accounting so Run() waits for it like any inbox item.
+  bool SupportsBackgroundWork() const override { return true; }
+  void BeginExternalWork() override;
+  void EndExternalWork() override;
+
   TransportStats& stats() override { return stats_; }
   const TransportStats& stats() const override { return stats_; }
 

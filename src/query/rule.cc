@@ -84,16 +84,17 @@ Status CoordinationRule::Compile(const DatabaseSchema& exporter_schema,
 }
 
 std::vector<Tuple> CoordinationRule::EvaluateFrontier(
-    const Database& exporter_db) const {
+    const Database& exporter_db, const EvalOptions& options) const {
   assert(compiled_ && "Compile() must succeed before evaluation");
-  return compiled_->body.Evaluate(exporter_db);
+  return compiled_->body.Evaluate(exporter_db, options);
 }
 
 std::vector<Tuple> CoordinationRule::EvaluateFrontierDelta(
     const Database& exporter_db, const std::string& delta_relation,
-    const std::vector<Tuple>& delta) const {
+    const std::vector<Tuple>& delta, const EvalOptions& options) const {
   assert(compiled_ && "Compile() must succeed before evaluation");
-  return compiled_->body.EvaluateDelta(exporter_db, delta_relation, delta);
+  return compiled_->body.EvaluateDelta(exporter_db, delta_relation, delta,
+                                       options);
 }
 
 std::vector<HeadTuple> CoordinationRule::InstantiateHead(

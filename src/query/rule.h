@@ -21,6 +21,7 @@
 #ifndef CODB_QUERY_RULE_H_
 #define CODB_QUERY_RULE_H_
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,17 +34,23 @@
 namespace codb {
 
 // Source of fresh marked nulls. Each node owns one, keyed by its peer id,
-// so labels are globally unique without coordination.
+// so labels are globally unique without coordination. The counter is
+// atomic because a node's update and query managers share one minter and,
+// under concurrent flow admission, run on different executor strands;
+// each flow's null sequence stays deterministic because rule firings
+// within a flow are serialized (DESIGN.md §10).
 class NullMinter {
  public:
   explicit NullMinter(uint32_t peer) : peer_(peer) {}
 
-  Value Mint() { return Value::Null(peer_, next_++); }
-  uint64_t minted() const { return next_; }
+  Value Mint() {
+    return Value::Null(peer_, next_.fetch_add(1, std::memory_order_relaxed));
+  }
+  uint64_t minted() const { return next_.load(std::memory_order_relaxed); }
 
  private:
   uint32_t peer_;
-  uint64_t next_ = 0;
+  std::atomic<uint64_t> next_{0};
 };
 
 // One head tuple destined for a relation of the importer.
@@ -85,13 +92,26 @@ class CoordinationRule {
   bool compiled() const { return compiled_.has_value(); }
 
   // Distinguished-variable bindings of the body over the exporter db.
-  std::vector<Tuple> EvaluateFrontier(const Database& exporter_db) const;
+  // The EvalOptions overloads thread the node's parallel-evaluation knobs
+  // down to CompiledQuery.
+  std::vector<Tuple> EvaluateFrontier(const Database& exporter_db) const {
+    return EvaluateFrontier(exporter_db, EvalOptions());
+  }
+  std::vector<Tuple> EvaluateFrontier(const Database& exporter_db,
+                                      const EvalOptions& options) const;
 
   // Same, restricted to derivations using `delta` for some occurrence of
   // `delta_relation` (see CompiledQuery::EvaluateDelta).
   std::vector<Tuple> EvaluateFrontierDelta(
       const Database& exporter_db, const std::string& delta_relation,
-      const std::vector<Tuple>& delta) const;
+      const std::vector<Tuple>& delta) const {
+    return EvaluateFrontierDelta(exporter_db, delta_relation, delta,
+                                 EvalOptions());
+  }
+  std::vector<Tuple> EvaluateFrontierDelta(const Database& exporter_db,
+                                           const std::string& delta_relation,
+                                           const std::vector<Tuple>& delta,
+                                           const EvalOptions& options) const;
 
   // Head tuples for one frontier binding; mints one fresh null per
   // existential variable, shared across this firing's head atoms.

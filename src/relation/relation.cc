@@ -95,28 +95,23 @@ Tuple Relation::ProjectColumns(const Tuple& tuple,
   return Tuple(key);
 }
 
-const Relation::RowIndexList& Relation::Probe(int column,
-                                              const Value& key) const {
+void Relation::EnsureColumnIndex(int column) const {
   assert(column >= 0 && column < arity());
   if (column_indexes_.empty()) {
     column_indexes_.resize(static_cast<size_t>(arity()));
   }
   ColumnIndex& ci = column_indexes_[static_cast<size_t>(column)];
-  if (!ci.built) {
-    ci.buckets.reserve(rows_.size());
-    for (size_t row = 0; row < rows_.size(); ++row) {
-      ci.buckets[rows_[row].at(column)].push_back(
-          static_cast<uint32_t>(row));
-    }
-    ci.built = true;
+  if (ci.built) return;
+  ci.buckets.reserve(rows_.size());
+  for (size_t row = 0; row < rows_.size(); ++row) {
+    ci.buckets[rows_[row].at(column)].push_back(static_cast<uint32_t>(row));
   }
-  auto it = ci.buckets.find(key);
-  return it == ci.buckets.end() ? kEmptyBucket : it->second;
+  ci.built = true;
 }
 
-const Relation::RowIndexList& Relation::ProbeComposite(
-    const std::vector<int>& columns, const std::vector<Value>& keys) const {
-  assert(!columns.empty() && columns.size() == keys.size());
+Relation::CompositeIndex& Relation::EnsureCompositeIndexImpl(
+    const std::vector<int>& columns) const {
+  assert(!columns.empty());
   assert(std::is_sorted(columns.begin(), columns.end()));
   auto [it, created] = composite_indexes_.try_emplace(columns);
   CompositeIndex& composite = it->second;
@@ -127,6 +122,25 @@ const Relation::RowIndexList& Relation::ProbeComposite(
           static_cast<uint32_t>(row));
     }
   }
+  return composite;
+}
+
+void Relation::EnsureCompositeIndex(const std::vector<int>& columns) const {
+  EnsureCompositeIndexImpl(columns);
+}
+
+const Relation::RowIndexList& Relation::Probe(int column,
+                                              const Value& key) const {
+  EnsureColumnIndex(column);
+  const ColumnIndex& ci = column_indexes_[static_cast<size_t>(column)];
+  auto it = ci.buckets.find(key);
+  return it == ci.buckets.end() ? kEmptyBucket : it->second;
+}
+
+const Relation::RowIndexList& Relation::ProbeComposite(
+    const std::vector<int>& columns, const std::vector<Value>& keys) const {
+  assert(columns.size() == keys.size());
+  const CompositeIndex& composite = EnsureCompositeIndexImpl(columns);
   auto bucket = composite.buckets.find(Tuple(keys.data(), keys.size()));
   return bucket == composite.buckets.end() ? kEmptyBucket : bucket->second;
 }

@@ -89,6 +89,14 @@ class Relation {
   const RowIndexList& ProbeComposite(const std::vector<int>& columns,
                                      const std::vector<Value>& keys) const;
 
+  // Force the lazy index build eagerly, so later Probe/ProbeComposite
+  // calls on that column set are pure reads. The parallel evaluator
+  // pre-builds every index its plan will touch *before* worker threads
+  // start probing; without this, two workers could race the first-probe
+  // build (see the concurrency note on column_indexes_ below).
+  void EnsureColumnIndex(int column) const;
+  void EnsureCompositeIndex(const std::vector<int>& columns) const;
+
   // Total wire size of all rows (for volume statistics).
   size_t WireSize() const;
 
@@ -129,6 +137,11 @@ class Relation {
   // Adds row `row` (== its position in rows_) to every built index.
   void AppendToIndexes(const Tuple& tuple, uint32_t row) const;
 
+  // Build-if-absent returning the index, so ProbeComposite pays a single
+  // map lookup.
+  CompositeIndex& EnsureCompositeIndexImpl(
+      const std::vector<int>& columns) const;
+
   static Tuple ProjectColumns(const Tuple& tuple,
                               const std::vector<int>& columns);
 
@@ -137,8 +150,10 @@ class Relation {
   std::unordered_set<uint32_t, RowRefHash, RowRefEq> index_;
 
   // Lazily built, incrementally maintained probe indexes. Mutable because
-  // probing is logically const; safe without locks because a peer's store
-  // is only touched from that peer's (single) event thread.
+  // probing is logically const. Not internally locked: mutation (inserts,
+  // first-probe builds) happens either on the peer's single event thread
+  // or under the owning Wrapper's store lock; parallel evaluator workers
+  // only probe indexes pre-built via Ensure*Index (DESIGN.md §10).
   mutable std::vector<ColumnIndex> column_indexes_;
   mutable std::map<std::vector<int>, CompositeIndex> composite_indexes_;
   static const RowIndexList kEmptyBucket;

@@ -1,0 +1,187 @@
+// Sharded reader/writer lock mediating access to a node's relation store
+// once several flows can touch it concurrently (DESIGN.md §10).
+//
+// Keys (relation names) hash to one of N shards, each an independent
+// std::shared_mutex. A writer touching one relation takes only that
+// shard; whole-store operations (snapshot copies, refresh rebuilds,
+// full-body query evaluation) take every shard in index order, which
+// also makes multi-shard acquisition deadlock-free by construction: all
+// paths acquire shards in ascending index order, and no path acquires a
+// second shard while holding a later one.
+//
+// The lock keeps a cumulative wait-time counter (time spent blocked in
+// any guard constructor) so the owner can export it as `exec.lock_wait`.
+
+#ifndef CODB_UTIL_SHARDED_RWLOCK_H_
+#define CODB_UTIL_SHARDED_RWLOCK_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace codb {
+
+class ShardedRWLock {
+ public:
+  static constexpr size_t kDefaultShards = 8;
+
+  explicit ShardedRWLock(size_t shards = kDefaultShards) {
+    if (shards == 0) shards = 1;
+    for (size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<std::shared_mutex>());
+    }
+  }
+
+  ShardedRWLock(const ShardedRWLock&) = delete;
+  ShardedRWLock& operator=(const ShardedRWLock&) = delete;
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t ShardOf(const std::string& key) const {
+    return std::hash<std::string>{}(key) % shards_.size();
+  }
+
+  // Cumulative microseconds guards spent acquiring (mostly ~0 when
+  // uncontended; grows when readers block behind a writer or vice versa).
+  uint64_t wait_us() const {
+    return wait_us_.load(std::memory_order_relaxed);
+  }
+
+  class ReadGuard {
+   public:
+    ReadGuard(const ShardedRWLock& lock, const std::string& key)
+        : mu_(lock.shards_[lock.ShardOf(key)].get()) {
+      auto start = Clock::now();
+      mu_->lock_shared();
+      lock.Charge(start);
+    }
+    ~ReadGuard() { mu_->unlock_shared(); }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    std::shared_mutex* mu_;
+  };
+
+  class WriteGuard {
+   public:
+    WriteGuard(const ShardedRWLock& lock, const std::string& key)
+        : mu_(lock.shards_[lock.ShardOf(key)].get()) {
+      auto start = Clock::now();
+      mu_->lock();
+      lock.Charge(start);
+    }
+    ~WriteGuard() { mu_->unlock(); }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    std::shared_mutex* mu_;
+  };
+
+  // Exclusive lock on a specific ascending set of shard indices (as
+  // produced by SortedShardsOf). Orders consistently with the *AllGuards,
+  // which also acquire ascending.
+  class WriteSetGuard {
+   public:
+    WriteSetGuard(const ShardedRWLock& lock, std::vector<size_t> shards)
+        : lock_(&lock), shards_(std::move(shards)) {
+      auto start = Clock::now();
+      for (size_t s : shards_) lock_->shards_[s]->lock();
+      lock_->Charge(start);
+    }
+    ~WriteSetGuard() {
+      for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+        lock_->shards_[*it]->unlock();
+      }
+    }
+    WriteSetGuard(const WriteSetGuard&) = delete;
+    WriteSetGuard& operator=(const WriteSetGuard&) = delete;
+
+   private:
+    const ShardedRWLock* lock_;
+    std::vector<size_t> shards_;
+  };
+
+  // Distinct shard indices of `keys`, ascending — the acquisition order
+  // WriteSetGuard requires. `proj` maps an element to its string key.
+  template <typename Iter, typename Proj>
+  std::vector<size_t> SortedShardsOf(Iter begin, Iter end, Proj proj) const {
+    std::vector<size_t> shards;
+    for (Iter it = begin; it != end; ++it) {
+      shards.push_back(ShardOf(proj(*it)));
+    }
+    std::sort(shards.begin(), shards.end());
+    shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+    return shards;
+  }
+  template <typename Iter>
+  std::vector<size_t> SortedShardsOf(Iter begin, Iter end) const {
+    return SortedShardsOf(begin, end,
+                          [](const std::string& key) -> const std::string& {
+                            return key;
+                          });
+  }
+
+  class ReadAllGuard {
+   public:
+    explicit ReadAllGuard(const ShardedRWLock& lock) : lock_(&lock) {
+      auto start = Clock::now();
+      for (const auto& shard : lock_->shards_) shard->lock_shared();
+      lock_->Charge(start);
+    }
+    ~ReadAllGuard() {
+      for (auto it = lock_->shards_.rbegin(); it != lock_->shards_.rend();
+           ++it) {
+        (*it)->unlock_shared();
+      }
+    }
+    ReadAllGuard(const ReadAllGuard&) = delete;
+    ReadAllGuard& operator=(const ReadAllGuard&) = delete;
+
+   private:
+    const ShardedRWLock* lock_;
+  };
+
+  class WriteAllGuard {
+   public:
+    explicit WriteAllGuard(const ShardedRWLock& lock) : lock_(&lock) {
+      auto start = Clock::now();
+      for (const auto& shard : lock_->shards_) shard->lock();
+      lock_->Charge(start);
+    }
+    ~WriteAllGuard() {
+      for (auto it = lock_->shards_.rbegin(); it != lock_->shards_.rend();
+           ++it) {
+        (*it)->unlock();
+      }
+    }
+    WriteAllGuard(const WriteAllGuard&) = delete;
+    WriteAllGuard& operator=(const WriteAllGuard&) = delete;
+
+   private:
+    const ShardedRWLock* lock_;
+  };
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void Charge(Clock::time_point start) const {
+    wait_us_.fetch_add(std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - start)
+                           .count(),
+                       std::memory_order_relaxed);
+  }
+
+  std::vector<std::unique_ptr<std::shared_mutex>> shards_;
+  mutable std::atomic<uint64_t> wait_us_{0};
+};
+
+}  // namespace codb
+
+#endif  // CODB_UTIL_SHARDED_RWLOCK_H_

@@ -38,6 +38,12 @@ class Testbed {
     // settle run, so discovery and the config broadcast stay fault-free
     // while all experiment traffic rides the unreliable network.
     FaultProfile fault;
+    // Convenience knobs over node.exec (core/node.h): when node_threads
+    // is > 0 it overrides node.exec.num_threads on every spawned node;
+    // concurrent_flows likewise. Benches and tests flip these instead of
+    // reaching into node.exec.
+    int node_threads = 0;
+    bool concurrent_flows = false;
   };
 
   // Builds the network, creates one Node per declaration, seeds the data,

@@ -176,8 +176,12 @@ void AddIntegrationSource(NetworkConfig& config, NetworkInstance& seeds,
   auto add_rule = [&](const std::string& text) {
     Result<ConjunctiveQuery> query = ParseQuery(text);
     assert(query.ok());
+    // Built in two steps: GCC 12's -Wrestrict misfires on the
+    // operator+(const char*, string&&) form once inlined here.
+    std::string rule_id = "m";
+    rule_id += std::to_string((*rule_counter)++);
     Status added = config.AddRule(
-        CoordinationRule("m" + std::to_string((*rule_counter)++), importer,
+        CoordinationRule(rule_id, importer,
                          source.name, std::move(query).value()));
     assert(added.ok());
     (void)added;

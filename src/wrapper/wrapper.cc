@@ -16,6 +16,7 @@ Result<std::unique_ptr<Wrapper>> Wrapper::ForDatabase(
                                                  &catalog));
   wrapper->ldb_ = ldb;
   wrapper->storage_ = ldb;
+  wrapper->PrecreateProvenance();
   return wrapper;
 }
 
@@ -30,11 +31,36 @@ Result<std::unique_ptr<Wrapper>> Wrapper::ForMediator(
   CODB_RETURN_IF_ERROR(wrapper->dbs_.SetExported(std::move(exported),
                                                  /*full_catalog=*/nullptr));
   wrapper->storage_ = wrapper->transient_.get();
+  wrapper->PrecreateProvenance();
   return wrapper;
+}
+
+void Wrapper::PrecreateProvenance() {
+  // Create the provenance entry of every exported relation up front so
+  // ApplyHeadTuples never mutates the *structure* of imported_ — a
+  // concurrent ImportedCount then only races on the vectors, which the
+  // store lock already mediates.
+  for (const RelationSchema& rel : dbs_.exported().relations()) {
+    imported_[rel.name()];
+  }
 }
 
 Result<std::map<std::string, std::vector<Tuple>>> Wrapper::ApplyHeadTuples(
     const std::vector<HeadTuple>& tuples) {
+  // Writer side of the store lock: exclusive on exactly the shards of the
+  // relations this batch touches, so query overlays copying other
+  // relations can proceed (readers take all shards shared, so they still
+  // exclude every writer).
+  std::vector<const std::string*> names;
+  names.reserve(tuples.size());
+  for (const HeadTuple& ht : tuples) names.push_back(&ht.relation);
+  ShardedRWLock::WriteSetGuard write_guard(
+      store_lock_,
+      store_lock_.SortedShardsOf(
+          names.begin(), names.end(),
+          [](const std::string* name) -> const std::string& {
+            return *name;
+          }));
   // A batch touches only a handful of relations but its tuples arrive
   // interleaved (rule heads fire round-robin), so resolve each relation
   // name once into a slot and pick the slot per tuple with a short linear
@@ -66,7 +92,12 @@ Result<std::map<std::string, std::vector<Tuple>>> Wrapper::ApplyHeadTuples(
       // The fresh tuple is the last row; flag its position as imported.
       slot->provenance->resize(slot->rel->size(), 0);
       slot->provenance->back() = 1;
-      if (journal_ != nullptr) journal_->LogInsert(ht.relation, ht.tuple);
+      if (journal_ != nullptr) {
+        // Sinks assume serialized appends; the sharded store lock does
+        // not guarantee that across disjoint-relation writers.
+        std::lock_guard<std::mutex> journal_lock(journal_mu_);
+        journal_->LogInsert(ht.relation, ht.tuple);
+      }
       slot->added.push_back(ht.tuple);
     }
   }
@@ -78,6 +109,7 @@ Result<std::map<std::string, std::vector<Tuple>>> Wrapper::ApplyHeadTuples(
 }
 
 void Wrapper::DropImported() {
+  ShardedRWLock::WriteAllGuard write_guard(store_lock_);
   for (auto& [relation_name, provenance] : imported_) {
     Relation* relation = storage_->Find(relation_name);
     if (relation == nullptr || provenance.empty()) continue;
@@ -92,10 +124,12 @@ void Wrapper::DropImported() {
     relation->Clear();
     for (const Tuple& tuple : kept) relation->Insert(tuple);
   }
-  imported_.clear();
+  // Reset the flags but keep the map structure (see PrecreateProvenance).
+  for (auto& [relation_name, provenance] : imported_) provenance.clear();
 }
 
 size_t Wrapper::ImportedCount() const {
+  ShardedRWLock::ReadAllGuard read_guard(store_lock_);
   size_t total = 0;
   for (const auto& [relation, provenance] : imported_) {
     for (char flag : provenance) total += flag != 0;
@@ -117,6 +151,7 @@ Result<std::vector<Tuple>> Wrapper::EvaluateQuery(
   for (const Term& term : query.head[0].terms) {
     if (term.is_var()) output.push_back(term.var());
   }
+  ShardedRWLock::ReadAllGuard read_guard(store_lock_);
   DatabaseSchema schema = storage_->Schema();
   CODB_ASSIGN_OR_RETURN(CompiledQuery compiled,
                         CompiledQuery::Compile(query, schema, output));

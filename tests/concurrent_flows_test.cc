@@ -1,0 +1,230 @@
+// Concurrent flow admission under the threaded runtime: several query
+// flows race one global update on nodes with per-flow strands enabled
+// (Node::ExecOptions::concurrent_flows). The update inserts monotonically
+// (kJoinCopy derives no deletions and no nulls), so every racing query
+// must observe a store *sandwiched* between the pre-update and the
+// post-update state:
+//
+//     A_pre(n)  ⊆  certain answers of a query racing at n  ⊆  A_post(n)
+//
+// where A_pre/A_post are the node's local d-rows before/after the update.
+// On top of the sandwich, completion callbacks must fire exactly once per
+// flow, and at teardown no strand may be left running and no foreign
+// query state may be leaked anywhere in the network — the no-leak
+// invariants DESIGN.md §10 promises.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "query/parser.h"
+#include "workload/testbed.h"
+#include "workload/topology_gen.h"
+
+namespace codb {
+namespace {
+
+ConjunctiveQuery Q(const std::string& text) {
+  Result<ConjunctiveQuery> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+Testbed::Options ConcurrentOptions() {
+  Testbed::Options options;
+  options.threaded = true;
+  options.concurrent_flows = true;
+  options.node_threads = 2;
+  options.node.link_profile.latency_us = 200;
+  options.node.link_profile.bandwidth_bpus = 0;
+  return options;
+}
+
+std::vector<Tuple> Sorted(std::vector<Tuple> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+bool IsSubset(const std::vector<Tuple>& small,
+              const std::vector<Tuple>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+void ExpectNoLeakedFlows(Testbed& bed) {
+  for (const auto& node : bed.nodes()) {
+    EXPECT_EQ(node->ActiveFlows(), 0u)
+        << "strand still active on " << node->name();
+    ASSERT_NE(node->query_manager(), nullptr);
+    EXPECT_EQ(node->query_manager()->ForeignQueryStates(), 0u)
+        << "foreign query state leaked on " << node->name();
+  }
+}
+
+TEST(ConcurrentFlowsTest, QueriesRacingAnUpdateSeeSandwichedStores) {
+  WorkloadOptions options;
+  options.nodes = 5;
+  options.tuples_per_node = 6;
+  options.style = RuleStyle::kJoinCopy;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed =
+      Testbed::Create(generated, ConcurrentOptions());
+  ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+  Testbed& bed = *testbed.value();
+
+  const ConjunctiveQuery kQuery = Q("q(K, V) :- d(K, V).");
+  const std::vector<std::string> kQueryNodes = {"n1", "n2", "n3", "n4"};
+
+  // Pre-update local state per querying node.
+  std::vector<std::vector<Tuple>> pre;
+  for (const std::string& name : kQueryNodes) {
+    Result<std::vector<Tuple>> rows = bed.node(name)->LocalQuery(kQuery);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    pre.push_back(Sorted(std::move(rows).value()));
+  }
+
+  // Launch the update and all queries before running the network, so
+  // their traffic genuinely interleaves on the delivery threads.
+  Result<FlowId> update = bed.node("n0")->StartGlobalUpdate();
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+
+  std::vector<std::atomic<int>> done_counts(kQueryNodes.size());
+  std::vector<FlowId> queries;
+  for (size_t i = 0; i < kQueryNodes.size(); ++i) {
+    std::atomic<int>* done = &done_counts[i];
+    Result<FlowId> query = bed.node(kQueryNodes[i])->StartQuery(
+        kQuery, [done](const QueryManager::QueryProgress& progress) {
+          if (progress.done) done->fetch_add(1);
+        });
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    queries.push_back(query.value());
+  }
+
+  bed.network().Run();
+
+  EXPECT_TRUE(bed.AllComplete(update.value()));
+  for (size_t i = 0; i < kQueryNodes.size(); ++i) {
+    Node* node = bed.node(kQueryNodes[i]);
+    SCOPED_TRACE("query node " + kQueryNodes[i]);
+
+    // Exactly-once completion.
+    EXPECT_TRUE(node->QueryDone(queries[i]));
+    EXPECT_EQ(done_counts[i].load(), 1);
+
+    Result<std::vector<Tuple>> racing =
+        node->CertainQueryAnswers(queries[i]);
+    ASSERT_TRUE(racing.ok()) << racing.status().ToString();
+    Result<std::vector<Tuple>> post = node->LocalQuery(kQuery);
+    ASSERT_TRUE(post.ok()) << post.status().ToString();
+
+    std::vector<Tuple> racing_sorted = Sorted(std::move(racing).value());
+    std::vector<Tuple> post_sorted = Sorted(std::move(post).value());
+    EXPECT_TRUE(IsSubset(pre[i], racing_sorted))
+        << "racing query missed pre-update local data";
+    EXPECT_TRUE(IsSubset(racing_sorted, post_sorted))
+        << "racing query answered with data absent from the final store";
+  }
+
+  ExpectNoLeakedFlows(bed);
+}
+
+TEST(ConcurrentFlowsTest, RacingFlowsSurviveAnUnreliableNetwork) {
+  // Same race, but every link drops 1% of messages and the at-least-once
+  // layer papers over it. The sandwich upper bound still holds (answers
+  // never contain data the final store lacks); the lower bound is only
+  // asserted for queries that actually completed, since a flow that gave
+  // up after max retries legitimately returns partial data.
+  WorkloadOptions options;
+  options.nodes = 4;
+  options.tuples_per_node = 5;
+  options.style = RuleStyle::kJoinCopy;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Testbed::Options testbed_options = ConcurrentOptions();
+  testbed_options.fault = FaultProfile::Drop(0.01, /*seed=*/17);
+  testbed_options.node.reliability.enabled = true;
+  testbed_options.node.reliability.retransmit_base_us = 5'000;
+  testbed_options.node.reliability.max_retries = 10;
+  Result<std::unique_ptr<Testbed>> testbed =
+      Testbed::Create(generated, testbed_options);
+  ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+  Testbed& bed = *testbed.value();
+
+  const ConjunctiveQuery kQuery = Q("q(K, V) :- d(K, V).");
+  const std::vector<std::string> kQueryNodes = {"n1", "n2", "n3"};
+
+  Result<FlowId> update = bed.node("n0")->StartGlobalUpdate();
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+
+  std::vector<std::atomic<int>> done_counts(kQueryNodes.size());
+  std::vector<FlowId> queries;
+  for (size_t i = 0; i < kQueryNodes.size(); ++i) {
+    std::atomic<int>* done = &done_counts[i];
+    Result<FlowId> query = bed.node(kQueryNodes[i])->StartQuery(
+        kQuery, [done](const QueryManager::QueryProgress& progress) {
+          if (progress.done) done->fetch_add(1);
+        });
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    queries.push_back(query.value());
+  }
+
+  bed.network().Run();
+
+  for (size_t i = 0; i < kQueryNodes.size(); ++i) {
+    Node* node = bed.node(kQueryNodes[i]);
+    SCOPED_TRACE("query node " + kQueryNodes[i]);
+
+    // Never more than one completion event, even with retransmissions
+    // and duplicate deliveries in play.
+    EXPECT_LE(done_counts[i].load(), 1);
+    if (!node->QueryDone(queries[i])) continue;
+    EXPECT_EQ(done_counts[i].load(), 1);
+
+    Result<std::vector<Tuple>> racing =
+        node->CertainQueryAnswers(queries[i]);
+    ASSERT_TRUE(racing.ok()) << racing.status().ToString();
+    Result<std::vector<Tuple>> post = node->LocalQuery(kQuery);
+    ASSERT_TRUE(post.ok()) << post.status().ToString();
+    EXPECT_TRUE(IsSubset(Sorted(std::move(racing).value()),
+                         Sorted(std::move(post).value())))
+        << "racing query answered with data absent from the final store";
+  }
+
+  ExpectNoLeakedFlows(bed);
+}
+
+TEST(ConcurrentFlowsTest, BackToBackUpdatesStayExactlyOnce) {
+  // Two sequential updates with concurrent admission enabled: the second
+  // flow's strand must not resurrect or double-complete the first.
+  WorkloadOptions options;
+  options.nodes = 4;
+  options.tuples_per_node = 4;
+  options.style = RuleStyle::kJoinCopy;
+  GeneratedNetwork generated = MakeChain(options);
+
+  Result<std::unique_ptr<Testbed>> testbed =
+      Testbed::Create(generated, ConcurrentOptions());
+  ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> first = bed.RunGlobalUpdate("n0");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(bed.AllComplete(first.value()));
+  NetworkInstance after_first = bed.Snapshot();
+
+  Result<FlowId> second = bed.RunGlobalUpdate("n0");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(bed.AllComplete(second.value()));
+
+  // The network was already at its fixpoint: a repeat update changes
+  // nothing, and the first flow stays complete.
+  EXPECT_EQ(bed.Snapshot(), after_first);
+  EXPECT_TRUE(bed.AllComplete(first.value()));
+  ExpectNoLeakedFlows(bed);
+}
+
+}  // namespace
+}  // namespace codb

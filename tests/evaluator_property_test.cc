@@ -3,16 +3,26 @@
 // enumerates the cartesian product of the body atoms. Any disagreement is
 // an evaluator bug (plan ordering, index probing, comparison placement,
 // dedup) by construction.
+//
+// Every case additionally re-runs under the partitioned-join parallel
+// path (num_threads = 4, min_parallel_rows = 1) and requires the output
+// *sequence* — not just the set — to match the sequential run: the
+// parallel evaluator promises byte-identical results (see
+// query/evaluator.h). A second suite draws the schema itself at random
+// (relation count, arities, instance sizes) so the fixed r/s/t shape
+// cannot mask shape-dependent bugs.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string>
 
 #include "query/evaluator.h"
 #include "relation/database.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace codb {
 namespace {
@@ -171,6 +181,37 @@ std::set<Tuple> BruteForce(const RandomCase& c) {
   return out;
 }
 
+// Pool shared across cases: building threads per case would dominate the
+// sweep's runtime for no extra coverage.
+ThreadPool& SharedPool() {
+  static ThreadPool pool(4);
+  return pool;
+}
+
+EvalOptions ForcedParallel() {
+  EvalOptions options;
+  options.num_threads = 4;
+  options.pool = &SharedPool();
+  options.min_parallel_rows = 1;  // parallelize even the tiny test inputs
+  return options;
+}
+
+// Runs the compiled query sequentially and in parallel, checks the dedup
+// promise and the byte-identical-sequence promise, and returns the
+// sequential rows for the brute-force comparison.
+std::vector<Tuple> EvaluateBothPaths(const CompiledQuery& compiled,
+                                     const Database& db) {
+  std::vector<Tuple> sequential = compiled.Evaluate(db);
+  std::set<Tuple> deduped(sequential.begin(), sequential.end());
+  // Evaluate() promises dedup: no row may appear twice.
+  EXPECT_EQ(deduped.size(), sequential.size());
+
+  std::vector<Tuple> parallel = compiled.Evaluate(db, ForcedParallel());
+  EXPECT_EQ(parallel, sequential)
+      << "parallel evaluation diverged from the sequential sequence";
+  return sequential;
+}
+
 class EvaluatorDifferentialSweep
     : public ::testing::TestWithParam<uint64_t> {};
 
@@ -182,16 +223,117 @@ TEST_P(EvaluatorDifferentialSweep, MatchesBruteForce) {
       CompiledQuery::Compile(c.query, c.schema, c.output_vars);
   ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
 
-  std::vector<Tuple> actual_rows = compiled.value().Evaluate(c.db);
+  std::vector<Tuple> actual_rows =
+      EvaluateBothPaths(compiled.value(), c.db);
   std::set<Tuple> actual(actual_rows.begin(), actual_rows.end());
-  // Evaluate() promises dedup: no row may appear twice.
-  EXPECT_EQ(actual.size(), actual_rows.size());
-
   EXPECT_EQ(actual, BruteForce(c));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorDifferentialSweep,
                          ::testing::Range<uint64_t>(1, 61));
+
+// -- random-schema suite -----------------------------------------------------
+
+// Draws the schema too: 1–4 relations of arity 1–3 with 1–14 rows each,
+// then a random query over whatever came out. Column type stays kInt so
+// the brute-force reference needs no type dispatch.
+RandomCase BuildSchemaCase(uint64_t seed) {
+  Rng rng(seed);
+  RandomCase c;
+
+  int relation_count = static_cast<int>(rng.UniformInt(1, 4));
+  std::vector<std::string> names;
+  std::vector<int> arities;
+  for (int r = 0; r < relation_count; ++r) {
+    std::string name = "rel" + std::to_string(r);
+    int arity = static_cast<int>(rng.UniformInt(1, 3));
+    std::vector<Attribute> columns;
+    for (int col = 0; col < arity; ++col) {
+      columns.push_back({"c" + std::to_string(col), ValueType::kInt});
+    }
+    c.db.CreateRelation(RelationSchema(name, std::move(columns)));
+    int rows = static_cast<int>(rng.UniformInt(1, 14));
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Value> row;
+      for (int col = 0; col < arity; ++col) {
+        row.push_back(Value::Int(rng.UniformInt(0, 5)));
+      }
+      c.db.Find(name)->Insert(Tuple(std::move(row)));
+    }
+    names.push_back(std::move(name));
+    arities.push_back(arity);
+  }
+  c.schema = c.db.Schema();
+
+  int atom_count = static_cast<int>(rng.UniformInt(1, 3));
+  std::vector<std::string> var_pool = {"X", "Y", "Z", "W", "U"};
+  std::set<std::string> used_vars;
+  for (int i = 0; i < atom_count; ++i) {
+    size_t pick = rng.Uniform(names.size());
+    Atom atom;
+    atom.predicate = names[pick];
+    for (int slot = 0; slot < arities[pick]; ++slot) {
+      if (rng.Chance(0.15)) {
+        atom.terms.push_back(
+            Term::Const(Value::Int(rng.UniformInt(0, 5))));
+      } else {
+        const std::string& var = var_pool[rng.Uniform(var_pool.size())];
+        atom.terms.push_back(Term::Var(var));
+        used_vars.insert(var);
+      }
+    }
+    c.query.body.push_back(std::move(atom));
+  }
+
+  std::vector<std::string> usable(used_vars.begin(), used_vars.end());
+  if (usable.empty()) {
+    c.query.body[0].terms[0] = Term::Var("X");
+    usable.push_back("X");
+  }
+  rng.Shuffle(usable);
+  size_t head_size = 1 + rng.Uniform(usable.size());
+  c.output_vars.assign(usable.begin(),
+                       usable.begin() + static_cast<long>(head_size));
+  Atom head;
+  head.predicate = "q";
+  for (const std::string& v : c.output_vars) {
+    head.terms.push_back(Term::Var(v));
+  }
+  c.query.head.push_back(std::move(head));
+
+  if (rng.Chance(0.5)) {
+    const ComparisonOp ops[] = {ComparisonOp::kEq,  ComparisonOp::kNeq,
+                                ComparisonOp::kLt,  ComparisonOp::kLeq,
+                                ComparisonOp::kGt,  ComparisonOp::kGeq};
+    Comparison comparison;
+    comparison.lhs = Term::Var(usable[rng.Uniform(usable.size())]);
+    comparison.op = ops[rng.Uniform(6)];
+    comparison.rhs = rng.Chance(0.5)
+                         ? Term::Const(Value::Int(rng.UniformInt(0, 5)))
+                         : Term::Var(usable[rng.Uniform(usable.size())]);
+    c.query.comparisons.push_back(std::move(comparison));
+  }
+  return c;
+}
+
+class RandomSchemaSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSchemaSweep, MatchesBruteForce) {
+  RandomCase c = BuildSchemaCase(GetParam());
+  SCOPED_TRACE("query: " + c.query.ToString());
+
+  Result<CompiledQuery> compiled =
+      CompiledQuery::Compile(c.query, c.schema, c.output_vars);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  std::vector<Tuple> actual_rows =
+      EvaluateBothPaths(compiled.value(), c.db);
+  std::set<Tuple> actual(actual_rows.begin(), actual_rows.end());
+  EXPECT_EQ(actual, BruteForce(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSchemaSweep,
+                         ::testing::Range<uint64_t>(100, 160));
 
 }  // namespace
 }  // namespace codb
