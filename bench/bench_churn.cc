@@ -9,8 +9,16 @@
 // Expected shape: the update always terminates; delivered data degrades
 // gracefully with the number of cuts (never below the initiator's own
 // share).
+//
+// The second half repeats the exercise against the membership layer
+// (DESIGN.md §11): instead of orderly pipe cuts, peers die *silently* —
+// no pipe event — and the survivors must detect the deaths through
+// suspicion and eviction. Reported per scenario: evictions vs. the
+// expected tracker count, false suspicions, and detection latency in
+// beacon periods.
 
 #include <cstdio>
+#include <set>
 
 #include "bench_util.h"
 #include "util/random.h"
@@ -18,6 +26,80 @@
 namespace codb {
 namespace bench {
 namespace {
+
+void RunMembershipChurn() {
+  const int64_t period = 200'000;
+  Print("E7b: silent-death churn (12-node chain, membership on)\n");
+  Print("%5s %6s | %10s %7s %7s %7s %8s %8s\n", "kills", "seed",
+        "terminated", "evict", "expect", "false", "det-avg", "det-max");
+
+  for (int kills : {1, 2}) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      WorkloadOptions options;
+      options.nodes = 12;
+      options.tuples_per_node = 20;
+      GeneratedNetwork generated = MakeChain(options);
+
+      Testbed::Options bed_options;
+      bed_options.membership = true;
+      bed_options.membership_options.period_us = period;
+      // Backoff past the detection window: only eviction can unblock the
+      // survivors' deficits toward the corpses.
+      bed_options.node.reliability.enabled = true;
+      bed_options.node.reliability.retransmit_base_us = 2'000'000;
+      std::unique_ptr<Testbed> bed =
+          std::move(Testbed::Create(generated, bed_options)).value();
+      Rng rng(seed);
+
+      // Tracking settles (grace = 2 periods), then `kills` distinct
+      // victims — never the initiator — die silently within the first
+      // 5ms of the update.
+      bed->network().RunFor(5 * period);
+      ChurnProbe probe(*bed);
+      std::set<int> victims;
+      while (victims.size() < static_cast<size_t>(kills)) {
+        victims.insert(1 + static_cast<int>(rng.Uniform(options.nodes - 1)));
+      }
+      for (int victim : victims) {
+        probe.ScheduleKill(NodeName(victim),
+                           static_cast<int64_t>(rng.Uniform(5'000)));
+      }
+
+      FlowId update = bed->node("n0")->StartGlobalUpdate().value();
+      probe.AwaitDetection(period / 2, 15 * period);
+      bed->network().Run();
+
+      bool terminated =
+          bed->node("n0")->update_manager()->IsComplete(update);
+      double detect_mean = probe.MeanDetectPeriods(period);
+      double detect_max = probe.MaxDetectPeriods(period);
+      if (JsonMode()) {
+        JsonValue obj = JsonValue::Object();
+        obj.Set("scenario",
+                JsonValue::Str("membership/kills=" + std::to_string(kills) +
+                               "/seed=" + std::to_string(seed)));
+        obj.Set("terminated", JsonValue::Bool(terminated));
+        obj.Set("all_detected", JsonValue::Bool(probe.AllDetected()));
+        obj.Set("evictions", JsonValue::Uint(probe.Evictions()));
+        obj.Set("expected_evictions",
+                JsonValue::Uint(probe.ExpectedEvictions()));
+        obj.Set("false_evictions", JsonValue::Uint(probe.FalseEvictions()));
+        obj.Set("false_suspicions",
+                JsonValue::Uint(probe.FalseSuspicions()));
+        obj.Set("detect_mean_periods", JsonValue::Number(detect_mean));
+        obj.Set("detect_max_periods", JsonValue::Number(detect_max));
+        RecordJson(std::move(obj));
+      }
+      Print("%5d %6llu | %10s %7llu %7llu %7llu %8.2f %8.2f\n", kills,
+            static_cast<unsigned long long>(seed),
+            terminated ? "yes" : "NO",
+            static_cast<unsigned long long>(probe.Evictions()),
+            static_cast<unsigned long long>(probe.ExpectedEvictions()),
+            static_cast<unsigned long long>(probe.FalseEvictions()),
+            detect_mean, detect_max);
+    }
+  }
+}
 
 void Run() {
   Print("E7: updates under churn (12-node chain, 20 tuples/node)\n");
@@ -68,6 +150,9 @@ void Run() {
                   100.0 * static_cast<double>(delivered) / 240.0);
     }
   }
+
+  Print("\n");
+  RunMembershipChurn();
 }
 
 }  // namespace

@@ -1,14 +1,23 @@
 // Experiment E1 — "measure the performance of various networks arranged
-// in different topologies" (paper, section 4).
+// in different topologies" (paper, section 4) — and experiment E14 —
+// membership at scale (DESIGN.md §11).
 //
-// For each topology and network size, runs one global update and reports
-// the statistics the demo's super-peer aggregates: total execution time
-// (virtual network time + real compute), data/control message counts,
-// bytes moved, and the longest update-propagation path.
+// E1: for each topology and network size, runs one global update and
+// reports the statistics the demo's super-peer aggregates: total
+// execution time (virtual network time + real compute), data/control
+// message counts, bytes moved, and the longest update-propagation path.
 //
 // Expected shape: cost grows with network diameter — star flattest, chain
 // and ring steepest; the ring pays extra for cycle closure.
+//
+// E14: stands up trees of 100–1000 peers under federated super-peers
+// (one per ~250 nodes) with the membership layer on, silently kills three
+// peers mid-update, and reports how fast the survivors detect the deaths.
+// The bench FAILS (exit 1) if any live peer is evicted, if detection
+// takes longer than the protocol bound, or if the update does not
+// terminate on the surviving topology.
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <vector>
@@ -18,6 +27,137 @@
 namespace codb {
 namespace bench {
 namespace {
+
+// E14 beacon period. Detection worst case (membership.h): suspicion
+// crosses at 1.5 periods of silence and is seen at the tracker's next
+// tick (+1), eviction 1 period later, seen at the next tick (+1) —
+// ~4.5 periods from the kill. The probe polls in half-period steps, so
+// anything past 6 measured periods means the detector is broken.
+constexpr int64_t kPeriodUs = 200'000;
+constexpr double kDetectBoundPeriods = 6.0;
+
+void RunMembershipScale() {
+  Print("E14: membership at scale (binary tree, federated supers, 3 silent"
+        " kills mid-update)\n");
+  Print("%6s %6s | %9s %7s %7s %7s %8s %8s %10s %9s\n", "nodes", "supers",
+        "completed", "evict", "expect", "false", "det-avg", "det-max",
+        "cfg-bytes", "wall(ms)");
+
+  for (int n : {100, 250, 1000}) {
+    WorkloadOptions options;
+    options.nodes = n;
+    options.tuples_per_node = 2;
+    options.seed = 42;
+    GeneratedNetwork generated = MakeTree(options);
+
+    Testbed::Options bed_options;
+    // Discovery's announcement flood is O(n·E) — the first wall a
+    // thousand-peer deployment hits; membership does not need it.
+    bed_options.node.quiet_discovery = true;
+    // Retransmission backoff past the detection window: completion must
+    // come from eviction cancelling the dead peers' deficits.
+    bed_options.node.reliability.enabled = true;
+    bed_options.node.reliability.retransmit_base_us = 2'000'000;
+    bed_options.membership = true;
+    bed_options.membership_options.period_us = kPeriodUs;
+    bed_options.super_peers = std::max(1, n / 250);
+
+    Stopwatch wall;
+    Result<std::unique_ptr<Testbed>> testbed =
+        Testbed::Create(generated, bed_options);
+    if (!testbed.ok()) {
+      std::fprintf(stderr, "testbed: %s\n",
+                   testbed.status().ToString().c_str());
+      std::exit(1);
+    }
+    Testbed& bed = *testbed.value();
+    NetworkBase& net = bed.network();
+
+    // Let tracking establish everywhere (grace is 2 periods).
+    net.RunFor(5 * kPeriodUs);
+
+    // Three victims spread across the tree: an internal node, the last
+    // leaf, and a node in the upper half — never the initiator. The kills
+    // land 0.5–3ms into the update flood, while requests and data are
+    // still in flight.
+    ChurnProbe probe(bed);
+    probe.ScheduleKill(NodeName(n / 2), 500);
+    probe.ScheduleKill(NodeName(n - 1), 1'500);
+    probe.ScheduleKill(NodeName(n / 4 + 1), 3'000);
+
+    Result<FlowId> update = bed.node("n0")->StartGlobalUpdate();
+    if (!update.ok()) {
+      std::fprintf(stderr, "update: %s\n",
+                   update.status().ToString().c_str());
+      std::exit(1);
+    }
+    probe.AwaitDetection(kPeriodUs / 2, 15 * kPeriodUs);
+    // Evictions have cancelled every deficit toward the corpses by now;
+    // drain the remaining completion wave.
+    net.Run();
+    bool completed = bed.AllComplete(update.value());
+
+    // Federation still yields the network-wide view over the survivors.
+    size_t nodes_reporting = 0;
+    if (bed.CollectStats().ok()) {
+      std::vector<AggregatedUpdateStats> federated =
+          bed.super_peer(0).FederatedAggregate();
+      if (!federated.empty()) nodes_reporting = federated[0].nodes_reporting;
+    }
+
+    double detect_mean = probe.MeanDetectPeriods(kPeriodUs);
+    double detect_max = probe.MaxDetectPeriods(kPeriodUs);
+    uint64_t config_bytes =
+        net.stats().BytesOfType(MessageType::kConfigBroadcast);
+    double wall_ms = wall.ElapsedSeconds() * 1000.0;
+
+    Print("%6d %6d | %9s %7llu %7llu %7llu %8.2f %8.2f %10llu %9.2f\n", n,
+          bed_options.super_peers, completed ? "yes" : "NO",
+          static_cast<unsigned long long>(probe.Evictions()),
+          static_cast<unsigned long long>(probe.ExpectedEvictions()),
+          static_cast<unsigned long long>(probe.FalseEvictions()),
+          detect_mean, detect_max,
+          static_cast<unsigned long long>(config_bytes), wall_ms);
+
+    if (JsonMode()) {
+      JsonValue obj = JsonValue::Object();
+      obj.Set("scenario",
+              JsonValue::Str("membership/tree/" + std::to_string(n)));
+      obj.Set("nodes", JsonValue::Int(n));
+      obj.Set("super_peers", JsonValue::Int(bed_options.super_peers));
+      obj.Set("kills", JsonValue::Int(3));
+      obj.Set("completed", JsonValue::Bool(completed));
+      obj.Set("all_detected", JsonValue::Bool(probe.AllDetected()));
+      obj.Set("evictions", JsonValue::Uint(probe.Evictions()));
+      obj.Set("expected_evictions",
+              JsonValue::Uint(probe.ExpectedEvictions()));
+      obj.Set("false_evictions", JsonValue::Uint(probe.FalseEvictions()));
+      obj.Set("false_suspicions", JsonValue::Uint(probe.FalseSuspicions()));
+      obj.Set("detect_mean_periods", JsonValue::Number(detect_mean));
+      obj.Set("detect_max_periods", JsonValue::Number(detect_max));
+      obj.Set("nodes_reporting", JsonValue::Uint(nodes_reporting));
+      obj.Set("config_broadcast_bytes", JsonValue::Uint(config_bytes));
+      obj.Set("wall_ms", JsonValue::Number(wall_ms));
+      RecordJson(std::move(obj));
+    }
+
+    // The acceptance gates, enforced by the bench itself: the update
+    // terminates, every dead peer is detected within the protocol bound,
+    // and no live peer is ever evicted.
+    if (!completed || !probe.AllDetected() ||
+        probe.FalseEvictions() != 0 ||
+        detect_max > kDetectBoundPeriods) {
+      std::fprintf(stderr,
+                   "E14 FAILED at n=%d: completed=%d all_detected=%d "
+                   "false_evictions=%llu detect_max=%.2f periods\n",
+                   n, completed ? 1 : 0, probe.AllDetected() ? 1 : 0,
+                   static_cast<unsigned long long>(probe.FalseEvictions()),
+                   detect_max);
+      std::exit(1);
+    }
+  }
+  Print("\n");
+}
 
 void Run() {
   struct TopologyCase {
@@ -62,6 +202,8 @@ void Run() {
     }
     Print("\n");
   }
+
+  RunMembershipScale();
 }
 
 }  // namespace

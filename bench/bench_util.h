@@ -9,7 +9,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -110,6 +113,169 @@ inline int BenchMain(int argc, char** argv, void (*run)()) {
   }
   return 0;
 }
+
+// --- membership churn probe --------------------------------------------
+// Schedules silent kills against a membership-enabled testbed and measures
+// how long the survivors take to *detect* each death (DESIGN.md §11,
+// experiment E14). A victim counts as detected once every one of its
+// surviving trackers — its pipe neighbours, nodes and super-peers alike —
+// has evicted it. Detection is probed by polling between RunFor slices,
+// so the measured latency overshoots the true one by at most one step.
+
+class ChurnProbe {
+ public:
+  explicit ChurnProbe(Testbed& bed) : bed_(bed) {
+    for (const auto& node : bed.nodes()) {
+      if (node->membership() != nullptr) {
+        sessions_[node->id().value] = node->membership();
+      }
+    }
+    for (size_t s = 0; s < bed.super_peer_count(); ++s) {
+      if (bed.super_peer(s).membership() != nullptr) {
+        sessions_[bed.super_peer(s).id().value] =
+            bed.super_peer(s).membership();
+      }
+    }
+  }
+
+  // Snapshots `name`'s tracker set now and schedules its silent kill
+  // `after_us` from now (through the event queue, so it lands mid-run).
+  void ScheduleKill(const std::string& name, int64_t after_us) {
+    Node* victim = bed_.node(name);
+    if (victim == nullptr) {
+      std::fprintf(stderr, "churn probe: no node named %s\n", name.c_str());
+      std::exit(1);
+    }
+    Victim v;
+    v.name = name;
+    v.id = victim->id().value;
+    for (PeerId tracker : bed_.network().Neighbors(victim->id())) {
+      v.trackers.push_back(tracker.value);
+    }
+    victim_ids_.insert(v.id);
+    victims_.push_back(std::move(v));
+    size_t index = victims_.size() - 1;
+    bed_.network().ScheduleAfter(after_us, [this, index, name] {
+      (void)bed_.SilentKillNode(name);
+      victims_[index].killed_at_us = bed_.network().now_us();
+    });
+  }
+
+  // Advances the network in `step_us` slices until every victim has been
+  // detected or `horizon_us` has elapsed.
+  void AwaitDetection(int64_t step_us, int64_t horizon_us) {
+    int64_t deadline = bed_.network().now_us() + horizon_us;
+    while (bed_.network().now_us() < deadline) {
+      bed_.network().RunFor(step_us);
+      bool all = true;
+      for (Victim& victim : victims_) {
+        if (victim.detected_at_us >= 0) continue;
+        if (victim.killed_at_us < 0 || !Detected(victim)) {
+          all = false;
+          continue;
+        }
+        victim.detected_at_us = bed_.network().now_us();
+      }
+      if (all) break;
+    }
+  }
+
+  bool AllDetected() const {
+    for (const Victim& victim : victims_) {
+      if (victim.detected_at_us < 0) return false;
+    }
+    return !victims_.empty();
+  }
+
+  double MeanDetectPeriods(int64_t period_us) const {
+    double sum = 0;
+    size_t count = 0;
+    for (const Victim& victim : victims_) {
+      if (victim.detected_at_us < 0) continue;
+      sum += Periods(victim, period_us);
+      ++count;
+    }
+    return count == 0 ? 0 : sum / static_cast<double>(count);
+  }
+
+  double MaxDetectPeriods(int64_t period_us) const {
+    double max = 0;
+    for (const Victim& victim : victims_) {
+      if (victim.detected_at_us < 0) continue;
+      if (Periods(victim, period_us) > max) max = Periods(victim, period_us);
+    }
+    return max;
+  }
+
+  // Every eviction a surviving tracker SHOULD have issued: one per
+  // (victim, live tracker) pair.
+  uint64_t ExpectedEvictions() const {
+    uint64_t expected = 0;
+    for (const Victim& victim : victims_) {
+      for (uint32_t tracker : victim.trackers) {
+        if (victim_ids_.count(tracker) != 0) continue;
+        if (sessions_.count(tracker) != 0) ++expected;
+      }
+    }
+    return expected;
+  }
+
+  // Evictions actually issued network-wide (survivors only; a victim's
+  // own frozen counters are excluded).
+  uint64_t Evictions() const {
+    uint64_t total = 0;
+    for (const auto& [id, session] : sessions_) {
+      if (victim_ids_.count(id) != 0) continue;
+      total += session->counters().evictions;
+    }
+    return total;
+  }
+
+  // Evictions beyond the expected set — i.e. evictions of LIVE peers.
+  uint64_t FalseEvictions() const {
+    uint64_t expected = ExpectedEvictions();
+    uint64_t actual = Evictions();
+    return actual > expected ? actual - expected : 0;
+  }
+
+  uint64_t FalseSuspicions() const {
+    uint64_t total = 0;
+    for (const auto& [id, session] : sessions_) {
+      if (victim_ids_.count(id) != 0) continue;
+      total += session->counters().false_suspicions;
+    }
+    return total;
+  }
+
+ private:
+  struct Victim {
+    std::string name;
+    uint32_t id = 0;
+    std::vector<uint32_t> trackers;
+    int64_t killed_at_us = -1;
+    int64_t detected_at_us = -1;
+  };
+
+  bool Detected(const Victim& victim) const {
+    for (uint32_t tracker : victim.trackers) {
+      if (victim_ids_.count(tracker) != 0) continue;  // dead trackers
+      auto it = sessions_.find(tracker);
+      if (it == sessions_.end()) continue;  // peer without a session
+      if (it->second->IsPresumedAlive(PeerId(victim.id))) return false;
+    }
+    return true;
+  }
+
+  double Periods(const Victim& victim, int64_t period_us) const {
+    return static_cast<double>(victim.detected_at_us - victim.killed_at_us) /
+           static_cast<double>(period_us);
+  }
+
+  Testbed& bed_;
+  std::map<uint32_t, HeartbeatSession*> sessions_;
+  std::set<uint32_t> victim_ids_;
+  std::vector<Victim> victims_;
+};
 
 // Builds a testbed, runs one global update from `initiator`, and collects
 // the metrics. Exits with a message on setup failure (benches treat setup

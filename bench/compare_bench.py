@@ -27,12 +27,21 @@ import os
 import subprocess
 import sys
 
-# Benches the perf-smoke job watches by default.
-DEFAULT_BENCHES = ["query_engine", "update_vs_query"]
+# Benches the perf-smoke job watches by default. topologies and churn
+# carry the membership scenarios (E14 scale sweep, E7b silent-death
+# churn), whose binaries self-enforce the liveness acceptance gates —
+# a capture run doubles as the membership smoke test.
+DEFAULT_BENCHES = ["query_engine", "update_vs_query", "topologies", "churn"]
 
 # Wall-time fields of harness scenario objects, in preference order. The
 # first present and positive one is the scenario's headline number.
 WALL_FIELDS = ["update_wall_ms", "wall_ms", "local_query_wall_us"]
+
+# Quality fields: not wall time, but still diffed — membership detection
+# latency in beacon periods (bench_topologies E14, bench_churn E7b). A
+# capture-over-capture increase beyond the threshold is a regression of
+# the failure detector, not of the machine the bench ran on.
+QUALITY_FIELDS = ["detect_mean_periods", "detect_max_periods"]
 
 
 def extract_scenarios(name, doc):
@@ -51,10 +60,13 @@ def extract_scenarios(name, doc):
             if not isinstance(scenario, dict) or "scenario" not in scenario:
                 continue
             label = "%s/%s" % (name, scenario["scenario"])
-            for field in WALL_FIELDS:
+            for field in WALL_FIELDS + QUALITY_FIELDS:
                 value = scenario.get(field)
                 if isinstance(value, (int, float)) and value > 0:
-                    unit = "us" if field.endswith("_us") else "ms"
+                    if field in QUALITY_FIELDS:
+                        unit = "periods"
+                    else:
+                        unit = "us" if field.endswith("_us") else "ms"
                     out["%s:%s" % (label, field)] = (float(value), unit)
         return out
     return out

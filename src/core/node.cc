@@ -76,7 +76,46 @@ void Node::SampleExecMetrics() {
 }
 
 void Node::AnnounceSelf() {
+  if (options_.quiet_discovery) return;
   discovery_->Announce(name_, wrapper_->dbs().ExportedRelationNames());
+}
+
+Status Node::EnableMembership(const MembershipOptions& options) {
+  if (membership_ != nullptr) {
+    return Status::FailedPrecondition("node '" + name_ +
+                                      "' already runs a membership session");
+  }
+  membership_ = HeartbeatSession::Create(network_, id_, options,
+                                         &statistics_.metrics());
+  membership_fanout_ = std::make_unique<MembershipFanout>(this);
+  membership_->AddListener(membership_fanout_.get());
+  membership_->Start();
+  return Status::Ok();
+}
+
+bool Node::IsPresumedAlive(PeerId peer) const {
+  // Deliberately no mutex_: called from the managers (which run under
+  // mutex_) and membership_ is immutable after EnableMembership; the
+  // session serializes internally.
+  return membership_ == nullptr || membership_->IsPresumedAlive(peer);
+}
+
+void Node::MembershipFanout::OnPeerEvicted(PeerId peer, int64_t at_us) {
+  (void)at_us;
+  node->OnPeerEvicted(peer);
+}
+
+void Node::OnPeerEvicted(PeerId peer) {
+  // Active liveness replaces the passive pipe-loss path: an evicted peer
+  // gets exactly the cleanup a snapped pipe would have triggered —
+  // ReliableSender drops its retransmission timers immediately (instead
+  // of burning the full retry-cap backoff), the termination detector
+  // cancels its deficits, and closing links re-evaluate.
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  CODB_LOG(kInfo) << name_ << ": evicting unresponsive peer "
+                  << network_->NameOf(peer);
+  if (update_manager_ != nullptr) update_manager_->HandlePipeClosed(peer);
+  if (query_manager_ != nullptr) query_manager_->HandlePipeClosed(peer);
 }
 
 Status Node::ApplyConfig(const NetworkConfig& config, uint64_t version) {
@@ -146,6 +185,13 @@ Status Node::ApplyConfig(const NetworkConfig& config, uint64_t version) {
       link_graph_.get(), &statistics_, minter_.get(), &query_seq_,
       options_.reliability, eval);
   CODB_RETURN_IF_ERROR(query_manager_->Init());
+  // The node outlives both managers, so capturing `this` is safe; the
+  // predicate makes evicted peers invisible to new flows immediately.
+  auto presumed_alive = [this](PeerId peer) {
+    return IsPresumedAlive(peer);
+  };
+  update_manager_->SetPresumedAlive(presumed_alive);
+  query_manager_->SetPresumedAlive(presumed_alive);
 
   AnnounceSelf();
   CODB_LOG(kInfo) << name_ << ": applied configuration v" << version;
@@ -242,6 +288,30 @@ std::vector<std::string> Node::ConsistencyViolations() const {
 }
 
 void Node::HandleMessage(const Message& message) {
+  // Heartbeat traffic routes to the session BEFORE taking mutex_: the
+  // session's eviction callbacks acquire mutex_ while holding its own
+  // lock, so the node must never enter the session while holding mutex_
+  // (lock order is session -> node, always).
+  switch (message.type) {
+    case MessageType::kHeartbeat: {
+      if (membership_ != nullptr) {
+        membership_->HandleBeacon(message);
+      } else {
+        // Ack-reflex: a peer without a session still answers beacons so
+        // membership-enabled peers never falsely suspect it.
+        Result<Message> ack =
+            MakeHeartbeatAck(message, id_, /*incarnation=*/1,
+                             network_->now_us());
+        if (ack.ok()) network_->Send(std::move(ack).value());
+      }
+      return;
+    }
+    case MessageType::kHeartbeatAck:
+      if (membership_ != nullptr) membership_->HandleAck(message);
+      return;
+    default:
+      break;
+  }
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   switch (message.type) {
     case MessageType::kAdvertisement:
@@ -316,6 +386,15 @@ void Node::HandleMessage(const Message& message) {
       CODB_LOG(kWarning) << name_ << ": unexpected stats report from "
                          << message.src.ToString();
       return;
+
+    case MessageType::kHeartbeat:
+    case MessageType::kHeartbeatAck:
+      return;  // handled above, before the lock
+
+    case MessageType::kFederationReport:
+      CODB_LOG(kWarning) << name_ << ": unexpected federation report from "
+                         << message.src.ToString();
+      return;
   }
 }
 
@@ -353,6 +432,10 @@ void Node::DispatchFlowMessage(const Message& message, bool to_update) {
 }
 
 void Node::HandlePipeClosed(PeerId other) {
+  // Orderly pipe loss is departure, not failure: the membership session
+  // just stops tracking the peer. Called before mutex_ for the same
+  // session->node lock-order reason as the heartbeat routing.
+  if (membership_ != nullptr) membership_->Forget(other);
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (update_manager_ != nullptr) update_manager_->HandlePipeClosed(other);
   if (query_manager_ != nullptr) query_manager_->HandlePipeClosed(other);

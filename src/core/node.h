@@ -26,6 +26,8 @@
 #include "core/query_manager.h"
 #include "core/statistics.h"
 #include "core/update_manager.h"
+#include "membership/heartbeat.h"
+#include "membership/membership.h"
 #include "net/discovery.h"
 #include "net/network_interface.h"
 #include "storage/storage.h"
@@ -64,16 +66,29 @@ class Node : public NetworkPeer {
     // configures the whole node.
     ReliabilityOptions reliability;
     ExecOptions exec;
+    // Skip the discovery announcement flood. Discovery costs O(n·E)
+    // messages and O(n) advertisement cache per node — the first wall a
+    // thousand-peer deployment hits — and membership-era benches do not
+    // need the discovery view.
+    bool quiet_discovery = false;
   };
 
   // Creates the node, joins the network, and announces itself. `schema`
   // becomes both the LDB catalog and the exported DBS (mediators get a
-  // transient store instead of an LDB).
+  // transient store instead of an LDB). (Overload instead of a defaulted
+  // Options argument: Options has member initializers, which are
+  // late-parsed and cannot back a default argument of the enclosing
+  // class — same reason NodeExecOptions is namespace scope.)
   static Result<std::unique_ptr<Node>> Create(NetworkBase* network,
                                               const std::string& name,
                                               DatabaseSchema schema,
-                                              bool mediator = false,
-                                              Options options = Options());
+                                              bool mediator, Options options);
+  static Result<std::unique_ptr<Node>> Create(NetworkBase* network,
+                                              const std::string& name,
+                                              DatabaseSchema schema,
+                                              bool mediator = false) {
+    return Create(network, name, std::move(schema), mediator, Options());
+  }
 
   ~Node() override;
   Node(const Node&) = delete;
@@ -141,6 +156,24 @@ class Node : public NetworkPeer {
   DurableStorage* durable_storage() { return durable_.get(); }
   const DurableStorage* durable_storage() const { return durable_.get(); }
 
+  // -- membership ----------------------------------------------------------
+
+  // Turns on the liveness layer: a HeartbeatSession beaconing to every
+  // pipe neighbour, with this node wired in as the eviction fan-out (an
+  // evicted peer is treated exactly like a closed pipe: both managers
+  // cancel retransmissions and deficits toward it, and it stops counting
+  // as an acquaintance for new flows). Call after Create, before traffic;
+  // the session starts beaconing immediately (maintenance events only —
+  // Run() semantics for existing tests are unchanged).
+  Status EnableMembership(const MembershipOptions& options);
+  HeartbeatSession* membership() { return membership_.get(); }
+  const HeartbeatSession* membership() const { return membership_.get(); }
+
+  // False only for peers the membership layer evicted (always true when
+  // membership is off). The managers consult this before counting a peer
+  // as a reachable acquaintance.
+  bool IsPresumedAlive(PeerId peer) const;
+
   // -- introspection -------------------------------------------------------
 
   UpdateManager* update_manager() { return update_manager_.get(); }
@@ -169,9 +202,22 @@ class Node : public NetworkPeer {
   void HandlePipeClosed(PeerId other) override;
 
  private:
+  // Adapter fanning membership transitions into the node. A separate
+  // object (not Node inheriting MembershipListener) so the listener
+  // surface stays out of the node's public API.
+  struct MembershipFanout : MembershipListener {
+    explicit MembershipFanout(Node* n) : node(n) {}
+    void OnPeerEvicted(PeerId peer, int64_t at_us) override;
+    Node* node;
+  };
+
   Node(NetworkBase* network, std::string name);
 
   void AnnounceSelf();
+
+  // Eviction fan-out: same cleanup as a pipe-closed notification — both
+  // managers cancel retransmissions/deficits toward the dead peer.
+  void OnPeerEvicted(PeerId peer);
 
   // True when flow-scoped messages go to per-flow strands instead of
   // running inline under mutex_.
@@ -197,6 +243,11 @@ class Node : public NetworkPeer {
   PeerId id_;
 
   std::unique_ptr<Database> ldb_;  // null for mediators
+  // Set once in EnableMembership (before traffic), then immutable: the
+  // heartbeat paths read it without mutex_ so the session→node lock
+  // order is never reversed.
+  std::shared_ptr<HeartbeatSession> membership_;
+  std::unique_ptr<MembershipFanout> membership_fanout_;
   std::unique_ptr<Wrapper> wrapper_;
   std::unique_ptr<DurableStorage> durable_;  // null until EnableDurability
   std::unique_ptr<DiscoveryService> discovery_;

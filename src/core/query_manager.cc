@@ -496,7 +496,8 @@ std::vector<PeerId> QueryManager::Acquaintances() const {
   for (const std::string& name : config_->AcquaintancesOf(node_name_)) {
     Result<PeerId> peer = ResolvePeer(name);
     if (peer.ok() && network_->IsAlive(peer.value()) &&
-        network_->HasPipe(self_, peer.value())) {
+        network_->HasPipe(self_, peer.value()) &&
+        (presumed_alive_ == nullptr || presumed_alive_(peer.value()))) {
       out.push_back(peer.value());
     }
   }

@@ -74,6 +74,12 @@ class QueryManager {
 
   void HandlePipeClosed(PeerId other);
 
+  // Liveness predicate from the node's membership layer (see
+  // UpdateManager::SetPresumedAlive). Null = historical behaviour.
+  void SetPresumedAlive(std::function<bool(PeerId)> predicate) {
+    presumed_alive_ = std::move(predicate);
+  }
+
   // True once the diffusing computation of an owned query terminated.
   bool IsDone(const FlowId& query) const;
 
@@ -90,6 +96,10 @@ class QueryManager {
   // teardown check: once every owned query finished and its done-flood
   // propagated, this is zero network-wide.
   size_t ForeignQueryStates() const;
+
+  // Unacked sequenced messages still held for retransmission (see
+  // UpdateManager::PendingReliable).
+  uint64_t PendingReliable() const { return reliable_.pending_count(); }
 
  private:
   struct QueryState {
@@ -179,6 +189,7 @@ class QueryManager {
   StatisticsModule* stats_;
   NullMinter* minter_;
   EvalOptions eval_;
+  std::function<bool(PeerId)> presumed_alive_;  // null = no membership
 
   // Cached instruments from stats_->metrics() (see update_manager.h).
   Counter* m_started_;

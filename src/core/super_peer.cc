@@ -8,6 +8,169 @@
 
 namespace codb {
 
+namespace {
+
+void WriteRuleTraffic(WireWriter& writer,
+                      const std::map<std::string, RuleTrafficStats>& stats) {
+  writer.WriteU32(static_cast<uint32_t>(stats.size()));
+  for (const auto& [rule, traffic] : stats) {
+    writer.WriteString(rule);
+    writer.WriteU64(traffic.messages);
+    writer.WriteU64(traffic.tuples);
+    writer.WriteU64(traffic.bytes);
+  }
+}
+
+Result<std::map<std::string, RuleTrafficStats>> ReadRuleTraffic(
+    WireReader& reader) {
+  std::map<std::string, RuleTrafficStats> stats;
+  CODB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    CODB_ASSIGN_OR_RETURN(std::string rule, reader.ReadString());
+    RuleTrafficStats traffic;
+    CODB_ASSIGN_OR_RETURN(traffic.messages, reader.ReadU64());
+    CODB_ASSIGN_OR_RETURN(traffic.tuples, reader.ReadU64());
+    CODB_ASSIGN_OR_RETURN(traffic.bytes, reader.ReadU64());
+    stats.emplace(std::move(rule), traffic);
+  }
+  return stats;
+}
+
+// Shared renderer of the per-update aggregate block: the single-super
+// FinalReport and the federated report print updates identically.
+std::string RenderAggregates(const std::vector<AggregatedUpdateStats>& aggs) {
+  std::string out;
+  for (const AggregatedUpdateStats& agg : aggs) {
+    out += agg.update.ToString() + ":\n";
+    out += StrFormat("  nodes          %zu\n", agg.nodes_reporting);
+    out += StrFormat("  total time     %lld us (virtual), %.0f us (wall)\n",
+                     static_cast<long long>(agg.total_virtual_us),
+                     agg.total_wall_micros);
+    out += StrFormat("  data messages  %llu (%s)\n",
+                     static_cast<unsigned long long>(agg.data_messages),
+                     HumanBytes(agg.data_bytes).c_str());
+    out += StrFormat("  tuples added   %llu\n",
+                     static_cast<unsigned long long>(agg.tuples_added));
+    out += StrFormat("  longest path   %u nodes\n", agg.longest_path_nodes);
+    for (const auto& [rule, traffic] : agg.per_rule) {
+      out += StrFormat("    rule %-12s %6llu msgs %8llu tuples %10s\n",
+                       rule.c_str(),
+                       static_cast<unsigned long long>(traffic.messages),
+                       static_cast<unsigned long long>(traffic.tuples),
+                       HumanBytes(traffic.bytes).c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// -- AggregatedUpdateStats ----------------------------------------------------
+
+void AggregatedUpdateStats::Merge(const AggregatedUpdateStats& other) {
+  nodes_reporting += other.nodes_reporting;
+  total_wall_micros += other.total_wall_micros;
+  data_messages += other.data_messages;
+  data_bytes += other.data_bytes;
+  tuples_added += other.tuples_added;
+  longest_path_nodes = std::max(longest_path_nodes,
+                                other.longest_path_nodes);
+  for (const auto& [rule, traffic] : other.per_rule) {
+    RuleTrafficStats& total = per_rule[rule];
+    total.messages += traffic.messages;
+    total.tuples += traffic.tuples;
+    total.bytes += traffic.bytes;
+  }
+  if (other.min_start_virtual_us >= 0) {
+    min_start_virtual_us =
+        min_start_virtual_us < 0
+            ? other.min_start_virtual_us
+            : std::min(min_start_virtual_us, other.min_start_virtual_us);
+  }
+  if (other.max_complete_virtual_us >= 0) {
+    max_complete_virtual_us =
+        std::max(max_complete_virtual_us, other.max_complete_virtual_us);
+  }
+  total_virtual_us =
+      (min_start_virtual_us >= 0 && max_complete_virtual_us >= 0)
+          ? max_complete_virtual_us - min_start_virtual_us
+          : -1;
+}
+
+void AggregatedUpdateStats::SerializeTo(WireWriter& writer) const {
+  writer.WriteU8(static_cast<uint8_t>(update.scope));
+  writer.WriteU32(update.origin);
+  writer.WriteU64(update.seq);
+  writer.WriteU64(nodes_reporting);
+  writer.WriteI64(total_virtual_us);
+  writer.WriteI64(min_start_virtual_us);
+  writer.WriteI64(max_complete_virtual_us);
+  writer.WriteDouble(total_wall_micros);
+  writer.WriteU64(data_messages);
+  writer.WriteU64(data_bytes);
+  writer.WriteU64(tuples_added);
+  writer.WriteU32(longest_path_nodes);
+  WriteRuleTraffic(writer, per_rule);
+}
+
+Result<AggregatedUpdateStats> AggregatedUpdateStats::DeserializeFrom(
+    WireReader& reader) {
+  AggregatedUpdateStats agg;
+  CODB_ASSIGN_OR_RETURN(uint8_t scope, reader.ReadU8());
+  if (scope > 1) {
+    return Status::ParseError("bad flow scope " + std::to_string(scope));
+  }
+  agg.update.scope = static_cast<FlowId::Scope>(scope);
+  CODB_ASSIGN_OR_RETURN(agg.update.origin, reader.ReadU32());
+  CODB_ASSIGN_OR_RETURN(agg.update.seq, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(uint64_t nodes, reader.ReadU64());
+  agg.nodes_reporting = static_cast<size_t>(nodes);
+  CODB_ASSIGN_OR_RETURN(agg.total_virtual_us, reader.ReadI64());
+  CODB_ASSIGN_OR_RETURN(agg.min_start_virtual_us, reader.ReadI64());
+  CODB_ASSIGN_OR_RETURN(agg.max_complete_virtual_us, reader.ReadI64());
+  CODB_ASSIGN_OR_RETURN(agg.total_wall_micros, reader.ReadDouble());
+  CODB_ASSIGN_OR_RETURN(agg.data_messages, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(agg.data_bytes, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(agg.tuples_added, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(agg.longest_path_nodes, reader.ReadU32());
+  CODB_ASSIGN_OR_RETURN(agg.per_rule, ReadRuleTraffic(reader));
+  return agg;
+}
+
+// -- FederationReportPayload --------------------------------------------------
+
+std::vector<uint8_t> FederationReportPayload::Serialize() const {
+  WireWriter writer;
+  writer.WriteString(super_name);
+  writer.WriteU64(nodes_reporting);
+  writer.WriteU32(static_cast<uint32_t>(aggregates.size()));
+  for (const AggregatedUpdateStats& agg : aggregates) {
+    agg.SerializeTo(writer);
+  }
+  metrics.SerializeTo(writer);
+  return writer.Take();
+}
+
+Result<FederationReportPayload> FederationReportPayload::Deserialize(
+    const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  FederationReportPayload out;
+  CODB_ASSIGN_OR_RETURN(out.super_name, reader.ReadString());
+  CODB_ASSIGN_OR_RETURN(out.nodes_reporting, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  out.aggregates.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CODB_ASSIGN_OR_RETURN(AggregatedUpdateStats agg,
+                          AggregatedUpdateStats::DeserializeFrom(reader));
+    out.aggregates.push_back(std::move(agg));
+  }
+  CODB_ASSIGN_OR_RETURN(out.metrics,
+                        MetricsSnapshot::DeserializeFrom(reader));
+  return out;
+}
+
+// -- SuperPeer ----------------------------------------------------------------
+
 SuperPeer::SuperPeer(NetworkBase* network, std::string name)
     : network_(network), name_(std::move(name)) {}
 
@@ -29,6 +192,16 @@ Status SuperPeer::LoadConfig(NetworkConfig config) {
   return Status::Ok();
 }
 
+void SuperPeer::SetRegion(std::vector<std::string> node_names) {
+  region_ = std::set<std::string>(node_names.begin(), node_names.end());
+}
+
+bool SuperPeer::InRegion(PeerId peer) const {
+  if (!IsPresumedAlive(peer)) return false;
+  if (region_.empty()) return true;
+  return region_.count(network_->NameOf(peer)) > 0;
+}
+
 Status SuperPeer::BroadcastConfig() {
   if (config_ == nullptr) {
     return Status::FailedPrecondition("no configuration loaded");
@@ -38,27 +211,24 @@ Status SuperPeer::BroadcastConfig() {
   payload.version = config_version_;
   payload.config_text = config_->Serialize();
 
+  size_t recipients = 0;
   for (PeerId peer : network_->AlivePeers()) {
     if (peer == id_) continue;
+    if (!InRegion(peer)) continue;
     if (!network_->HasPipe(id_, peer)) {
       CODB_RETURN_IF_ERROR(
           network_->OpenPipe(id_, peer, LinkProfile::Lan()));
     }
     CODB_RETURN_IF_ERROR(network_->Send(MakeMessage(
         id_, peer, MessageType::kConfigBroadcast, payload.Serialize())));
+    ++recipients;
   }
   CODB_LOG(kInfo) << name_ << ": broadcast configuration v"
-                  << config_version_;
+                  << config_version_ << " to " << recipients << " peers";
   return Status::Ok();
 }
 
 Status SuperPeer::RequestStats() {
-  {
-    std::lock_guard<std::mutex> lock(collected_mutex_);
-    collected_.clear();
-    collected_durability_.clear();
-    collected_metrics_.clear();
-  }
   ++stats_request_id_;
   StatsRequestPayload payload{stats_request_id_};
   // Count the recipients up front: on the threaded runtime the first
@@ -66,10 +236,19 @@ Status SuperPeer::RequestStats() {
   // pending counter must never dip to zero early.
   std::vector<PeerId> recipients;
   for (PeerId peer : network_->AlivePeers()) {
-    if (!(peer == id_)) recipients.push_back(peer);
+    if (peer == id_) continue;
+    if (!InRegion(peer)) continue;
+    recipients.push_back(peer);
+  }
+  {
+    std::lock_guard<std::mutex> lock(collected_mutex_);
+    collected_.clear();
+    collected_durability_.clear();
+    collected_metrics_.clear();
+    awaiting_.clear();
+    for (PeerId peer : recipients) awaiting_.insert(peer.value);
   }
   pending_stats_.store(recipients.size());
-  size_t failed = 0;
   for (PeerId peer : recipients) {
     if (!network_->HasPipe(id_, peer)) {
       CODB_RETURN_IF_ERROR(
@@ -77,14 +256,124 @@ Status SuperPeer::RequestStats() {
     }
     Status sent = network_->Send(MakeMessage(
         id_, peer, MessageType::kStatsRequest, payload.Serialize()));
-    if (!sent.ok()) ++failed;
+    if (!sent.ok()) {
+      bool awaited;
+      {
+        std::lock_guard<std::mutex> lock(collected_mutex_);
+        awaited = awaiting_.erase(peer.value) > 0;
+      }
+      if (awaited) pending_stats_.fetch_sub(1);
+    }
   }
-  pending_stats_.fetch_sub(failed);
   return Status::Ok();
+}
+
+Status SuperPeer::EnableMembership(const MembershipOptions& options) {
+  if (membership_ != nullptr) {
+    return Status::FailedPrecondition("super-peer '" + name_ +
+                                      "' already runs a membership session");
+  }
+  membership_ = HeartbeatSession::Create(network_, id_, options,
+                                         /*metrics=*/nullptr);
+  membership_fanout_ = std::make_unique<MembershipFanout>(this);
+  membership_->AddListener(membership_fanout_.get());
+  membership_->Start();
+  return Status::Ok();
+}
+
+bool SuperPeer::IsPresumedAlive(PeerId peer) const {
+  return membership_ == nullptr || membership_->IsPresumedAlive(peer);
+}
+
+void SuperPeer::MembershipFanout::OnPeerEvicted(PeerId peer, int64_t at_us) {
+  (void)at_us;
+  super->OnPeerEvicted(peer);
+}
+
+void SuperPeer::OnPeerEvicted(PeerId peer) {
+  bool awaited;
+  {
+    std::lock_guard<std::mutex> lock(collected_mutex_);
+    awaited = awaiting_.erase(peer.value) > 0;
+  }
+  if (awaited) {
+    // The in-flight collection will never hear from this peer; release
+    // its slot so CollectionComplete() reflects the surviving topology.
+    pending_stats_.fetch_sub(1);
+  }
+  CODB_LOG(kInfo) << name_ << ": evicted " << network_->NameOf(peer)
+                  << (awaited ? " (released pending stats slot)" : "");
+}
+
+void SuperPeer::AddFederationPeer(PeerId super) {
+  federation_peers_.insert(super.value);
+}
+
+Status SuperPeer::ShareWithFederation() {
+  FederationReportPayload report;
+  report.super_name = name_;
+  {
+    std::lock_guard<std::mutex> lock(collected_mutex_);
+    report.nodes_reporting = collected_.size();
+  }
+  report.aggregates = Aggregate();
+  report.metrics = MergedMetrics();
+  std::vector<uint8_t> payload = report.Serialize();
+
+  for (uint32_t raw : federation_peers_) {
+    PeerId super(raw);
+    if (!network_->IsAlive(super)) continue;
+    if (!network_->HasPipe(id_, super)) {
+      CODB_RETURN_IF_ERROR(
+          network_->OpenPipe(id_, super, LinkProfile::Lan()));
+    }
+    CODB_RETURN_IF_ERROR(network_->Send(MakeMessage(
+        id_, super, MessageType::kFederationReport, payload)));
+  }
+  return Status::Ok();
+}
+
+bool SuperPeer::FederationComplete() const {
+  std::lock_guard<std::mutex> lock(collected_mutex_);
+  for (uint32_t super : federation_peers_) {
+    if (federation_reports_.count(super) == 0) return false;
+  }
+  return true;
 }
 
 void SuperPeer::HandleMessage(const Message& message) {
   switch (message.type) {
+    case MessageType::kHeartbeat: {
+      if (membership_ != nullptr) {
+        membership_->HandleBeacon(message);
+      } else {
+        // Ack-reflex: even without a session of its own the super-peer
+        // answers beacons, so membership-enabled nodes never suspect it.
+        Result<Message> ack = MakeHeartbeatAck(message, id_,
+                                               /*incarnation=*/1,
+                                               network_->now_us());
+        if (ack.ok()) {
+          Status ignored = network_->Send(std::move(ack).value());
+          (void)ignored;
+        }
+      }
+      return;
+    }
+    case MessageType::kHeartbeatAck:
+      if (membership_ != nullptr) membership_->HandleAck(message);
+      return;
+    case MessageType::kFederationReport: {
+      Result<FederationReportPayload> report =
+          FederationReportPayload::Deserialize(message.payload);
+      if (!report.ok()) {
+        CODB_LOG(kWarning) << name_ << ": bad federation report: "
+                           << report.status().ToString();
+        return;
+      }
+      std::lock_guard<std::mutex> lock(collected_mutex_);
+      federation_reports_[message.src.value] = std::move(report.value());
+      return;
+    }
     case MessageType::kStatsReport: {
       Result<StatsBundle> bundle =
           StatisticsModule::DeserializeBundle(message.payload);
@@ -93,6 +382,7 @@ void SuperPeer::HandleMessage(const Message& message) {
                            << bundle.status().ToString();
         return;
       }
+      bool awaited;
       {
         std::lock_guard<std::mutex> lock(collected_mutex_);
         const std::string node = network_->NameOf(message.src);
@@ -103,10 +393,16 @@ void SuperPeer::HandleMessage(const Message& message) {
         if (!bundle.value().metrics.empty()) {
           collected_metrics_[node] = std::move(bundle.value().metrics);
         }
+        // A report only releases a pending slot if this collection was
+        // still waiting on the sender: duplicates and post-eviction
+        // stragglers must not drive the counter below zero.
+        awaited = awaiting_.erase(message.src.value) > 0;
       }
-      size_t pending = pending_stats_.load();
-      while (pending > 0 &&
-             !pending_stats_.compare_exchange_weak(pending, pending - 1)) {
+      if (awaited) {
+        size_t pending = pending_stats_.load();
+        while (pending > 0 &&
+               !pending_stats_.compare_exchange_weak(pending, pending - 1)) {
+        }
       }
       return;
     }
@@ -165,6 +461,12 @@ std::vector<AggregatedUpdateStats> SuperPeer::Aggregate() const {
   for (auto& [update, agg] : by_update) {
     auto start = min_start.find(update);
     auto complete = max_complete.find(update);
+    if (start != min_start.end()) {
+      agg.min_start_virtual_us = start->second;
+    }
+    if (complete != max_complete.end()) {
+      agg.max_complete_virtual_us = complete->second;
+    }
     if (start != min_start.end() && complete != max_complete.end()) {
       agg.total_virtual_us = complete->second - start->second;
     }
@@ -173,29 +475,40 @@ std::vector<AggregatedUpdateStats> SuperPeer::Aggregate() const {
   return out;
 }
 
+std::vector<AggregatedUpdateStats> SuperPeer::FederatedAggregate() const {
+  std::vector<AggregatedUpdateStats> own = Aggregate();
+  std::map<FlowId, AggregatedUpdateStats> by_update;
+  for (AggregatedUpdateStats& agg : own) {
+    by_update.emplace(agg.update, std::move(agg));
+  }
+  {
+    std::lock_guard<std::mutex> lock(collected_mutex_);
+    for (const auto& [super, report] : federation_reports_) {
+      for (const AggregatedUpdateStats& agg : report.aggregates) {
+        auto [it, inserted] = by_update.emplace(agg.update, agg);
+        if (!inserted) it->second.Merge(agg);
+      }
+    }
+  }
+  std::vector<AggregatedUpdateStats> out;
+  out.reserve(by_update.size());
+  for (auto& [update, agg] : by_update) out.push_back(std::move(agg));
+  return out;
+}
+
+MetricsSnapshot SuperPeer::FederatedMetrics() const {
+  MetricsSnapshot merged = MergedMetrics();
+  std::lock_guard<std::mutex> lock(collected_mutex_);
+  for (const auto& [super, report] : federation_reports_) {
+    merged.Merge(report.metrics);
+  }
+  return merged;
+}
+
 std::string SuperPeer::FinalReport() const {
   std::string out = "===== final statistical report (" +
                     std::to_string(collected_.size()) + " nodes) =====\n";
-  for (const AggregatedUpdateStats& agg : Aggregate()) {
-    out += agg.update.ToString() + ":\n";
-    out += StrFormat("  nodes          %zu\n", agg.nodes_reporting);
-    out += StrFormat("  total time     %lld us (virtual), %.0f us (wall)\n",
-                     static_cast<long long>(agg.total_virtual_us),
-                     agg.total_wall_micros);
-    out += StrFormat("  data messages  %llu (%s)\n",
-                     static_cast<unsigned long long>(agg.data_messages),
-                     HumanBytes(agg.data_bytes).c_str());
-    out += StrFormat("  tuples added   %llu\n",
-                     static_cast<unsigned long long>(agg.tuples_added));
-    out += StrFormat("  longest path   %u nodes\n", agg.longest_path_nodes);
-    for (const auto& [rule, traffic] : agg.per_rule) {
-      out += StrFormat("    rule %-12s %6llu msgs %8llu tuples %10s\n",
-                       rule.c_str(),
-                       static_cast<unsigned long long>(traffic.messages),
-                       static_cast<unsigned long long>(traffic.tuples),
-                       HumanBytes(traffic.bytes).c_str());
-    }
-  }
+  out += RenderAggregates(Aggregate());
   if (!collected_durability_.empty()) {
     DurabilityStats total;
     for (const auto& [node, stats] : collected_durability_) {
@@ -208,6 +521,29 @@ std::string SuperPeer::FinalReport() const {
   if (!collected_metrics_.empty()) {
     out += StrFormat("metrics (%zu nodes):\n", collected_metrics_.size());
     out += MergedMetrics().Render();
+  }
+  return out;
+}
+
+std::string SuperPeer::FederatedReport() const {
+  size_t nodes = collected_.size();
+  size_t supers = 1;
+  {
+    std::lock_guard<std::mutex> lock(collected_mutex_);
+    for (const auto& [super, report] : federation_reports_) {
+      nodes += report.nodes_reporting;
+      ++supers;
+    }
+  }
+  std::string out = StrFormat(
+      "===== federated statistical report (%zu nodes, %zu super-peers) "
+      "=====\n",
+      nodes, supers);
+  out += RenderAggregates(FederatedAggregate());
+  MetricsSnapshot metrics = FederatedMetrics();
+  if (!metrics.empty()) {
+    out += "metrics (federated):\n";
+    out += metrics.Render();
   }
   return out;
 }

@@ -6,6 +6,16 @@
 // new ones — the super-peer can therefore change the topology at runtime),
 // and collects each node's statistical module contents, aggregating them
 // into the final statistical report.
+//
+// Federation (DESIGN.md §11): a large deployment runs several super-peers,
+// each owning a *region* (a subset of the node names). A regioned
+// super-peer broadcasts and collects only inside its region, then
+// exchanges its aggregated digest with the other super-peers over
+// kFederationReport, so every super-peer can render the network-wide
+// report without any of them having to talk to every node. A super-peer
+// may also run its own membership session over its region pipes; an
+// evicted node is dropped from the pending-stats count (collection cannot
+// hang on a dead node) and skipped by future broadcasts/collections.
 
 #ifndef CODB_CORE_SUPER_PEER_H_
 #define CODB_CORE_SUPER_PEER_H_
@@ -14,27 +24,57 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "core/statistics.h"
+#include "membership/heartbeat.h"
+#include "membership/membership.h"
 #include "net/network_interface.h"
 
 namespace codb {
 
-// Network-wide aggregation of one global update, built from the per-node
-// reports the super-peer collected.
+// Network-wide (or region-wide, on a regioned super-peer) aggregation of
+// one global update, built from the per-node reports collected.
 struct AggregatedUpdateStats {
   FlowId update;
   size_t nodes_reporting = 0;
   int64_t total_virtual_us = -1;   // max complete - min start across nodes
+  // The endpoints total_virtual_us was computed from, kept so a federation
+  // merge across super-peers recomputes the global span from the extreme
+  // endpoints instead of (wrongly) combining per-region spans.
+  int64_t min_start_virtual_us = -1;
+  int64_t max_complete_virtual_us = -1;
   double total_wall_micros = 0;
   uint64_t data_messages = 0;      // received side, network-wide
   uint64_t data_bytes = 0;
   uint64_t tuples_added = 0;
   uint32_t longest_path_nodes = 0;
   std::map<std::string, RuleTrafficStats> per_rule;  // received per rule
+
+  // Absorbs another super-peer's aggregate of the same update: sums add,
+  // maxima max, and the virtual span is recomputed from the merged
+  // endpoints.
+  void Merge(const AggregatedUpdateStats& other);
+
+  void SerializeTo(WireWriter& writer) const;
+  static Result<AggregatedUpdateStats> DeserializeFrom(WireReader& reader);
+};
+
+// kFederationReport payload: one super-peer's digest of its region — the
+// per-update aggregates plus the point-wise merged metrics snapshot of
+// every node that reported.
+struct FederationReportPayload {
+  std::string super_name;
+  uint64_t nodes_reporting = 0;
+  std::vector<AggregatedUpdateStats> aggregates;
+  MetricsSnapshot metrics;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<FederationReportPayload> Deserialize(
+      const std::vector<uint8_t>& payload);
 };
 
 class SuperPeer : public NetworkPeer {
@@ -45,21 +85,30 @@ class SuperPeer : public NetworkPeer {
                                                "super-peer");
 
   PeerId id() const { return id_; }
+  const std::string& name() const { return name_; }
 
   // Loads the coordination-rules file (text or parsed form).
   Status LoadConfigText(const std::string& text);
   Status LoadConfig(NetworkConfig config);
   const NetworkConfig* config() const { return config_.get(); }
 
-  // Opens pipes to every alive peer and broadcasts the current
-  // configuration; each broadcast bumps the version, so re-broadcasting a
-  // modified config reconfigures the network at runtime.
+  // Restricts this super-peer to the named nodes: BroadcastConfig and
+  // RequestStats only talk to region members. An empty region (the
+  // default) means the whole network — the historical single-super mode.
+  void SetRegion(std::vector<std::string> node_names);
+  const std::set<std::string>& region() const { return region_; }
+
+  // Opens pipes to every alive peer in the region and broadcasts the
+  // current configuration; each broadcast bumps the version, so
+  // re-broadcasting a modified config reconfigures the network at runtime.
   Status BroadcastConfig();
 
-  // Asks every node for its statistical module contents. Collection is
-  // asynchronous: run the network, then check CollectionComplete().
-  // Thread-safe against concurrently arriving reports (replies can land
-  // on the threaded runtime while the requests are still going out).
+  // Asks every node in the region for its statistical module contents.
+  // Collection is asynchronous: run the network, then check
+  // CollectionComplete(). Thread-safe against concurrently arriving
+  // reports (replies can land on the threaded runtime while the requests
+  // are still going out). Peers the membership session evicted are
+  // skipped.
   Status RequestStats();
   bool CollectionComplete() const { return pending_stats_.load() == 0; }
 
@@ -90,25 +139,93 @@ class SuperPeer : public NetworkPeer {
   // The final statistical report of the demo.
   std::string FinalReport() const;
 
+  // -- membership -----------------------------------------------------------
+
+  // Runs a heartbeat session over this super-peer's pipes (its region,
+  // once BroadcastConfig opened them). An evicted node is removed from
+  // any in-flight stats collection so CollectionComplete() cannot hang on
+  // a dead node, and is skipped by later broadcasts/collections.
+  Status EnableMembership(const MembershipOptions& options);
+  HeartbeatSession* membership() { return membership_.get(); }
+
+  // False only for peers the membership session evicted.
+  bool IsPresumedAlive(PeerId peer) const;
+
+  // -- federation -----------------------------------------------------------
+
+  // Registers another super-peer as a federation partner (call on both
+  // sides). ShareWithFederation sends to — and FederationComplete waits
+  // for — exactly these peers.
+  void AddFederationPeer(PeerId super);
+
+  // Sends this super-peer's region digest (aggregates + merged metrics)
+  // to every federation partner. Call after a collection completed; run
+  // the network, then check FederationComplete().
+  Status ShareWithFederation();
+
+  // True once a report from every federation partner has arrived.
+  bool FederationComplete() const;
+
+  // Partner peer id -> its last region digest.
+  const std::map<uint32_t, FederationReportPayload>& federation_reports()
+      const {
+    return federation_reports_;
+  }
+
+  // Own region aggregate merged with every partner's digest: the
+  // network-wide per-update statistics.
+  std::vector<AggregatedUpdateStats> FederatedAggregate() const;
+
+  // Own merged metrics merged with every partner's snapshot.
+  MetricsSnapshot FederatedMetrics() const;
+
+  // The network-wide final report, rendered from the federated view.
+  std::string FederatedReport() const;
+
   // -- NetworkPeer ----------------------------------------------------------
   void HandleMessage(const Message& message) override;
 
  private:
+  // Fans the membership session's eviction events into the super-peer
+  // (same shape as Node::MembershipFanout).
+  struct MembershipFanout : MembershipListener {
+    explicit MembershipFanout(SuperPeer* s) : super(s) {}
+    void OnPeerEvicted(PeerId peer, int64_t at_us) override;
+    SuperPeer* super;
+  };
+
   SuperPeer(NetworkBase* network, std::string name);
+
+  // True when `peer` is inside this super-peer's region (or no region is
+  // set) and not evicted.
+  bool InRegion(PeerId peer) const;
+
+  void OnPeerEvicted(PeerId peer);
 
   NetworkBase* network_;
   std::string name_;
   PeerId id_;
   uint64_t config_version_ = 0;
   std::unique_ptr<NetworkConfig> config_;
+  std::set<std::string> region_;  // empty = whole network
+
+  // Set once in EnableMembership, then immutable (read without locks; the
+  // session serializes internally — same discipline as Node).
+  std::shared_ptr<HeartbeatSession> membership_;
+  std::unique_ptr<MembershipFanout> membership_fanout_;
 
   std::atomic<size_t> pending_stats_{0};
   uint64_t stats_request_id_ = 0;
-  std::mutex collected_mutex_;  // guards collected_ against mid-request
-                                // replies on the threaded runtime
+  mutable std::mutex collected_mutex_;  // guards collected_* and awaiting_
+                                        // against mid-request replies on
+                                        // the threaded runtime
+  std::set<uint32_t> awaiting_;  // peers the current collection waits on
   std::map<std::string, std::vector<UpdateReport>> collected_;
   std::map<std::string, DurabilityStats> collected_durability_;
   std::map<std::string, MetricsSnapshot> collected_metrics_;
+
+  std::set<uint32_t> federation_peers_;
+  std::map<uint32_t, FederationReportPayload> federation_reports_;
 };
 
 }  // namespace codb

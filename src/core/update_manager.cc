@@ -578,8 +578,11 @@ bool UpdateManager::OutgoingQuiet(const UpdateState& state,
   // Churn: an unreachable exporter can never deliver again.
   Result<PeerId> exporter = ResolvePeer(rule->exporter());
   if (!exporter.ok()) return true;
+  // Membership eviction counts as unreachable even while the pipe object
+  // lingers (silent death never snaps the pipe).
   return !network_->HasPipe(self_, exporter.value()) ||
-         !network_->IsAlive(exporter.value());
+         !network_->IsAlive(exporter.value()) ||
+         (presumed_alive_ != nullptr && !presumed_alive_(exporter.value()));
 }
 
 void UpdateManager::CheckClosing(const FlowId& update, UpdateState& state) {
@@ -699,7 +702,8 @@ std::vector<PeerId> UpdateManager::Acquaintances() const {
   for (const std::string& name : config_->AcquaintancesOf(node_name_)) {
     Result<PeerId> peer = ResolvePeer(name);
     if (peer.ok() && network_->IsAlive(peer.value()) &&
-        network_->HasPipe(self_, peer.value())) {
+        network_->HasPipe(self_, peer.value()) &&
+        (presumed_alive_ == nullptr || presumed_alive_(peer.value()))) {
       out.push_back(peer.value());
     }
   }

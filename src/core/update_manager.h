@@ -29,6 +29,7 @@
 #ifndef CODB_CORE_UPDATE_MANAGER_H_
 #define CODB_CORE_UPDATE_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -99,8 +100,17 @@ class UpdateManager {
   // kUpdateComplete, plus kUpdateAck with update scope.
   void HandleMessage(const Message& message);
 
-  // Churn notification from the node.
+  // Churn notification from the node. Also the membership eviction path:
+  // an evicted peer gets the same treatment as a snapped pipe.
   void HandlePipeClosed(PeerId other);
+
+  // Liveness predicate supplied by the node's membership layer: peers for
+  // which it returns false (evicted) are excluded from Acquaintances()
+  // and treated as permanently quiet exporters. Null = everyone reachable
+  // is presumed alive (the historical behaviour).
+  void SetPresumedAlive(std::function<bool(PeerId)> predicate) {
+    presumed_alive_ = std::move(predicate);
+  }
 
   // -- introspection (reports, tests, benches) ----------------------------
 
@@ -118,6 +128,11 @@ class UpdateManager {
   // Ids of this node's links (for the node report).
   std::vector<std::string> OutgoingLinkIds() const;
   std::vector<std::string> IncomingLinkIds() const;
+
+  // Unacked sequenced messages still held for retransmission. The
+  // eviction tests assert this drops to zero the moment a dead peer is
+  // evicted, instead of draining through the full retry backoff.
+  uint64_t PendingReliable() const { return reliable_.pending_count(); }
 
  private:
   struct IncomingLinkState {  // we are the exporter: we ship data
@@ -212,6 +227,7 @@ class UpdateManager {
   StatisticsModule* stats_;
   NullMinter* minter_;
   Options options_;
+  std::function<bool(PeerId)> presumed_alive_;  // null = no membership
 
   // Cached instruments from stats_->metrics(); registered once here so the
   // handler hot paths are plain relaxed-atomic increments.

@@ -1,0 +1,172 @@
+#include "membership/failure_detector.h"
+
+#include <algorithm>
+
+namespace codb {
+
+void FailureDetector::Track(PeerId peer, int64_t now_us) {
+  auto [it, inserted] = peers_.try_emplace(peer);
+  if (!inserted) return;
+  it->second.tracked_since_us = now_us;
+  it->second.last_heard_us = now_us;
+}
+
+void FailureDetector::Forget(PeerId peer) { peers_.erase(peer); }
+
+std::vector<FailureDetector::Event> FailureDetector::HeardFrom(
+    PeerId peer, uint64_t incarnation, int64_t now_us) {
+  std::vector<Event> events;
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    Track(peer, now_us);
+    it = peers_.find(peer);
+  }
+  PeerState& state = it->second;
+  if (incarnation < state.incarnation) {
+    ++stale_rejected_;
+    return events;
+  }
+  if (state.health == PeerHealth::kDead) {
+    // Dead is terminal per incarnation: only a strictly newer incarnation
+    // (the peer restarted) resurrects it.
+    if (incarnation <= state.incarnation) {
+      ++stale_rejected_;
+      return events;
+    }
+    state.health = PeerHealth::kAlive;
+    state.tracked_since_us = now_us;
+  }
+  state.incarnation = std::max(state.incarnation, incarnation);
+  state.last_heard_us = now_us;
+  if (state.health == PeerHealth::kSuspect) {
+    state.health = PeerHealth::kAlive;
+    ++false_suspicions_;
+    events.push_back({Event::kRecovered, peer, now_us, 0});
+  }
+  return events;
+}
+
+std::vector<FailureDetector::Event> FailureDetector::OnClaim(
+    PeerId peer, uint64_t incarnation, PeerHealth claimed, int64_t now_us) {
+  std::vector<Event> events;
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return events;  // not ours to track
+  PeerState& state = it->second;
+  if (incarnation < state.incarnation) {
+    ++stale_rejected_;
+    return events;
+  }
+  if (incarnation > state.incarnation) {
+    // The peer restarted with a newer incarnation. Whatever we believed
+    // about the old incarnation is void; await first-hand contact.
+    state.incarnation = incarnation;
+    if (state.health == PeerHealth::kDead) {
+      state.health = PeerHealth::kAlive;
+      state.tracked_since_us = now_us;
+      state.last_heard_us = now_us;
+    }
+  }
+  if (state.health == PeerHealth::kDead) return events;
+  switch (claimed) {
+    case PeerHealth::kAlive:
+      // Deliberately NOT refreshing last_heard: liveness is first-hand.
+      break;
+    case PeerHealth::kSuspect:
+      if (state.health == PeerHealth::kAlive) {
+        events.push_back(Suspect(peer, state, now_us));
+      }
+      break;
+    case PeerHealth::kDead:
+      if (state.health == PeerHealth::kSuspect) {
+        events.push_back(Evict(peer, state, now_us));
+      } else {
+        // Someone confirmed death we had not even begun to suspect.
+        // Open our own suspicion window rather than trusting outright:
+        // a single faulty accuser must not kill a live peer.
+        events.push_back(Suspect(peer, state, now_us));
+      }
+      break;
+  }
+  return events;
+}
+
+std::vector<FailureDetector::Event> FailureDetector::Tick(int64_t now_us) {
+  std::vector<Event> events;
+  for (auto& [peer, state] : peers_) {
+    switch (state.health) {
+      case PeerHealth::kAlive: {
+        if (now_us - state.tracked_since_us < timeouts_.grace_us) break;
+        if (now_us - state.last_heard_us > SuspectTimeoutFor(state)) {
+          events.push_back(Suspect(peer, state, now_us));
+        }
+        break;
+      }
+      case PeerHealth::kSuspect: {
+        if (now_us - state.suspected_at_us > timeouts_.evict_us) {
+          events.push_back(Evict(peer, state, now_us));
+        }
+        break;
+      }
+      case PeerHealth::kDead:
+        break;
+    }
+  }
+  return events;
+}
+
+void FailureDetector::SetSuspectTimeout(PeerId peer, int64_t timeout_us) {
+  auto it = peers_.find(peer);
+  if (it != peers_.end()) it->second.suspect_timeout_us = timeout_us;
+}
+
+PeerHealth FailureDetector::HealthOf(PeerId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? PeerHealth::kDead : it->second.health;
+}
+
+bool FailureDetector::IsTracked(PeerId peer) const {
+  return peers_.count(peer) != 0;
+}
+
+uint64_t FailureDetector::IncarnationOf(PeerId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.incarnation;
+}
+
+std::vector<PeerId> FailureDetector::Tracked() const {
+  std::vector<PeerId> out;
+  out.reserve(peers_.size());
+  for (const auto& [peer, state] : peers_) out.push_back(peer);
+  return out;
+}
+
+std::vector<PeerId> FailureDetector::AlivePeers() const {
+  std::vector<PeerId> out;
+  for (const auto& [peer, state] : peers_) {
+    if (state.health != PeerHealth::kDead) out.push_back(peer);
+  }
+  return out;
+}
+
+int64_t FailureDetector::SuspectTimeoutFor(const PeerState& state) const {
+  return state.suspect_timeout_us > 0 ? state.suspect_timeout_us
+                                      : timeouts_.suspect_us;
+}
+
+FailureDetector::Event FailureDetector::Suspect(PeerId peer,
+                                                PeerState& state,
+                                                int64_t now_us) {
+  state.health = PeerHealth::kSuspect;
+  state.suspected_at_us = now_us;
+  ++suspicions_;
+  return {Event::kSuspected, peer, now_us, now_us - state.last_heard_us};
+}
+
+FailureDetector::Event FailureDetector::Evict(PeerId peer, PeerState& state,
+                                              int64_t now_us) {
+  state.health = PeerHealth::kDead;
+  ++evictions_;
+  return {Event::kEvicted, peer, now_us, now_us - state.last_heard_us};
+}
+
+}  // namespace codb

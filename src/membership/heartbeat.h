@@ -1,0 +1,177 @@
+// HeartbeatSession: the active half of the membership layer.
+//
+// Every period the session beacons a kHeartbeat to each pipe neighbour,
+// carrying its incarnation number, a beacon sequence, the send timestamp,
+// and a compact digest of its view of other peers (non-alive verdicts
+// first, alive entries rotating — bad news always travels, good news
+// round-robins). Receivers echo a kHeartbeatAck with the timestamp, which
+// closes the RTT loop: one RttEstimator per peer feeds a per-peer gauge
+// into the metrics registry and widens that peer's suspicion timeout by
+// srtt + 4*rttvar, so a slow-but-alive peer is not confused with a dead
+// one.
+//
+// All beacon traffic and the tick timer are *maintenance* events
+// (net/message.h): they never hold Run() open, so protocol code above
+// is untouched by the beacon loop. Tests and benches advance membership
+// time explicitly with RunUntil/RunFor.
+//
+// Threading: all entry points serialize on an internal mutex. Listener
+// callbacks fire AFTER that mutex is dropped: the node's eviction fan-out
+// calls into the managers, whose cleanup consults IsPresumedAlive() on
+// this very session — dispatching under the (non-recursive) lock would
+// self-deadlock. Listeners must be registered before Start(), so the
+// listener list itself is immutable while events flow.
+
+#ifndef CODB_MEMBERSHIP_HEARTBEAT_H_
+#define CODB_MEMBERSHIP_HEARTBEAT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "membership/failure_detector.h"
+#include "membership/membership.h"
+#include "membership/rtt.h"
+#include "net/network_interface.h"
+#include "obs/metrics.h"
+#include "relation/wire.h"
+#include "util/status.h"
+
+namespace codb {
+
+// One digest entry: "I believe peer <peer> (incarnation <incarnation>)
+// is <health>".
+struct HeartbeatDigestEntry {
+  uint32_t peer = 0;
+  uint64_t incarnation = 0;
+  PeerHealth health = PeerHealth::kAlive;
+};
+
+struct HeartbeatPayload {
+  uint64_t incarnation = 0;
+  uint64_t seq = 0;
+  int64_t send_time_us = 0;
+  std::vector<HeartbeatDigestEntry> digest;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<HeartbeatPayload> Deserialize(
+      const std::vector<uint8_t>& payload);
+};
+
+struct HeartbeatAckPayload {
+  uint64_t incarnation = 0;
+  uint64_t seq = 0;
+  // The beacon's send_time_us, echoed verbatim: RTT = now - echo.
+  int64_t echo_send_time_us = 0;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<HeartbeatAckPayload> Deserialize(
+      const std::vector<uint8_t>& payload);
+};
+
+// Builds a stateless kHeartbeatAck for `beacon`. Peers that do not run a
+// session of their own (a super-peer towards nodes outside its region, a
+// node in a mixed deployment) still answer beacons with this, so they are
+// never falsely suspected just for not participating.
+Result<Message> MakeHeartbeatAck(const Message& beacon, PeerId self,
+                                 uint64_t incarnation, int64_t now_us);
+
+class HeartbeatSession
+    : public std::enable_shared_from_this<HeartbeatSession> {
+ public:
+  static std::shared_ptr<HeartbeatSession> Create(
+      NetworkBase* network, PeerId self, MembershipOptions options,
+      MetricsRegistry* metrics);
+
+  HeartbeatSession(const HeartbeatSession&) = delete;
+  HeartbeatSession& operator=(const HeartbeatSession&) = delete;
+
+  // Listeners must be registered before Start() and outlive the session.
+  void AddListener(MembershipListener* listener);
+
+  // Arms the first beacon tick (phase-staggered by peer id so a thousand
+  // sessions do not all fire on the same instant). Idempotent.
+  void Start();
+  // Disarms future ticks. Pending maintenance events become no-ops via a
+  // liveness check against this object.
+  void Stop();
+
+  // Message entry points, called by the owning peer's HandleMessage.
+  void HandleBeacon(const Message& message);
+  void HandleAck(const Message& message);
+
+  // The pipe to `other` closed in an orderly way — stop tracking it (this
+  // is departure, not failure; no eviction event fires).
+  void Forget(PeerId other);
+
+  // Liveness predicate for the protocol layers: false only for peers this
+  // session has evicted. Untracked peers are presumed alive.
+  bool IsPresumedAlive(PeerId peer) const;
+
+  uint64_t incarnation() const;
+  PeerHealth HealthOf(PeerId peer) const;
+  int64_t SrttOf(PeerId peer) const;  // 0 before the first sample
+
+  struct Counters {
+    uint64_t beacons_out = 0;
+    uint64_t beacons_in = 0;
+    uint64_t acks_in = 0;
+    uint64_t stale_rejected = 0;
+    uint64_t suspicions = 0;
+    uint64_t false_suspicions = 0;
+    uint64_t evictions = 0;
+  };
+  Counters counters() const;
+
+  const MembershipOptions& options() const { return options_; }
+
+ private:
+  HeartbeatSession(NetworkBase* network, PeerId self,
+                   MembershipOptions options, MetricsRegistry* metrics);
+
+  void ArmTick(int64_t delay_us);
+  void Tick();
+  void SendBeacons(int64_t now_us);
+  std::vector<HeartbeatDigestEntry> BuildDigest();
+  void ProcessDigest(const HeartbeatPayload& beacon, int64_t now_us,
+                     std::vector<FailureDetector::Event>& events);
+  void Dispatch(const std::vector<FailureDetector::Event>& events);
+  void UpdateSuspectTimeout(PeerId peer);
+
+  NetworkBase* network_;
+  const PeerId self_;
+  MembershipOptions options_;
+  FailureDetector::Timeouts timeouts_;
+
+  mutable std::mutex mutex_;
+  FailureDetector detector_;
+  std::map<PeerId, RttEstimator> rtt_;
+  std::vector<MembershipListener*> listeners_;
+  uint64_t incarnation_;
+  uint64_t beacon_seq_ = 0;
+  size_t digest_rotation_ = 0;
+  bool running_ = false;
+  uint64_t beacons_out_ = 0;
+  uint64_t beacons_in_ = 0;
+  uint64_t acks_in_ = 0;
+  uint64_t stale_beacons_ = 0;
+
+  // Cached instruments (may all be null when metrics is null).
+  Counter* m_beacons_out_ = nullptr;
+  Counter* m_beacons_in_ = nullptr;
+  Counter* m_acks_in_ = nullptr;
+  Counter* m_suspicions_ = nullptr;
+  Counter* m_false_suspicions_ = nullptr;
+  Counter* m_evictions_ = nullptr;
+  Counter* m_stale_ = nullptr;
+  Gauge* m_alive_peers_ = nullptr;
+  Histogram* m_rtt_hist_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace codb
+
+#endif  // CODB_MEMBERSHIP_HEARTBEAT_H_

@@ -1,0 +1,28 @@
+#include "membership/rtt.h"
+
+namespace codb {
+
+void RttEstimator::AddSample(int64_t rtt_us) {
+  if (rtt_us < 1) rtt_us = 1;
+  const double sample = static_cast<double>(rtt_us);
+  if (samples_ == 0) {
+    // RFC 6298 §2.2: first measurement seeds srtt directly and the
+    // deviation at half of it.
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+  } else {
+    const double err = sample - srtt_;
+    rttvar_ = (1.0 - beta_) * rttvar_ + beta_ * (err < 0 ? -err : err);
+    srtt_ = (1.0 - alpha_) * srtt_ + alpha_ * sample;
+  }
+  last_sample_us_ = rtt_us;
+  ++samples_;
+}
+
+int64_t RttEstimator::RetransmitTimeout(int64_t floor_us) const {
+  const double rto = srtt_ + 4.0 * rttvar_;
+  const int64_t rto_us = static_cast<int64_t>(rto);
+  return rto_us < floor_us ? floor_us : rto_us;
+}
+
+}  // namespace codb

@@ -1,0 +1,56 @@
+// Round-trip-time estimator: exponentially weighted moving average plus
+// mean deviation, the TCP (RFC 6298) shape also used by zg_choir's
+// PZGRoundTripTimeAverager. One instance per tracked peer; samples come
+// from heartbeat-ack echoes of the beacon's send timestamp.
+//
+// The estimate feeds two consumers:
+//   * adaptive suspicion timeouts — a slow-but-alive peer earns a wider
+//     margin (srtt + 4*rttvar) before suspicion fires;
+//   * per-peer RTT gauges in the metrics registry (wired by the
+//     heartbeat session, not here: the estimator itself is pure math so
+//     it stays trivially unit-testable).
+
+#ifndef CODB_MEMBERSHIP_RTT_H_
+#define CODB_MEMBERSHIP_RTT_H_
+
+#include <cstdint>
+
+namespace codb {
+
+class RttEstimator {
+ public:
+  // alpha: gain for the smoothed RTT; beta: gain for the deviation.
+  // Defaults follow RFC 6298 (1/8 and 1/4).
+  explicit RttEstimator(double alpha = 0.125, double beta = 0.25)
+      : alpha_(alpha), beta_(beta) {}
+
+  // Feeds one measured round-trip in microseconds. Non-positive samples
+  // are clamped to 1us (a virtual-clock ack can echo back in the same
+  // microsecond).
+  void AddSample(int64_t rtt_us);
+
+  bool HasSample() const { return samples_ > 0; }
+  uint64_t samples() const { return samples_; }
+
+  // Smoothed RTT and deviation, in microseconds. Zero before any sample.
+  int64_t srtt_us() const { return static_cast<int64_t>(srtt_); }
+  int64_t rttvar_us() const { return static_cast<int64_t>(rttvar_); }
+  int64_t last_sample_us() const { return last_sample_us_; }
+
+  // srtt + 4*rttvar clamped below by `floor_us` — the classic RTO
+  // formula, reused here as the adaptive component of the suspicion
+  // timeout.
+  int64_t RetransmitTimeout(int64_t floor_us) const;
+
+ private:
+  double alpha_;
+  double beta_;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  int64_t last_sample_us_ = 0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace codb
+
+#endif  // CODB_MEMBERSHIP_RTT_H_

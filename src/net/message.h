@@ -38,6 +38,16 @@ enum class MessageType : uint16_t {
   // receipt for a sequenced message. Distinct from kUpdateAck, which is
   // the deferred Dijkstra–Scholten engagement ack.
   kDeliveryAck = 21,
+
+  // Membership layer (membership/heartbeat.h): periodic liveness beacon
+  // with incarnation + peer-health digest, and its echo (carrying the
+  // beacon's send timestamp back for RTT measurement).
+  kHeartbeat = 22,
+  kHeartbeatAck = 23,
+
+  // Super-peer federation (core/super_peer.h): merged statistics and
+  // metrics aggregate exchanged between super-peers.
+  kFederationReport = 24,
 };
 
 const char* MessageTypeName(MessageType type);
@@ -57,6 +67,13 @@ struct Message {
   // (obs/trace.h). In-memory only: never serialized, never charged to the
   // bandwidth model, 0 when tracing is off.
   uint64_t trace_id = 0;
+
+  // Maintenance traffic (heartbeats and their acks) does not count toward
+  // quiescence: Run() returns once no *foreground* events remain even if
+  // maintenance messages are still queued, so self-re-arming beacon loops
+  // cannot keep the network "busy" forever. RunUntil() processes both.
+  // In-memory scheduling attribute — never serialized.
+  bool maintenance = false;
 
   // Fixed envelope header: source, destination, type, length (12 bytes)
   // plus the sequence number (4 bytes).
@@ -94,6 +111,12 @@ inline const char* MessageTypeName(MessageType type) {
       return "STATS_REPORT";
     case MessageType::kDeliveryAck:
       return "DELIVERY_ACK";
+    case MessageType::kHeartbeat:
+      return "HEARTBEAT";
+    case MessageType::kHeartbeatAck:
+      return "HEARTBEAT_ACK";
+    case MessageType::kFederationReport:
+      return "FEDERATION_REPORT";
   }
   return "UNKNOWN";
 }

@@ -19,6 +19,7 @@ std::pair<uint32_t, uint32_t> PipeKey(PeerId from, PeerId to) {
 PeerId Network::Join(const std::string& name, NetworkPeer* peer) {
   PeerId id(static_cast<uint32_t>(peers_.size()));
   peers_.push_back({name, peer, /*alive=*/true});
+  adjacency_.emplace_back();
   Tracer::Global().SetNodeName(id.value, name);
   CODB_LOG(kDebug) << "network: " << name << " joined as "
                    << id.ToString();
@@ -32,14 +33,15 @@ Status Network::Leave(PeerId id) {
   peers_[id.value].alive = false;
   peers_[id.value].handler = nullptr;
   std::vector<uint32_t> to_notify;
-  for (auto& [key, pipe] : pipes_) {
-    if (key.first == id.value || key.second == id.value) {
-      if (pipe.open() && key.first == id.value) {
-        to_notify.push_back(key.second);
-      }
-      pipe.Close();
-    }
+  for (uint32_t other : adjacency_[id.value]) {
+    Pipe* forward = FindPipe(id, PeerId(other));
+    Pipe* backward = FindPipe(PeerId(other), id);
+    if (forward != nullptr && forward->open()) to_notify.push_back(other);
+    if (forward != nullptr) forward->Close();
+    if (backward != nullptr) backward->Close();
+    adjacency_[other].erase(id.value);
   }
+  adjacency_[id.value].clear();
   for (uint32_t other : to_notify) {
     NotifyPipeClosed(PeerId(other), id);
   }
@@ -91,6 +93,8 @@ Status Network::OpenPipe(PeerId a, PeerId b, LinkProfile profile) {
   }
   pipes_.insert_or_assign(PipeKey(a, b), Pipe(a, b, profile));
   pipes_.insert_or_assign(PipeKey(b, a), Pipe(b, a, profile));
+  adjacency_[a.value].insert(b.value);
+  adjacency_[b.value].insert(a.value);
   return Status::Ok();
 }
 
@@ -125,6 +129,8 @@ Status Network::ClosePipe(PeerId a, PeerId b) {
                   (backward != nullptr && backward->open());
   if (forward != nullptr) forward->Close();
   if (backward != nullptr) backward->Close();
+  if (a.value < adjacency_.size()) adjacency_[a.value].erase(b.value);
+  if (b.value < adjacency_.size()) adjacency_[b.value].erase(a.value);
   if (was_open) {
     NotifyPipeClosed(a, b);
     NotifyPipeClosed(b, a);
@@ -139,11 +145,9 @@ bool Network::HasPipe(PeerId from, PeerId to) const {
 
 std::vector<PeerId> Network::Neighbors(PeerId id) const {
   std::vector<PeerId> out;
-  for (const auto& [key, pipe] : pipes_) {
-    if (key.first == id.value && pipe.open() &&
-        IsAlive(PeerId(key.second))) {
-      out.push_back(PeerId(key.second));
-    }
+  if (!id.valid() || id.value >= adjacency_.size()) return out;
+  for (uint32_t other : adjacency_[id.value]) {
+    if (IsAlive(PeerId(other))) out.push_back(PeerId(other));
   }
   return out;
 }
@@ -192,6 +196,7 @@ Status Network::Send(Message message) {
     stats_.RecordInjectedDelay();
     arrival += fault.extra_delay_us;
   }
+  const bool maintenance = message.maintenance;
   Event event;
   event.time_us = arrival;
   event.seq = next_seq_++;
@@ -202,12 +207,10 @@ Status Network::Send(Message message) {
     dup.time_us = pipe->ScheduleArrival(now_us_, message.WireSize());
     dup.seq = next_seq_++;
     dup.message = std::make_unique<Message>(message);
-    events_.push_back(std::move(dup));
-    std::push_heap(events_.begin(), events_.end(), EventLater());
+    PushEvent(std::move(dup), maintenance);
   }
   event.message = std::make_unique<Message>(std::move(message));
-  events_.push_back(std::move(event));
-  std::push_heap(events_.begin(), events_.end(), EventLater());
+  PushEvent(std::move(event), maintenance);
   return Status::Ok();
 }
 
@@ -216,21 +219,55 @@ void Network::ScheduleAt(int64_t time_us, std::function<void()> action) {
   event.time_us = std::max(time_us, now_us_);
   event.seq = next_seq_++;
   event.action = std::move(action);
-  events_.push_back(std::move(event));
-  std::push_heap(events_.begin(), events_.end(), EventLater());
+  PushEvent(std::move(event), /*maintenance=*/false);
 }
 
 void Network::ScheduleAfter(int64_t delay_us, std::function<void()> action) {
   ScheduleAt(now_us_ + delay_us, std::move(action));
 }
 
-bool Network::Step() {
-  if (events_.empty()) return false;
-  std::pop_heap(events_.begin(), events_.end(), EventLater());
-  Event event = std::move(events_.back());
-  events_.pop_back();
-  assert(event.time_us >= now_us_ && "virtual time must be monotone");
-  now_us_ = event.time_us;
+void Network::ScheduleMaintenance(int64_t delay_us,
+                                  std::function<void()> action) {
+  Event event;
+  event.time_us = now_us_ + std::max<int64_t>(delay_us, 0);
+  event.seq = next_seq_++;
+  event.action = std::move(action);
+  PushEvent(std::move(event), /*maintenance=*/true);
+}
+
+void Network::PushEvent(Event event, bool maintenance) {
+  std::vector<Event>& lane = maintenance ? maintenance_events_ : events_;
+  lane.push_back(std::move(event));
+  std::push_heap(lane.begin(), lane.end(), EventLater());
+}
+
+bool Network::PopNext(bool include_maintenance, Event* out) {
+  const bool have_fg = !events_.empty();
+  const bool have_mt = include_maintenance && !maintenance_events_.empty();
+  if (!have_fg && !have_mt) return false;
+  bool take_maintenance;
+  if (have_fg && have_mt) {
+    // Merge the lanes: earliest time wins, seq breaks ties, so the merged
+    // order is exactly what a single heap would have produced.
+    const Event& fg = events_.front();
+    const Event& mt = maintenance_events_.front();
+    take_maintenance = mt.time_us < fg.time_us ||
+                       (mt.time_us == fg.time_us && mt.seq < fg.seq);
+  } else {
+    take_maintenance = have_mt;
+  }
+  std::vector<Event>& lane = take_maintenance ? maintenance_events_ : events_;
+  std::pop_heap(lane.begin(), lane.end(), EventLater());
+  *out = std::move(lane.back());
+  lane.pop_back();
+  return true;
+}
+
+void Network::Dispatch(const Event& event) {
+  // Foreground time is monotone; a maintenance event can surface "late"
+  // when Run() advanced the clock past its due point while it sat queued,
+  // so the clock only ever moves forward.
+  now_us_ = std::max(now_us_, event.time_us);
 
   Tracer& tracer = Tracer::Global();
   bool tracing = tracer.enabled();
@@ -242,7 +279,7 @@ bool Network::Step() {
     // closed while the message was on the wire.
     if (!IsAlive(msg.dst) || !HasPipe(msg.src, msg.dst)) {
       stats_.RecordDrop(msg);
-      return true;
+      return;
     }
     NetworkPeer* handler = peers_[msg.dst.value].handler;
     if (handler != nullptr) {
@@ -260,6 +297,13 @@ bool Network::Step() {
   } else if (event.action) {
     event.action();
   }
+}
+
+bool Network::Step() {
+  Event event;
+  if (!PopNext(/*include_maintenance=*/false, &event)) return false;
+  assert(event.time_us >= now_us_ && "virtual time must be monotone");
+  Dispatch(event);
   return true;
 }
 
@@ -272,6 +316,27 @@ uint64_t Network::Run(uint64_t max_events) {
     CODB_LOG(kWarning) << "network: Run() hit the event cap ("
                        << max_events << ")";
   }
+  return processed;
+}
+
+uint64_t Network::RunUntil(int64_t deadline_us) {
+  uint64_t processed = 0;
+  for (;;) {
+    const bool have_fg = !events_.empty();
+    const bool have_mt = !maintenance_events_.empty();
+    if (!have_fg && !have_mt) break;
+    int64_t next_due = INT64_MAX;
+    if (have_fg) next_due = std::min(next_due, events_.front().time_us);
+    if (have_mt) {
+      next_due = std::min(next_due, maintenance_events_.front().time_us);
+    }
+    if (next_due > deadline_us) break;
+    Event event;
+    PopNext(/*include_maintenance=*/true, &event);
+    Dispatch(event);
+    ++processed;
+  }
+  now_us_ = std::max(now_us_, deadline_us);
   return processed;
 }
 

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <queue>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -83,16 +84,25 @@ class Network : public NetworkBase {
   void ScheduleAt(int64_t time_us, std::function<void()> action) override;
   void ScheduleAfter(int64_t delay_us,
                      std::function<void()> action) override;
+  void ScheduleMaintenance(int64_t delay_us,
+                           std::function<void()> action) override;
 
   // -- simulation loop ----------------------------------------------------
 
   int64_t now_us() const override { return now_us_; }
 
-  // Processes the next event; false if the queue is empty.
+  // Processes the next foreground event; false if none are queued.
+  // Maintenance events (heartbeat ticks and beacon traffic) stay queued —
+  // see RunUntil.
   bool Step();
 
-  // Runs until quiescent or `max_events`; returns events processed.
+  // Runs until no foreground events remain or `max_events`; returns
+  // events processed. Pending maintenance events do not block quiescence.
   uint64_t Run(uint64_t max_events) override;
+
+  // Runs every event — foreground AND maintenance — due at or before
+  // `deadline_us`, then advances the virtual clock to the deadline.
+  uint64_t RunUntil(int64_t deadline_us) override;
 
   TransportStats& stats() override { return stats_; }
   const TransportStats& stats() const override { return stats_; }
@@ -121,12 +131,24 @@ class Network : public NetworkBase {
   Pipe* FindPipe(PeerId from, PeerId to);
   const Pipe* FindPipe(PeerId from, PeerId to) const;
   void NotifyPipeClosed(PeerId peer, PeerId other);
+  void PushEvent(Event event, bool maintenance);
+  // Pops the next due event; considers the maintenance lane only when
+  // `include_maintenance`. Returns false if nothing qualifies.
+  bool PopNext(bool include_maintenance, Event* out);
+  void Dispatch(const Event& event);
 
   std::vector<PeerEntry> peers_;
   std::map<std::pair<uint32_t, uint32_t>, Pipe> pipes_;
+  // Open-pipe adjacency (both directions), so Neighbors() is O(degree)
+  // rather than a scan of every pipe — the difference between beacon
+  // ticks costing O(E) and O(n·E) per period at thousand-peer scale.
+  std::vector<std::set<uint32_t>> adjacency_;
   FaultProfile default_fault_;
-  // priority_queue does not allow moving out of top(); use a mutable heap.
+  // priority_queue does not allow moving out of top(); use mutable heaps.
+  // Foreground and maintenance events live in separate lanes sharing one
+  // seq counter, so a merged pop is still globally FIFO at equal times.
   std::vector<Event> events_;
+  std::vector<Event> maintenance_events_;
   uint64_t next_seq_ = 0;
   int64_t now_us_ = 0;
   TransportStats stats_;

@@ -81,6 +81,17 @@ class NetworkBase {
   virtual void ScheduleAfter(int64_t delay_us,
                              std::function<void()> action) = 0;
 
+  // Schedules a *maintenance* timer: like ScheduleAfter, but a pending
+  // maintenance action does not keep Run() from declaring quiescence —
+  // it stays queued, unexecuted, until a later Run()/RunUntil() reaches
+  // its due time. This is what lets a heartbeat session re-arm itself
+  // every period without turning Run() into an infinite loop. Messages
+  // sent with `Message::maintenance` set get the same treatment.
+  virtual void ScheduleMaintenance(int64_t delay_us,
+                                   std::function<void()> action) {
+    ScheduleAfter(delay_us, action);
+  }
+
   // Current time in microseconds: virtual for the simulator, wall-clock
   // since construction for the threaded runtime.
   virtual int64_t now_us() const = 0;
@@ -91,6 +102,17 @@ class NetworkBase {
   // caller until the workers drain.
   virtual uint64_t Run(uint64_t max_events) = 0;
   uint64_t Run() { return Run(kDefaultEventCap); }
+
+  // Drives the network — INCLUDING maintenance events — until the clock
+  // reaches `deadline_us` (absolute, same scale as now_us()). On the
+  // simulator the virtual clock jumps from event to event and lands on
+  // the deadline; on the threaded runtime this blocks the caller for the
+  // corresponding wall time. Returns events processed. This is how
+  // membership tests and churn benches advance heartbeat time.
+  virtual uint64_t RunUntil(int64_t deadline_us) = 0;
+  uint64_t RunFor(int64_t duration_us) {
+    return RunUntil(now_us() + duration_us);
+  }
 
   // -- background work ------------------------------------------------------
   // A peer that hands message processing to its own executor (concurrent

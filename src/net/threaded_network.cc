@@ -60,8 +60,11 @@ Status ThreadedNetwork::Leave(PeerId id) {
   Worker& worker = *workers_[id.value];
   worker.alive = false;
   worker.handler = nullptr;
-  // Unprocessed inbox items are dropped; keep the busy count honest.
-  busy_ -= worker.inbox.size();
+  // Unprocessed inbox items are dropped; keep the busy count honest
+  // (queued maintenance items were never counted).
+  for (const InboxItem& item : worker.inbox) {
+    if (!item.maintenance) --busy_;
+  }
   worker.inbox.clear();
   for (auto& [key, pipe] : pipes_) {
     if (!pipe.open) continue;
@@ -216,8 +219,9 @@ void ThreadedNetwork::EnqueueLocked(uint32_t peer, InboxItem item) {
       worker.inbox.begin(), worker.inbox.end(), item.due,
       [](const std::chrono::steady_clock::time_point& due,
          const InboxItem& other) { return due < other.due; });
+  bool maintenance = item.maintenance;
   worker.inbox.insert(pos, std::move(item));
-  ++busy_;
+  if (!maintenance) ++busy_;
   work_cv_.notify_all();
 }
 
@@ -280,6 +284,7 @@ Status ThreadedNetwork::Send(Message message) {
   }
 
   uint32_t destination = message.dst.value;
+  const bool maintenance = message.maintenance;
   if (fault.duplicate) {
     stats_.RecordInjectedDup();
     // The copy rides right behind the original on the wire.
@@ -287,11 +292,13 @@ Status ThreadedNetwork::Send(Message message) {
     InboxItem dup;
     dup.message = std::make_unique<Message>(message);
     dup.due = epoch_ + std::chrono::microseconds(dup_arrival);
+    dup.maintenance = maintenance;
     EnqueueLocked(destination, std::move(dup));
   }
   InboxItem item;
   item.message = std::make_unique<Message>(std::move(message));
   item.due = epoch_ + std::chrono::microseconds(arrival);
+  item.maintenance = maintenance;
   EnqueueLocked(destination, std::move(item));
   return Status::Ok();
 }
@@ -309,6 +316,21 @@ void ThreadedNetwork::ScheduleAt(int64_t time_us,
 void ThreadedNetwork::ScheduleAfter(int64_t delay_us,
                                     std::function<void()> action) {
   ScheduleAt(now_us() + delay_us, std::move(action));
+}
+
+void ThreadedNetwork::ScheduleMaintenance(int64_t delay_us,
+                                          std::function<void()> action) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Timer timer;
+  timer.due =
+      epoch_ + std::chrono::microseconds(now_us() + std::max<int64_t>(
+                                                        delay_us, 0));
+  timer.action = std::move(action);
+  timer.maintenance = true;
+  // Deliberately no ++busy_: a pending maintenance timer must not hold
+  // Run() open. The timer thread counts it only while it executes.
+  timers_.push_back(std::move(timer));
+  work_cv_.notify_all();
 }
 
 void ThreadedNetwork::WorkerLoop(uint32_t index) {
@@ -330,6 +352,9 @@ void ThreadedNetwork::WorkerLoop(uint32_t index) {
     }
     InboxItem item = std::move(worker.inbox.front());
     worker.inbox.pop_front();
+    // A queued maintenance item was never counted; its handler execution
+    // is, so Run() cannot return while a beacon handler is mid-flight.
+    if (item.maintenance) ++busy_;
 
     NetworkPeer* handler = worker.alive ? worker.handler : nullptr;
     bool dropped = false;
@@ -399,6 +424,9 @@ void ThreadedNetwork::TimerLoop() {
       continue;
     }
     std::function<void()> action = std::move(earliest->action);
+    // Pending maintenance timers are not busy_; count one only for the
+    // duration of its execution (the tail --busy_ balances it).
+    if (earliest->maintenance) ++busy_;
     timers_.erase(earliest);
     lock.unlock();
     if (action) action();
@@ -425,6 +453,19 @@ uint64_t ThreadedNetwork::Run(uint64_t max_events) {
   (void)max_events;  // the threaded runtime has no event cap
   std::unique_lock<std::mutex> lock(mutex_);
   uint64_t before = events_processed_;
+  quiescent_cv_.wait(lock, [this] { return busy_ == 0 || shutdown_; });
+  return events_processed_ - before;
+}
+
+uint64_t ThreadedNetwork::RunUntil(int64_t deadline_us) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  uint64_t before = events_processed_;
+  auto deadline = epoch_ + std::chrono::microseconds(deadline_us);
+  // Sleep through the window so maintenance traffic keeps firing on the
+  // worker/timer threads, then drain whatever is still executing.
+  while (!shutdown_ && std::chrono::steady_clock::now() < deadline) {
+    quiescent_cv_.wait_until(lock, deadline);
+  }
   quiescent_cv_.wait(lock, [this] { return busy_ == 0 || shutdown_; });
   return events_processed_ - before;
 }

@@ -69,13 +69,21 @@ class ThreadedNetwork : public NetworkBase {
   void ScheduleAt(int64_t time_us, std::function<void()> action) override;
   void ScheduleAfter(int64_t delay_us,
                      std::function<void()> action) override;
+  void ScheduleMaintenance(int64_t delay_us,
+                           std::function<void()> action) override;
 
   // Wall-clock microseconds since construction.
   int64_t now_us() const override;
 
   // Blocks until quiescent; returns the number of events (messages +
   // notifications + timer actions) processed since the previous Run().
+  // Pending maintenance timers/messages do not count as busy — they keep
+  // firing on their own threads but never hold Run() open.
   uint64_t Run(uint64_t max_events) override;
+
+  // Blocks until the wall clock reaches `deadline_us` (now_us() scale),
+  // letting maintenance traffic fire, then drains to quiescence.
+  uint64_t RunUntil(int64_t deadline_us) override;
 
   // Work a peer runs on its own executor (a node's flow strands) joins
   // the busy_ accounting so Run() waits for it like any inbox item.
@@ -93,6 +101,9 @@ class ThreadedNetwork : public NetworkBase {
     bool pipe_closed = false;
     PeerId closed_other;
     std::chrono::steady_clock::time_point due;
+    // Maintenance items do not count toward busy_ while queued; the
+    // worker counts them only while their handler is executing.
+    bool maintenance = false;
   };
 
   struct Worker {
@@ -116,6 +127,7 @@ class ThreadedNetwork : public NetworkBase {
   struct Timer {
     std::chrono::steady_clock::time_point due;
     std::function<void()> action;
+    bool maintenance = false;  // pending: not busy_; executing: busy_
   };
 
   void WorkerLoop(uint32_t index);

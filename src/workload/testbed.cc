@@ -1,5 +1,7 @@
 #include "workload/testbed.h"
 
+#include <algorithm>
+
 namespace codb {
 
 Result<std::unique_ptr<Testbed>> Testbed::Create(
@@ -23,16 +25,58 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(
     CODB_RETURN_IF_ERROR(testbed->SpawnNode(decl, /*seed=*/true).status());
   }
 
-  testbed->super_peer_ = SuperPeer::Create(testbed->network_.get());
-  CODB_RETURN_IF_ERROR(
-      testbed->super_peer_->LoadConfig(generated.config));
-  CODB_RETURN_IF_ERROR(testbed->super_peer_->BroadcastConfig());
+  // One super-peer per region. With S == 1 the single super keeps its
+  // historical name and an empty region (= the whole network); with more,
+  // the declarations are split into S contiguous regions.
+  const size_t supers = static_cast<size_t>(
+      std::max(1, std::min<int>(options.super_peers,
+                                static_cast<int>(
+                                    generated.config.nodes().size()))));
+  const std::vector<NodeDecl>& decls = generated.config.nodes();
+  for (size_t s = 0; s < supers; ++s) {
+    std::string name =
+        supers == 1 ? "super-peer" : "super-" + std::to_string(s);
+    auto super = SuperPeer::Create(testbed->network_.get(), name);
+    CODB_RETURN_IF_ERROR(super->LoadConfig(generated.config));
+    if (supers > 1) {
+      std::vector<std::string> region;
+      const size_t begin = s * decls.size() / supers;
+      const size_t end = (s + 1) * decls.size() / supers;
+      for (size_t i = begin; i < end; ++i) {
+        region.push_back(decls[i].name);
+        testbed->region_of_[decls[i].name] = s;
+      }
+      super->SetRegion(std::move(region));
+    }
+    testbed->super_peers_.push_back(std::move(super));
+  }
+  for (auto& a : testbed->super_peers_) {
+    for (auto& b : testbed->super_peers_) {
+      if (a.get() != b.get()) a->AddFederationPeer(b->id());
+    }
+  }
+  for (auto& super : testbed->super_peers_) {
+    CODB_RETURN_IF_ERROR(super->BroadcastConfig());
+  }
   testbed->network_->Run(options.settle_event_cap);
 
   for (const auto& node : testbed->nodes_) {
     if (!node->has_config()) {
       return Status::Internal("node '" + node->name() +
                               "' did not receive the configuration");
+    }
+  }
+  // Membership after the settle run: pipes exist, so the first beacon
+  // tick reaches the real neighbour set. Beacons ride the maintenance
+  // lane and never hold Run() open.
+  if (options.membership) {
+    for (const auto& node : testbed->nodes_) {
+      CODB_RETURN_IF_ERROR(
+          node->EnableMembership(options.membership_options));
+    }
+    for (auto& super : testbed->super_peers_) {
+      CODB_RETURN_IF_ERROR(
+          super->EnableMembership(options.membership_options));
     }
   }
   // Faults go live only once the deployment has settled: discovery and
@@ -81,12 +125,46 @@ Node* Testbed::node(const std::string& name) {
   return it == by_name_.end() ? nullptr : it->second;
 }
 
+SuperPeer* Testbed::super_of(const std::string& name) {
+  if (super_peers_.empty()) return nullptr;
+  auto it = region_of_.find(name);
+  if (it == region_of_.end()) {
+    return region_of_.empty() ? super_peers_.front().get() : nullptr;
+  }
+  return super_peers_[it->second].get();
+}
+
 Status Testbed::KillNode(const std::string& name) {
   Node* victim = node(name);
   if (victim == nullptr) {
     return Status::NotFound("no node named '" + name + "'");
   }
   CODB_RETURN_IF_ERROR(network_->Leave(victim->id()));
+  by_name_.erase(name);
+  for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+    if (it->get() == victim) {
+      graveyard_.push_back(std::move(*it));
+      nodes_.erase(it);
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Testbed::SilentKillNode(const std::string& name) {
+  Node* victim = node(name);
+  if (victim == nullptr) {
+    return Status::NotFound("no node named '" + name + "'");
+  }
+  // A dead process sends nothing: stop the victim's own beacon loop.
+  if (victim->membership() != nullptr) victim->membership()->Stop();
+  // Partition every pipe, both directions, WITHOUT closing any of them:
+  // peers get no pipe-closed courtesy and must detect the death.
+  for (PeerId neighbor : network_->Neighbors(victim->id())) {
+    CODB_RETURN_IF_ERROR(network_->SetFaultProfile(
+        victim->id(), neighbor, FaultProfile::Partition()));
+  }
+  silently_dead_[name] = victim->id();
   by_name_.erase(name);
   for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
     if (it->get() == victim) {
@@ -107,11 +185,25 @@ Result<Node*> Testbed::RestartNode(const std::string& name) {
   if (decl == nullptr) {
     return Status::NotFound("no declaration for node '" + name + "'");
   }
+  // A silently-killed zombie still holds the name's network slot; evict
+  // it before the revived node joins under the same name.
+  auto zombie = silently_dead_.find(name);
+  if (zombie != silently_dead_.end()) {
+    CODB_RETURN_IF_ERROR(network_->Leave(zombie->second));
+    silently_dead_.erase(zombie);
+  }
   CODB_ASSIGN_OR_RETURN(Node * revived, SpawnNode(*decl, /*seed=*/false));
+  if (options_.membership) {
+    CODB_RETURN_IF_ERROR(
+        revived->EnableMembership(options_.membership_options));
+  }
   // The node came back under a fresh peer id; re-broadcasting bumps the
   // config version, so every peer rebuilds its pipes and managers against
-  // the revived node.
-  CODB_RETURN_IF_ERROR(super_peer_->BroadcastConfig());
+  // the revived node. Every super-peer broadcasts: rule partners of the
+  // revived node may live in any region.
+  for (auto& super : super_peers_) {
+    CODB_RETURN_IF_ERROR(super->BroadcastConfig());
+  }
   network_->Run(options_.settle_event_cap);
   if (!revived->has_config()) {
     return Status::Internal("restarted node '" + name +
@@ -161,10 +253,27 @@ Status Testbed::SetFault(const std::string& a, const std::string& b,
 }
 
 Status Testbed::CollectStats() {
-  CODB_RETURN_IF_ERROR(super_peer_->RequestStats());
+  for (auto& super : super_peers_) {
+    CODB_RETURN_IF_ERROR(super->RequestStats());
+  }
   network_->Run();
-  if (!super_peer_->CollectionComplete()) {
-    return Status::Unavailable("some nodes did not report statistics");
+  for (auto& super : super_peers_) {
+    if (!super->CollectionComplete()) {
+      return Status::Unavailable("some nodes did not report statistics to " +
+                                 super->name());
+    }
+  }
+  if (super_peers_.size() > 1) {
+    for (auto& super : super_peers_) {
+      CODB_RETURN_IF_ERROR(super->ShareWithFederation());
+    }
+    network_->Run();
+    for (auto& super : super_peers_) {
+      if (!super->FederationComplete()) {
+        return Status::Unavailable("federation reports missing at " +
+                                   super->name());
+      }
+    }
   }
   return Status::Ok();
 }

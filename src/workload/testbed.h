@@ -1,5 +1,5 @@
 // Testbed: stands up a complete simulated coDB deployment from a generated
-// (or hand-written) network description — nodes, seed data, super-peer,
+// (or hand-written) network description — nodes, seed data, super-peer(s),
 // config broadcast — ready for experiments. Shared by the test suite, the
 // benchmark harness and the examples.
 
@@ -13,6 +13,7 @@
 
 #include "core/node.h"
 #include "core/super_peer.h"
+#include "membership/membership.h"
 #include "net/fault.h"
 #include "net/network.h"
 #include "net/threaded_network.h"
@@ -44,10 +45,24 @@ class Testbed {
     // reaching into node.exec.
     int node_threads = 0;
     bool concurrent_flows = false;
+    // Membership layer (DESIGN.md §11): when true every node — and every
+    // super-peer — runs a HeartbeatSession after the deployment settled.
+    // Beacon traffic rides the maintenance lane, so Run()-driven tests
+    // are unaffected; advance time with RunFor/RunUntil to let suspicion
+    // and eviction fire.
+    bool membership = false;
+    MembershipOptions membership_options;
+    // Number of federated super-peers. 1 (the default) is the historical
+    // single super-peer owning the whole network. With S > 1 the node
+    // declarations are split into S contiguous regions, each owned by one
+    // super-peer; the supers exchange kFederationReport digests after a
+    // collection, so CollectStats still yields the network-wide view
+    // (from any super via FederatedAggregate/FederatedReport).
+    int super_peers = 1;
   };
 
   // Builds the network, creates one Node per declaration, seeds the data,
-  // creates the super-peer, broadcasts the configuration, and runs the
+  // creates the super-peer(s), broadcasts the configuration, and runs the
   // network until the configuration has settled.
   static Result<std::unique_ptr<Testbed>> Create(
       const GeneratedNetwork& generated, Options options);
@@ -60,7 +75,12 @@ class Testbed {
   Testbed& operator=(const Testbed&) = delete;
 
   NetworkBase& network() { return *network_; }
-  SuperPeer& super_peer() { return *super_peer_; }
+  SuperPeer& super_peer() { return *super_peers_.front(); }
+  SuperPeer& super_peer(size_t i) { return *super_peers_[i]; }
+  size_t super_peer_count() const { return super_peers_.size(); }
+  // The super-peer owning `name`'s region (the only one in single-super
+  // deployments); null for unknown names.
+  SuperPeer* super_of(const std::string& name);
 
   Node* node(const std::string& name);
   const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
@@ -75,7 +95,10 @@ class Testbed {
   // Every node's current store, for oracle comparison.
   NetworkInstance Snapshot() const;
 
-  // Collects statistics into the super-peer (runs the network).
+  // Collects statistics into the super-peer(s) (runs the network). With
+  // several super-peers the regions' digests are then exchanged over
+  // kFederationReport, so super_peer().FederatedAggregate() holds the
+  // network-wide view afterwards.
   Status CollectStats();
 
   // Installs `fault` on the pipe between two named nodes (both
@@ -91,11 +114,20 @@ class Testbed {
   // inside its handler.
   Status KillNode(const std::string& name);
 
+  // Silently kills a node: every one of its pipes is partitioned (both
+  // directions) and its beaconing stops, but NO pipe-closed notification
+  // fires — peers cannot tell the death from a slow link and must
+  // *detect* it through the membership layer. This is the failure mode
+  // the suspicion/eviction machinery exists for; without membership the
+  // rest of the network would wait on the victim forever.
+  Status SilentKillNode(const std::string& name);
+
   // Restarts a previously killed node from its declaration. The store is
   // NOT re-seeded — with durable storage the content comes back from disk
   // (checkpoint + WAL replay); without it the node restarts empty. The
-  // configuration is re-broadcast so the whole network rebuilds pipes to
-  // the new peer id, and the network runs until settled.
+  // configuration is re-broadcast (every super-peer covers its region) so
+  // the whole network rebuilds pipes to the new peer id, and the network
+  // runs until settled.
   Result<Node*> RestartNode(const std::string& name);
 
  private:
@@ -109,7 +141,11 @@ class Testbed {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<std::string, Node*> by_name_;
   std::vector<std::unique_ptr<Node>> graveyard_;  // killed nodes
-  std::unique_ptr<SuperPeer> super_peer_;
+  std::vector<std::unique_ptr<SuperPeer>> super_peers_;
+  std::map<std::string, size_t> region_of_;  // node name -> super index
+  // Silently-killed peers still occupy their network slot (no Leave was
+  // issued); RestartNode must evict the zombie before re-joining the name.
+  std::map<std::string, PeerId> silently_dead_;
 };
 
 }  // namespace codb

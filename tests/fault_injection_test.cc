@@ -450,6 +450,88 @@ TEST(FaultTortureTest, PartitionTriggersDeadlineAbort) {
   EXPECT_EQ(CounterAt(*bed.value(), "n0", "update.root_terminations"), 0u);
 }
 
+// Churn torture: a lossy, duplicating, reordering network AND silent
+// node deaths, with the membership layer running. The detector must walk
+// a line: every dead peer is evicted by exactly its trackers, and no
+// live peer is ever evicted no matter how many beacons the network eats
+// (false *suspicions* are allowed — they recover; false *evictions* are
+// not). suspect_after_periods is widened to 3 so detection needs several
+// consecutive losses before even suspecting.
+TEST(FaultTortureTest, ChurnUnderDropsEvictsTheDeadAndOnlyTheDead) {
+  WorkloadOptions workload;
+  workload.nodes = 6;
+  workload.tuples_per_node = 2;
+  GeneratedNetwork generated = MakeChain(workload);
+
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FaultProfile profile;
+    profile.drop_rate = 0.10;
+    profile.duplicate_rate = 0.05;
+    profile.reorder_rate = 0.2;
+    profile.jitter_us = 2000;
+    profile.seed = seed;
+
+    Testbed::Options options;
+    options.fault = profile;
+    options.node.reliability.enabled = true;
+    options.node.reliability.retransmit_base_us = 20'000;
+    options.node.reliability.max_retries = 10;
+    options.membership = true;
+    options.membership_options.period_us = 200'000;
+    options.membership_options.suspect_after_periods = 3.0;
+    Result<std::unique_ptr<Testbed>> testbed =
+        Testbed::Create(generated, options);
+    ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+    Testbed& bed = *testbed.value();
+    const int64_t period = options.membership_options.period_us;
+
+    // Quiet cruising under faults: beacons get dropped, nobody dies, and
+    // nobody gets evicted.
+    bed.network().RunFor(8 * period);
+    for (const auto& node : bed.nodes()) {
+      EXPECT_EQ(node->membership()->counters().evictions, 0u)
+          << node->name();
+    }
+
+    // A full update torture pass rides alongside the beacon traffic.
+    Result<FlowId> first = bed.RunGlobalUpdate("n0");
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_TRUE(bed.AllComplete(first.value()));
+
+    // Two silent deaths: one mid-chain (splits it), one at the tail.
+    PeerId dead2 = bed.node("n2")->id();
+    PeerId dead5 = bed.node("n5")->id();
+    ASSERT_TRUE(bed.SilentKillNode("n2").ok());
+    ASSERT_TRUE(bed.SilentKillNode("n5").ok());
+    bed.network().RunFor(12 * period);
+
+    // The dead are evicted by exactly their chain neighbours (n1, n3 for
+    // n2; n4 for n5) — and nobody else got evicted by anybody.
+    EXPECT_FALSE(bed.node("n1")->IsPresumedAlive(dead2));
+    EXPECT_FALSE(bed.node("n3")->IsPresumedAlive(dead2));
+    EXPECT_FALSE(bed.node("n4")->IsPresumedAlive(dead5));
+    uint64_t evictions = 0;
+    for (const auto& node : bed.nodes()) {
+      evictions += node->membership()->counters().evictions;
+    }
+    EXPECT_EQ(evictions, 3u) << "a live peer was evicted";
+    for (const char* pair : {"n0", "n1", "n3", "n4"}) {
+      for (const char* other : {"n0", "n1", "n3", "n4"}) {
+        EXPECT_TRUE(
+            bed.node(pair)->IsPresumedAlive(bed.node(other)->id()))
+            << pair << " wrongly distrusts " << other;
+      }
+    }
+
+    // Life goes on: an update over the splintered topology terminates on
+    // the reachable component instead of waiting on corpses.
+    Result<FlowId> second = bed.RunGlobalUpdate("n0");
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    EXPECT_TRUE(bed.AllComplete(second.value()));
+  }
+}
+
 // One torture pass on the threaded runtime: real threads, real timers,
 // same convergence guarantee. Small rates and a short retransmit base
 // keep the wall-clock cost of each repair in the milliseconds.
