@@ -18,8 +18,10 @@
 // terminate on the surviving topology.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "bench_util.h"
@@ -43,6 +45,12 @@ void RunMembershipScale() {
         "completed", "evict", "expect", "false", "det-avg", "det-max",
         "cfg-bytes", "wall(ms)");
 
+  // Measured config-broadcast bytes per deployment size, for the O(n²)
+  // extrapolation gate at n=1000: one config message per node, each of
+  // size a + b·n, so cfg(n) = n·(a + b·n) and the two small sizes pin
+  // (a, b) exactly.
+  std::map<int, uint64_t> cfg_by_n;
+
   for (int n : {100, 250, 1000}) {
     WorkloadOptions options;
     options.nodes = n;
@@ -61,6 +69,10 @@ void RunMembershipScale() {
     bed_options.membership = true;
     bed_options.membership_options.period_us = kPeriodUs;
     bed_options.super_peers = std::max(1, n / 250);
+    // The profile pass (E15): global cost ledger + event-loop profiler on
+    // for the whole deployment, including the settle-phase config
+    // broadcast the cost model exists to expose.
+    bed_options.profiling = true;
 
     Stopwatch wall;
     Result<std::unique_ptr<Testbed>> testbed =
@@ -110,6 +122,9 @@ void RunMembershipScale() {
     uint64_t config_bytes =
         net.stats().BytesOfType(MessageType::kConfigBroadcast);
     double wall_ms = wall.ElapsedSeconds() * 1000.0;
+    cfg_by_n[n] = config_bytes;
+
+    const CostLedger& cost = bed.cost();
 
     Print("%6d %6d | %9s %7llu %7llu %7llu %8.2f %8.2f %10llu %9.2f\n", n,
           bed_options.super_peers, completed ? "yes" : "NO",
@@ -118,6 +133,56 @@ void RunMembershipScale() {
           static_cast<unsigned long long>(probe.FalseEvictions()),
           detect_mean, detect_max,
           static_cast<unsigned long long>(config_bytes), wall_ms);
+    Print("       bytes by class:");
+    for (size_t c = 0; c < kCostClassCount; ++c) {
+      CostClass cls = static_cast<CostClass>(c);
+      uint64_t bytes = cost.SentBytes(cls);
+      if (bytes == 0) continue;
+      Print(" %s=%llu", CostClassName(cls),
+            static_cast<unsigned long long>(bytes));
+    }
+    Print("\n");
+
+    // The ledger's config class and the transport's per-type byte count
+    // observe the same sends through different code paths; any difference
+    // means the classification or recording hooks drifted.
+    if (cost.SentBytes(CostClass::kConfig) != config_bytes) {
+      std::fprintf(stderr,
+                   "E14 FAILED at n=%d: ledger config bytes %llu != "
+                   "transport config bytes %llu\n",
+                   n,
+                   static_cast<unsigned long long>(
+                       cost.SentBytes(CostClass::kConfig)),
+                   static_cast<unsigned long long>(config_bytes));
+      std::exit(1);
+    }
+
+    // At n=1000, the config-broadcast volume must match the quadratic
+    // model extrapolated from the two smaller deployments within 10%.
+    double config_bytes_predicted = 0;
+    if (n == 1000) {
+      double per100 = static_cast<double>(cfg_by_n[100]) / 100.0;
+      double per250 = static_cast<double>(cfg_by_n[250]) / 250.0;
+      double b = (per250 - per100) / 150.0;
+      double a = per100 - 100.0 * b;
+      config_bytes_predicted = 1000.0 * (a + 1000.0 * b);
+      double relative_error =
+          std::abs(static_cast<double>(config_bytes) -
+                   config_bytes_predicted) /
+          config_bytes_predicted;
+      Print("       config O(n^2) check: measured %llu, predicted %.0f "
+            "(err %.1f%%)\n",
+            static_cast<unsigned long long>(config_bytes),
+            config_bytes_predicted, relative_error * 100.0);
+      if (relative_error > 0.10) {
+        std::fprintf(stderr,
+                     "E14 FAILED at n=1000: config bytes %llu deviate "
+                     "%.1f%% from the O(n^2) prediction %.0f\n",
+                     static_cast<unsigned long long>(config_bytes),
+                     relative_error * 100.0, config_bytes_predicted);
+        std::exit(1);
+      }
+    }
 
     if (JsonMode()) {
       JsonValue obj = JsonValue::Object();
@@ -137,6 +202,19 @@ void RunMembershipScale() {
       obj.Set("detect_max_periods", JsonValue::Number(detect_max));
       obj.Set("nodes_reporting", JsonValue::Uint(nodes_reporting));
       obj.Set("config_broadcast_bytes", JsonValue::Uint(config_bytes));
+      // Flat per-class send bytes (compare_bench.py diffs these), plus
+      // the full ledger and event-loop profile for codb_profile.
+      for (size_t c = 0; c < kCostClassCount; ++c) {
+        CostClass cls = static_cast<CostClass>(c);
+        obj.Set(std::string("cost_") + CostClassName(cls) + "_bytes",
+                JsonValue::Uint(cost.SentBytes(cls)));
+      }
+      if (n == 1000) {
+        obj.Set("config_bytes_predicted_n2",
+                JsonValue::Number(config_bytes_predicted));
+      }
+      obj.Set("cost", cost.Snapshot().ToJson());
+      obj.Set("profile", net.profiler().Snapshot().ToJson());
       obj.Set("wall_ms", JsonValue::Number(wall_ms));
       RecordJson(std::move(obj));
     }

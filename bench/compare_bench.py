@@ -43,6 +43,18 @@ WALL_FIELDS = ["update_wall_ms", "wall_ms", "local_query_wall_us"]
 # the failure detector, not of the machine the bench ran on.
 QUALITY_FIELDS = ["detect_mean_periods", "detect_max_periods"]
 
+# Per-class wire-byte fields from the cost ledger (bench_topologies E14).
+# Deterministic in the simulator, so any drift is a protocol change, not
+# noise — but intentional protocol changes move them legitimately, so a
+# growth past the threshold is flagged ADVISORY and never fails the diff.
+BYTE_FIELDS = [
+    "config_broadcast_bytes",
+    "cost_config_bytes",
+    "cost_data_bytes",
+    "cost_retx_bytes",
+    "cost_membership_bytes",
+]
+
 
 def extract_scenarios(name, doc):
     """Flattens one bench document into {scenario_label: (value, unit)}."""
@@ -60,11 +72,13 @@ def extract_scenarios(name, doc):
             if not isinstance(scenario, dict) or "scenario" not in scenario:
                 continue
             label = "%s/%s" % (name, scenario["scenario"])
-            for field in WALL_FIELDS + QUALITY_FIELDS:
+            for field in WALL_FIELDS + QUALITY_FIELDS + BYTE_FIELDS:
                 value = scenario.get(field)
                 if isinstance(value, (int, float)) and value > 0:
                     if field in QUALITY_FIELDS:
                         unit = "periods"
+                    elif field in BYTE_FIELDS:
+                        unit = "bytes"
                     else:
                         unit = "us" if field.endswith("_us") else "ms"
                     out["%s:%s" % (label, field)] = (float(value), unit)
@@ -126,8 +140,11 @@ def diff(args):
         pct = (cur - base) / base * 100.0 if base > 0 else 0.0
         note = "%+.1f%%" % pct
         if args.threshold is not None and pct > args.threshold:
-            note += "  REGRESSION"
-            regressions.append(label)
+            if unit == "bytes":
+                note += "  ADVISORY"
+            else:
+                note += "  REGRESSION"
+                regressions.append(label)
         rows.append((label, base, cur, unit, note))
 
     width = max((len(r[0]) for r in rows), default=8)

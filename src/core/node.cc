@@ -93,6 +93,10 @@ Status Node::EnableMembership(const MembershipOptions& options) {
   return Status::Ok();
 }
 
+void Node::EnableProfiling() {
+  network_->AttachCostLedger(id_, &statistics_.cost());
+}
+
 bool Node::IsPresumedAlive(PeerId peer) const {
   // Deliberately no mutex_: called from the managers (which run under
   // mutex_) and membership_ is immutable after EnableMembership; the

@@ -174,6 +174,15 @@ class Node : public NetworkPeer {
   // as a reachable acquaintance.
   bool IsPresumedAlive(PeerId peer) const;
 
+  // -- observability -------------------------------------------------------
+
+  // Attaches the node's cost ledger (statistics().cost()) to the network,
+  // so every message this node sends or receives is classified and its
+  // bytes accounted per subsystem class (obs/cost_ledger.h). The per-class
+  // totals then ride the kStatsReport trailer to the super-peer. Call
+  // after Create, while the network is quiescent; off by default.
+  void EnableProfiling();
+
   // -- introspection -------------------------------------------------------
 
   UpdateManager* update_manager() { return update_manager_.get(); }

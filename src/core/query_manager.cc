@@ -51,7 +51,8 @@ QueryManager::QueryManager(NetworkBase* network, PeerId self,
                   termination_.MaybeQuiesce();
                 },
                 stats->metrics().GetCounter("query.retransmits"),
-                stats->metrics().GetCounter("query.send_give_ups")),
+                stats->metrics().GetCounter("query.send_give_ups"),
+                stats->metrics().GetCounter("net.retx.bytes")),
       query_seq_(query_seq) {}
 
 Status QueryManager::Init() {

@@ -6,13 +6,15 @@ namespace codb {
 
 ReliableSender::ReliableSender(NetworkBase* network,
                                ReliabilityOptions options, GiveUpFn on_give_up,
-                               Counter* retransmits, Counter* give_ups)
+                               Counter* retransmits, Counter* give_ups,
+                               Counter* retx_bytes)
     : shared_(std::make_shared<Shared>()) {
   shared_->network = network;
   shared_->options = options;
   shared_->on_give_up = std::move(on_give_up);
   shared_->retransmits = retransmits;
   shared_->give_ups = give_ups;
+  shared_->retx_bytes = retx_bytes;
 }
 
 Status ReliableSender::Send(Message message, const FlowId& flow, bool basic) {
@@ -77,11 +79,17 @@ void ReliableSender::Arm(const std::shared_ptr<Shared>& shared,
       } else {
         ++entry.retries;
         resend = entry.message;
+        // Mark the copy so the cost ledger charges it to the retransmit
+        // class; the entry itself stays unmarked (it was a first send).
+        resend.retransmit = true;
         next_delay = entry.next_backoff_us;
         entry.next_backoff_us = static_cast<int64_t>(
             static_cast<double>(entry.next_backoff_us) *
             shared->options.backoff_factor);
         if (shared->retransmits != nullptr) shared->retransmits->Add();
+        if (shared->retx_bytes != nullptr) {
+          shared->retx_bytes->Add(resend.WireSize());
+        }
       }
     }
     if (gave_up) {

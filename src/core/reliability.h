@@ -67,9 +67,13 @@ class ReliableSender {
                                       bool basic)>;
 
   // Counters may be null. All pointers must outlive the sender.
+  // `retx_bytes` accumulates the wire bytes of retransmissions only —
+  // first sends are excluded — so the cost of the reliability layer is
+  // separable from the payload traffic it protects.
   ReliableSender(NetworkBase* network, ReliabilityOptions options,
                  GiveUpFn on_give_up, Counter* retransmits = nullptr,
-                 Counter* give_ups = nullptr);
+                 Counter* give_ups = nullptr,
+                 Counter* retx_bytes = nullptr);
 
   // Stamps the next per-(flow, dst) sequence number, sends, and arms the
   // retransmission timer. With reliability disabled this degrades to a
@@ -110,6 +114,7 @@ class ReliableSender {
     GiveUpFn on_give_up;
     Counter* retransmits = nullptr;
     Counter* give_ups = nullptr;
+    Counter* retx_bytes = nullptr;
     std::map<Key, Pending> pending;
     std::map<std::pair<FlowId, uint32_t>, uint32_t> next_seq;
   };

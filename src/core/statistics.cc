@@ -157,7 +157,11 @@ std::vector<uint8_t> StatisticsModule::SerializeAll() const {
     report.SerializeTo(writer);
   }
   durability_.SerializeTo(writer);
-  metrics_.Snapshot().SerializeTo(writer);
+  // The cost ledger rides the metrics trailer as cost.* entries; an idle
+  // ledger snapshots to nothing, keeping the payload unchanged.
+  MetricsSnapshot metrics = metrics_.Snapshot();
+  metrics.Merge(cost_.Snapshot());
+  metrics.SerializeTo(writer);
   return writer.Take();
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/protocol.h"
+#include "obs/cost_ledger.h"
 #include "obs/metrics.h"
 #include "storage/durability_stats.h"
 #include "util/status.h"
@@ -109,6 +110,13 @@ class StatisticsModule {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  // The node's wire-cost ledger. The node attaches it to the network
+  // (NetworkBase::AttachCostLedger) when profiling is enabled; until then
+  // it stays empty and contributes nothing to the serialized bundle, so
+  // the kStatsReport payload is byte-identical to the unprofiled build.
+  CostLedger& cost() { return cost_; }
+  const CostLedger& cost() const { return cost_; }
+
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     reports_.clear();
@@ -128,6 +136,7 @@ class StatisticsModule {
   std::map<FlowId, UpdateReport> reports_;
   DurabilityStats durability_;
   MetricsRegistry metrics_;
+  CostLedger cost_;
 };
 
 }  // namespace codb

@@ -268,6 +268,10 @@ Status SuperPeer::RequestStats() {
   return Status::Ok();
 }
 
+void SuperPeer::EnableProfiling() {
+  network_->AttachCostLedger(id_, &cost_);
+}
+
 Status SuperPeer::EnableMembership(const MembershipOptions& options) {
   if (membership_ != nullptr) {
     return Status::FailedPrecondition("super-peer '" + name_ +
@@ -518,9 +522,16 @@ std::string SuperPeer::FinalReport() const {
                      collected_durability_.size());
     out += total.Render();
   }
+  MetricsSnapshot metrics = MergedMetrics();
+  metrics.Merge(cost_.Snapshot());
   if (!collected_metrics_.empty()) {
     out += StrFormat("metrics (%zu nodes):\n", collected_metrics_.size());
-    out += MergedMetrics().Render();
+    out += metrics.Render();
+  }
+  std::string cost = RenderCostBreakdown(metrics);
+  if (!cost.empty()) {
+    out += "wire cost (bytes by class):\n";
+    out += cost;
   }
   return out;
 }
@@ -541,9 +552,15 @@ std::string SuperPeer::FederatedReport() const {
       nodes, supers);
   out += RenderAggregates(FederatedAggregate());
   MetricsSnapshot metrics = FederatedMetrics();
+  metrics.Merge(cost_.Snapshot());
   if (!metrics.empty()) {
     out += "metrics (federated):\n";
     out += metrics.Render();
+  }
+  std::string cost = RenderCostBreakdown(metrics);
+  if (!cost.empty()) {
+    out += "wire cost (bytes by class):\n";
+    out += cost;
   }
   return out;
 }

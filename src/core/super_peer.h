@@ -139,6 +139,16 @@ class SuperPeer : public NetworkPeer {
   // The final statistical report of the demo.
   std::string FinalReport() const;
 
+  // -- observability --------------------------------------------------------
+
+  // Attaches this super-peer's own cost ledger to the network, so its
+  // orchestration traffic (config broadcasts, stats collections,
+  // federation exchanges) is classified and accounted like node traffic.
+  // Call after Create, while the network is quiescent; off by default.
+  void EnableProfiling();
+  CostLedger& cost() { return cost_; }
+  const CostLedger& cost() const { return cost_; }
+
   // -- membership -----------------------------------------------------------
 
   // Runs a heartbeat session over this super-peer's pipes (its region,
@@ -226,6 +236,11 @@ class SuperPeer : public NetworkPeer {
 
   std::set<uint32_t> federation_peers_;
   std::map<uint32_t, FederationReportPayload> federation_reports_;
+
+  // The super-peer's own wire-cost accounting (idle until
+  // EnableProfiling); the region nodes' ledgers arrive as cost.* entries
+  // inside their collected metrics snapshots.
+  CostLedger cost_;
 };
 
 }  // namespace codb

@@ -68,7 +68,8 @@ UpdateManager::UpdateManager(NetworkBase* network, PeerId self,
                   termination_.MaybeQuiesce();
                 },
                 stats->metrics().GetCounter("update.retransmits"),
-                stats->metrics().GetCounter("update.send_give_ups")),
+                stats->metrics().GetCounter("update.send_give_ups"),
+                stats->metrics().GetCounter("net.retx.bytes")),
       update_seq_(update_seq) {}
 
 Status UpdateManager::Init() {

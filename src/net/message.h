@@ -75,6 +75,12 @@ struct Message {
   // In-memory scheduling attribute — never serialized.
   bool maintenance = false;
 
+  // Set by the reliability layer on resends (core/reliability.h) so the
+  // cost ledger (obs/cost_ledger.h) can charge retransmitted bytes to the
+  // reliability class instead of the payload's own class. In-memory only:
+  // never serialized, never part of the wire format.
+  bool retransmit = false;
+
   // Fixed envelope header: source, destination, type, length (12 bytes)
   // plus the sequence number (4 bytes).
   static constexpr size_t kHeaderBytes = 16;

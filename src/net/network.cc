@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -181,6 +182,9 @@ Status Network::Send(Message message) {
                                " -> " + message.dst.ToString());
   }
   stats_.RecordSend(message);
+  // The ledger mirrors TransportStats send accounting: bytes are charged
+  // even when the fault injector then drops the message on the wire.
+  RecordCostSend(message);
   FaultInjector::Decision fault = pipe->NextFault();
   if (fault.drop) {
     // The sender cannot tell a dropped message from a delivered one:
@@ -200,12 +204,14 @@ Status Network::Send(Message message) {
   Event event;
   event.time_us = arrival;
   event.seq = next_seq_++;
+  event.enqueued_us = now_us_;
   if (fault.duplicate) {
     stats_.RecordInjectedDup();
     Event dup;
     // The copy rides right behind the original on the wire.
     dup.time_us = pipe->ScheduleArrival(now_us_, message.WireSize());
     dup.seq = next_seq_++;
+    dup.enqueued_us = now_us_;
     dup.message = std::make_unique<Message>(message);
     PushEvent(std::move(dup), maintenance);
   }
@@ -218,6 +224,7 @@ void Network::ScheduleAt(int64_t time_us, std::function<void()> action) {
   Event event;
   event.time_us = std::max(time_us, now_us_);
   event.seq = next_seq_++;
+  event.enqueued_us = now_us_;
   event.action = std::move(action);
   PushEvent(std::move(event), /*maintenance=*/false);
 }
@@ -231,6 +238,7 @@ void Network::ScheduleMaintenance(int64_t delay_us,
   Event event;
   event.time_us = now_us_ + std::max<int64_t>(delay_us, 0);
   event.seq = next_seq_++;
+  event.enqueued_us = now_us_;
   event.action = std::move(action);
   PushEvent(std::move(event), /*maintenance=*/true);
 }
@@ -239,6 +247,7 @@ void Network::PushEvent(Event event, bool maintenance) {
   std::vector<Event>& lane = maintenance ? maintenance_events_ : events_;
   lane.push_back(std::move(event));
   std::push_heap(lane.begin(), lane.end(), EventLater());
+  profiler_.NoteQueueDepth(maintenance, lane.size());
 }
 
 bool Network::PopNext(bool include_maintenance, Event* out) {
@@ -283,6 +292,18 @@ void Network::Dispatch(const Event& event) {
     }
     NetworkPeer* handler = peers_[msg.dst.value].handler;
     if (handler != nullptr) {
+      // The profiler's sojourn is virtual (wire time: pipe latency plus
+      // bandwidth queueing); handler service time is wall-clock, since a
+      // handler runs in zero virtual time by construction.
+      const bool profiling = profiler_.enabled();
+      CostClass cls = CostClass::kData;
+      std::chrono::steady_clock::time_point service_start;
+      if (profiling) {
+        cls = ClassifyMessage(msg);
+        profiler_.RecordSojourn(cls, now_us_ - event.enqueued_us);
+      }
+      RecordCostRecv(msg);
+      if (profiling) service_start = std::chrono::steady_clock::now();
       if (tracing) {
         uint64_t span = tracer.BeginSpan(msg.dst.value, "net.deliver");
         tracer.AddArg(span, "type", MessageTypeName(msg.type));
@@ -293,8 +314,18 @@ void Network::Dispatch(const Event& event) {
       } else {
         handler->HandleMessage(msg);
       }
+      if (profiling) {
+        profiler_.RecordService(
+            cls, std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - service_start)
+                     .count());
+      }
     }
   } else if (event.action) {
+    // For timers, lag is how far past its due time the virtual clock had
+    // already advanced when the action ran (maintenance events surfacing
+    // late under Run(); always 0 for foreground timers).
+    profiler_.RecordTimerLag(now_us_ - event.time_us);
     event.action();
   }
 }

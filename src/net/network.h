@@ -117,6 +117,10 @@ class Network : public NetworkBase {
   struct Event {
     int64_t time_us = 0;
     uint64_t seq = 0;  // FIFO tie-break for equal timestamps
+    // Virtual time at which the event was enqueued. For messages the gap
+    // to dispatch is the wire sojourn (pipe latency + bandwidth queueing),
+    // which is what the queue profiler reports.
+    int64_t enqueued_us = 0;
     // Exactly one of the two is set.
     std::unique_ptr<Message> message;
     std::function<void()> action;

@@ -17,6 +17,7 @@
 #ifndef CODB_NET_NETWORK_INTERFACE_H_
 #define CODB_NET_NETWORK_INTERFACE_H_
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -25,6 +26,8 @@
 #include "net/peer_id.h"
 #include "net/pipe.h"
 #include "net/transport_stats.h"
+#include "obs/cost_ledger.h"
+#include "obs/queue_profiler.h"
 #include "util/status.h"
 
 namespace codb {
@@ -130,7 +133,66 @@ class NetworkBase {
   virtual TransportStats& stats() = 0;
   virtual const TransportStats& stats() const = 0;
 
+  // -- observability (DESIGN.md §12) ---------------------------------------
+  // Cost ledgers are attach-based and off by default: until one is
+  // attached, every dispatch pays one relaxed atomic load + branch and
+  // nothing else. Attach while the network is quiescent (setup time) —
+  // the ledger table itself is not guarded.
+  //
+  // Per-peer ledger: the runtime records the send side of every message
+  // whose src is `id` and the receive side of every delivery to `id`.
+  // Nodes attach their statistical module's ledger here so the per-class
+  // byte breakdown rides the kStatsReport trailer.
+  void AttachCostLedger(PeerId id, CostLedger* ledger) {
+    if (!id.valid()) return;
+    if (ledgers_.size() <= id.value) ledgers_.resize(id.value + 1, nullptr);
+    ledgers_[id.value] = ledger;
+    cost_enabled_.store(true, std::memory_order_release);
+  }
+
+  // Network-wide ledger: every send/delivery is recorded regardless of
+  // endpoint. Benches use this for exact totals without a collection.
+  void SetGlobalCostLedger(CostLedger* ledger) {
+    global_ledger_ = ledger;
+    if (ledger != nullptr) {
+      cost_enabled_.store(true, std::memory_order_release);
+    }
+  }
+  CostLedger* global_cost_ledger() const { return global_ledger_; }
+
+  // The event-loop profiler; call profiler().Enable() to turn it on.
+  QueueProfiler& profiler() { return profiler_; }
+  const QueueProfiler& profiler() const { return profiler_; }
+
   static constexpr uint64_t kDefaultEventCap = 50'000'000;
+
+ protected:
+  bool CostEnabled() const {
+    return cost_enabled_.load(std::memory_order_acquire);
+  }
+  void RecordCostSend(const Message& message) {
+    if (!CostEnabled()) return;
+    if (global_ledger_ != nullptr) global_ledger_->RecordSend(message);
+    if (message.src.value < ledgers_.size() &&
+        ledgers_[message.src.value] != nullptr) {
+      ledgers_[message.src.value]->RecordSend(message);
+    }
+  }
+  void RecordCostRecv(const Message& message) {
+    if (!CostEnabled()) return;
+    if (global_ledger_ != nullptr) global_ledger_->RecordRecv(message);
+    if (message.dst.value < ledgers_.size() &&
+        ledgers_[message.dst.value] != nullptr) {
+      ledgers_[message.dst.value]->RecordRecv(message);
+    }
+  }
+
+  QueueProfiler profiler_;
+
+ private:
+  std::vector<CostLedger*> ledgers_;
+  CostLedger* global_ledger_ = nullptr;
+  std::atomic<bool> cost_enabled_{false};
 };
 
 }  // namespace codb

@@ -222,6 +222,7 @@ void ThreadedNetwork::EnqueueLocked(uint32_t peer, InboxItem item) {
   bool maintenance = item.maintenance;
   worker.inbox.insert(pos, std::move(item));
   if (!maintenance) ++busy_;
+  profiler_.NoteQueueDepth(/*maintenance=*/false, worker.inbox.size());
   work_cv_.notify_all();
 }
 
@@ -232,6 +233,7 @@ void ThreadedNetwork::NotifyPipeClosedLocked(PeerId peer, PeerId other) {
   item.pipe_closed = true;
   item.closed_other = other;
   item.due = std::chrono::steady_clock::now();
+  item.enqueued = item.due;
   EnqueueLocked(peer.value, std::move(item));
 }
 
@@ -250,10 +252,14 @@ Status ThreadedNetwork::Send(Message message) {
   if (message.dst.value >= workers_.size() ||
       !workers_[message.dst.value]->alive) {
     stats_.RecordSend(message);
+    RecordCostSend(message);
     stats_.RecordDrop(message);
     return Status::Ok();  // in-flight loss semantics
   }
   stats_.RecordSend(message);
+  // Ledger accounting mirrors TransportStats: send bytes are charged even
+  // if the fault injector drops the message below.
+  RecordCostSend(message);
   PipeState& pipe = it->second;
   FaultInjector::Decision fault = pipe.injector.Next();
   if (fault.drop) {
@@ -285,6 +291,7 @@ Status ThreadedNetwork::Send(Message message) {
 
   uint32_t destination = message.dst.value;
   const bool maintenance = message.maintenance;
+  auto enqueued_at = std::chrono::steady_clock::now();
   if (fault.duplicate) {
     stats_.RecordInjectedDup();
     // The copy rides right behind the original on the wire.
@@ -292,12 +299,14 @@ Status ThreadedNetwork::Send(Message message) {
     InboxItem dup;
     dup.message = std::make_unique<Message>(message);
     dup.due = epoch_ + std::chrono::microseconds(dup_arrival);
+    dup.enqueued = enqueued_at;
     dup.maintenance = maintenance;
     EnqueueLocked(destination, std::move(dup));
   }
   InboxItem item;
   item.message = std::make_unique<Message>(std::move(message));
   item.due = epoch_ + std::chrono::microseconds(arrival);
+  item.enqueued = enqueued_at;
   item.maintenance = maintenance;
   EnqueueLocked(destination, std::move(item));
   return Status::Ok();
@@ -310,6 +319,7 @@ void ThreadedNetwork::ScheduleAt(int64_t time_us,
       {epoch_ + std::chrono::microseconds(std::max(time_us, now_us())),
        std::move(action)});
   ++busy_;
+  profiler_.NoteQueueDepth(/*maintenance=*/true, timers_.size());
   work_cv_.notify_all();
 }
 
@@ -330,6 +340,7 @@ void ThreadedNetwork::ScheduleMaintenance(int64_t delay_us,
   // Deliberately no ++busy_: a pending maintenance timer must not hold
   // Run() open. The timer thread counts it only while it executes.
   timers_.push_back(std::move(timer));
+  profiler_.NoteQueueDepth(/*maintenance=*/true, timers_.size());
   work_cv_.notify_all();
 }
 
@@ -367,10 +378,28 @@ void ThreadedNetwork::WorkerLoop(uint32_t index) {
         dropped = true;
       }
     }
+    const bool profiling = profiler_.enabled();
+    CostClass cls = CostClass::kData;
+    if (!dropped && handler != nullptr && item.message != nullptr) {
+      // Sojourn = enqueue-to-dispatch wall time: the modelled wire delay
+      // plus any real backlog behind earlier inbox items.
+      if (profiling) {
+        cls = ClassifyMessage(*item.message);
+        profiler_.RecordSojourn(
+            cls, std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - item.enqueued)
+                     .count());
+      }
+      RecordCostRecv(*item.message);
+    }
     if (!dropped && handler != nullptr) {
       // Run the handler without the lock; the peer's serialization is
       // preserved because only this thread drains this inbox.
       lock.unlock();
+      std::chrono::steady_clock::time_point service_start;
+      if (profiling && item.message != nullptr) {
+        service_start = std::chrono::steady_clock::now();
+      }
       if (item.message != nullptr) {
         Tracer& tracer = Tracer::Global();
         if (tracer.enabled()) {
@@ -388,6 +417,12 @@ void ThreadedNetwork::WorkerLoop(uint32_t index) {
           tracer.EndSpan(span);
         } else {
           handler->HandleMessage(*item.message);
+        }
+        if (profiling) {
+          profiler_.RecordService(
+              cls, std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - service_start)
+                       .count());
         }
       } else if (item.pipe_closed) {
         handler->HandlePipeClosed(item.closed_other);
@@ -428,6 +463,12 @@ void ThreadedNetwork::TimerLoop() {
     // duration of its execution (the tail --busy_ balances it).
     if (earliest->maintenance) ++busy_;
     timers_.erase(earliest);
+    if (profiler_.enabled()) {
+      profiler_.RecordTimerLag(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - due)
+              .count());
+    }
     lock.unlock();
     if (action) action();
     lock.lock();

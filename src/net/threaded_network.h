@@ -101,6 +101,10 @@ class ThreadedNetwork : public NetworkBase {
     bool pipe_closed = false;
     PeerId closed_other;
     std::chrono::steady_clock::time_point due;
+    // When the item entered the inbox; the gap to dispatch is the queue
+    // sojourn (modelled wire delay + any worker backlog) the profiler
+    // reports.
+    std::chrono::steady_clock::time_point enqueued;
     // Maintenance items do not count toward busy_ while queued; the
     // worker counts them only while their handler is executing.
     bool maintenance = false;

@@ -6,6 +6,20 @@
 
 namespace codb {
 
+namespace {
+
+// A peer running a wider histogram span than ours can report bucket
+// indexes past our range; folding them into the overflow bucket keeps the
+// count mass (instead of silently inventing buckets whose lower bound
+// HistogramBucketLow would compute with an undefined shift).
+uint32_t ClampBucketIndex(uint32_t index) {
+  return index < kHistogramBuckets
+             ? index
+             : static_cast<uint32_t>(kHistogramBuckets - 1);
+}
+
+}  // namespace
+
 void MetricValue::Merge(const MetricValue& other) {
   // Counters and histogram counts add across nodes; gauges are
   // point-in-time readings, so the merged view keeps the worst (max).
@@ -16,9 +30,15 @@ void MetricValue::Merge(const MetricValue& other) {
   }
   sum += other.sum;
   if (other.buckets.empty()) return;
-  std::map<uint32_t, uint64_t> merged(buckets.begin(), buckets.end());
+  // Merge by clamped index so snapshots with different bucket spans sum
+  // their underflow/overflow mass instead of carrying out-of-range
+  // indexes into the quantile math.
+  std::map<uint32_t, uint64_t> merged;
+  for (const auto& [index, count] : buckets) {
+    merged[ClampBucketIndex(index)] += count;
+  }
   for (const auto& [index, count] : other.buckets) {
-    merged[index] += count;
+    merged[ClampBucketIndex(index)] += count;
   }
   buckets.assign(merged.begin(), merged.end());
 }
@@ -78,7 +98,15 @@ Result<MetricsSnapshot> MetricsSnapshot::DeserializeFrom(WireReader& reader) {
     for (uint32_t b = 0; b < buckets; ++b) {
       CODB_ASSIGN_OR_RETURN(uint32_t index, reader.ReadU32());
       CODB_ASSIGN_OR_RETURN(uint64_t bucket_count, reader.ReadU64());
-      entry.buckets.emplace_back(index, bucket_count);
+      // A wider-span peer's out-of-range indexes fold into our overflow
+      // bucket (same policy as Merge); entries arrive sorted, so equal
+      // clamped indexes coalesce against the back.
+      index = ClampBucketIndex(index);
+      if (!entry.buckets.empty() && entry.buckets.back().first == index) {
+        entry.buckets.back().second += bucket_count;
+      } else {
+        entry.buckets.emplace_back(index, bucket_count);
+      }
     }
     snapshot.entries.emplace(std::move(name), std::move(entry));
   }

@@ -1,0 +1,57 @@
+#include "obs/queue_profiler.h"
+
+#include "util/string_util.h"
+
+namespace codb {
+
+void QueueProfiler::Enable() {
+  if (enabled()) return;
+  for (size_t c = 0; c < kCostClassCount; ++c) {
+    const char* name = CostClassName(static_cast<CostClass>(c));
+    sojourn_[c] =
+        registry_.GetHistogram(StrFormat("queue.sojourn_us.%s", name));
+    service_[c] =
+        registry_.GetHistogram(StrFormat("queue.service_us.%s", name));
+  }
+  timer_lag_ = registry_.GetHistogram("queue.timer_lag_us");
+  depth_fg_ = registry_.GetGauge("queue.depth.fg");
+  depth_maint_ = registry_.GetGauge("queue.depth.maint");
+  enabled_.store(true, std::memory_order_release);
+}
+
+void QueueProfiler::RecordSojourn(CostClass cls, int64_t us) {
+  if (!enabled()) return;
+  sojourn_[static_cast<size_t>(cls)]->Record(
+      us < 0 ? 0 : static_cast<uint64_t>(us));
+}
+
+void QueueProfiler::RecordService(CostClass cls, int64_t us) {
+  if (!enabled()) return;
+  service_[static_cast<size_t>(cls)]->Record(
+      us < 0 ? 0 : static_cast<uint64_t>(us));
+}
+
+void QueueProfiler::RecordTimerLag(int64_t us) {
+  if (!enabled()) return;
+  timer_lag_->Record(us < 0 ? 0 : static_cast<uint64_t>(us));
+}
+
+void QueueProfiler::NoteQueueDepth(bool maintenance, size_t depth) {
+  if (!enabled()) return;
+  std::atomic<int64_t>& mark = maintenance ? maint_watermark_ : fg_watermark_;
+  int64_t d = static_cast<int64_t>(depth);
+  int64_t seen = mark.load(std::memory_order_relaxed);
+  while (d > seen &&
+         !mark.compare_exchange_weak(seen, d, std::memory_order_relaxed)) {
+  }
+  if (d >= seen) {
+    (maintenance ? depth_maint_ : depth_fg_)->Set(d);
+  }
+}
+
+MetricsSnapshot QueueProfiler::Snapshot() const {
+  if (!enabled()) return MetricsSnapshot();
+  return registry_.Snapshot();
+}
+
+}  // namespace codb

@@ -1,0 +1,75 @@
+// Event-loop profiler (DESIGN.md §12): what is the queue doing?
+//
+// Both runtimes own one of these and feed it from their dispatch loops:
+//
+//   * queue sojourn  — enqueue-to-dispatch time of every delivered
+//     message, per cost class. On the simulator this is virtual time and
+//     includes the pipe's modeled latency + bandwidth queueing (the O(n²)
+//     config broadcast shows up here as a growing per-message wait on the
+//     super-peer's pipes); on the threaded runtime it is wall time in the
+//     per-peer inbox.
+//   * handler service time — wall microseconds inside HandleMessage, per
+//     class, on both runtimes.
+//   * queue depth — high-watermark gauges for the foreground and
+//     maintenance lanes (simulator: the two event heaps; threaded: the
+//     deepest per-peer inbox vs. the timer set).
+//   * scheduled-timer lag — how late a timer action fired relative to its
+//     due time (late maintenance events surfacing after Run() advanced
+//     the clock, or a busy timer thread).
+//
+// Off-by-default-cheap: every Record* call is one atomic flag load + a
+// branch until Enable() is called; the instruments are registered at
+// Enable() time, so a disabled profiler allocates nothing on dispatch.
+
+#ifndef CODB_OBS_QUEUE_PROFILER_H_
+#define CODB_OBS_QUEUE_PROFILER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "obs/cost_ledger.h"
+#include "obs/metrics.h"
+
+namespace codb {
+
+class QueueProfiler {
+ public:
+  QueueProfiler() = default;
+  QueueProfiler(const QueueProfiler&) = delete;
+  QueueProfiler& operator=(const QueueProfiler&) = delete;
+
+  // Registers the instruments and turns recording on. Idempotent. Call
+  // before traffic starts (the enabled flag is released so concurrent
+  // Record* calls observe fully-initialized instrument pointers).
+  void Enable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  void RecordSojourn(CostClass cls, int64_t us);
+  void RecordService(CostClass cls, int64_t us);
+  void RecordTimerLag(int64_t us);
+  // High-watermark depth of one lane; the gauges keep the maximum seen.
+  void NoteQueueDepth(bool maintenance, size_t depth);
+
+  // Snapshot of `queue.sojourn_us.<class>` / `queue.service_us.<class>`
+  // histograms, `queue.timer_lag_us`, and the `queue.depth.fg` /
+  // `queue.depth.maint` gauges. Empty before Enable().
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  MetricsRegistry registry_;
+  std::array<Histogram*, kCostClassCount> sojourn_{};
+  std::array<Histogram*, kCostClassCount> service_{};
+  Histogram* timer_lag_ = nullptr;
+  Gauge* depth_fg_ = nullptr;
+  Gauge* depth_maint_ = nullptr;
+  std::atomic<int64_t> fg_watermark_{0};
+  std::atomic<int64_t> maint_watermark_{0};
+};
+
+}  // namespace codb
+
+#endif  // CODB_OBS_QUEUE_PROFILER_H_

@@ -20,6 +20,13 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(
   } else {
     testbed->network_ = std::make_unique<Network>();
   }
+  // Profiling goes on before anything joins or sends, so discovery and
+  // the config broadcast below — the O(n²) settle traffic the cost model
+  // exists to expose — are fully accounted.
+  if (options.profiling) {
+    testbed->network_->SetGlobalCostLedger(&testbed->cost_);
+    testbed->network_->profiler().Enable();
+  }
 
   for (const NodeDecl& decl : generated.config.nodes()) {
     CODB_RETURN_IF_ERROR(testbed->SpawnNode(decl, /*seed=*/true).status());
@@ -37,6 +44,7 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(
     std::string name =
         supers == 1 ? "super-peer" : "super-" + std::to_string(s);
     auto super = SuperPeer::Create(testbed->network_.get(), name);
+    if (options.profiling) super->EnableProfiling();
     CODB_RETURN_IF_ERROR(super->LoadConfig(generated.config));
     if (supers > 1) {
       std::vector<std::string> region;
@@ -96,6 +104,7 @@ Result<Node*> Testbed::SpawnNode(const NodeDecl& decl, bool seed) {
       std::unique_ptr<Node> node,
       Node::Create(network_.get(), decl.name, std::move(schema),
                    decl.mediator, options_.node));
+  if (options_.profiling) node->EnableProfiling();
 
   if (seed) {
     auto it = generated_.seeds.find(decl.name);

@@ -52,6 +52,13 @@ class Testbed {
     // and eviction fire.
     bool membership = false;
     MembershipOptions membership_options;
+    // Observability (DESIGN.md §12): when true, a testbed-wide cost
+    // ledger is attached as the network's global ledger, every node and
+    // super-peer attaches its own ledger, and the event-loop profiler is
+    // enabled — all BEFORE the config broadcast, so the O(n²) settle
+    // traffic is accounted. Off by default: the unprofiled deployment
+    // pays one atomic load per dispatch and nothing else.
+    bool profiling = false;
     // Number of federated super-peers. 1 (the default) is the historical
     // single super-peer owning the whole network. With S > 1 the node
     // declarations are split into S contiguous regions, each owned by one
@@ -75,6 +82,11 @@ class Testbed {
   Testbed& operator=(const Testbed&) = delete;
 
   NetworkBase& network() { return *network_; }
+  // The testbed-wide ledger (meaningful when Options::profiling is on):
+  // every message on the network, classified and accounted, without
+  // needing a stats collection.
+  CostLedger& cost() { return cost_; }
+  const CostLedger& cost() const { return cost_; }
   SuperPeer& super_peer() { return *super_peers_.front(); }
   SuperPeer& super_peer(size_t i) { return *super_peers_[i]; }
   size_t super_peer_count() const { return super_peers_.size(); }
@@ -138,6 +150,7 @@ class Testbed {
   GeneratedNetwork generated_;
   Options options_;
   std::unique_ptr<NetworkBase> network_;
+  CostLedger cost_;  // global wire-cost ledger (Options::profiling)
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<std::string, Node*> by_name_;
   std::vector<std::unique_ptr<Node>> graveyard_;  // killed nodes

@@ -1,12 +1,16 @@
 // Tests for the observability layer (src/obs/): the metrics registry,
 // histogram bucketing, snapshot merge/serialize round-trips, the flow
-// tracer's span bookkeeping, and a golden end-to-end trace of a 3-node
-// global update whose span counts must agree with the statistics module.
+// tracer's span bookkeeping, a golden end-to-end trace of a 3-node
+// global update whose span counts must agree with the statistics module,
+// and the wire-cost ledger / queue profiler (per-class byte accounting
+// checked exactly against the transport counters).
 
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "net/fault.h"
+#include "obs/cost_ledger.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -339,6 +343,197 @@ TEST_F(GoldenTraceTest, ThreeNodeUpdateProducesCorrelatedSpanTree) {
     start = end + 1;
   }
   EXPECT_EQ(lines, spans.size() + tracer.Edges().size());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot merge across histogram spans
+
+// A report serialized by a peer running a different build may carry
+// bucket indexes beyond this build's kHistogramBuckets. Both the wire
+// decoder and Merge must clamp them into the top bucket instead of
+// growing the array or corrupting quantiles.
+TEST(MetricsTest, MergeClampsOutOfRangeBuckets) {
+  MetricValue alien;
+  alien.kind = MetricKind::kHistogram;
+  alien.value = 7;
+  alien.sum = 700;
+  alien.buckets = {{3, 2}, {80, 4}, {200, 1}};  // 80 and 200 out of range
+
+  MetricsSnapshot foreign;
+  foreign.entries["lat"] = alien;
+
+  // Wire round-trip clamps: 80 and 200 coalesce into the top bucket.
+  WireWriter writer;
+  foreign.SerializeTo(writer);
+  std::vector<uint8_t> bytes = writer.Take();
+  WireReader reader(bytes);
+  Result<MetricsSnapshot> decoded = MetricsSnapshot::DeserializeFrom(reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const MetricValue& wire = decoded.value().entries.at("lat");
+  EXPECT_EQ(wire.value, 7);
+  EXPECT_EQ(BucketCount(wire, 3), 2u);
+  EXPECT_EQ(BucketCount(wire, kHistogramBuckets - 1), 5u);
+  EXPECT_EQ(BucketCount(wire, 80), 0u);
+
+  // Merge clamps too, summing into this build's top bucket.
+  MetricsRegistry local;
+  local.GetHistogram("lat")->Record(5);
+  MetricsSnapshot merged = local.Snapshot();
+  merged.Merge(foreign);
+  const MetricValue& entry = merged.entries.at("lat");
+  EXPECT_EQ(entry.value, 8);  // 1 local + 7 foreign
+  uint64_t total = 0;
+  for (const auto& [index, count] : entry.buckets) {
+    EXPECT_LT(index, kHistogramBuckets);  // nothing escaped the clamp
+    total += count;
+  }
+  EXPECT_EQ(total, 8u);
+  EXPECT_EQ(BucketCount(entry, kHistogramBuckets - 1), 5u);
+  // Quantiles and JSON stay well-defined on the clamped form.
+  EXPECT_LE(MetricsSnapshot::Quantile(entry, 0.99),
+            HistogramBucketLow(kHistogramBuckets - 1));
+  EXPECT_EQ(merged.ToJson().Find("lat")->GetNumber("count"), 8);
+}
+
+// ---------------------------------------------------------------------------
+// Cost ledger
+
+// Every wire type, for replaying the transport's per-type counters
+// through the same classifier the ledger uses.
+constexpr MessageType kAllMessageTypes[] = {
+    MessageType::kAdvertisement,  MessageType::kConfigBroadcast,
+    MessageType::kUpdateRequest,  MessageType::kUpdateData,
+    MessageType::kLinkClosed,     MessageType::kUpdateAck,
+    MessageType::kUpdateComplete, MessageType::kQueryRequest,
+    MessageType::kQueryResult,    MessageType::kQueryDone,
+    MessageType::kStatsRequest,   MessageType::kStatsReport,
+    MessageType::kDeliveryAck,    MessageType::kHeartbeat,
+    MessageType::kHeartbeatAck,   MessageType::kFederationReport,
+};
+
+TEST(CostLedgerTest, GoldenThreeNodeByteAccounting) {
+  WorkloadOptions workload;
+  workload.nodes = 3;
+  workload.tuples_per_node = 4;
+  GeneratedNetwork generated = MakeChain(workload);
+  Testbed::Options options;
+  options.profiling = true;
+  Result<std::unique_ptr<Testbed>> testbed =
+      Testbed::Create(generated, options);
+  ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> update = bed.RunGlobalUpdate("n0");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  ASSERT_TRUE(bed.AllComplete(update.value()));
+  ASSERT_TRUE(bed.CollectStats().ok());
+
+  // Golden cross-check: per class, the network-wide ledger must agree
+  // EXACTLY with the transport's per-type counters replayed through the
+  // classifier (no reliability layer here, so no retransmit flags).
+  const CostLedger& cost = bed.cost();
+  std::array<CostLedger::Totals, kCostClassCount> expected{};
+  for (MessageType type : kAllMessageTypes) {
+    auto& slot = expected[static_cast<size_t>(
+        ClassifyMessage(type, /*retransmit=*/false))];
+    slot.messages += bed.network().stats().MessagesOfType(type);
+    slot.bytes += bed.network().stats().BytesOfType(type);
+  }
+  uint64_t total_bytes = 0;
+  for (size_t c = 0; c < kCostClassCount; ++c) {
+    CostClass cls = static_cast<CostClass>(c);
+    SCOPED_TRACE(CostClassName(cls));
+    EXPECT_EQ(cost.Sent(cls).messages, expected[c].messages);
+    EXPECT_EQ(cost.Sent(cls).bytes, expected[c].bytes);
+    // No faults and no dead peers: everything sent was delivered.
+    EXPECT_EQ(cost.Received(cls).bytes, cost.Sent(cls).bytes);
+    total_bytes += cost.Sent(cls).bytes;
+  }
+  EXPECT_EQ(cost.TotalSentBytes(), total_bytes);
+  EXPECT_GT(cost.SentBytes(CostClass::kData), 0u);
+  EXPECT_GT(cost.SentBytes(CostClass::kConfig), 0u);
+  EXPECT_EQ(cost.SentBytes(CostClass::kRetransmit), 0u);
+
+  // The per-node breakdown rode the kStatsReport trailer: the super's
+  // merged metrics carry cost.* counters, and the rendered table shows
+  // every per-node class (config/federation are super-side only).
+  MetricsSnapshot merged = bed.super_peer().MergedMetrics();
+  EXPECT_GT(merged.entries.at("cost.sent.data.bytes").value, 0);
+  EXPECT_GT(merged.entries.at("cost.recv.config.bytes").value, 0);
+  std::string table = RenderCostBreakdown(merged);
+  EXPECT_NE(table.find("data"), std::string::npos);
+  EXPECT_NE(table.find("config"), std::string::npos);
+}
+
+TEST(CostLedgerTest, LossyRingChargesRetransmitClass) {
+  WorkloadOptions workload;
+  workload.nodes = 4;
+  workload.tuples_per_node = 3;
+  GeneratedNetwork generated = MakeRing(workload);
+
+  Testbed::Options options;
+  options.profiling = true;
+  options.fault = FaultProfile::Drop(0.25, /*seed=*/11);
+  options.node.reliability.enabled = true;
+  options.node.reliability.retransmit_base_us = 20'000;
+  options.node.reliability.max_retries = 10;
+  Result<std::unique_ptr<Testbed>> testbed =
+      Testbed::Create(generated, options);
+  ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> update = bed.RunGlobalUpdate("n0");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  ASSERT_TRUE(bed.AllComplete(update.value()));
+
+  // Losses forced resends; the ledger charges them to the retransmit
+  // class and its byte total must equal the reliability layer's own
+  // net.retx.bytes counter exactly (both charge WireSize at send time,
+  // whether or not the fault injector then drops the copy).
+  uint64_t retx_counted = 0;
+  for (const auto& node : bed.nodes()) {
+    retx_counted +=
+        node->statistics().metrics().GetCounter("net.retx.bytes")->value();
+  }
+  EXPECT_GT(retx_counted, 0u);
+  EXPECT_EQ(bed.cost().SentBytes(CostClass::kRetransmit), retx_counted);
+  EXPECT_GT(bed.cost().Sent(CostClass::kRetransmit).messages, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Queue profiler
+
+TEST(QueueProfilerTest, OffByDefaultThenInstrumentsWhenEnabled) {
+  WorkloadOptions workload;
+  workload.nodes = 3;
+  workload.tuples_per_node = 2;
+  GeneratedNetwork generated = MakeChain(workload);
+
+  // Default testbed: profiling stays off, the profiler snapshots to
+  // nothing (no instruments were ever registered) and no ledger exists.
+  {
+    Result<std::unique_ptr<Testbed>> bed = Testbed::Create(generated);
+    ASSERT_TRUE(bed.ok()) << bed.status().ToString();
+    EXPECT_FALSE(bed.value()->network().profiler().enabled());
+    EXPECT_TRUE(bed.value()->network().profiler().Snapshot().empty());
+    EXPECT_TRUE(bed.value()->cost().empty());
+  }
+
+  // Profiling testbed: the event loops record sojourn + service time per
+  // class and the depth watermarks move.
+  Testbed::Options options;
+  options.profiling = true;
+  Result<std::unique_ptr<Testbed>> bed = Testbed::Create(generated, options);
+  ASSERT_TRUE(bed.ok()) << bed.status().ToString();
+  Result<FlowId> update = bed.value()->RunGlobalUpdate("n0");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+
+  MetricsSnapshot profile = bed.value()->network().profiler().Snapshot();
+  const MetricValue& sojourn = profile.entries.at("queue.sojourn_us.data");
+  EXPECT_EQ(sojourn.kind, MetricKind::kHistogram);
+  EXPECT_GT(sojourn.value, 0);
+  EXPECT_GT(profile.entries.at("queue.service_us.config").value, 0);
+  EXPECT_GT(profile.entries.at("queue.depth.fg").value, 0);
 }
 
 }  // namespace

@@ -8,7 +8,14 @@
 // sequence of hops and handler executions that bounded the flow's
 // completion time.
 //
+// With --profile <metrics.json>, critical-path spans are annotated with
+// the queue-sojourn p50/p99 of their cost class, read from a queue
+// profiler snapshot (bench `--json` output, a codb_profile dump, or a raw
+// MetricsSnapshot::ToJson()) — so the hop a flow stalls on can be compared
+// against what the network queues were doing at the time.
+//
 // Usage: codb_trace <trace.json|trace.jsonl|-> [--flow <substring>]
+//                   [--profile <metrics.json>]
 
 #include <algorithm>
 #include <cstdio>
@@ -20,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "net/message.h"
+#include "obs/cost_ledger.h"
 #include "obs/json.h"
 
 namespace codb {
@@ -31,10 +40,20 @@ struct SpanRow {
   uint64_t node = 0;
   std::string name;
   std::string flow;
+  // Wire type of a net.deliver span ("UPDATE_DATA", ...), empty for
+  // handler spans; drives the --profile cost-class annotation.
+  std::string msg_type;
   int64_t ts_us = 0;
   int64_t dur_us = 0;
   bool instant = false;
 };
+
+// queue-sojourn p50/p99 per cost-class name, loaded from --profile.
+struct SojournStats {
+  double p50 = 0;
+  double p99 = 0;
+};
+using ProfileMap = std::map<std::string, SojournStats>;
 
 // Reads one parsed event object (either format uses the same member
 // names once Chrome's "args" is flattened) into a SpanRow.
@@ -49,6 +68,7 @@ SpanRow RowFromChromeEvent(const JsonValue& event) {
     row.id = static_cast<uint64_t>(args->GetNumber("span"));
     row.parent = static_cast<uint64_t>(args->GetNumber("parent"));
     row.flow = args->GetString("flow");
+    row.msg_type = args->GetString("type");
   }
   return row;
 }
@@ -96,6 +116,9 @@ bool LoadJsonl(const std::string& text, Trace* trace) {
     row.node = static_cast<uint64_t>(event.GetNumber("node"));
     row.name = event.GetString("name");
     row.flow = event.GetString("flow");
+    if (const JsonValue* args = event.Find("args")) {
+      row.msg_type = args->GetString("type");
+    }
     row.ts_us = static_cast<int64_t>(event.GetNumber("ts_us"));
     row.dur_us = static_cast<int64_t>(event.GetNumber("dur_us"));
     row.instant = type == "instant";
@@ -108,6 +131,76 @@ std::string NodeLabel(const Trace& trace, uint64_t node) {
   auto it = trace.node_names.find(node);
   if (it != trace.node_names.end()) return it->second;
   return "node" + std::to_string(node);
+}
+
+// Maps a wire-type name back to its cost-class label through the same
+// classifier the ledger uses, so the annotation cannot drift from the
+// accounting.
+std::string ClassOfTypeName(const std::string& type_name) {
+  static const MessageType kAllTypes[] = {
+      MessageType::kAdvertisement,  MessageType::kConfigBroadcast,
+      MessageType::kUpdateRequest,  MessageType::kUpdateData,
+      MessageType::kLinkClosed,     MessageType::kUpdateAck,
+      MessageType::kUpdateComplete, MessageType::kQueryRequest,
+      MessageType::kQueryResult,    MessageType::kQueryDone,
+      MessageType::kStatsRequest,   MessageType::kStatsReport,
+      MessageType::kDeliveryAck,    MessageType::kHeartbeat,
+      MessageType::kHeartbeatAck,   MessageType::kFederationReport,
+  };
+  for (MessageType type : kAllTypes) {
+    if (type_name == MessageTypeName(type)) {
+      return CostClassName(ClassifyMessage(type, /*retransmit=*/false));
+    }
+  }
+  return "";
+}
+
+// The cost class a span's queue behaviour is looked up under: net.deliver
+// spans carry their wire type; update/query handler spans ride the data
+// class.
+std::string SpanClass(const SpanRow& span) {
+  if (!span.msg_type.empty()) return ClassOfTypeName(span.msg_type);
+  if (span.name.rfind("update.", 0) == 0 ||
+      span.name.rfind("query.", 0) == 0) {
+    return "data";
+  }
+  return "";
+}
+
+std::string ProfileAnnotation(const SpanRow& span,
+                              const ProfileMap& profile) {
+  if (profile.empty()) return "";
+  std::string cls = SpanClass(span);
+  if (cls.empty()) return "";
+  auto it = profile.find(cls);
+  if (it == profile.end()) return "";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  [%s queue p50 %.0f p99 %.0f us]",
+                cls.c_str(), it->second.p50, it->second.p99);
+  return buf;
+}
+
+// Walks the profile document (any shape codb_profile accepts — bench
+// scenario arrays, combined captures, raw metrics dumps) and pulls every
+// queue.sojourn_us.<class> histogram's p50/p99.
+void CollectSojourns(const JsonValue& value, ProfileMap* out) {
+  if (value.is_array()) {
+    for (const JsonValue& item : value.items()) CollectSojourns(item, out);
+    return;
+  }
+  if (!value.is_object()) return;
+  constexpr char kPrefix[] = "queue.sojourn_us.";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  for (const auto& [key, member] : value.members()) {
+    if (member.is_object() && key.rfind(kPrefix, 0) == 0) {
+      SojournStats stats;
+      stats.p50 = member.GetNumber("p50");
+      stats.p99 = member.GetNumber("p99");
+      (*out)[key.substr(kPrefixLen)] = stats;
+    } else {
+      CollectSojourns(member, out);
+    }
+  }
 }
 
 // One flow's spans, indexed for tree printing.
@@ -132,7 +225,8 @@ void PrintTree(const Trace& trace, const FlowView& view,
 }
 
 void PrintFlow(const Trace& trace, const std::string& flow,
-               const std::vector<const SpanRow*>& spans) {
+               const std::vector<const SpanRow*>& spans,
+               const ProfileMap& profile) {
   // The flow's handler spans are stitched together by untagged transport
   // spans (net.deliver carries no flow — the network layer never parses
   // payloads). Pull every ancestor of a tagged span into the view so the
@@ -202,10 +296,11 @@ void PrintFlow(const Trace& trace, const std::string& flow,
   std::reverse(path.begin(), path.end());
   std::printf("  critical path (%zu spans):\n", path.size());
   for (const SpanRow* span : path) {
-    std::printf("    %-24s %-8s +%-8lld %8lld us\n", span->name.c_str(),
+    std::printf("    %-24s %-8s +%-8lld %8lld us%s\n", span->name.c_str(),
                 NodeLabel(trace, span->node).c_str(),
                 static_cast<long long>(span->ts_us - origin),
-                static_cast<long long>(span->dur_us));
+                static_cast<long long>(span->dur_us),
+                ProfileAnnotation(*span, profile).c_str());
   }
   std::printf("\n");
 }
@@ -213,9 +308,12 @@ void PrintFlow(const Trace& trace, const std::string& flow,
 int Main(int argc, char** argv) {
   std::string path;
   std::string flow_filter;
+  std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--flow") == 0 && i + 1 < argc) {
       flow_filter = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
     } else if (path.empty()) {
       path = argv[i];
     } else {
@@ -224,10 +322,33 @@ int Main(int argc, char** argv) {
     }
   }
   if (path.empty()) {
-    std::fprintf(
-        stderr,
-        "usage: codb_trace <trace.json|trace.jsonl|-> [--flow <substr>]\n");
+    std::fprintf(stderr,
+                 "usage: codb_trace <trace.json|trace.jsonl|-> "
+                 "[--flow <substr>] [--profile <metrics.json>]\n");
     return 2;
+  }
+
+  ProfileMap profile;
+  if (!profile_path.empty()) {
+    std::ifstream in(profile_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", profile_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Result<JsonValue> doc = ParseJson(buffer.str());
+    if (!doc.ok()) {
+      std::fprintf(stderr, "bad profile json: %s\n",
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    CollectSojourns(doc.value(), &profile);
+    if (profile.empty()) {
+      std::fprintf(stderr,
+                   "warning: %s carries no queue.sojourn_us.* histograms\n",
+                   profile_path.c_str());
+    }
   }
 
   std::string text;
@@ -277,7 +398,7 @@ int Main(int argc, char** argv) {
         flow.find(flow_filter) == std::string::npos) {
       continue;
     }
-    PrintFlow(trace, flow, spans);
+    PrintFlow(trace, flow, spans, profile);
     ++printed;
   }
   if (printed == 0) {
