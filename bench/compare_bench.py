@@ -45,8 +45,11 @@ QUALITY_FIELDS = ["detect_mean_periods", "detect_max_periods"]
 
 # Per-class wire-byte fields from the cost ledger (bench_topologies E14).
 # Deterministic in the simulator, so any drift is a protocol change, not
-# noise — but intentional protocol changes move them legitimately, so a
-# growth past the threshold is flagged ADVISORY and never fails the diff.
+# noise. The config-class fields GATE the diff: the delta/projected
+# distribution (DESIGN.md §13) took config traffic from 90% of settle
+# bytes to a sub-quadratic sliver, and silently growing it back is
+# exactly the regression the gate exists to catch. The other classes
+# move legitimately with protocol work and stay ADVISORY.
 BYTE_FIELDS = [
     "config_broadcast_bytes",
     "cost_config_bytes",
@@ -54,6 +57,10 @@ BYTE_FIELDS = [
     "cost_retx_bytes",
     "cost_membership_bytes",
 ]
+GATING_BYTE_FIELDS = frozenset([
+    "config_broadcast_bytes",
+    "cost_config_bytes",
+])
 
 
 def extract_scenarios(name, doc):
@@ -140,7 +147,8 @@ def diff(args):
         pct = (cur - base) / base * 100.0 if base > 0 else 0.0
         note = "%+.1f%%" % pct
         if args.threshold is not None and pct > args.threshold:
-            if unit == "bytes":
+            field = label.rsplit(":", 1)[-1]
+            if unit == "bytes" and field not in GATING_BYTE_FIELDS:
                 note += "  ADVISORY"
             else:
                 note += "  REGRESSION"

@@ -82,33 +82,9 @@ Result<NetworkConfig> NetworkConfig::Parse(const std::string& text) {
     }
 
     if (StartsWith(line, "rule ")) {
-      // rule <id> <importer> <- <exporter> : <query>
-      std::string rest(Trim(line.substr(5)));
-      size_t colon = rest.find(':');
-      if (colon == std::string::npos) {
-        return line_error("rule without ':' before the query");
-      }
-      std::string head_part(Trim(rest.substr(0, colon)));
-      std::string query_part(Trim(rest.substr(colon + 1)));
-      size_t arrow = head_part.find("<-");
-      if (arrow == std::string::npos) {
-        return line_error("rule without '<-' between importer and exporter");
-      }
-      std::string left(Trim(head_part.substr(0, arrow)));
-      std::string exporter(Trim(head_part.substr(arrow + 2)));
-      size_t space = left.find_last_of(" \t");
-      if (space == std::string::npos) {
-        return line_error("rule needs both an id and an importer");
-      }
-      std::string id(Trim(left.substr(0, space)));
-      std::string importer(Trim(left.substr(space + 1)));
-      if (id.empty() || importer.empty() || exporter.empty()) {
-        return line_error("rule id, importer and exporter must be non-empty");
-      }
-      Result<ConjunctiveQuery> query = ParseQuery(query_part);
-      if (!query.ok()) return line_error(query.status().ToString());
-      config.rules_.emplace_back(id, importer, exporter,
-                                 std::move(query).value());
+      Result<CoordinationRule> rule = ParseRuleText(std::string(line));
+      if (!rule.ok()) return line_error(rule.status().ToString());
+      config.rules_.push_back(std::move(rule).value());
       current = nullptr;
       continue;
     }
@@ -119,22 +95,107 @@ Result<NetworkConfig> NetworkConfig::Parse(const std::string& text) {
   return config;
 }
 
+std::string NodeDeclText(const NodeDecl& node) {
+  std::string out =
+      "node " + node.name + (node.mediator ? " mediator" : "") + "\n";
+  for (const RelationSchema& rel : node.relations) {
+    out += "  relation " + rel.ToString() + "\n";
+  }
+  for (const KeyConstraint& key : node.keys) {
+    out += "  " + key.ToString() + "\n";
+  }
+  return out;
+}
+
+std::string RuleText(const CoordinationRule& rule) {
+  return "rule " + rule.id() + " " + rule.importer() + " <- " +
+         rule.exporter() + " : " + rule.query().ToString() + "\n";
+}
+
+Result<NodeDecl> ParseNodeDeclText(const std::string& text) {
+  // A node block is a one-node configuration with no rules; reuse the
+  // full parser (validation of a lone declaration is schema-local).
+  CODB_ASSIGN_OR_RETURN(NetworkConfig config, NetworkConfig::Parse(text));
+  if (config.nodes().size() != 1 || !config.rules().empty()) {
+    return Status::ParseError("expected exactly one node declaration");
+  }
+  return config.nodes().front();
+}
+
+Result<CoordinationRule> ParseRuleText(const std::string& line) {
+  // rule <id> <importer> <- <exporter> : <query>
+  std::string_view trimmed = Trim(line);
+  if (!StartsWith(trimmed, "rule ")) {
+    return Status::ParseError("rule line must start with 'rule '");
+  }
+  std::string rest(Trim(trimmed.substr(5)));
+  size_t colon = rest.find(':');
+  if (colon == std::string::npos) {
+    return Status::ParseError("rule without ':' before the query");
+  }
+  std::string head_part(Trim(rest.substr(0, colon)));
+  std::string query_part(Trim(rest.substr(colon + 1)));
+  size_t arrow = head_part.find("<-");
+  if (arrow == std::string::npos) {
+    return Status::ParseError(
+        "rule without '<-' between importer and exporter");
+  }
+  std::string left(Trim(head_part.substr(0, arrow)));
+  std::string exporter(Trim(head_part.substr(arrow + 2)));
+  size_t space = left.find_last_of(" \t");
+  if (space == std::string::npos) {
+    return Status::ParseError("rule needs both an id and an importer");
+  }
+  std::string id(Trim(left.substr(0, space)));
+  std::string importer(Trim(left.substr(space + 1)));
+  if (id.empty() || importer.empty() || exporter.empty()) {
+    return Status::ParseError(
+        "rule id, importer and exporter must be non-empty");
+  }
+  CODB_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseQuery(query_part));
+  return CoordinationRule(id, importer, exporter, std::move(query));
+}
+
 std::string NetworkConfig::Serialize() const {
   std::string out;
   for (const NodeDecl& node : nodes_) {
-    out += "node " + node.name + (node.mediator ? " mediator" : "") + "\n";
-    for (const RelationSchema& rel : node.relations) {
-      out += "  relation " + rel.ToString() + "\n";
-    }
-    for (const KeyConstraint& key : node.keys) {
-      out += "  " + key.ToString() + "\n";
-    }
+    out += NodeDeclText(node);
   }
   for (const CoordinationRule& rule : rules_) {
-    out += "rule " + rule.id() + " " + rule.importer() + " <- " +
-           rule.exporter() + " : " + rule.query().ToString() + "\n";
+    out += RuleText(rule);
   }
   return out;
+}
+
+std::string NetworkConfig::CanonicalText() const {
+  std::vector<const NodeDecl*> nodes;
+  nodes.reserve(nodes_.size());
+  for (const NodeDecl& node : nodes_) nodes.push_back(&node);
+  std::sort(nodes.begin(), nodes.end(),
+            [](const NodeDecl* a, const NodeDecl* b) {
+              return a->name < b->name;
+            });
+  std::vector<const CoordinationRule*> rules;
+  rules.reserve(rules_.size());
+  for (const CoordinationRule& rule : rules_) rules.push_back(&rule);
+  std::sort(rules.begin(), rules.end(),
+            [](const CoordinationRule* a, const CoordinationRule* b) {
+              return a->id() < b->id();
+            });
+  std::string out;
+  for (const NodeDecl* node : nodes) out += NodeDeclText(*node);
+  for (const CoordinationRule* rule : rules) out += RuleText(*rule);
+  return out;
+}
+
+uint64_t NetworkConfig::CanonicalChecksum() const {
+  // FNV-1a 64.
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : CanonicalText()) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
 }
 
 Status NetworkConfig::AddNode(NodeDecl node) {
@@ -151,6 +212,53 @@ Status NetworkConfig::AddRule(CoordinationRule rule) {
   }
   rules_.push_back(std::move(rule));
   return Status::Ok();
+}
+
+void NetworkConfig::UpsertNode(NodeDecl node) {
+  for (NodeDecl& existing : nodes_) {
+    if (existing.name == node.name) {
+      existing = std::move(node);
+      return;
+    }
+  }
+  nodes_.push_back(std::move(node));
+}
+
+Status NetworkConfig::RemoveNode(const std::string& name) {
+  for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+    if (it->name == name) {
+      nodes_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("node '" + name + "' not declared");
+}
+
+Status NetworkConfig::RemoveRule(const std::string& rule_id) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->id() == rule_id) {
+      rules_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("rule '" + rule_id + "' not declared");
+}
+
+NetworkConfig NetworkConfig::ProjectFor(const std::string& node_name) const {
+  NetworkConfig slice;
+  const NodeDecl* self = FindNode(node_name);
+  if (self == nullptr) return slice;
+  slice.nodes_.push_back(*self);
+  for (const std::string& other : AcquaintancesOf(node_name)) {
+    const NodeDecl* decl = FindNode(other);
+    if (decl != nullptr) slice.nodes_.push_back(*decl);
+  }
+  for (const CoordinationRule& rule : rules_) {
+    if (rule.importer() == node_name || rule.exporter() == node_name) {
+      slice.rules_.push_back(rule);
+    }
+  }
+  return slice;
 }
 
 Status NetworkConfig::Validate() const {

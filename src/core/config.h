@@ -51,8 +51,31 @@ class NetworkConfig {
   static Result<NetworkConfig> Parse(const std::string& text);
   std::string Serialize() const;
 
+  // Canonical form: the same declarations in a fixed order (nodes sorted
+  // by name, rules by id), so two configs with equal content serialize —
+  // and checksum — identically regardless of how they were assembled
+  // (parsed from text, projected, or patched together).
+  std::string CanonicalText() const;
+  // FNV-1a 64 over CanonicalText(); the pre/post-state checksum of the
+  // delta distribution protocol (core/config_distribution.h).
+  uint64_t CanonicalChecksum() const;
+
   Status AddNode(NodeDecl node);
   Status AddRule(CoordinationRule rule);
+  // Replaces the declaration of an existing node (or adds a new one).
+  void UpsertNode(NodeDecl node);
+  Status RemoveNode(const std::string& name);
+  Status RemoveRule(const std::string& rule_id);
+
+  // This node's slice of the configuration: its own declaration, its
+  // acquaintances' declarations, and every rule it is an endpoint of.
+  // The slice is itself a valid NetworkConfig, and — because the 1-hop
+  // dependency neighborhood of a node's incident rules lies entirely
+  // within its incident rule set — a LinkGraph built from it answers
+  // RelevantFor/DependentOn exactly as the full config's graph does for
+  // those rules (cycle flags need global knowledge and are shipped
+  // separately; see core/config_distribution.h).
+  NetworkConfig ProjectFor(const std::string& node_name) const;
 
   // Structural checks: unique node names and rule ids, rules connecting
   // two distinct declared nodes, and every rule type-checking against the
@@ -91,9 +114,18 @@ class NetworkConfig {
       const;
 
  private:
+
   std::vector<NodeDecl> nodes_;
   std::vector<CoordinationRule> rules_;
 };
+
+// Text fragments of single declarations, used by the patch records of the
+// delta distribution protocol (core/config_distribution.h). Each round-trips
+// through the corresponding parse helper.
+std::string NodeDeclText(const NodeDecl& node);
+std::string RuleText(const CoordinationRule& rule);
+Result<NodeDecl> ParseNodeDeclText(const std::string& text);
+Result<CoordinationRule> ParseRuleText(const std::string& line);
 
 }  // namespace codb
 

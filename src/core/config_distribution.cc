@@ -1,0 +1,189 @@
+#include "core/config_distribution.h"
+
+#include <algorithm>
+#include <map>
+
+#include "relation/wire.h"
+
+namespace codb {
+
+ConfigSlice MakeSlice(const NetworkConfig& config, const LinkGraph& graph,
+                      const std::string& node_name) {
+  ConfigSlice slice;
+  slice.config = config.ProjectFor(node_name);
+  for (const CoordinationRule& rule : slice.config.rules()) {
+    if (graph.IsCyclic(rule.id())) {
+      slice.cycles.cyclic_rules.push_back(rule.id());
+    }
+  }
+  slice.cycles.has_any_cycle = graph.HasAnyCycle();
+  slice.checksum = slice.config.CanonicalChecksum();
+  return slice;
+}
+
+ConfigPatch DiffSlices(const NetworkConfig& from, const NetworkConfig& to) {
+  ConfigPatch patch;
+  patch.pre_checksum = from.CanonicalChecksum();
+  patch.post_checksum = to.CanonicalChecksum();
+
+  for (const NodeDecl& node : from.nodes()) {
+    if (to.FindNode(node.name) == nullptr) {
+      patch.removed_nodes.push_back(node.name);
+    }
+  }
+  for (const NodeDecl& node : to.nodes()) {
+    const NodeDecl* old = from.FindNode(node.name);
+    if (old == nullptr || NodeDeclText(*old) != NodeDeclText(node)) {
+      patch.upserted_nodes.push_back(NodeDeclText(node));
+    }
+  }
+  for (const CoordinationRule& rule : from.rules()) {
+    if (to.FindRule(rule.id()) == nullptr) {
+      patch.removed_rules.push_back(rule.id());
+    }
+  }
+  for (const CoordinationRule& rule : to.rules()) {
+    const CoordinationRule* old = from.FindRule(rule.id());
+    if (old == nullptr || RuleText(*old) != RuleText(rule)) {
+      patch.upserted_rules.push_back(RuleText(rule));
+    }
+  }
+  return patch;
+}
+
+Result<NetworkConfig> ApplyPatch(const NetworkConfig& base,
+                                 const ConfigPatch& patch) {
+  if (base.CanonicalChecksum() != patch.pre_checksum) {
+    return Status::FailedPrecondition(
+        "patch base checksum mismatch: local config diverged from the "
+        "sender's record");
+  }
+  NetworkConfig config = base;
+  // Rules first: a removed node's incident rules must go before the node
+  // (and replaced rules must not dangle against removed declarations).
+  for (const std::string& rule_id : patch.removed_rules) {
+    CODB_RETURN_IF_ERROR(config.RemoveRule(rule_id));
+  }
+  for (const std::string& name : patch.removed_nodes) {
+    CODB_RETURN_IF_ERROR(config.RemoveNode(name));
+  }
+  for (const std::string& text : patch.upserted_nodes) {
+    CODB_ASSIGN_OR_RETURN(NodeDecl decl, ParseNodeDeclText(text));
+    config.UpsertNode(std::move(decl));
+  }
+  for (const std::string& line : patch.upserted_rules) {
+    CODB_ASSIGN_OR_RETURN(CoordinationRule rule, ParseRuleText(line));
+    Status removed = config.RemoveRule(rule.id());
+    (void)removed;  // absent on pure additions
+    CODB_RETURN_IF_ERROR(config.AddRule(std::move(rule)));
+  }
+  if (config.CanonicalChecksum() != patch.post_checksum) {
+    return Status::Internal(
+        "patched config misses the post-state checksum");
+  }
+  CODB_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+// -- wire payloads -----------------------------------------------------------
+
+namespace {
+
+void WriteCycleClosure(WireWriter& writer, const CycleClosure& cycles) {
+  writer.WriteStringList(cycles.cyclic_rules);
+  writer.WriteU8(cycles.has_any_cycle ? 1 : 0);
+}
+
+Result<CycleClosure> ReadCycleClosure(WireReader& reader) {
+  CycleClosure cycles;
+  CODB_ASSIGN_OR_RETURN(cycles.cyclic_rules, reader.ReadStringList());
+  CODB_ASSIGN_OR_RETURN(uint8_t any, reader.ReadU8());
+  cycles.has_any_cycle = any != 0;
+  return cycles;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ConfigSlicePayload::Serialize() const {
+  WireWriter writer;
+  writer.WriteU64(version);
+  writer.WriteString(config_text);
+  WriteCycleClosure(writer, cycles);
+  writer.WriteU64(checksum);
+  return writer.Take();
+}
+
+Result<ConfigSlicePayload> ConfigSlicePayload::Deserialize(
+    const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  ConfigSlicePayload out;
+  CODB_ASSIGN_OR_RETURN(out.version, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(out.config_text, reader.ReadString());
+  CODB_ASSIGN_OR_RETURN(out.cycles, ReadCycleClosure(reader));
+  CODB_ASSIGN_OR_RETURN(out.checksum, reader.ReadU64());
+  return out;
+}
+
+std::vector<uint8_t> ConfigDeltaPayload::Serialize() const {
+  WireWriter writer;
+  writer.WriteU64(patch.from_version);
+  writer.WriteU64(patch.to_version);
+  writer.WriteU64(patch.pre_checksum);
+  writer.WriteU64(patch.post_checksum);
+  writer.WriteStringList(patch.removed_nodes);
+  writer.WriteStringList(patch.upserted_nodes);
+  writer.WriteStringList(patch.removed_rules);
+  writer.WriteStringList(patch.upserted_rules);
+  WriteCycleClosure(writer, cycles);
+  return writer.Take();
+}
+
+Result<ConfigDeltaPayload> ConfigDeltaPayload::Deserialize(
+    const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  ConfigDeltaPayload out;
+  CODB_ASSIGN_OR_RETURN(out.patch.from_version, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(out.patch.to_version, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(out.patch.pre_checksum, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(out.patch.post_checksum, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(out.patch.removed_nodes, reader.ReadStringList());
+  CODB_ASSIGN_OR_RETURN(out.patch.upserted_nodes, reader.ReadStringList());
+  CODB_ASSIGN_OR_RETURN(out.patch.removed_rules, reader.ReadStringList());
+  CODB_ASSIGN_OR_RETURN(out.patch.upserted_rules, reader.ReadStringList());
+  CODB_ASSIGN_OR_RETURN(out.cycles, ReadCycleClosure(reader));
+  return out;
+}
+
+std::vector<uint8_t> ConfigFetchPayload::Serialize() const {
+  WireWriter writer;
+  writer.WriteU64(have_version);
+  writer.WriteU64(have_checksum);
+  return writer.Take();
+}
+
+Result<ConfigFetchPayload> ConfigFetchPayload::Deserialize(
+    const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  ConfigFetchPayload out;
+  CODB_ASSIGN_OR_RETURN(out.have_version, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(out.have_checksum, reader.ReadU64());
+  return out;
+}
+
+std::vector<uint8_t> ConfigAckPayload::Serialize() const {
+  WireWriter writer;
+  writer.WriteU64(version);
+  writer.WriteU64(checksum);
+  return writer.Take();
+}
+
+Result<ConfigAckPayload> ConfigAckPayload::Deserialize(
+    const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  ConfigAckPayload out;
+  CODB_ASSIGN_OR_RETURN(out.version, reader.ReadU64());
+  CODB_ASSIGN_OR_RETURN(out.checksum, reader.ReadU64());
+  return out;
+}
+
+}  // namespace codb

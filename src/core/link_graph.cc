@@ -8,6 +8,24 @@ namespace codb {
 const std::vector<std::string> LinkGraph::kEmpty = {};
 
 LinkGraph LinkGraph::Build(const NetworkConfig& config) {
+  LinkGraph graph = BuildEdges(config);
+  graph.ComputeSccs();
+  return graph;
+}
+
+LinkGraph LinkGraph::BuildProjected(
+    const NetworkConfig& slice, const std::set<std::string>& cyclic_rules,
+    bool has_any_cycle) {
+  LinkGraph graph = BuildEdges(slice);
+  graph.cyclic_.assign(graph.rule_ids_.size(), false);
+  for (size_t i = 0; i < graph.rule_ids_.size(); ++i) {
+    if (cyclic_rules.count(graph.rule_ids_[i]) > 0) graph.cyclic_[i] = true;
+  }
+  graph.has_any_cycle_ = has_any_cycle;
+  return graph;
+}
+
+LinkGraph LinkGraph::BuildEdges(const NetworkConfig& config) {
   LinkGraph graph;
   for (const CoordinationRule& rule : config.rules()) {
     graph.index_[rule.id()] = static_cast<int>(graph.rule_ids_.size());
@@ -43,7 +61,7 @@ LinkGraph LinkGraph::Build(const NetworkConfig& config) {
       graph.predecessor_names_[static_cast<size_t>(to)].push_back(o.id());
     }
   }
-  graph.ComputeSccs();
+  graph.cyclic_.assign(graph.rule_ids_.size(), false);
   return graph;
 }
 

@@ -35,8 +35,18 @@ namespace codb {
 
 class LinkGraph {
  public:
-  // Builds the dependency graph for `config` (which must Validate()).
+  // Builds the dependency graph for `config` (which must Validate()),
+  // detecting cycles locally via Tarjan SCC.
   static LinkGraph Build(const NetworkConfig& config);
+
+  // Builds the graph for a *projected slice* of the configuration
+  // (NetworkConfig::ProjectFor): edges come from the slice, but the cycle
+  // flags — which need global knowledge the slice lacks — are supplied by
+  // the super-peer. `cyclic_rules` lists the slice rules on a global
+  // dependency cycle; `has_any_cycle` is the network-wide flag.
+  static LinkGraph BuildProjected(const NetworkConfig& slice,
+                                  const std::set<std::string>& cyclic_rules,
+                                  bool has_any_cycle);
 
   // Outgoing links relevant for incoming link `rule_id` (predecessors).
   const std::vector<std::string>& RelevantFor(
@@ -64,6 +74,7 @@ class LinkGraph {
   std::string ToString() const;
 
  private:
+  static LinkGraph BuildEdges(const NetworkConfig& config);
   void ComputeSccs();
 
   std::vector<std::string> rule_ids_;

@@ -1,5 +1,6 @@
 #include "core/node.h"
 
+#include "core/config_distribution.h"
 #include "core/consistency.h"
 
 #include "relation/printer.h"
@@ -124,6 +125,19 @@ void Node::OnPeerEvicted(PeerId peer) {
 
 Status Node::ApplyConfig(const NetworkConfig& config, uint64_t version) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return ApplyConfigLocked(config, version, /*cyclic_rules=*/nullptr,
+                           /*has_any_cycle=*/false);
+}
+
+uint64_t Node::config_version() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return config_version_;
+}
+
+Status Node::ApplyConfigLocked(const NetworkConfig& config,
+                               uint64_t version,
+                               const std::set<std::string>* cyclic_rules,
+                               bool has_any_cycle) {
   if (config_ != nullptr && version <= config_version_) {
     return Status::Ok();  // stale broadcast
   }
@@ -148,19 +162,44 @@ Status Node::ApplyConfig(const NetworkConfig& config, uint64_t version) {
 
   config_ = std::make_unique<NetworkConfig>(config);
   config_version_ = version;
-  link_graph_ = std::make_unique<LinkGraph>(LinkGraph::Build(*config_));
+  config_checksum_ = config_->CanonicalChecksum();
+  if (cyclic_rules != nullptr) {
+    // Projected slice: cycle answers come from the super-peer's closure,
+    // computed on the full graph the slice was cut from.
+    link_graph_ = std::make_unique<LinkGraph>(
+        LinkGraph::BuildProjected(*config_, *cyclic_rules, has_any_cycle));
+  } else {
+    link_graph_ = std::make_unique<LinkGraph>(LinkGraph::Build(*config_));
+  }
 
   // "it drops 'old' rules and pipes, and creates new ones, where
   // necessary": reconcile the rule-pipe set with the new acquaintances.
+  // A pipe that cannot be opened yet (open failure, or the acquaintance
+  // not on the network) is remembered and retried on the next discovery
+  // or membership event instead of being silently forgotten.
   std::set<uint32_t> desired;
+  pending_pipe_retries_.clear();
   for (const std::string& other : config_->AcquaintancesOf(name_)) {
     Result<PeerId> peer = network_->FindByName(other);
-    if (!peer.ok()) continue;  // acquaintance not on the network yet
-    desired.insert(peer.value().value);
-    if (!network_->HasPipe(id_, peer.value())) {
-      network_->OpenPipe(id_, peer.value(), options_.link_profile);
+    if (!peer.ok()) {
+      pending_pipe_retries_.insert(other);
+      continue;  // acquaintance not on the network yet
     }
+    if (!network_->HasPipe(id_, peer.value())) {
+      Status opened =
+          network_->OpenPipe(id_, peer.value(), options_.link_profile);
+      if (!opened.ok()) {
+        statistics_.metrics().GetCounter("config.pipe_open_failures")->Add();
+        pending_pipe_retries_.insert(other);
+        CODB_LOG(kWarning) << name_ << ": pipe to " << other
+                           << " failed to open: " << opened.ToString()
+                           << " (will retry)";
+        continue;
+      }
+    }
+    desired.insert(peer.value().value);
   }
+  has_pending_pipe_retries_.store(!pending_pipe_retries_.empty());
   for (uint32_t stale : rule_pipes_) {
     if (desired.find(stale) == desired.end() &&
         network_->HasPipe(id_, PeerId(stale))) {
@@ -200,6 +239,144 @@ Status Node::ApplyConfig(const NetworkConfig& config, uint64_t version) {
   AnnounceSelf();
   CODB_LOG(kInfo) << name_ << ": applied configuration v" << version;
   return Status::Ok();
+}
+
+void Node::RetryPendingPipes() {
+  if (config_ == nullptr || pending_pipe_retries_.empty()) return;
+  for (auto it = pending_pipe_retries_.begin();
+       it != pending_pipe_retries_.end();) {
+    Result<PeerId> peer = network_->FindByName(*it);
+    if (!peer.ok()) {
+      ++it;
+      continue;
+    }
+    if (!network_->HasPipe(id_, peer.value())) {
+      Status opened =
+          network_->OpenPipe(id_, peer.value(), options_.link_profile);
+      if (!opened.ok()) {
+        statistics_.metrics().GetCounter("config.pipe_open_failures")->Add();
+        ++it;
+        continue;
+      }
+    }
+    CODB_LOG(kInfo) << name_ << ": opened deferred pipe to " << *it;
+    rule_pipes_.insert(peer.value().value);
+    it = pending_pipe_retries_.erase(it);
+  }
+  has_pending_pipe_retries_.store(!pending_pipe_retries_.empty());
+}
+
+void Node::SendConfigAck(PeerId to) {
+  ConfigAckPayload ack;
+  ack.version = config_version_;
+  ack.checksum = config_checksum_;
+  Status sent = network_->Send(
+      MakeMessage(id_, to, MessageType::kConfigAck, ack.Serialize()));
+  if (!sent.ok()) {
+    CODB_LOG(kWarning) << name_ << ": config ack failed: "
+                       << sent.ToString();
+  }
+}
+
+void Node::SendConfigFetch(PeerId to) {
+  ConfigFetchPayload fetch;
+  fetch.have_version = config_version_;
+  fetch.have_checksum = config_checksum_;
+  Status sent = network_->Send(
+      MakeMessage(id_, to, MessageType::kConfigFetch, fetch.Serialize()));
+  if (!sent.ok()) {
+    CODB_LOG(kWarning) << name_ << ": config fetch failed: "
+                       << sent.ToString();
+  }
+}
+
+void Node::HandleConfigSlice(const Message& message) {
+  Result<ConfigSlicePayload> payload =
+      ConfigSlicePayload::Deserialize(message.payload);
+  if (!payload.ok()) {
+    CODB_LOG(kWarning) << name_ << ": bad config slice: "
+                       << payload.status().ToString();
+    return;
+  }
+  if (config_ != nullptr && payload.value().version <= config_version_) {
+    SendConfigAck(message.src);  // stale: restate what we hold
+    return;
+  }
+  Result<NetworkConfig> config =
+      NetworkConfig::Parse(payload.value().config_text);
+  if (!config.ok()) {
+    CODB_LOG(kError) << name_ << ": config slice did not parse: "
+                     << config.status().ToString();
+    return;
+  }
+  if (config.value().CanonicalChecksum() != payload.value().checksum) {
+    statistics_.metrics().GetCounter("config.checksum_mismatches")->Add();
+    CODB_LOG(kWarning) << name_
+                       << ": config slice checksum mismatch; refetching";
+    SendConfigFetch(message.src);
+    return;
+  }
+  std::set<std::string> cyclic(payload.value().cycles.cyclic_rules.begin(),
+                               payload.value().cycles.cyclic_rules.end());
+  Status applied =
+      ApplyConfigLocked(config.value(), payload.value().version, &cyclic,
+                        payload.value().cycles.has_any_cycle);
+  if (!applied.ok()) {
+    CODB_LOG(kError) << name_ << ": config slice rejected: "
+                     << applied.ToString();
+    return;
+  }
+  statistics_.metrics().GetCounter("config.slices_applied")->Add();
+  SendConfigAck(message.src);
+}
+
+void Node::HandleConfigDelta(const Message& message) {
+  Result<ConfigDeltaPayload> payload =
+      ConfigDeltaPayload::Deserialize(message.payload);
+  if (!payload.ok()) {
+    CODB_LOG(kWarning) << name_ << ": bad config delta: "
+                       << payload.status().ToString();
+    return;
+  }
+  const ConfigPatch& patch = payload.value().patch;
+  if (config_ != nullptr && patch.to_version <= config_version_) {
+    SendConfigAck(message.src);  // stale: restate what we hold
+    return;
+  }
+  if (config_ == nullptr || patch.from_version != config_version_ ||
+      patch.pre_checksum != config_checksum_) {
+    // Version gap: a broadcast was lost on the way here (or this node
+    // restarted and starts over at v0). Ask the sender for catch-up from
+    // the state we actually hold.
+    statistics_.metrics().GetCounter("config.gap_fetches")->Add();
+    CODB_LOG(kInfo) << name_ << ": config delta v" << patch.from_version
+                    << "->" << patch.to_version << " does not apply to v"
+                    << config_version_ << "; fetching";
+    SendConfigFetch(message.src);
+    return;
+  }
+  Result<NetworkConfig> patched = ApplyPatch(*config_, patch);
+  if (!patched.ok()) {
+    // Checksum mismatch (or malformed patch): the local config is NOT
+    // touched — ApplyPatch is pure — so fall back to a fetch.
+    statistics_.metrics().GetCounter("config.checksum_mismatches")->Add();
+    CODB_LOG(kWarning) << name_ << ": config delta did not apply: "
+                       << patched.status().ToString() << "; refetching";
+    SendConfigFetch(message.src);
+    return;
+  }
+  std::set<std::string> cyclic(payload.value().cycles.cyclic_rules.begin(),
+                               payload.value().cycles.cyclic_rules.end());
+  Status applied =
+      ApplyConfigLocked(patched.value(), patch.to_version, &cyclic,
+                        payload.value().cycles.has_any_cycle);
+  if (!applied.ok()) {
+    CODB_LOG(kError) << name_ << ": patched config rejected: "
+                     << applied.ToString();
+    return;
+  }
+  statistics_.metrics().GetCounter("config.deltas_applied")->Add();
+  SendConfigAck(message.src);
 }
 
 Result<FlowId> Node::StartGlobalUpdate() {
@@ -308,6 +485,12 @@ void Node::HandleMessage(const Message& message) {
                              network_->now_us());
         if (ack.ok()) network_->Send(std::move(ack).value());
       }
+      // Liveness traffic doubles as the deferred-pipe retry tick: a peer
+      // beaconing at us is clearly joinable now.
+      if (has_pending_pipe_retries_.load()) {
+        std::lock_guard<std::recursive_mutex> lock(mutex_);
+        RetryPendingPipes();
+      }
       return;
     }
     case MessageType::kHeartbeatAck:
@@ -320,6 +503,8 @@ void Node::HandleMessage(const Message& message) {
   switch (message.type) {
     case MessageType::kAdvertisement:
       discovery_->HandleAdvertisement(message);
+      // A newly announced peer may be a pending acquaintance.
+      RetryPendingPipes();
       return;
 
     case MessageType::kConfigBroadcast: {
@@ -338,13 +523,31 @@ void Node::HandleMessage(const Message& message) {
         return;
       }
       Status applied =
-          ApplyConfig(config.value(), parsed.value().version);
+          ApplyConfigLocked(config.value(), parsed.value().version,
+                            /*cyclic_rules=*/nullptr,
+                            /*has_any_cycle=*/false);
       if (!applied.ok()) {
         CODB_LOG(kError) << name_ << ": config rejected: "
                          << applied.ToString();
       }
       return;
     }
+
+    case MessageType::kConfigSlice:
+      HandleConfigSlice(message);
+      return;
+
+    case MessageType::kConfigDelta:
+      HandleConfigDelta(message);
+      return;
+
+    case MessageType::kConfigFetch:
+    case MessageType::kConfigAck:
+      // Super-peer -> node protocol only; a node never serves these.
+      CODB_LOG(kWarning) << name_ << ": unexpected "
+                         << MessageTypeName(message.type) << " from "
+                         << message.src.ToString();
+      return;
 
     case MessageType::kUpdateRequest:
     case MessageType::kUpdateData:

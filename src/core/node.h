@@ -14,6 +14,7 @@
 #ifndef CODB_CORE_NODE_H_
 #define CODB_CORE_NODE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -107,13 +108,16 @@ class Node : public NetworkPeer {
   // Applies a network configuration locally: drops rules/pipes that
   // disappeared, opens pipes for rules involving this node, rebuilds the
   // link graph and the DBM. Older versions than the current one are
-  // ignored. (The super-peer delivers this via kConfigBroadcast; tests and
-  // examples may call it directly.)
+  // ignored. (The super-peer delivers per-node slices via kConfigSlice and
+  // kConfigDelta — DESIGN.md §13; tests and examples may still call this
+  // directly with a full config, or send legacy kConfigBroadcast.)
   Status ApplyConfig(const NetworkConfig& config, uint64_t version);
 
   bool has_config() const { return config_ != nullptr; }
   const NetworkConfig* config() const { return config_.get(); }
   const LinkGraph* link_graph() const { return link_graph_.get(); }
+  // Version of the currently applied configuration (0 before the first).
+  uint64_t config_version() const;
 
   // -- DBM operations ------------------------------------------------------
 
@@ -224,6 +228,28 @@ class Node : public NetworkPeer {
 
   void AnnounceSelf();
 
+  // ApplyConfig body, mutex_ held. `cyclic_rules`/`has_any_cycle` carry
+  // the super-peer's cycle closure for a projected slice (the slice alone
+  // cannot see cycles running through other regions of the network);
+  // nullptr means `config` is a full configuration and the link graph
+  // computes its own SCCs.
+  Status ApplyConfigLocked(const NetworkConfig& config, uint64_t version,
+                           const std::set<std::string>* cyclic_rules,
+                           bool has_any_cycle);
+
+  // Handlers of the delta/projected distribution protocol (DESIGN.md §13).
+  void HandleConfigSlice(const Message& message);
+  void HandleConfigDelta(const Message& message);
+  // Reports the currently-held slice state back to the super-peer.
+  void SendConfigAck(PeerId to);
+  // Asks `to` for a catch-up (gap or checksum divergence detected).
+  void SendConfigFetch(PeerId to);
+
+  // Re-attempts pipes that failed to open (or whose acquaintance was not
+  // on the network yet) during the last ApplyConfig; called on discovery
+  // and membership traffic, mutex_ held.
+  void RetryPendingPipes();
+
   // Eviction fan-out: same cleanup as a pipe-closed notification — both
   // managers cancel retransmissions/deficits toward the dead peer.
   void OnPeerEvicted(PeerId peer);
@@ -265,8 +291,17 @@ class Node : public NetworkPeer {
   Options options_;
 
   uint64_t config_version_ = 0;
+  // Canonical checksum of config_ — the patch base identity the node
+  // reports in acks/fetches and verifies deltas against.
+  uint64_t config_checksum_ = 0;
   std::unique_ptr<NetworkConfig> config_;
   std::unique_ptr<LinkGraph> link_graph_;
+  // Acquaintances whose pipe could not be opened (or who were not on the
+  // network) at ApplyConfig time; retried on discovery/membership events.
+  std::set<std::string> pending_pipe_retries_;
+  // Mirror of !pending_pipe_retries_.empty(), readable without mutex_ so
+  // the heartbeat fast path can skip the lock.
+  std::atomic<bool> has_pending_pipe_retries_{false};
   // shared_ptr: strand tasks capture the manager at dispatch, so a
   // reconfiguration can swap managers while old flows finish safely.
   std::shared_ptr<UpdateManager> update_manager_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/config_distribution.h"
 #include "core/protocol.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -181,6 +182,8 @@ std::unique_ptr<SuperPeer> SuperPeer::Create(NetworkBase* network,
   return peer;
 }
 
+SuperPeer::~SuperPeer() { alive_->store(false); }
+
 Status SuperPeer::LoadConfigText(const std::string& text) {
   CODB_ASSIGN_OR_RETURN(NetworkConfig config, NetworkConfig::Parse(text));
   return LoadConfig(std::move(config));
@@ -206,26 +209,187 @@ Status SuperPeer::BroadcastConfig() {
   if (config_ == nullptr) {
     return Status::FailedPrecondition("no configuration loaded");
   }
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  // Bump exactly once, BEFORE any send: a partial failure must not leave
+  // half the region on v and a retry re-bump the rest to v+2.
   ++config_version_;
-  ConfigBroadcastPayload payload;
-  payload.version = config_version_;
-  payload.config_text = config_->Serialize();
+  ++broadcast_generation_;
+  config_graph_ = std::make_unique<LinkGraph>(LinkGraph::Build(*config_));
+  config_history_.emplace(config_version_, *config_);
+  while (config_history_.size() > kConfigHistoryLimit) {
+    config_history_.erase(config_history_.begin());
+  }
+  broadcast_failures_.clear();
 
   size_t recipients = 0;
   for (PeerId peer : network_->AlivePeers()) {
     if (peer == id_) continue;
     if (!InRegion(peer)) continue;
-    if (!network_->HasPipe(id_, peer)) {
-      CODB_RETURN_IF_ERROR(
-          network_->OpenPipe(id_, peer, LinkProfile::Lan()));
+    const std::string peer_name = network_->NameOf(peer);
+    // Only config nodes take part in the distribution protocol; other
+    // peers (federation partners, bystanders) have no slice to receive.
+    if (config_->FindNode(peer_name) == nullptr) continue;
+    Status sent = SendConfigTo(peer, peer_name);
+    if (sent.ok()) {
+      ++recipients;
+    } else {
+      // Best-effort: record the failure and keep going — the retransmit
+      // sweep (or the peer's own kConfigFetch) heals the gap.
+      broadcast_failures_.push_back(peer_name);
+      CODB_LOG(kWarning) << name_ << ": config v" << config_version_
+                         << " to " << peer_name
+                         << " failed: " << sent.ToString()
+                         << " (sweep will retry)";
     }
-    CODB_RETURN_IF_ERROR(network_->Send(MakeMessage(
-        id_, peer, MessageType::kConfigBroadcast, payload.Serialize())));
-    ++recipients;
   }
-  CODB_LOG(kInfo) << name_ << ": broadcast configuration v"
-                  << config_version_ << " to " << recipients << " peers";
+  ScheduleSweep(broadcast_generation_, 0);
+  CODB_LOG(kInfo) << name_ << ": distributed configuration v"
+                  << config_version_ << " to " << recipients << " peers ("
+                  << broadcast_failures_.size() << " failed sends)";
   return Status::Ok();
+}
+
+uint64_t SuperPeer::config_version() const {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  return config_version_;
+}
+
+uint64_t SuperPeer::AckedVersionOf(const std::string& node_name) const {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  auto it = acked_.find(node_name);
+  return it == acked_.end() ? 0 : it->second.version;
+}
+
+std::vector<std::string> SuperPeer::LastBroadcastFailures() const {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  return broadcast_failures_;
+}
+
+void SuperPeer::SetConfigRetransmit(int64_t period_us, int max_rounds) {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  retransmit_period_us_ = period_us;
+  max_retransmit_rounds_ = max_rounds;
+}
+
+Status SuperPeer::SendConfigTo(PeerId peer, const std::string& peer_name) {
+  if (!network_->HasPipe(id_, peer)) {
+    CODB_RETURN_IF_ERROR(network_->OpenPipe(id_, peer, LinkProfile::Lan()));
+  }
+  auto acked = acked_.find(peer_name);
+  if (acked != acked_.end() && acked->second.version > 0 &&
+      acked->second.version < config_version_) {
+    auto base = config_history_.find(acked->second.version);
+    if (base != config_history_.end()) {
+      NetworkConfig old_slice = base->second.ProjectFor(peer_name);
+      // Only patch against a base the peer verifiably holds: if its
+      // reported checksum diverged (e.g. a config applied out-of-band),
+      // fall through to the full slice instead of ping-ponging fetches.
+      if (old_slice.CanonicalChecksum() == acked->second.checksum) {
+        ConfigSlice new_slice = MakeSlice(*config_, *config_graph_,
+                                          peer_name);
+        ConfigDeltaPayload delta;
+        delta.patch = DiffSlices(old_slice, new_slice.config);
+        delta.patch.from_version = acked->second.version;
+        delta.patch.to_version = config_version_;
+        delta.cycles = new_slice.cycles;
+        return network_->Send(MakeMessage(
+            id_, peer, MessageType::kConfigDelta, delta.Serialize()));
+      }
+    }
+  }
+  ConfigSlice slice = MakeSlice(*config_, *config_graph_, peer_name);
+  ConfigSlicePayload payload;
+  payload.version = config_version_;
+  payload.config_text = slice.config.Serialize();
+  payload.cycles = slice.cycles;
+  payload.checksum = slice.checksum;
+  return network_->Send(MakeMessage(id_, peer, MessageType::kConfigSlice,
+                                    payload.Serialize()));
+}
+
+void SuperPeer::ScheduleSweep(uint64_t generation, int round) {
+  if (retransmit_period_us_ <= 0 || round >= max_retransmit_rounds_) return;
+  std::shared_ptr<std::atomic<bool>> alive = alive_;
+  network_->ScheduleAfter(retransmit_period_us_,
+                          [this, alive, generation, round] {
+                            if (!alive->load()) return;
+                            RetransmitSweep(generation, round);
+                          });
+}
+
+void SuperPeer::RetransmitSweep(uint64_t generation, int round) {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  if (generation != broadcast_generation_ || config_ == nullptr) return;
+  bool any_laggard = false;
+  for (PeerId peer : network_->AlivePeers()) {
+    if (peer == id_) continue;
+    if (!InRegion(peer)) continue;
+    const std::string peer_name = network_->NameOf(peer);
+    if (config_->FindNode(peer_name) == nullptr) continue;
+    auto acked = acked_.find(peer_name);
+    if (acked != acked_.end() && acked->second.version >= config_version_) {
+      continue;
+    }
+    any_laggard = true;
+    Status sent = SendConfigTo(peer, peer_name);
+    if (!sent.ok()) {
+      CODB_LOG(kWarning) << name_ << ": config retransmit to " << peer_name
+                         << " failed: " << sent.ToString();
+    }
+  }
+  if (!any_laggard) return;
+  if (round + 1 >= max_retransmit_rounds_) {
+    CODB_LOG(kWarning) << name_ << ": giving up config retransmits for v"
+                       << config_version_ << " after "
+                       << max_retransmit_rounds_ << " sweeps";
+    return;
+  }
+  ScheduleSweep(generation, round + 1);
+}
+
+void SuperPeer::HandleConfigAck(const Message& message) {
+  Result<ConfigAckPayload> ack =
+      ConfigAckPayload::Deserialize(message.payload);
+  if (!ack.ok()) {
+    CODB_LOG(kWarning) << name_ << ": bad config ack: "
+                       << ack.status().ToString();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  PeerConfigState& state = acked_[network_->NameOf(message.src)];
+  if (ack.value().version >= state.version) {
+    state.version = ack.value().version;
+    state.checksum = ack.value().checksum;
+  }
+}
+
+void SuperPeer::HandleConfigFetch(const Message& message) {
+  Result<ConfigFetchPayload> fetch =
+      ConfigFetchPayload::Deserialize(message.payload);
+  if (!fetch.ok()) {
+    CODB_LOG(kWarning) << name_ << ": bad config fetch: "
+                       << fetch.status().ToString();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  if (config_ == nullptr || config_version_ == 0) return;
+  const std::string peer_name = network_->NameOf(message.src);
+  if (config_->FindNode(peer_name) == nullptr) return;
+  // The fetch states the peer's actual slice, which may be older than the
+  // recorded ack (a restarted peer starts over at version 0): make it the
+  // record, so the reply — and any later sweep — patches from the truth.
+  PeerConfigState& state = acked_[peer_name];
+  state.version = fetch.value().have_version;
+  state.checksum = fetch.value().have_checksum;
+  if (state.version >= config_version_) return;  // already current
+  if (config_graph_ == nullptr) {
+    config_graph_ = std::make_unique<LinkGraph>(LinkGraph::Build(*config_));
+  }
+  Status sent = SendConfigTo(message.src, peer_name);
+  if (!sent.ok()) {
+    CODB_LOG(kWarning) << name_ << ": config fetch reply to " << peer_name
+                       << " failed: " << sent.ToString();
+  }
 }
 
 Status SuperPeer::RequestStats() {
@@ -410,6 +574,12 @@ void SuperPeer::HandleMessage(const Message& message) {
       }
       return;
     }
+    case MessageType::kConfigAck:
+      HandleConfigAck(message);
+      return;
+    case MessageType::kConfigFetch:
+      HandleConfigFetch(message);
+      return;
     case MessageType::kAdvertisement:
       // The super-peer is pipe-connected to everyone; nothing to learn.
       return;

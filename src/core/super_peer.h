@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/link_graph.h"
 #include "core/statistics.h"
 #include "membership/heartbeat.h"
 #include "membership/membership.h"
@@ -83,6 +84,7 @@ class SuperPeer : public NetworkPeer {
   static std::unique_ptr<SuperPeer> Create(NetworkBase* network,
                                            const std::string& name =
                                                "super-peer");
+  ~SuperPeer() override;
 
   PeerId id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -98,10 +100,30 @@ class SuperPeer : public NetworkPeer {
   void SetRegion(std::vector<std::string> node_names);
   const std::set<std::string>& region() const { return region_; }
 
-  // Opens pipes to every alive peer in the region and broadcasts the
-  // current configuration; each broadcast bumps the version, so
-  // re-broadcasting a modified config reconfigures the network at runtime.
+  // Opens pipes to every alive config node in the region and distributes
+  // the current configuration: each peer gets its projected slice (first
+  // contact) or a version-keyed delta against the slice version it last
+  // acknowledged (DESIGN.md §13). The version is bumped exactly once per
+  // call, BEFORE any send, and sends are best-effort: a failed delivery is
+  // recorded in LastBroadcastFailures() and healed by the retransmit
+  // sweep, never aborting the loop mid-region.
   Status BroadcastConfig();
+
+  // The configuration version of the last broadcast (0 before the first).
+  uint64_t config_version() const;
+
+  // The slice version `node_name` last acknowledged (0 if none).
+  uint64_t AckedVersionOf(const std::string& node_name) const;
+
+  // Node names whose send failed during the last BroadcastConfig call.
+  std::vector<std::string> LastBroadcastFailures() const;
+
+  // Tunes the retransmit sweep that re-sends the current version to peers
+  // that have not acknowledged it: `period_us` between sweeps (<= 0
+  // disables), at most `max_rounds` sweeps per broadcast. The sweep stops
+  // re-arming once every region peer acknowledged, so Run()-driven tests
+  // still quiesce.
+  void SetConfigRetransmit(int64_t period_us, int max_rounds);
 
   // Asks every node in the region for its statistical module contents.
   // Collection is asynchronous: run the network, then check
@@ -204,6 +226,14 @@ class SuperPeer : public NetworkPeer {
     SuperPeer* super;
   };
 
+  // Last slice state a peer reported (via kConfigAck or kConfigFetch),
+  // keyed by node name so the record survives a peer-id change across a
+  // restart.
+  struct PeerConfigState {
+    uint64_t version = 0;
+    uint64_t checksum = 0;
+  };
+
   SuperPeer(NetworkBase* network, std::string name);
 
   // True when `peer` is inside this super-peer's region (or no region is
@@ -212,12 +242,46 @@ class SuperPeer : public NetworkPeer {
 
   void OnPeerEvicted(PeerId peer);
 
+  // Sends `peer_name`'s slice of the current config: a delta against its
+  // acknowledged version when the patch base is in the history and the
+  // peer's reported checksum matches it, a full slice otherwise.
+  // config_mutex_ must be held.
+  Status SendConfigTo(PeerId peer, const std::string& peer_name);
+
+  // Retransmit sweep: re-sends the current version to unacknowledged
+  // region peers, re-arming until everyone acked, the round cap is hit,
+  // or a newer broadcast superseded this generation.
+  void ScheduleSweep(uint64_t generation, int round);
+  void RetransmitSweep(uint64_t generation, int round);
+
+  void HandleConfigAck(const Message& message);
+  void HandleConfigFetch(const Message& message);
+
   NetworkBase* network_;
   std::string name_;
   PeerId id_;
   uint64_t config_version_ = 0;
   std::unique_ptr<NetworkConfig> config_;
   std::set<std::string> region_;  // empty = whole network
+
+  // Distribution state (DESIGN.md §13), guarded by config_mutex_ against
+  // acks/fetches landing on the threaded runtime mid-broadcast.
+  mutable std::mutex config_mutex_;
+  std::map<std::string, PeerConfigState> acked_;
+  // version -> full config at that broadcast, bounded: patch bases for
+  // deltas and fetch catch-up. A peer older than the horizon gets a full
+  // slice instead.
+  std::map<uint64_t, NetworkConfig> config_history_;
+  static constexpr size_t kConfigHistoryLimit = 16;
+  std::unique_ptr<LinkGraph> config_graph_;  // of config_, for cycle flags
+  std::vector<std::string> broadcast_failures_;
+  uint64_t broadcast_generation_ = 0;
+  int64_t retransmit_period_us_ = 50'000;
+  int max_retransmit_rounds_ = 10;
+  // Guards the sweep timer callbacks against a destroyed super-peer (the
+  // network may still hold scheduled closures).
+  std::shared_ptr<std::atomic<bool>> alive_ =
+      std::make_shared<std::atomic<bool>>(true);
 
   // Set once in EnableMembership, then immutable (read without locks; the
   // session serializes internally — same discipline as Node).

@@ -48,6 +48,16 @@ enum class MessageType : uint16_t {
   // Super-peer federation (core/super_peer.h): merged statistics and
   // metrics aggregate exchanged between super-peers.
   kFederationReport = 24,
+
+  // Delta/projected config distribution (core/config_distribution.h).
+  // kConfigSlice carries one peer's projected slice of the configuration;
+  // kConfigDelta a version-keyed patch between two slice versions;
+  // kConfigFetch a receiver's back-order request after a version gap or
+  // checksum mismatch; kConfigAck the receiver's applied-version receipt.
+  kConfigSlice = 25,
+  kConfigDelta = 26,
+  kConfigFetch = 27,
+  kConfigAck = 28,
 };
 
 const char* MessageTypeName(MessageType type);
@@ -123,6 +133,14 @@ inline const char* MessageTypeName(MessageType type) {
       return "HEARTBEAT_ACK";
     case MessageType::kFederationReport:
       return "FEDERATION_REPORT";
+    case MessageType::kConfigSlice:
+      return "CONFIG_SLICE";
+    case MessageType::kConfigDelta:
+      return "CONFIG_DELTA";
+    case MessageType::kConfigFetch:
+      return "CONFIG_FETCH";
+    case MessageType::kConfigAck:
+      return "CONFIG_ACK";
   }
   return "UNKNOWN";
 }

@@ -46,6 +46,10 @@ CostClass ClassifyMessage(MessageType type, bool retransmit) {
     case MessageType::kAdvertisement:
       return CostClass::kDiscovery;
     case MessageType::kConfigBroadcast:
+    case MessageType::kConfigSlice:
+    case MessageType::kConfigDelta:
+    case MessageType::kConfigFetch:
+    case MessageType::kConfigAck:
       return CostClass::kConfig;
     case MessageType::kHeartbeat:
     case MessageType::kHeartbeatAck:

@@ -409,6 +409,8 @@ constexpr MessageType kAllMessageTypes[] = {
     MessageType::kStatsRequest,   MessageType::kStatsReport,
     MessageType::kDeliveryAck,    MessageType::kHeartbeat,
     MessageType::kHeartbeatAck,   MessageType::kFederationReport,
+    MessageType::kConfigSlice,    MessageType::kConfigDelta,
+    MessageType::kConfigFetch,    MessageType::kConfigAck,
 };
 
 TEST(CostLedgerTest, GoldenThreeNodeByteAccounting) {

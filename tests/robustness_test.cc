@@ -39,6 +39,8 @@ TEST(RobustnessTest, MalformedPayloadsAreIgnored) {
       MessageType::kUpdateComplete, MessageType::kQueryRequest,
       MessageType::kQueryResult,    MessageType::kQueryDone,
       MessageType::kStatsRequest,   MessageType::kStatsReport,
+      MessageType::kConfigSlice,    MessageType::kConfigDelta,
+      MessageType::kConfigFetch,    MessageType::kConfigAck,
   };
   Rng rng(99);
   for (MessageType type : kinds) {

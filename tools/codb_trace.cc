@@ -146,6 +146,8 @@ std::string ClassOfTypeName(const std::string& type_name) {
       MessageType::kStatsRequest,   MessageType::kStatsReport,
       MessageType::kDeliveryAck,    MessageType::kHeartbeat,
       MessageType::kHeartbeatAck,   MessageType::kFederationReport,
+      MessageType::kConfigSlice,    MessageType::kConfigDelta,
+      MessageType::kConfigFetch,    MessageType::kConfigAck,
   };
   for (MessageType type : kAllTypes) {
     if (type_name == MessageTypeName(type)) {
