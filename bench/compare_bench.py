@@ -62,6 +62,13 @@ GATING_BYTE_FIELDS = frozenset([
     "cost_config_bytes",
 ])
 
+# Evaluation-work fields from the semi-naive update sweep (E17 in
+# bench_update_vs_query). Deterministic row counts, so these GATE the
+# diff like wall time does: growth in incr_eval_rows means the
+# incremental path started re-scanning stores instead of deltas — the
+# regression the semi-naive machinery exists to prevent.
+WORK_FIELDS = ["incr_eval_rows"]
+
 
 def extract_scenarios(name, doc):
     """Flattens one bench document into {scenario_label: (value, unit)}."""
@@ -79,13 +86,16 @@ def extract_scenarios(name, doc):
             if not isinstance(scenario, dict) or "scenario" not in scenario:
                 continue
             label = "%s/%s" % (name, scenario["scenario"])
-            for field in WALL_FIELDS + QUALITY_FIELDS + BYTE_FIELDS:
+            for field in WALL_FIELDS + QUALITY_FIELDS + BYTE_FIELDS \
+                    + WORK_FIELDS:
                 value = scenario.get(field)
                 if isinstance(value, (int, float)) and value > 0:
                     if field in QUALITY_FIELDS:
                         unit = "periods"
                     elif field in BYTE_FIELDS:
                         unit = "bytes"
+                    elif field in WORK_FIELDS:
+                        unit = "rows"
                     else:
                         unit = "us" if field.endswith("_us") else "ms"
                     out["%s:%s" % (label, field)] = (float(value), unit)

@@ -221,7 +221,7 @@ Status Node::ApplyConfigLocked(const NetworkConfig& config,
   update_manager_ = std::make_shared<UpdateManager>(
       network_, id_, name_, wrapper_.get(), config_.get(),
       link_graph_.get(), &statistics_, minter_.get(), &update_seq_,
-      update_options);
+      &export_memory_, update_options);
   CODB_RETURN_IF_ERROR(update_manager_->Init());
   query_manager_ = std::make_shared<QueryManager>(
       network_, id_, name_, wrapper_.get(), config_.get(),
@@ -379,22 +379,43 @@ void Node::HandleConfigDelta(const Message& message) {
   SendConfigAck(message.src);
 }
 
-Result<FlowId> Node::StartGlobalUpdate() {
+Result<FlowId> Node::StartGlobalUpdate(
+    UpdateManager::CompletionFn on_complete) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (update_manager_ == nullptr) {
     return Status::FailedPrecondition(
         "node '" + name_ + "' has no configuration; broadcast one first");
   }
-  return update_manager_->StartUpdate();
+  return update_manager_->StartUpdate(/*refresh=*/false,
+                                      std::move(on_complete));
 }
 
-Result<FlowId> Node::StartGlobalRefresh() {
+Result<FlowId> Node::StartGlobalRefresh(
+    UpdateManager::CompletionFn on_complete) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (update_manager_ == nullptr) {
     return Status::FailedPrecondition(
         "node '" + name_ + "' has no configuration; broadcast one first");
   }
-  return update_manager_->StartUpdate(/*refresh=*/true);
+  return update_manager_->StartUpdate(/*refresh=*/true,
+                                      std::move(on_complete));
+}
+
+Status Node::InsertLocal(const std::string& relation,
+                         const std::vector<Tuple>& rows) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return wrapper_->InsertLocal(relation, rows);
+}
+
+Result<FlowId> Node::StartIncrementalUpdate(
+    UpdateManager::CompletionFn on_complete) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (update_manager_ == nullptr) {
+    return Status::FailedPrecondition(
+        "node '" + name_ + "' has no configuration; broadcast one first");
+  }
+  return update_manager_->StartIncrementalUpdate(
+      wrapper_->TakePendingDelta(), std::move(on_complete));
 }
 
 Result<FlowId> Node::StartQuery(const ConjunctiveQuery& query,

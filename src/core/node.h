@@ -121,13 +121,33 @@ class Node : public NetworkPeer {
 
   // -- DBM operations ------------------------------------------------------
 
-  // Batch materialization: starts a global update rooted here.
-  Result<FlowId> StartGlobalUpdate();
+  // Batch materialization: starts a global update rooted here. The
+  // optional callback fires exactly once, when the diffusing computation
+  // terminates at this root.
+  Result<FlowId> StartGlobalUpdate(
+      UpdateManager::CompletionFn on_complete = nullptr);
 
   // Refresh update: every node first drops its imported tuples, then the
   // network re-derives everything — the batch form of deletion
-  // propagation (data deleted at its source does not come back).
-  Result<FlowId> StartGlobalRefresh();
+  // propagation (data deleted at its source does not come back). Also
+  // resets the export memory network-wide, restating every export.
+  Result<FlowId> StartGlobalRefresh(
+      UpdateManager::CompletionFn on_complete = nullptr);
+
+  // Inserts rows into a local base relation, remembered as the pending
+  // delta for the next incremental update (Wrapper::InsertLocal). Touch
+  // only while this node is not mid-flow, like database().
+  Status InsertLocal(const std::string& relation,
+                     const std::vector<Tuple>& rows);
+
+  // Incremental (semi-naive) global update seeded by the pending delta
+  // accumulated through InsertLocal: work proportional to the delta, not
+  // the store (DESIGN.md §14). Requires a prior full/refresh update to
+  // have synchronized the network; `refresh` remains the full-semantics
+  // oracle. An empty pending delta is legal (the flood still runs and
+  // completes).
+  Result<FlowId> StartIncrementalUpdate(
+      UpdateManager::CompletionFn on_complete = nullptr);
 
   // Query-time answering: distributed fetch + local evaluation.
   Result<FlowId> StartQuery(const ConjunctiveQuery& query,
@@ -308,6 +328,10 @@ class Node : public NetworkPeer {
   std::shared_ptr<QueryManager> query_manager_;
   uint64_t update_seq_ = 0;  // survive manager rebuilds: ids stay unique
   uint64_t query_seq_ = 0;
+  // Cross-update export memory (DESIGN.md §14): node-owned for the same
+  // reason as update_seq_ — reconfigurations rebuild the manager, but
+  // what was already exported to each importer must not be forgotten.
+  ExportMemory export_memory_;
   std::set<uint32_t> rule_pipes_;  // peers we opened pipes to, per config
   // Declared after the managers and pool_ before flow_exec_: destruction
   // runs flow_exec_ first (draining in-flight strand tasks, which still

@@ -76,6 +76,7 @@ std::vector<uint8_t> UpdateRequestPayload::Serialize() const {
   WireWriter writer;
   WriteFlowId(writer, update);
   writer.WriteU8(refresh ? 1 : 0);
+  writer.WriteU8(incremental ? 1 : 0);
   return writer.Take();
 }
 
@@ -86,6 +87,8 @@ Result<UpdateRequestPayload> UpdateRequestPayload::Deserialize(
   CODB_ASSIGN_OR_RETURN(out.update, ReadFlowId(reader));
   CODB_ASSIGN_OR_RETURN(uint8_t refresh, reader.ReadU8());
   out.refresh = refresh != 0;
+  CODB_ASSIGN_OR_RETURN(uint8_t incremental, reader.ReadU8());
+  out.incremental = incremental != 0;
   return out;
 }
 

@@ -44,6 +44,11 @@ struct UpdateRequestPayload {
   // Refresh updates first drop every previously imported tuple, so
   // source-side deletions propagate network-wide.
   bool refresh = false;
+  // Incremental (semi-naive) updates skip the full-store initial link
+  // evaluation everywhere: only the initiator fires, seeded by its local
+  // delta batch, and propagation carries deltas only (DESIGN.md §14).
+  // Mutually exclusive with `refresh`.
+  bool incremental = false;
 
   std::vector<uint8_t> Serialize() const;
   static Result<UpdateRequestPayload> Deserialize(

@@ -16,7 +16,8 @@ UpdateManager::UpdateManager(NetworkBase* network, PeerId self,
                              const NetworkConfig* config,
                              const LinkGraph* link_graph,
                              StatisticsModule* stats, NullMinter* minter,
-                             uint64_t* update_seq, Options options)
+                             uint64_t* update_seq,
+                             ExportMemory* export_memory, Options options)
     : network_(network),
       self_(self),
       node_name_(std::move(node_name)),
@@ -42,6 +43,11 @@ UpdateManager::UpdateManager(NetworkBase* network, PeerId self,
       m_root_terminations_(
           stats->metrics().GetCounter("update.root_terminations")),
       m_aborted_(stats->metrics().GetCounter("update.aborted")),
+      m_incremental_(stats->metrics().GetCounter("update.incremental")),
+      m_delta_rows_(stats->metrics().GetCounter("update.delta_rows")),
+      m_eval_rows_(stats->metrics().GetCounter("update.eval_rows")),
+      m_memory_suppressed_(
+          stats->metrics().GetCounter("update.memory_suppressed")),
       m_handler_us_(stats->metrics().GetHistogram("update.handler_us")),
       m_data_tuples_(stats->metrics().GetHistogram("update.data_tuples")),
       termination_(self, [this](PeerId to, const FlowId& flow) {
@@ -70,7 +76,8 @@ UpdateManager::UpdateManager(NetworkBase* network, PeerId self,
                 stats->metrics().GetCounter("update.retransmits"),
                 stats->metrics().GetCounter("update.send_give_ups"),
                 stats->metrics().GetCounter("net.retx.bytes")),
-      update_seq_(update_seq) {}
+      update_seq_(update_seq),
+      export_memory_(export_memory) {}
 
 Status UpdateManager::Init() {
   for (const CoordinationRule* rule : config_->IncomingOf(node_name_)) {
@@ -79,6 +86,15 @@ Status UpdateManager::Init() {
         compiled.Compile(config_->SchemaOf(rule->exporter()),
                          config_->SchemaOf(rule->importer())));
     compiled_incoming_.emplace(rule->id(), std::move(compiled));
+  }
+  if (export_memory_ != nullptr) {
+    // A changed rule definition invalidates its recorded exports; the
+    // fingerprint is the full rule text.
+    std::map<std::string, std::string> fingerprints;
+    for (const auto& [rule_id, rule] : compiled_incoming_) {
+      fingerprints.emplace(rule_id, rule.ToString());
+    }
+    export_memory_->SyncRules(fingerprints);
   }
   if (options_.skip_subsumed) {
     for (const auto& [subsumed, subsuming] :
@@ -115,10 +131,34 @@ UpdateManager::UpdateState& UpdateManager::StateOf(const FlowId& update) {
   return it->second;
 }
 
-FlowId UpdateManager::StartUpdate(bool refresh) {
+FlowId UpdateManager::StartUpdate(bool refresh, CompletionFn on_complete) {
+  return StartUpdateInternal(refresh, /*incremental=*/false,
+                             /*delta=*/nullptr, std::move(on_complete));
+}
+
+FlowId UpdateManager::StartIncrementalUpdate(DeltaMap delta,
+                                             CompletionFn on_complete) {
+  return StartUpdateInternal(/*refresh=*/false, /*incremental=*/true,
+                             &delta, std::move(on_complete));
+}
+
+FlowId UpdateManager::StartUpdateInternal(bool refresh, bool incremental,
+                                          const DeltaMap* delta,
+                                          CompletionFn on_complete) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   FlowId update{FlowId::Scope::kUpdate, self_.value, (*update_seq_)++};
   m_started_->Add();
+  if (incremental) {
+    m_incremental_->Add();
+    size_t delta_rows = 0;
+    if (delta != nullptr) {
+      for (const auto& [relation, rows] : *delta) delta_rows += rows.size();
+    }
+    m_delta_rows_->Add(delta_rows);
+  }
+  if (on_complete != nullptr) {
+    completions_[update] = std::move(on_complete);
+  }
   // Root span of the whole diffusing computation: every other span of this
   // flow descends from it via message-hop edges.
   ScopedSpan span(Tracer::Global().BeginSpan(self_.value, "update.start",
@@ -139,7 +179,7 @@ FlowId UpdateManager::StartUpdate(bool refresh) {
           AbortIfIncomplete(update);
         });
   }
-  Join(update, /*via=*/PeerId(), refresh);
+  Join(update, /*via=*/PeerId(), refresh, incremental, delta);
   termination_.MaybeQuiesce();
   return update;
 }
@@ -159,10 +199,12 @@ void UpdateManager::AbortIfIncomplete(const FlowId& update) {
   Complete(update, /*via=*/PeerId());
 }
 
-void UpdateManager::Join(const FlowId& update, PeerId via, bool refresh) {
+void UpdateManager::Join(const FlowId& update, PeerId via, bool refresh,
+                         bool incremental, const DeltaMap* delta) {
   UpdateState& state = StateOf(update);
   if (state.joined) return;
   state.joined = true;
+  state.incremental = incremental;
 
   UpdateReport& report = stats_->ReportFor(update);
   report.start_virtual_us = network_->now_us();
@@ -177,21 +219,32 @@ void UpdateManager::Join(const FlowId& update, PeerId via, bool refresh) {
   }
 
   // A refresh drops previously imported data before re-deriving it; what
-  // the sources no longer provide simply never returns.
-  if (refresh) wrapper_->DropImported();
+  // the sources no longer provide simply never returns. It also restates
+  // every export from scratch, so the export memory starts over.
+  if (refresh) {
+    wrapper_->DropImported();
+    if (export_memory_ != nullptr) export_memory_->Reset();
+  }
 
   // "These acquaintances ... propagate the global update to their
   // acquaintances" — flood the request, skipping where it came from.
-  UpdateRequestPayload request{update, refresh};
+  UpdateRequestPayload request{update, refresh, incremental};
   for (PeerId neighbor : Acquaintances()) {
     if (neighbor == via) continue;
     SendBasic(update, neighbor, MessageType::kUpdateRequest,
               request.Serialize());
   }
 
-  // Initial evaluation of every incoming link over the full local store.
+  // Initial link evaluations. Full/refresh updates evaluate every
+  // incoming link over the whole local store; an incremental update fires
+  // only at the initiator (delta != null), seeded by its delta batch —
+  // every other node contributes nothing until deltas reach it.
   for (auto& [rule_id, link] : state.incoming) {
-    FireInitial(update, state, rule_id);
+    if (!incremental) {
+      FireInitial(update, state, rule_id);
+    } else if (delta != nullptr && !delta->empty()) {
+      FireInitialDelta(update, state, rule_id, *delta);
+    }
     link.initial_fired = true;
   }
   CheckClosing(update, state);
@@ -212,7 +265,45 @@ void UpdateManager::FireInitial(const FlowId& update, UpdateState& state,
     // brackets them (wrapper locking contract): shared on every shard,
     // excluding concurrent writers but not other readers.
     ShardedRWLock::ReadAllGuard read_guard(wrapper_->store_lock());
+    // Work accounting for the semi-naive comparison (E17): a full eval
+    // reads every body relation end to end.
+    size_t input_rows = 0;
+    for (const std::string& relation : rule.BodyRelations()) {
+      const Relation* body = wrapper_->storage().Find(relation);
+      if (body != nullptr) input_rows += body->size();
+    }
+    m_eval_rows_->Add(input_rows);
     frontiers = rule.EvaluateFrontier(wrapper_->storage(), options_.eval);
+  }
+  span.End();
+  ShipFrontiers(update, state, rule_id, std::move(frontiers),
+                /*path=*/{self_.value});
+}
+
+void UpdateManager::FireInitialDelta(const FlowId& update,
+                                     UpdateState& state,
+                                     const std::string& rule_id,
+                                     const DeltaMap& delta) {
+  if (state.exports_suppressed) return;
+  if (subsumed_incoming_.find(rule_id) != subsumed_incoming_.end()) return;
+  const CoordinationRule& rule = compiled_incoming_.at(rule_id);
+  m_rule_evals_->Add();
+  ScopedSpan span(
+      Tracer::Global().BeginSpanHere("update.rule_eval", update.ToString()));
+  Tracer::Global().AddArg(span.id(), "rule", rule_id);
+  std::vector<Tuple> frontiers;
+  for (const auto& [relation, rows] : delta) {
+    bool referenced =
+        std::find_if(rule.query().body.begin(), rule.query().body.end(),
+                     [&](const Atom& atom) {
+                       return atom.predicate == relation;
+                     }) != rule.query().body.end();
+    if (!referenced || rows.empty()) continue;
+    m_eval_rows_->Add(rows.size());
+    ShardedRWLock::ReadAllGuard read_guard(wrapper_->store_lock());
+    std::vector<Tuple> partial = rule.EvaluateFrontierDelta(
+        wrapper_->storage(), relation, rows, options_.eval);
+    frontiers.insert(frontiers.end(), partial.begin(), partial.end());
   }
   span.End();
   ShipFrontiers(update, state, rule_id, std::move(frontiers),
@@ -230,6 +321,13 @@ void UpdateManager::ShipFrontiers(const FlowId& update, UpdateState& state,
       Tracer::Global().BeginSpanHere("update.ship", update.ToString()));
   Tracer::Global().AddArg(span.id(), "rule", rule_id);
 
+  // Cross-update export memory (DESIGN.md §14): recorded for every update
+  // (so later incremental updates know what full updates shipped), but
+  // only *deduped against* for incremental updates — full updates keep
+  // their historical per-update dedup, re-shipping across updates as they
+  // always did. Disabled together with dedup_sent (ablation E6).
+  const bool use_memory =
+      export_memory_ != nullptr && options_.dedup_sent;
   std::vector<Tuple> fresh;
   fresh.reserve(frontiers.size());
   if (options_.dedup_sent) {
@@ -244,18 +342,25 @@ void UpdateManager::ShipFrontiers(const FlowId& update, UpdateState& state,
     }
   }
   for (Tuple& frontier : frontiers) {
-    if (options_.dedup_sent) {
-      if (link.sent_frontiers.insert(frontier).second) {
-        fresh.push_back(std::move(frontier));
-      }
-    } else {
-      fresh.push_back(std::move(frontier));
+    if (use_memory && state.incremental &&
+        export_memory_->Seen(rule_id, frontier)) {
+      m_memory_suppressed_->Add();
+      continue;  // a previous update already exported it
     }
+    if (options_.dedup_sent) {
+      if (!link.sent_frontiers.insert(frontier).second) continue;
+    }
+    if (use_memory) export_memory_->Record(rule_id, frontier);
+    fresh.push_back(std::move(frontier));
   }
   if (fresh.empty()) return;
 
   Result<PeerId> importer = ResolvePeer(rule.importer());
-  if (!importer.ok()) return;  // importer gone; nothing to ship
+  if (!importer.ok()) {
+    // Importer gone; nothing was shipped, so nothing may stay recorded.
+    if (use_memory) export_memory_->Forget(rule_id, fresh);
+    return;
+  }
 
   std::vector<HeadTuple> tuples;
   tuples.reserve(fresh.size());
@@ -294,6 +399,11 @@ void UpdateManager::ShipFrontiers(const FlowId& update, UpdateState& state,
     if (!sent.ok()) {
       CODB_LOG(kDebug) << node_name_ << ": data ship on " << rule_id
                        << " failed: " << sent.ToString();
+      // Conservative un-record of the whole batch: the frontiers that DID
+      // ship get re-derived and re-shipped by a later update, which the
+      // importer's set semantics absorbs; a frontier silently recorded as
+      // exported but never delivered would be missed forever.
+      if (use_memory) export_memory_->Forget(rule_id, fresh);
       return;
     }
     termination_.OnSent(update, importer.value());
@@ -423,7 +533,8 @@ void UpdateManager::OnRequest(const Message& message) {
   ScopedSpan span(
       Tracer::Global().BeginSpanHere("update.request", update.ToString()));
   termination_.OnBasicMessage(update, message.src);
-  Join(update, message.src, parsed.value().refresh);
+  Join(update, message.src, parsed.value().refresh,
+       parsed.value().incremental);
 }
 
 void UpdateManager::OnData(const Message& message) {
@@ -448,8 +559,9 @@ void UpdateManager::OnData(const Message& message) {
   // Data can only come from a joined acquaintance, which always floods the
   // request first on the same FIFO pipe — but a pipe created mid-update
   // (dynamic topology) can skip that, so join defensively (the refresh
-  // flag, if any, arrived with the request on the same pipe).
-  Join(update, message.src, /*refresh=*/false);
+  // and incremental flags, if any, arrived with the request on the same
+  // pipe).
+  Join(update, message.src, /*refresh=*/false, /*incremental=*/false);
   UpdateState& state = StateOf(update);
 
   // Statistics for this data message.
@@ -534,6 +646,7 @@ void UpdateManager::OnData(const Message& message) {
                          return atom.predicate == relation;
                        }) != rule.query().body.end();
       if (!referenced) continue;
+      m_eval_rows_->Add(rows.size());
       ShardedRWLock::ReadAllGuard read_guard(wrapper_->store_lock());
       std::vector<Tuple> partial = rule.EvaluateFrontierDelta(
           wrapper_->storage(), relation, rows, options_.eval);
@@ -560,7 +673,7 @@ void UpdateManager::OnLinkClosed(const Message& message) {
                                                  update.ToString()));
   Tracer::Global().AddArg(span.id(), "rule", parsed.value().rule_id);
   termination_.OnBasicMessage(update, message.src);
-  Join(update, message.src, /*refresh=*/false);
+  Join(update, message.src, /*refresh=*/false, /*incremental=*/false);
   UpdateState& state = StateOf(update);
   auto it = state.outgoing.find(parsed.value().rule_id);
   if (it != state.outgoing.end()) {
@@ -657,6 +770,16 @@ void UpdateManager::Complete(const FlowId& update, PeerId via) {
                    update, /*basic=*/false);
   }
   CODB_LOG(kInfo) << node_name_ << ": " << update.ToString() << " complete";
+
+  // Root-side completion callback, exactly once: the state.complete guard
+  // above makes a second Complete() a no-op, and the callback is erased
+  // before it runs so a re-entrant call cannot find it again.
+  auto callback = completions_.find(update);
+  if (callback != completions_.end()) {
+    CompletionFn fn = std::move(callback->second);
+    completions_.erase(callback);
+    if (fn != nullptr) fn(update);
+  }
 }
 
 void UpdateManager::OnComplete(const Message& message) {

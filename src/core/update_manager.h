@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/export_memory.h"
 #include "core/link_graph.h"
 #include "core/protocol.h"
 #include "core/reliability.h"
@@ -78,14 +79,28 @@ class UpdateManager {
     EvalOptions eval;
   };
 
+  // Per-relation batch of inserted tuples: the seed of an incremental
+  // update (must already be present in the initiator's store).
+  using DeltaMap = std::map<std::string, std::vector<Tuple>>;
+  // Root-side completion notification: invoked exactly once, when the
+  // diffusing computation this node initiated terminates (including
+  // deadline aborts — check the report's `aborted` flag).
+  using CompletionFn = std::function<void(const FlowId&)>;
+
   // All pointers must outlive the manager. `node_name` is this node's name
   // in `config`.
   // `update_seq` is the node-owned counter of started updates; it lives
   // outside the manager so ids stay unique across reconfigurations.
+  // `export_memory` is the node-owned cross-update export memory
+  // (DESIGN.md §14); it outlives the manager for the same reason
+  // `update_seq` does. Null disables cross-update dedup (incremental
+  // updates then re-ship previously exported frontiers, which importers
+  // absorb through set semantics).
   UpdateManager(NetworkBase* network, PeerId self, std::string node_name,
                 Wrapper* wrapper, const NetworkConfig* config,
                 const LinkGraph* link_graph, StatisticsModule* stats,
-                NullMinter* minter, uint64_t* update_seq, Options options);
+                NullMinter* minter, uint64_t* update_seq,
+                ExportMemory* export_memory, Options options);
 
   // Compiles this node's incoming links. Must succeed before any traffic.
   Status Init();
@@ -94,7 +109,20 @@ class UpdateManager {
   // diffusing computation). A *refresh* update additionally drops every
   // node's previously imported tuples first, so deletions at the sources
   // propagate. Returns the update id.
-  FlowId StartUpdate(bool refresh = false);
+  FlowId StartUpdate(bool refresh = false,
+                     CompletionFn on_complete = nullptr);
+
+  // Starts an incremental (semi-naive) global update seeded by `delta`:
+  // instead of the full-store initial evaluation, every incoming link
+  // fires EvaluateFrontierDelta over the delta relations only, and
+  // non-initiator nodes skip the initial firing entirely — propagation
+  // carries deltas end to end, so the work is proportional to the delta,
+  // not the store. Requires the delta tuples to already be in the local
+  // store (Wrapper::InsertLocal does both). Assumes the network was
+  // synchronized by a prior full/refresh update; frontiers recorded in
+  // the export memory are not re-shipped.
+  FlowId StartIncrementalUpdate(DeltaMap delta,
+                                CompletionFn on_complete = nullptr);
 
   // Routed by the node: kUpdateRequest/kUpdateData/kLinkClosed/
   // kUpdateComplete, plus kUpdateAck with update scope.
@@ -146,6 +174,10 @@ class UpdateManager {
   struct UpdateState {
     bool joined = false;
     bool complete = false;
+    // Semi-naive update: initial firing is delta-seeded (initiator) or
+    // skipped (everyone else), and shipments dedup against the
+    // cross-update export memory.
+    bool incremental = false;
     // Local inconsistency at join time: exports are suppressed for the
     // whole update (paper principle (d)).
     bool exports_suppressed = false;
@@ -155,10 +187,17 @@ class UpdateManager {
 
   UpdateState& StateOf(const FlowId& update);
 
+  // Shared root-side start path of StartUpdate/StartIncrementalUpdate.
+  FlowId StartUpdateInternal(bool refresh, bool incremental,
+                             const DeltaMap* delta,
+                             CompletionFn on_complete);
+
   // Marks the node joined: floods the request onward (skipping `via`, the
   // peer it came from, if any) and fires the initial link evaluations.
-  // Refresh joins drop imported tuples before evaluating.
-  void Join(const FlowId& update, PeerId via, bool refresh);
+  // Refresh joins drop imported tuples before evaluating; incremental
+  // joins fire over `delta` (the initiator) or nothing (delta == null).
+  void Join(const FlowId& update, PeerId via, bool refresh,
+            bool incremental, const DeltaMap* delta = nullptr);
 
   void OnRequest(const Message& message);
   void OnData(const Message& message);
@@ -168,6 +207,12 @@ class UpdateManager {
   // Evaluates + ships the initial content of incoming link `rule_id`.
   void FireInitial(const FlowId& update, UpdateState& state,
                    const std::string& rule_id);
+
+  // Semi-naive initial firing at the initiator: evaluates `rule_id` with
+  // each delta relation its body references substituted, and ships the
+  // union — work proportional to the delta, not the store.
+  void FireInitialDelta(const FlowId& update, UpdateState& state,
+                        const std::string& rule_id, const DeltaMap& delta);
 
   // Dedups `frontiers` against the sent-set, instantiates heads, ships.
   void ShipFrontiers(const FlowId& update, UpdateState& state,
@@ -243,6 +288,14 @@ class UpdateManager {
   Counter* m_dups_suppressed_;
   Counter* m_root_terminations_;
   Counter* m_aborted_;
+  // Semi-naive instrumentation: incremental updates started here, delta
+  // rows they were seeded with, rows fed into rule evaluations (full
+  // evals charge the body relations' sizes; delta evals the delta), and
+  // frontiers the cross-update export memory suppressed.
+  Counter* m_incremental_;
+  Counter* m_delta_rows_;
+  Counter* m_eval_rows_;
+  Counter* m_memory_suppressed_;
   Histogram* m_handler_us_;
   Histogram* m_data_tuples_;
 
@@ -252,8 +305,11 @@ class UpdateManager {
   std::map<std::string, CoordinationRule> compiled_incoming_;
   std::set<std::string> subsumed_incoming_;  // skip_subsumed option
   std::map<FlowId, UpdateState> updates_;
+  // Root-side completion callbacks, fired exactly once from Complete().
+  std::map<FlowId, CompletionFn> completions_;
   mutable std::map<std::string, PeerId> peer_cache_;
-  uint64_t* update_seq_;  // owned by the node
+  uint64_t* update_seq_;        // owned by the node
+  ExportMemory* export_memory_;  // owned by the node; may be null
 };
 
 }  // namespace codb

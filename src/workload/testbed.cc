@@ -231,6 +231,26 @@ Result<FlowId> Testbed::RunGlobalUpdate(const std::string& initiator) {
   return update;
 }
 
+Result<FlowId> Testbed::RunGlobalRefresh(const std::string& initiator) {
+  Node* start = node(initiator);
+  if (start == nullptr) {
+    return Status::NotFound("no node named '" + initiator + "'");
+  }
+  CODB_ASSIGN_OR_RETURN(FlowId update, start->StartGlobalRefresh());
+  network_->Run();
+  return update;
+}
+
+Result<FlowId> Testbed::RunIncrementalUpdate(const std::string& initiator) {
+  Node* start = node(initiator);
+  if (start == nullptr) {
+    return Status::NotFound("no node named '" + initiator + "'");
+  }
+  CODB_ASSIGN_OR_RETURN(FlowId update, start->StartIncrementalUpdate());
+  network_->Run();
+  return update;
+}
+
 bool Testbed::AllComplete(const FlowId& update) const {
   for (const auto& node : nodes_) {
     const UpdateManager* manager = node->update_manager();

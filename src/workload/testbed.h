@@ -101,6 +101,14 @@ class Testbed {
   // quiescence) and returns the update id.
   Result<FlowId> RunGlobalUpdate(const std::string& initiator);
 
+  // Same for a refresh update (drop-imported + full re-derivation: the
+  // incremental-equivalence oracle).
+  Result<FlowId> RunGlobalRefresh(const std::string& initiator);
+
+  // Same for an incremental update seeded by `initiator`'s pending delta
+  // (Node::InsertLocal since the last incremental update).
+  Result<FlowId> RunIncrementalUpdate(const std::string& initiator);
+
   // True if every node that joined `update` observed completion.
   bool AllComplete(const FlowId& update) const;
 

@@ -108,6 +108,52 @@ Result<std::map<std::string, std::vector<Tuple>>> Wrapper::ApplyHeadTuples(
   return fresh;
 }
 
+Status Wrapper::InsertLocal(const std::string& relation,
+                            const std::vector<Tuple>& rows) {
+  std::vector<Tuple> added;
+  {
+    const std::string* name = &relation;
+    ShardedRWLock::WriteSetGuard write_guard(
+        store_lock_,
+        store_lock_.SortedShardsOf(
+            &name, &name + 1,
+            [](const std::string* n) -> const std::string& { return *n; }));
+    CODB_ASSIGN_OR_RETURN(Relation * rel, storage_->Get(relation));
+    rel->Reserve(rel->size() + rows.size());
+    added.reserve(rows.size());
+    for (const Tuple& row : rows) {
+      // Insert without touching imported_: the provenance vector stays
+      // short, so DropImported treats these rows as local and keeps them.
+      if (!rel->Insert(row)) continue;
+      if (journal_ != nullptr) {
+        std::lock_guard<std::mutex> journal_lock(journal_mu_);
+        journal_->LogInsert(relation, row);
+      }
+      added.push_back(row);
+    }
+  }
+  if (!added.empty()) {
+    std::lock_guard<std::mutex> delta_lock(delta_mu_);
+    std::vector<Tuple>& pending = pending_delta_[relation];
+    pending.insert(pending.end(), added.begin(), added.end());
+  }
+  return Status::Ok();
+}
+
+std::map<std::string, std::vector<Tuple>> Wrapper::TakePendingDelta() {
+  std::lock_guard<std::mutex> delta_lock(delta_mu_);
+  std::map<std::string, std::vector<Tuple>> taken;
+  taken.swap(pending_delta_);
+  return taken;
+}
+
+size_t Wrapper::PendingDeltaRows() const {
+  std::lock_guard<std::mutex> delta_lock(delta_mu_);
+  size_t total = 0;
+  for (const auto& [relation, rows] : pending_delta_) total += rows.size();
+  return total;
+}
+
 void Wrapper::DropImported() {
   ShardedRWLock::WriteAllGuard write_guard(store_lock_);
   for (auto& [relation_name, provenance] : imported_) {

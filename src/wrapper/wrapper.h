@@ -67,6 +67,22 @@ class Wrapper {
   Result<std::map<std::string, std::vector<Tuple>>> ApplyHeadTuples(
       const std::vector<HeadTuple>& tuples);
 
+  // Inserts rows as *local* base data: NOT marked imported (refresh
+  // updates keep them), journaled like any other durable insert, and the
+  // actually-new rows are accumulated as the pending delta batch the next
+  // incremental update ships (DESIGN.md §14). Unknown relations are an
+  // error; duplicate rows are dropped (set semantics) and do not enter
+  // the delta.
+  Status InsertLocal(const std::string& relation,
+                     const std::vector<Tuple>& rows);
+
+  // Hands over — and clears — the rows InsertLocal accumulated since the
+  // last call: the seed of UpdateManager::StartIncrementalUpdate.
+  std::map<std::string, std::vector<Tuple>> TakePendingDelta();
+
+  // Rows currently pending for the next incremental update.
+  size_t PendingDeltaRows() const;
+
   // Removes every tuple previously recorded as imported, keeping local
   // (seeded/user-inserted) data. A refresh update calls this before the
   // initial link evaluation, so source-side deletions propagate: data no
@@ -114,6 +130,9 @@ class Wrapper {
   JournalSink* journal_ = nullptr;            // optional, not owned
   mutable ShardedRWLock store_lock_;
   std::mutex journal_mu_;                     // serializes sink appends
+  mutable std::mutex delta_mu_;               // guards pending_delta_
+  // Local inserts not yet shipped by an incremental update, per relation.
+  std::map<std::string, std::vector<Tuple>> pending_delta_;
   // Import provenance: per relation, a flag per row position marking the
   // tuples that arrived over the network (rows only grow between
   // DropImported calls, so positions are stable).

@@ -148,5 +148,88 @@ TEST_F(EvaluatorDeltaTest, RepeatedOccurrenceWithNullKeysAndFrontierNulls) {
   EXPECT_TRUE(q.EvaluateDelta(db_, "link", {}).empty());
 }
 
+// Edge cases surfaced by the incremental-update battery ---------------------
+
+// A batch whose rows connect to the store on both sides: the delta must
+// join delta←existing and existing←delta without double-counting the
+// all-delta derivation both passes can reach.
+TEST_F(EvaluatorDeltaTest, DeltaExtendsExistingChainsBothDirections) {
+  CompiledQuery q = Compile("q(A, C) :- r(A, B), r(B, C).", {"A", "C"});
+  InsertR(1, 2);  // pre-existing middle link
+
+  std::vector<Tuple> delta = {Tuple{Value::Int(0), Value::Int(1)},
+                              Tuple{Value::Int(2), Value::Int(3)}};
+  for (const Tuple& t : delta) db_.Find("r")->Insert(t);
+
+  std::vector<Tuple> rows = q.EvaluateDelta(db_, "r", delta);
+  std::sort(rows.begin(), rows.end());
+  std::vector<Tuple> expected = {
+      Tuple{Value::Int(0), Value::Int(2)},   // delta ⋈ existing
+      Tuple{Value::Int(1), Value::Int(3)}};  // existing ⋈ delta
+  EXPECT_EQ(rows, expected);
+}
+
+// Multi-relation body: a delta for one relation must probe the other
+// relation's *entire* store, and a delta for the other relation must do
+// the converse — the union covers the full difference.
+TEST_F(EvaluatorDeltaTest, MultiRelationBodyDeltaPerRelation) {
+  CompiledQuery q = Compile("q(A, Y) :- r(A, B), link(B, Y).", {"A", "Y"});
+  InsertR(1, 10);
+  db_.Find("link")->Insert(Tuple{Value::Int(10), Value::Int(100)});
+  std::vector<Tuple> before = q.Evaluate(db_);
+
+  // One delta per relation, landing in the same batch of an update.
+  std::vector<Tuple> delta_r = {Tuple{Value::Int(2), Value::Int(20)}};
+  std::vector<Tuple> delta_link = {Tuple{Value::Int(20), Value::Int(200)}};
+  db_.Find("r")->Insert(delta_r[0]);
+  db_.Find("link")->Insert(delta_link[0]);
+  std::vector<Tuple> after = q.Evaluate(db_);
+
+  std::set<Tuple> covered;
+  for (const Tuple& t : q.EvaluateDelta(db_, "r", delta_r)) covered.insert(t);
+  for (const Tuple& t : q.EvaluateDelta(db_, "link", delta_link)) {
+    covered.insert(t);
+  }
+  std::set<Tuple> before_set(before.begin(), before.end());
+  std::set<Tuple> after_set(after.begin(), after.end());
+  for (const Tuple& t : after_set) {
+    if (before_set.count(t) == 0) {
+      EXPECT_TRUE(covered.count(t) > 0)
+          << "missing new derivation " << t.ToString();
+    }
+  }
+  for (const Tuple& t : covered) {
+    EXPECT_TRUE(after_set.count(t) > 0)
+        << "derivation not in full evaluation " << t.ToString();
+  }
+  // The r-delta alone reaches the new link row too (it is in the store by
+  // the time the delta evaluates), so (2, 200) must be covered.
+  EXPECT_TRUE(covered.count(Tuple{Value::Int(2), Value::Int(200)}) > 0);
+}
+
+// A duplicated row inside one delta batch (a wrapper that failed to dedup,
+// or a retransmitted shipment applied twice) must not duplicate frontiers.
+TEST_F(EvaluatorDeltaTest, DuplicateDeltaRowsYieldEachFrontierOnce) {
+  CompiledQuery q = Compile("q(A, C) :- r(A, B), r(B, C).", {"A", "C"});
+  InsertR(1, 2);
+  Tuple row{Value::Int(2), Value::Int(3)};
+  db_.Find("r")->Insert(row);
+
+  std::vector<Tuple> rows = q.EvaluateDelta(db_, "r", {row, row});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (Tuple{Value::Int(1), Value::Int(3)}));
+}
+
+// A delta against a relation the body never mentions contributes nothing —
+// the guard the update manager relies on when it routes a multi-relation
+// batch through rules that reference only part of it.
+TEST_F(EvaluatorDeltaTest, DeltaForUnreferencedRelationIsEmpty) {
+  CompiledQuery q = Compile("q(A, B) :- r(A, B).", {"A", "B"});
+  InsertR(1, 2);
+  std::vector<Tuple> delta = {Tuple{Value::Int(5), Value::Int(6)}};
+  db_.Find("link")->Insert(delta[0]);
+  EXPECT_TRUE(q.EvaluateDelta(db_, "link", delta).empty());
+}
+
 }  // namespace
 }  // namespace codb

@@ -532,6 +532,149 @@ TEST(FaultTortureTest, ChurnUnderDropsEvictsTheDeadAndOnlyTheDead) {
   }
 }
 
+// Incremental-update torture: the semi-naive path rides the same
+// reliability machinery as the full update, so a lossy, duplicating,
+// reordering ring must converge to exactly the stores a fault-free
+// incremental run produces — same baseline update, same delta, same
+// initiator — with exactly-once termination for both flows and no aborts.
+TEST(FaultTortureTest, IncrementalUpdateConvergesUnderSeedMatrix) {
+  WorkloadOptions workload;
+  workload.nodes = 4;
+  workload.tuples_per_node = 3;
+  GeneratedNetwork generated = MakeRing(workload);
+
+  // n0 owns keys [0, 10000); the delta keys live past the seeded prefix.
+  const std::vector<Tuple> delta = {
+      Tuple{Value::Int(1001), Value::Int(11)},
+      Tuple{Value::Int(1002), Value::Int(22)},
+      Tuple{Value::Int(1003), Value::Int(33)}};
+
+  auto run_incremental = [&](Testbed& bed) {
+    Result<FlowId> baseline = bed.RunGlobalUpdate("n0");
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    EXPECT_TRUE(bed.AllComplete(baseline.value()));
+    ASSERT_TRUE(bed.node("n0")->InsertLocal("d", delta).ok());
+    Result<FlowId> update = bed.RunIncrementalUpdate("n0");
+    ASSERT_TRUE(update.ok()) << update.status().ToString();
+    EXPECT_TRUE(bed.AllComplete(update.value()));
+  };
+
+  // Fault-free incremental reference.
+  NetworkInstance reference;
+  {
+    Result<std::unique_ptr<Testbed>> bed = Testbed::Create(generated);
+    ASSERT_TRUE(bed.ok()) << bed.status().ToString();
+    run_incremental(*bed.value());
+    reference = Normalized(bed.value()->Snapshot());
+  }
+
+  auto mixed = [](uint64_t seed) {
+    FaultProfile p;
+    p.drop_rate = 0.03;
+    p.duplicate_rate = 0.03;
+    p.reorder_rate = 0.2;
+    p.jitter_us = 2000;
+    p.seed = seed;
+    return p;
+  };
+
+  uint64_t total_drops = 0;
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    struct TortureCase {
+      const char* name;
+      FaultProfile profile;
+    };
+    std::vector<TortureCase> cases = {
+        {"drop5pct", FaultProfile::Drop(0.05, seed)},
+        {"dup5pct", FaultProfile::Duplicate(0.05, seed)},
+        {"reorder", FaultProfile::Reorder(0.5, /*jitter_us=*/2000, seed)},
+        {"mixed", mixed(seed)},
+    };
+    for (const TortureCase& c : cases) {
+      SCOPED_TRACE(std::string(c.name) + " seed " + std::to_string(seed));
+      Testbed::Options options;
+      options.fault = c.profile;
+      options.node.reliability.enabled = true;
+      options.node.reliability.retransmit_base_us = 20'000;
+      options.node.reliability.max_retries = 10;
+      Result<std::unique_ptr<Testbed>> bed =
+          Testbed::Create(generated, options);
+      ASSERT_TRUE(bed.ok()) << bed.status().ToString();
+
+      run_incremental(*bed.value());
+      EXPECT_EQ(Normalized(bed.value()->Snapshot()), reference);
+      // Baseline + incremental: two clean root terminations, no aborts,
+      // and the incremental flag counted exactly once.
+      EXPECT_EQ(CounterAt(*bed.value(), "n0", "update.root_terminations"),
+                2u);
+      EXPECT_EQ(CounterSum(*bed.value(), "update.aborted"), 0u);
+      EXPECT_EQ(CounterAt(*bed.value(), "n0", "update.incremental"), 1u);
+      total_drops += bed.value()->network().stats().injected_drops();
+    }
+  }
+  EXPECT_GT(total_drops, 0u);
+}
+
+// A peer dying silently in the middle of an incremental update: the flow
+// cannot finish cleanly (the victim holds a deficit forever), so the
+// root's deadline must abort it — with the completion callback firing
+// exactly once — while the surviving prefix of the chain keeps the delta
+// it already imported.
+TEST(FaultTortureTest, MidIncrementalSilentDeathAbortsExactlyOnce) {
+  WorkloadOptions workload;
+  workload.nodes = 4;
+  workload.tuples_per_node = 2;
+  GeneratedNetwork generated = MakeChain(workload);
+
+  Testbed::Options options;
+  options.node.reliability.enabled = true;
+  options.node.reliability.retransmit_base_us = 20'000;
+  options.node.reliability.max_retries = 12;
+  options.node.reliability.flow_deadline_us = 500'000;
+  options.membership = true;
+  options.membership_options.period_us = 200'000;
+  Result<std::unique_ptr<Testbed>> testbed =
+      Testbed::Create(generated, options);
+  ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+  Testbed& bed = *testbed.value();
+
+  Result<FlowId> baseline = bed.RunGlobalUpdate("n3");
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_TRUE(bed.AllComplete(baseline.value()));
+
+  const Tuple delta_row{Value::Int(31001), Value::Int(9)};
+  ASSERT_TRUE(bed.node("n3")->InsertLocal("d", {delta_row}).ok());
+
+  int fired = 0;
+  Result<FlowId> flow = bed.node("n3")->StartIncrementalUpdate(
+      [&fired](const FlowId&) { ++fired; });
+  ASSERT_TRUE(flow.ok()) << flow.status().ToString();
+  // The kill lands 2.5ms into the flow (hop latency is 1ms): n3→n2 has
+  // delivered and n2 has engaged n1, and every message toward the corpse
+  // — including retransmissions — now vanishes.
+  bed.network().ScheduleAfter(2'500, [&bed] {
+    ASSERT_TRUE(bed.SilentKillNode("n1").ok());
+  });
+  bed.network().Run();
+
+  EXPECT_EQ(fired, 1) << "completion callback must fire exactly once";
+  // The root aborted and the reachable side of the break learned it; n0,
+  // stranded behind the corpse, can never receive the completion flood —
+  // if the request beat the kill across n1 it stays joined-but-incomplete
+  // (exactly what the membership layer exists to clean up).
+  EXPECT_TRUE(bed.node("n3")->update_manager()->IsComplete(flow.value()));
+  EXPECT_TRUE(bed.node("n2")->update_manager()->IsComplete(flow.value()));
+  EXPECT_FALSE(bed.node("n0")->update_manager()->IsComplete(flow.value()));
+  const UpdateReport* report =
+      bed.node("n3")->statistics().FindReport(flow.value());
+  ASSERT_NE(report, nullptr);
+  EXPECT_TRUE(report->aborted);
+  // The surviving neighbour imported the delta before the chain snapped.
+  const Relation* at_n2 = bed.node("n2")->database().Find("d");
+  ASSERT_NE(at_n2, nullptr);
+  EXPECT_TRUE(at_n2->Contains(delta_row));
+}
+
 // One torture pass on the threaded runtime: real threads, real timers,
 // same convergence guarantee. Small rates and a short retransmit base
 // keep the wall-clock cost of each repair in the milliseconds.

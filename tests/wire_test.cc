@@ -137,6 +137,21 @@ TEST(ProtocolTest, AllSmallPayloadsRoundTrip) {
                 .value()
                 .update,
             update);
+  // Both mode flags ride the request and must survive the wire in every
+  // combination the protocol emits (refresh and incremental are mutually
+  // exclusive; both-false is the plain full update).
+  for (bool refresh : {false, true}) {
+    for (bool incremental : {false, true}) {
+      if (refresh && incremental) continue;
+      Result<UpdateRequestPayload> mode_back =
+          UpdateRequestPayload::Deserialize(
+              UpdateRequestPayload{update, refresh, incremental}
+                  .Serialize());
+      ASSERT_TRUE(mode_back.ok());
+      EXPECT_EQ(mode_back.value().refresh, refresh);
+      EXPECT_EQ(mode_back.value().incremental, incremental);
+    }
+  }
   LinkClosedPayload closed{update, "r9"};
   Result<LinkClosedPayload> closed_back =
       LinkClosedPayload::Deserialize(closed.Serialize());
